@@ -1,0 +1,124 @@
+// Ablations of the proposed controller's design choices (DESIGN.md Sec. 5):
+//   * control period (paper: 100 ms),
+//   * utilization/power window (paper: 1 s),
+//   * time-to-fixed-point limit (imminence threshold),
+//   * realtime registration honoured vs. ignored,
+//   * migrate-back extension on/off.
+// Each row reports foreground GT1 fps, peak temperature, migrations and
+// background progress on the 3DMark+BML scenario.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "core/appaware.h"
+#include "platform/presets.h"
+#include "sim/engine.h"
+#include "sim/experiment.h"
+#include "stability/presets.h"
+#include "thermal/presets.h"
+#include "util/units.h"
+#include "workload/presets.h"
+
+namespace {
+
+using namespace mobitherm;
+
+struct Row {
+  double gt1_fps;
+  double peak_c;
+  std::size_t migrations;
+  double bml_work;
+};
+
+Row run(double period_s, double window_s, double time_limit_s,
+        bool honour_realtime, bool migrate_back,
+        double fg_cpu_work_scale = 1.0) {
+  const platform::SocSpec spec = platform::exynos5422();
+  sim::EngineConfig ecfg;
+  ecfg.window_s = window_s;
+  const stability::Params params = stability::odroid_xu3_params();
+  sim::Engine engine(spec, thermal::odroidxu3_network(),
+                     power::LeakageParams{params.leak_theta_k,
+                                          params.leak_a_w_per_k2},
+                     0.25, ecfg);
+  engine.set_initial_temperature(util::celsius_to_kelvin(50.0));
+
+  core::AppAwareConfig cfg = sim::odroid_appaware_config(spec);
+  cfg.period_s = period_s;
+  cfg.time_limit_s = time_limit_s;
+  cfg.migrate_back = migrate_back;
+  engine.set_appaware_governor(
+      std::make_unique<core::AppAwareGovernor>(cfg, params));
+
+  workload::AppSpec mark = workload::threedmark();
+  mark.realtime = honour_realtime;  // ignored registration = not exempt
+  for (workload::Phase& ph : mark.phases) {
+    ph.cpu_work_per_frame *= fg_cpu_work_scale;
+  }
+  const std::size_t fg = engine.add_app(mark);
+  const std::size_t bg = engine.add_app(workload::bml());
+  engine.run(250.0);
+
+  Row row;
+  // Mean fps over GT1 seconds (phase 0 of the looping schedule).
+  const workload::AppInstance& app = engine.app(fg);
+  double sum = 0.0;
+  int count = 0;
+  for (std::size_t sec = 0; sec < app.fps_samples().size(); ++sec) {
+    if (app.phase_index_at(sec + 0.5) == 0) {
+      sum += app.fps_samples()[sec];
+      ++count;
+    }
+  }
+  row.gt1_fps = count > 0 ? sum / count : 0.0;
+  double peak = 0.0;
+  for (const sim::TracePoint& p : engine.trace().points()) {
+    peak = std::max(peak, p.max_chip_temp_k - 273.15);
+  }
+  row.peak_c = peak;
+  row.migrations = 0;
+  for (const auto& [t, d] : engine.decisions()) {
+    if (d.migrated.has_value()) {
+      ++row.migrations;
+    }
+  }
+  row.bml_work =
+      engine.scheduler().process(engine.app(bg).cpu_pid()).completed_work();
+  return row;
+}
+
+void print(const char* label, const Row& r) {
+  std::printf("%-40s GT1 %6.1f fps  peak %5.1f degC  migrations %2zu  "
+              "BML %.3g\n",
+              label, r.gt1_fps, r.peak_c, r.migrations, r.bml_work);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation", "proposed-controller design choices "
+                            "(3DMark + BML on the Odroid-XU3 model)");
+  std::printf("\nbaseline: period 100 ms, window 1 s, time limit 60 s, "
+              "realtime honoured, no migrate-back\n\n");
+
+  print("baseline", run(0.1, 1.0, 60.0, true, false));
+  std::printf("\n[control period]\n");
+  print("period 20 ms", run(0.02, 1.0, 60.0, true, false));
+  print("period 500 ms", run(0.5, 1.0, 60.0, true, false));
+  print("period 2 s", run(2.0, 1.0, 60.0, true, false));
+  std::printf("\n[power/utilization window]\n");
+  print("window 0.1 s (no peak filtering)", run(0.1, 0.1, 60.0, true, false));
+  print("window 5 s (sluggish)", run(0.1, 5.0, 60.0, true, false));
+  std::printf("\n[time-to-violation limit]\n");
+  print("time limit 5 s (acts late)", run(0.1, 1.0, 5.0, true, false));
+  print("time limit 300 s (acts early)", run(0.1, 1.0, 300.0, true, false));
+  std::printf("\n[realtime registration]\n");
+  print("ignored, GPU-bound foreground", run(0.1, 1.0, 60.0, false, false));
+  print("honoured, CPU-heavy foreground",
+        run(0.1, 1.0, 60.0, true, false, 3.0));
+  print("ignored, CPU-heavy foreground",
+        run(0.1, 1.0, 60.0, false, false, 3.0));
+  std::printf("\n[migrate-back extension]\n");
+  print("migrate-back enabled", run(0.1, 1.0, 60.0, true, true));
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Shared output helpers for the figure/table reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mobitherm::bench {
+
+inline void header(const std::string& experiment, const std::string& what) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", experiment.c_str(), what.c_str());
+  std::printf("Paper: Bhat, Gumussoy, Ogras, \"Power and Thermal Analysis of\n");
+  std::printf("Commercial Mobile Platforms\", DATE 2019. Shape reproduction on\n");
+  std::printf("the mobitherm simulator; absolute values are not expected to\n");
+  std::printf("match the authors' hardware testbed.\n");
+  std::printf("================================================================\n");
+}
+
+/// Print a (time, series...) block that regenerates a line plot.
+inline void series_block(
+    const std::string& title, const std::vector<std::string>& columns,
+    const std::vector<std::vector<double>>& rows) {
+  std::printf("\n-- %s --\n", title.c_str());
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    std::printf("%s%s", i == 0 ? "" : ",", columns[i].c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      std::printf("%s%.3f", i == 0 ? "" : ",", row[i]);
+    }
+    std::printf("\n");
+  }
+}
+
+/// Print a residency histogram like Figs. 2/4/6.
+inline void residency_block(const std::string& title,
+                            const std::vector<double>& freqs_mhz,
+                            const std::vector<double>& fraction) {
+  std::printf("\n-- %s --\n", title.c_str());
+  std::printf("%-12s %s\n", "freq (MHz)", "time share");
+  for (std::size_t i = 0; i < freqs_mhz.size(); ++i) {
+    std::printf("%-12.1f %5.1f%%  ", freqs_mhz[i], 100.0 * fraction[i]);
+    const int bars = static_cast<int>(fraction[i] * 50.0 + 0.5);
+    for (int b = 0; b < bars; ++b) {
+      std::printf("#");
+    }
+    std::printf("\n");
+  }
+}
+
+inline void paper_vs_measured(const std::string& metric, double paper,
+                              double measured, const char* unit) {
+  std::printf("%-44s paper %7.2f %-6s measured %7.2f %s\n", metric.c_str(),
+              paper, unit, measured, unit);
+}
+
+}  // namespace mobitherm::bench

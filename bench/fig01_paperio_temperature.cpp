@@ -1,0 +1,12 @@
+// Fig. 1: temperature profile for the Paper.io game, with and without the
+// default thermal governor (paper: unthrottled run reaches ~50 degC; the
+// governor holds the package near its trip point).
+#include "nexus_figure.h"
+#include "workload/presets.h"
+
+int main() {
+  mobitherm::bench::temperature_figure(
+      "Figure 1", mobitherm::workload::paperio(),
+      /*paper_peak_without_c=*/50.0, /*paper_peak_with_c=*/42.0);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Fig. 2: Adreno 430 frequency residency in the Paper.io game. Paper: the
+// 510/600 MHz share collapses to zero under throttling while 390 MHz grows
+// from 15% to 67%.
+#include "nexus_figure.h"
+#include "workload/presets.h"
+
+int main() {
+  mobitherm::bench::residency_figure("Figure 2",
+                                     mobitherm::workload::paperio(),
+                                     /*gpu_cluster=*/true, "GPU");
+  return 0;
+}

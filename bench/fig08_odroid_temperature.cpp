@@ -1,0 +1,41 @@
+// Fig. 8: maximum system temperature on the Odroid-XU3 while running
+// 3DMark under three scenarios — alone, with a background BML task under
+// the default policy, and with BML under the proposed application-aware
+// controller. Paper shape: +BML (default) climbs toward ~95 degC; the
+// proposed controller migrates BML and tracks the standalone curve.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "odroid_scenarios.h"
+
+int main() {
+  using namespace mobitherm;
+  bench::header("Figure 8", "Odroid-XU3 max temperature, 3DMark scenarios");
+
+  const bench::OdroidTriple t = bench::run_triple(workload::threedmark());
+
+  std::vector<std::vector<double>> rows;
+  const auto& a = t.alone.max_temp_trace_c;
+  const auto& b = t.with_bml.max_temp_trace_c;
+  const auto& c = t.proposed.max_temp_trace_c;
+  for (std::size_t i = 0; i < a.size() && i < b.size() && i < c.size(); ++i) {
+    rows.push_back({a[i].first, a[i].second, b[i].second, c[i].second});
+  }
+  bench::series_block(
+      "max temperature trace (plot to regenerate the figure)",
+      {"time_s", "3dmark_alone_c", "3dmark_bml_default_c",
+       "3dmark_bml_proposed_c"},
+      rows);
+
+  std::printf("\n");
+  bench::paper_vs_measured("peak, 3DMark alone", 83.0, t.alone.peak_temp_c,
+                           "degC");
+  bench::paper_vs_measured("peak, 3DMark + BML (default)", 95.0,
+                           t.with_bml.peak_temp_c, "degC");
+  bench::paper_vs_measured("peak, 3DMark + BML (proposed)", 85.0,
+                           t.proposed.peak_temp_c, "degC");
+  std::printf("\nmigrations by the proposed controller: %zu (the BML task)\n",
+              t.proposed.migrations);
+  return 0;
+}

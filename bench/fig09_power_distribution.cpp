@@ -1,0 +1,62 @@
+// Fig. 9: power-consumption distribution over the Odroid-XU3 rails
+// (little/A7, big/A15, GPU, memory) for the three 3DMark scenarios.
+// Paper shape: the GPU rail dominates when 3DMark runs alone; BML pushes
+// the big-core share from 38% to 60%; the proposed controller's migration
+// brings it back to ~42% while the little share rises 7% -> 16%.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "odroid_scenarios.h"
+
+namespace {
+
+void pie(const char* title, const mobitherm::sim::OdroidResult& r) {
+  double total = 0.0;
+  for (double w : r.mean_rail_w) {
+    total += w;
+  }
+  std::printf("\n-- %s (total %.2f W across rails) --\n", title, total);
+  for (std::size_t i = 0; i < r.mean_rail_w.size(); ++i) {
+    const double share = total > 0.0 ? r.mean_rail_w[i] / total : 0.0;
+    std::printf("%-12s %5.2f W  %5.1f%%  ", r.rail_names[i].c_str(),
+                r.mean_rail_w[i], 100.0 * share);
+    for (int b = 0; b < static_cast<int>(share * 50.0 + 0.5); ++b) {
+      std::printf("#");
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace mobitherm;
+  bench::header("Figure 9", "Odroid-XU3 rail power distribution, 3DMark");
+
+  const bench::OdroidTriple t = bench::run_triple(workload::threedmark());
+  pie("(a) 3DMark alone", t.alone);
+  pie("(b) 3DMark + BML, default policy", t.with_bml);
+  pie("(c) 3DMark + BML, proposed controller", t.proposed);
+
+  const std::size_t little = 0;
+  const std::size_t big = 1;
+  auto share = [](const sim::OdroidResult& r, std::size_t i) {
+    double total = 0.0;
+    for (double w : r.mean_rail_w) {
+      total += w;
+    }
+    return 100.0 * r.mean_rail_w[i] / total;
+  };
+  std::printf("\n");
+  bench::paper_vs_measured("big share, alone", 38.0, share(t.alone, big),
+                           "%");
+  bench::paper_vs_measured("big share, +BML default", 60.0,
+                           share(t.with_bml, big), "%");
+  bench::paper_vs_measured("big share, +BML proposed", 42.0,
+                           share(t.proposed, big), "%");
+  bench::paper_vs_measured("little share, +BML default", 7.0,
+                           share(t.with_bml, little), "%");
+  bench::paper_vs_measured("little share, +BML proposed", 16.0,
+                           share(t.proposed, little), "%");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Microbenchmarks for the stability analysis: the proposed governor runs
+// analyze() + time_to_temperature() every 100 ms on-device, so these
+// routines must be cheap. google-benchmark timings.
+#include <benchmark/benchmark.h>
+
+#include "stability/calibrate.h"
+#include "stability/fixed_point.h"
+#include "stability/presets.h"
+#include "stability/trajectory.h"
+
+namespace {
+
+using namespace mobitherm::stability;
+
+const Params kParams = odroid_xu3_params();
+
+void BM_FixedPointFunction(benchmark::State& state) {
+  double x = 3.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixed_point_function(kParams, 3.0, x));
+    x = x < 6.0 ? x + 1e-6 : 3.0;
+  }
+}
+BENCHMARK(BM_FixedPointFunction);
+
+void BM_Analyze(benchmark::State& state) {
+  const double power = static_cast<double>(state.range(0)) / 10.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze(kParams, power));
+  }
+}
+BENCHMARK(BM_Analyze)->Arg(20)->Arg(50)->Arg(54)->Arg(80);
+
+void BM_CriticalPower(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(critical_power(kParams));
+  }
+}
+BENCHMARK(BM_CriticalPower);
+
+void BM_TimeToTemperature(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        time_to_temperature(kParams, 4.0, 323.15, 358.15));
+  }
+}
+BENCHMARK(BM_TimeToTemperature);
+
+void BM_TimeToFixedPoint(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(time_to_fixed_point(kParams, 3.0, 310.0));
+  }
+}
+BENCHMARK(BM_TimeToFixedPoint);
+
+void BM_Calibrate(benchmark::State& state) {
+  CalibrationTargets targets;
+  targets.t_ambient_k = 298.15;
+  targets.p_observed_w = 2.0;
+  targets.t_stable_k = 338.0;
+  targets.p_critical_w = 5.5;
+  targets.t_critical_k = 450.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(calibrate(targets, 5.9));
+  }
+}
+BENCHMARK(BM_Calibrate);
+
+}  // namespace

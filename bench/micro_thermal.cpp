@@ -1,0 +1,75 @@
+// Microbenchmarks for the thermal substrate and the full engine tick: the
+// simulator advances 1000 physics ticks per simulated second, so stepping
+// must stay in the microsecond range.
+#include <benchmark/benchmark.h>
+
+#include "platform/presets.h"
+#include "sim/engine.h"
+#include "stability/presets.h"
+#include "thermal/network.h"
+#include "thermal/presets.h"
+#include "workload/presets.h"
+
+namespace {
+
+using namespace mobitherm;
+
+void BM_NetworkStepExact(benchmark::State& state) {
+  thermal::ThermalNetwork net(thermal::odroidxu3_network(),
+                              thermal::StepMethod::kExact);
+  const linalg::Vector power = {0.2, 2.0, 1.5, 0.3, 0.25};
+  for (auto _ : state) {
+    net.step(power, 0.001);
+  }
+  benchmark::DoNotOptimize(net.temperatures());
+}
+BENCHMARK(BM_NetworkStepExact);
+
+void BM_NetworkStepRk4(benchmark::State& state) {
+  thermal::ThermalNetwork net(thermal::odroidxu3_network(),
+                              thermal::StepMethod::kRk4);
+  const linalg::Vector power = {0.2, 2.0, 1.5, 0.3, 0.25};
+  for (auto _ : state) {
+    net.step(power, 0.001);
+  }
+  benchmark::DoNotOptimize(net.temperatures());
+}
+BENCHMARK(BM_NetworkStepRk4);
+
+void BM_NetworkSteadyState(benchmark::State& state) {
+  thermal::ThermalNetwork net(thermal::odroidxu3_network());
+  const linalg::Vector power = {0.2, 2.0, 1.5, 0.3, 0.25};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.steady_state(power));
+  }
+}
+BENCHMARK(BM_NetworkSteadyState);
+
+void BM_EngineTick(benchmark::State& state) {
+  const stability::Params p = stability::odroid_xu3_params();
+  sim::Engine engine(platform::exynos5422(), thermal::odroidxu3_network(),
+                     power::LeakageParams{p.leak_theta_k, p.leak_a_w_per_k2},
+                     0.25);
+  engine.add_app(workload::threedmark());
+  engine.add_app(workload::bml());
+  for (auto _ : state) {
+    engine.run(0.001);  // one tick
+  }
+  benchmark::DoNotOptimize(engine.total_power_w());
+}
+BENCHMARK(BM_EngineTick);
+
+void BM_EngineSimulatedSecond(benchmark::State& state) {
+  const stability::Params p = stability::odroid_xu3_params();
+  sim::Engine engine(platform::exynos5422(), thermal::odroidxu3_network(),
+                     power::LeakageParams{p.leak_theta_k, p.leak_a_w_per_k2},
+                     0.25);
+  engine.add_app(workload::threedmark());
+  for (auto _ : state) {
+    engine.run(1.0);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);  // ticks
+}
+BENCHMARK(BM_EngineSimulatedSecond);
+
+}  // namespace

@@ -1,0 +1,88 @@
+// Shared scaffolding for the Nexus 6P figures (Figs. 1-6): each figure is
+// one app run twice (throttling disabled / enabled), reported either as a
+// temperature trace or as a frequency-residency histogram.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/experiment.h"
+#include "workload/app.h"
+
+namespace mobitherm::bench {
+
+struct NexusPair {
+  sim::NexusResult without_throttling;
+  sim::NexusResult with_throttling;
+};
+
+inline NexusPair run_pair(const workload::AppSpec& app,
+                          double duration_s = 140.0) {
+  sim::NexusRun run;
+  run.app = app;
+  run.duration_s = duration_s;
+  run.throttling = false;
+  NexusPair pair{sim::run_nexus_app(run), {}};
+  run.throttling = true;
+  pair.with_throttling = sim::run_nexus_app(run);
+  return pair;
+}
+
+/// Figs. 1/3/5: package-temperature trace with and without throttling.
+inline void temperature_figure(const std::string& figure,
+                               const workload::AppSpec& app,
+                               double paper_peak_without_c,
+                               double paper_peak_with_c) {
+  header(figure, "temperature profile for " + app.name +
+                     " (with vs. without throttling)");
+  const NexusPair pair = run_pair(app);
+
+  std::vector<std::vector<double>> rows;
+  const auto& off = pair.without_throttling.temp_trace_c;
+  const auto& on = pair.with_throttling.temp_trace_c;
+  for (std::size_t i = 0; i < off.size() && i < on.size(); ++i) {
+    rows.push_back({off[i].first, off[i].second, on[i].second});
+  }
+  series_block("temperature trace (plot this to regenerate the figure)",
+               {"time_s", "without_throttling_c", "with_throttling_c"}, rows);
+
+  std::printf("\n");
+  paper_vs_measured("peak temperature, throttling disabled",
+                    paper_peak_without_c,
+                    pair.without_throttling.peak_temp_c, "degC");
+  paper_vs_measured("peak temperature, throttling enabled",
+                    paper_peak_with_c, pair.with_throttling.peak_temp_c,
+                    "degC");
+}
+
+/// Figs. 2/4/6: frequency-residency histograms for one cluster.
+inline void residency_figure(const std::string& figure,
+                             const workload::AppSpec& app, bool gpu_cluster,
+                             const std::string& cluster_label) {
+  header(figure, cluster_label + " frequency residency for " + app.name);
+  const NexusPair pair = run_pair(app);
+
+  const auto& freqs = gpu_cluster ? pair.without_throttling.gpu_freqs_mhz
+                                  : pair.without_throttling.big_freqs_mhz;
+  const auto& res_off = gpu_cluster ? pair.without_throttling.gpu_residency
+                                    : pair.without_throttling.big_residency;
+  const auto& res_on = gpu_cluster ? pair.with_throttling.gpu_residency
+                                   : pair.with_throttling.big_residency;
+  residency_block("without throttling", freqs, res_off);
+  residency_block("with throttling", freqs, res_on);
+
+  // Shape check the paper emphasizes: the top OPPs lose their share under
+  // throttling.
+  double top2_off = 0.0;
+  double top2_on = 0.0;
+  for (std::size_t i = freqs.size() >= 2 ? freqs.size() - 2 : 0;
+       i < freqs.size(); ++i) {
+    top2_off += res_off[i];
+    top2_on += res_on[i];
+  }
+  std::printf("\ntop-two-OPP share: %.1f%% -> %.1f%% under throttling\n",
+              100.0 * top2_off, 100.0 * top2_on);
+}
+
+}  // namespace mobitherm::bench

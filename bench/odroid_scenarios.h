@@ -1,0 +1,37 @@
+// Shared scaffolding for the Odroid-XU3 experiments (Fig. 8 / Fig. 9 /
+// Table II): 3DMark alone, 3DMark + BML under the default kernel policy,
+// and 3DMark + BML under the proposed application-aware governor.
+#pragma once
+
+#include "sim/experiment.h"
+#include "workload/presets.h"
+
+namespace mobitherm::bench {
+
+struct OdroidTriple {
+  sim::OdroidResult alone;
+  sim::OdroidResult with_bml;
+  sim::OdroidResult proposed;
+};
+
+inline OdroidTriple run_triple(const workload::AppSpec& foreground,
+                               double duration_s = 250.0,
+                               double initial_temp_c = 50.0) {
+  sim::OdroidRun run;
+  run.foreground = foreground;
+  run.duration_s = duration_s;
+  run.initial_temp_c = initial_temp_c;
+
+  run.with_bml = false;
+  run.policy = sim::ThermalPolicy::kDefault;
+  OdroidTriple t{sim::run_odroid(run), {}, {}};
+
+  run.with_bml = true;
+  t.with_bml = sim::run_odroid(run);
+
+  run.policy = sim::ThermalPolicy::kProposed;
+  t.proposed = sim::run_odroid(run);
+  return t;
+}
+
+}  // namespace mobitherm::bench

@@ -1,0 +1,55 @@
+// Table I: median frame rate of the five popular Android apps with and
+// without thermal throttling on the Nexus 6P model.
+//
+// Paper values (fps without / with / % reduction):
+//   Paper.io        35 / 23 / 34%
+//   Stickman Hook   59 / 40 / 32%
+//   Amazon          35 / 28 / 20%
+//   Google Hangouts 42 / 38 / 10%
+//   Facebook        35 / 24 / 31%
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "nexus_figure.h"
+#include "workload/presets.h"
+
+namespace {
+
+struct PaperRow {
+  double without_fps;
+  double with_fps;
+};
+
+}  // namespace
+
+int main() {
+  using namespace mobitherm;
+  bench::header("Table I",
+                "median frame rate with/without throttling, five apps");
+
+  const std::vector<workload::AppSpec> apps = workload::nexus_apps();
+  const std::vector<PaperRow> paper = {
+      {35.0, 23.0}, {59.0, 40.0}, {35.0, 28.0}, {42.0, 38.0}, {35.0, 24.0}};
+
+  std::printf("\n%-15s | %21s | %21s | %19s\n", "App",
+              "fps w/o throttling", "fps w/ throttling", "reduction");
+  std::printf("%-15s | %10s %10s | %10s %10s | %9s %9s\n", "", "paper",
+              "measured", "paper", "measured", "paper", "measured");
+  std::printf("----------------+-----------------------+------------------"
+              "-----+--------------------\n");
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const bench::NexusPair pair = bench::run_pair(apps[i]);
+    const double off = pair.without_throttling.median_fps;
+    const double on = pair.with_throttling.median_fps;
+    const double paper_red =
+        100.0 * (1.0 - paper[i].with_fps / paper[i].without_fps);
+    const double meas_red = 100.0 * (1.0 - on / off);
+    std::printf("%-15s | %10.0f %10.1f | %10.0f %10.1f | %8.0f%% %8.1f%%\n",
+                apps[i].name.c_str(), paper[i].without_fps, off,
+                paper[i].with_fps, on, paper_red, meas_red);
+  }
+  std::printf("\nShape check: games lose ~1/3 of their frame rate, the\n"
+              "CPU-bound shopping app ~15-20%%, the video call ~10%%.\n");
+  return 0;
+}

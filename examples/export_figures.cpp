@@ -1,0 +1,125 @@
+// Export plot-ready CSVs for every figure of the paper into a directory.
+//
+//   fig1_paperio_temp.csv / fig3_stickman_temp.csv / fig5_amazon_temp.csv
+//       time_s, without_throttling_c, with_throttling_c
+//   fig2_paperio_gpu.csv / fig4_stickman_gpu.csv / fig6_amazon_big.csv
+//       freq_mhz, without_throttling, with_throttling
+//   fig7_fixed_point.csv
+//       aux_temp, f_at_2w, f_at_5p5w, f_at_8w
+//   fig8_odroid_temp.csv
+//       time_s, alone_c, bml_default_c, bml_proposed_c
+//   fig9_rail_power.csv
+//       rail, alone_w, bml_default_w, bml_proposed_w
+//
+// Usage:   export_figures [output_dir]   (default ".")
+#include <cstdio>
+#include <string>
+
+#include "sim/experiment.h"
+#include "stability/fixed_point.h"
+#include "stability/presets.h"
+#include "util/csv.h"
+#include "workload/presets.h"
+
+namespace {
+
+using namespace mobitherm;
+
+void nexus_pair_csv(const std::string& dir, const workload::AppSpec& app,
+                    const std::string& temp_name,
+                    const std::string& res_name, bool gpu_residency) {
+  sim::NexusRun run;
+  run.app = app;
+  run.throttling = false;
+  const sim::NexusResult off = run_nexus_app(run);
+  run.throttling = true;
+  const sim::NexusResult on = run_nexus_app(run);
+
+  {
+    util::CsvWriter csv(dir + "/" + temp_name,
+                        {"time_s", "without_throttling_c",
+                         "with_throttling_c"});
+    for (std::size_t i = 0;
+         i < off.temp_trace_c.size() && i < on.temp_trace_c.size(); ++i) {
+      csv.row(std::vector<double>{off.temp_trace_c[i].first,
+                                  off.temp_trace_c[i].second,
+                                  on.temp_trace_c[i].second});
+    }
+  }
+  {
+    util::CsvWriter csv(dir + "/" + res_name,
+                        {"freq_mhz", "without_throttling",
+                         "with_throttling"});
+    const auto& freqs = gpu_residency ? off.gpu_freqs_mhz : off.big_freqs_mhz;
+    const auto& a = gpu_residency ? off.gpu_residency : off.big_residency;
+    const auto& b = gpu_residency ? on.gpu_residency : on.big_residency;
+    for (std::size_t i = 0; i < freqs.size(); ++i) {
+      csv.row(std::vector<double>{freqs[i], a[i], b[i]});
+    }
+  }
+  std::printf("  wrote %s + %s\n", temp_name.c_str(), res_name.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : ".";
+  std::printf("exporting figure CSVs to %s\n", dir.c_str());
+
+  nexus_pair_csv(dir, workload::paperio(), "fig1_paperio_temp.csv",
+                 "fig2_paperio_gpu.csv", true);
+  nexus_pair_csv(dir, workload::stickman_hook(), "fig3_stickman_temp.csv",
+                 "fig4_stickman_gpu.csv", true);
+  nexus_pair_csv(dir, workload::amazon(), "fig5_amazon_temp.csv",
+                 "fig6_amazon_big.csv", false);
+
+  {
+    const stability::Params p = stability::odroid_xu3_params();
+    util::CsvWriter csv(dir + "/fig7_fixed_point.csv",
+                        {"aux_temp", "f_at_2w", "f_at_5p5w", "f_at_8w"});
+    for (double x = 1.5; x <= 6.5; x += 0.05) {
+      csv.row(std::vector<double>{
+          x, stability::fixed_point_function(p, 2.0, x),
+          stability::fixed_point_function(p, 5.5, x),
+          stability::fixed_point_function(p, 8.0, x)});
+    }
+    std::printf("  wrote fig7_fixed_point.csv\n");
+  }
+
+  sim::OdroidRun run;
+  run.foreground = workload::threedmark();
+  run.policy = sim::ThermalPolicy::kDefault;
+  const sim::OdroidResult alone = run_odroid(run);
+  run.with_bml = true;
+  const sim::OdroidResult bml = run_odroid(run);
+  run.policy = sim::ThermalPolicy::kProposed;
+  const sim::OdroidResult prop = run_odroid(run);
+  {
+    util::CsvWriter csv(dir + "/fig8_odroid_temp.csv",
+                        {"time_s", "alone_c", "bml_default_c",
+                         "bml_proposed_c"});
+    const auto& a = alone.max_temp_trace_c;
+    const auto& b = bml.max_temp_trace_c;
+    const auto& c = prop.max_temp_trace_c;
+    for (std::size_t i = 0; i < a.size() && i < b.size() && i < c.size();
+         ++i) {
+      csv.row(std::vector<double>{a[i].first, a[i].second, b[i].second,
+                                  c[i].second});
+    }
+    std::printf("  wrote fig8_odroid_temp.csv\n");
+  }
+  {
+    util::CsvWriter csv(dir + "/fig9_rail_power.csv",
+                        {"rail", "alone_w", "bml_default_w",
+                         "bml_proposed_w"});
+    for (std::size_t i = 0; i < alone.rail_names.size(); ++i) {
+      csv.row(std::vector<std::string>{
+          alone.rail_names[i], std::to_string(alone.mean_rail_w[i]),
+          std::to_string(bml.mean_rail_w[i]),
+          std::to_string(prop.mean_rail_w[i])});
+    }
+    std::printf("  wrote fig9_rail_power.csv\n");
+  }
+  std::printf("done.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Reproduce the Sec. III methodology for any of the five apps: run it on
+// the Nexus 6P model with the default thermal governor disabled and
+// enabled, print the comparison, and export the traces as CSV for
+// plotting.
+//
+// Usage:   nexus_throttling_study [paperio|stickman-hook|amazon|hangouts|
+//                                  facebook] [duration_s]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/experiment.h"
+#include "util/csv.h"
+#include "workload/presets.h"
+
+namespace {
+
+mobitherm::workload::AppSpec pick_app(const std::string& name) {
+  for (const mobitherm::workload::AppSpec& app :
+       mobitherm::workload::nexus_apps()) {
+    if (app.name == name) {
+      return app;
+    }
+  }
+  std::fprintf(stderr, "unknown app '%s'; options:", name.c_str());
+  for (const mobitherm::workload::AppSpec& app :
+       mobitherm::workload::nexus_apps()) {
+    std::fprintf(stderr, " %s", app.name.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mobitherm;
+  const std::string name = argc > 1 ? argv[1] : "paperio";
+  const double duration = argc > 2 ? std::atof(argv[2]) : 140.0;
+
+  sim::NexusRun run;
+  run.app = pick_app(name);
+  run.duration_s = duration;
+
+  run.throttling = false;
+  const sim::NexusResult off = run_nexus_app(run);
+  run.throttling = true;
+  const sim::NexusResult on = run_nexus_app(run);
+
+  std::printf("%s on the Nexus 6P model (%.0f s):\n", name.c_str(),
+              duration);
+  std::printf("  %-28s %10s %10s\n", "", "no-throttle", "throttle");
+  std::printf("  %-28s %10.1f %10.1f\n", "median fps", off.median_fps,
+              on.median_fps);
+  std::printf("  %-28s %10.1f %10.1f\n", "peak package temp (degC)",
+              off.peak_temp_c, on.peak_temp_c);
+  std::printf("  %-28s %10.2f %10.2f\n", "mean power, DAQ (W)",
+              off.mean_power_w, on.mean_power_w);
+  std::printf("  fps reduction: %.1f%%\n",
+              100.0 * (1.0 - on.median_fps / off.median_fps));
+
+  // Export plot-ready CSVs next to the binary.
+  const std::string temp_csv = name + "_temperature.csv";
+  {
+    util::CsvWriter csv(temp_csv,
+                        {"time_s", "without_throttling_c",
+                         "with_throttling_c"});
+    for (std::size_t i = 0;
+         i < off.temp_trace_c.size() && i < on.temp_trace_c.size(); ++i) {
+      csv.row(std::vector<double>{off.temp_trace_c[i].first,
+                                  off.temp_trace_c[i].second,
+                                  on.temp_trace_c[i].second});
+    }
+  }
+  const std::string res_csv = name + "_gpu_residency.csv";
+  {
+    util::CsvWriter csv(res_csv, {"freq_mhz", "without_throttling",
+                                  "with_throttling"});
+    for (std::size_t i = 0; i < off.gpu_freqs_mhz.size(); ++i) {
+      csv.row(std::vector<double>{off.gpu_freqs_mhz[i], off.gpu_residency[i],
+                                  on.gpu_residency[i]});
+    }
+  }
+  std::printf("  wrote %s and %s\n", temp_csv.c_str(), res_csv.c_str());
+  return 0;
+}

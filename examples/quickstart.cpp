@@ -1,0 +1,58 @@
+// Quickstart: the two core things mobitherm does in ~40 lines.
+//
+//  1. Power-temperature stability analysis: is a given power level safe,
+//     where does the temperature settle, and how fast does it get there?
+//  2. Full-system simulation: run a GPU-heavy game on the Odroid-XU3 model
+//     and watch temperature and frame rate.
+//
+// Build & run:   ./build/examples/quickstart
+#include <cstdio>
+#include <initializer_list>
+
+#include "platform/presets.h"
+#include "sim/engine.h"
+#include "stability/fixed_point.h"
+#include "stability/presets.h"
+#include "stability/trajectory.h"
+#include "thermal/presets.h"
+#include "util/units.h"
+#include "workload/presets.h"
+
+int main() {
+  using namespace mobitherm;
+
+  // --- 1. Stability analysis (paper Sec. IV-A) ---------------------------
+  const stability::Params params = stability::odroid_xu3_params();
+  std::printf("Odroid-XU3 critical power: %.2f W\n",
+              stability::critical_power(params));
+  for (double power : {2.0, 4.0, 6.0}) {
+    const stability::FixedPointResult r = stability::analyze(params, power);
+    if (r.cls == stability::StabilityClass::kUnstable) {
+      std::printf("P = %.1f W: THERMAL RUNAWAY (no fixed point)\n", power);
+      continue;
+    }
+    const double eta =
+        stability::time_to_fixed_point(params, power, params.t_ambient_k);
+    std::printf("P = %.1f W: settles at %.1f degC (reached in ~%.0f s)\n",
+                power, util::kelvin_to_celsius(r.stable_temp_k), eta);
+  }
+
+  // --- 2. Full-system simulation ------------------------------------------
+  sim::Engine engine(platform::exynos5422(), thermal::odroidxu3_network(),
+                     power::LeakageParams{params.leak_theta_k,
+                                          params.leak_a_w_per_k2},
+                     /*board_base_w=*/0.25);
+  const std::size_t game = engine.add_app(workload::threedmark());
+  engine.run(60.0);
+
+  std::printf("\nAfter 60 s of 3DMark on the Exynos 5422 model:\n");
+  std::printf("  max chip temperature: %.1f degC\n",
+              util::kelvin_to_celsius(engine.network().max_temperature()));
+  std::printf("  total power:          %.2f W\n", engine.total_power_w());
+  std::printf("  median frame rate:    %.1f fps\n",
+              engine.app(game).median_fps());
+  std::printf("  GPU frequency now:    %.0f MHz\n",
+              util::hz_to_mhz(engine.soc().frequency_hz(
+                  engine.soc().spec().gpu())));
+  return 0;
+}

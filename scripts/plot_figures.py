@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Plot the paper's figures from export_figures CSVs.
+
+Usage:
+    ./build/examples/export_figures out/
+    python3 scripts/plot_figures.py out/ [--save out/]
+
+Requires matplotlib (optional dependency; the C++ library never needs it).
+"""
+import csv
+import os
+import sys
+
+
+def read_csv(path):
+    with open(path) as f:
+        rows = list(csv.reader(f))
+    header = rows[0]
+    columns = {name: [] for name in header}
+    for row in rows[1:]:
+        for name, cell in zip(header, row):
+            try:
+                columns[name].append(float(cell))
+            except ValueError:
+                columns[name].append(cell)
+    return columns
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    directory = sys.argv[1]
+    save_dir = None
+    if "--save" in sys.argv:
+        save_dir = sys.argv[sys.argv.index("--save") + 1]
+
+    try:
+        import matplotlib
+        if save_dir:
+            matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    def finish(fig, name):
+        if save_dir:
+            path = os.path.join(save_dir, name + ".png")
+            fig.savefig(path, dpi=150, bbox_inches="tight")
+            print("wrote", path)
+
+    # Temperature profiles (Figs. 1/3/5) --------------------------------
+    for stem, title in [("fig1_paperio_temp", "Fig. 1: Paper.io"),
+                        ("fig3_stickman_temp", "Fig. 3: Stickman Hook"),
+                        ("fig5_amazon_temp", "Fig. 5: Amazon")]:
+        path = os.path.join(directory, stem + ".csv")
+        if not os.path.exists(path):
+            continue
+        data = read_csv(path)
+        fig, ax = plt.subplots(figsize=(6, 3))
+        ax.plot(data["time_s"], data["without_throttling_c"],
+                label="Without throttling")
+        ax.plot(data["time_s"], data["with_throttling_c"], "r--",
+                label="With throttling")
+        ax.set_xlabel("Time (s)")
+        ax.set_ylabel("Temperature (degC)")
+        ax.set_title(title)
+        ax.legend()
+        finish(fig, stem)
+
+    # Residency histograms (Figs. 2/4/6) --------------------------------
+    for stem, title in [("fig2_paperio_gpu", "Fig. 2: Paper.io GPU"),
+                        ("fig4_stickman_gpu", "Fig. 4: Stickman GPU"),
+                        ("fig6_amazon_big", "Fig. 6: Amazon big cores")]:
+        path = os.path.join(directory, stem + ".csv")
+        if not os.path.exists(path):
+            continue
+        data = read_csv(path)
+        fig, ax = plt.subplots(figsize=(6, 3))
+        n = len(data["freq_mhz"])
+        xs = range(n)
+        width = 0.4
+        ax.bar([x - width / 2 for x in xs], data["without_throttling"],
+               width, label="Without throttling")
+        ax.bar([x + width / 2 for x in xs], data["with_throttling"], width,
+               label="With throttling")
+        ax.set_xticks(list(xs))
+        ax.set_xticklabels([f"{int(f)}" for f in data["freq_mhz"]])
+        ax.set_xlabel("Frequency (MHz)")
+        ax.set_ylabel("Time share")
+        ax.set_title(title)
+        ax.legend()
+        finish(fig, stem)
+
+    # Fixed-point functions (Fig. 7) ------------------------------------
+    path = os.path.join(directory, "fig7_fixed_point.csv")
+    if os.path.exists(path):
+        data = read_csv(path)
+        fig, axes = plt.subplots(1, 3, figsize=(10, 3), sharey=True)
+        for ax, column, label in zip(
+                axes, ["f_at_2w", "f_at_5p5w", "f_at_8w"],
+                ["Total Power = 2 W", "Total Power = 5.5 W",
+                 "Total Power = 8 W"]):
+            ax.plot(data["aux_temp"], data[column])
+            ax.axhline(0.0, color="k", linewidth=0.5)
+            ax.set_xlabel("Auxiliary Temperature")
+            ax.set_title(label)
+        axes[0].set_ylabel("Fixed-point function")
+        finish(fig, "fig7_fixed_point")
+
+    # Odroid temperature (Fig. 8) ----------------------------------------
+    path = os.path.join(directory, "fig8_odroid_temp.csv")
+    if os.path.exists(path):
+        data = read_csv(path)
+        fig, ax = plt.subplots(figsize=(6, 3))
+        ax.plot(data["time_s"], data["alone_c"], "b", label="3DMark")
+        ax.plot(data["time_s"], data["bml_default_c"], "r--",
+                label="3DMark+BML")
+        ax.plot(data["time_s"], data["bml_proposed_c"], "k",
+                label="Proposed Control")
+        ax.set_xlabel("Time (s)")
+        ax.set_ylabel("Max. Temperature (degC)")
+        ax.set_title("Fig. 8: Odroid-XU3 max temperature")
+        ax.legend()
+        finish(fig, "fig8_odroid_temp")
+
+    # Rail power (Fig. 9) --------------------------------------------------
+    path = os.path.join(directory, "fig9_rail_power.csv")
+    if os.path.exists(path):
+        data = read_csv(path)
+        fig, axes = plt.subplots(1, 3, figsize=(10, 3))
+        for ax, column, label in zip(
+                axes, ["alone_w", "bml_default_w", "bml_proposed_w"],
+                ["(a) 3DMark", "(b) 3DMark+BML", "(c) Proposed"]):
+            ax.pie(data[column], labels=data["rail"], autopct="%1.0f%%")
+            ax.set_title(label)
+        finish(fig, "fig9_rail_power")
+
+    if not save_dir:
+        plt.show()
+
+
+if __name__ == "__main__":
+    main()

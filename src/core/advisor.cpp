@@ -1,0 +1,104 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stability/safety.h"
+#include "util/error.h"
+
+namespace mobitherm::core {
+
+namespace {
+
+/// Fractional busy cores a demand rate occupies on a cluster running at
+/// its top OPP, respecting the thread/core cap.
+double busy_cores_at_top(const platform::ClusterSpec& cluster, double rate,
+                         int threads) {
+  const double per_core = cluster.ipc * cluster.opps.highest().freq_hz;
+  const double cap = per_core * std::min(threads, cluster.num_cores);
+  return std::min(rate, cap) / per_core;
+}
+
+}  // namespace
+
+AppAdvice advise(const platform::SocSpec& soc_spec,
+                 const power::PowerModel& power_model,
+                 const stability::Params& params,
+                 const workload::AppSpec& app, const AdvisorConfig& config) {
+  if (app.phases.empty()) {
+    throw util::ConfigError("advise: app has no phases");
+  }
+  const platform::ClusterSpec& big = soc_spec.clusters[soc_spec.big()];
+  const platform::ClusterSpec& gpu = soc_spec.clusters[soc_spec.gpu()];
+  const double fps = app.target_fps > 0.0 ? app.target_fps : 1.0;
+
+  // Time-weighted dynamic power across phases with the app's work scaled
+  // by `scale`. Saturation matters: a component already pinned at its
+  // thread/core cap does not get cheaper until the scale takes it below
+  // the cap, so power is not linear in the scale.
+  const auto power_at_scale = [&](double scale) {
+    double total_time = 0.0;
+    double energy_rate = 0.0;
+    for (const workload::Phase& ph : app.phases) {
+      const double cpu_rate =
+          app.target_fps > 0.0
+              ? scale * ph.cpu_work_per_frame * fps
+              : (ph.cpu_work_per_frame > 0.0
+                     ? scale * big.ipc * big.opps.highest().freq_hz
+                     : 0.0);
+      const double gpu_rate = scale * ph.gpu_work_per_frame * fps;
+      const double cpu_busy =
+          busy_cores_at_top(big, cpu_rate, app.cpu_threads);
+      const double gpu_busy = busy_cores_at_top(gpu, gpu_rate, 1);
+      const double power =
+          cpu_busy * power_model.dynamic_per_core_at(soc_spec.big(),
+                                                     big.opps.max_index()) +
+          gpu_busy * power_model.dynamic_per_core_at(soc_spec.gpu(),
+                                                     gpu.opps.max_index());
+      energy_rate += power * ph.duration_s;
+      total_time += ph.duration_s;
+    }
+    return energy_rate / total_time;
+  };
+
+  AppAdvice advice;
+  advice.app_power_w = power_at_scale(1.0);
+  advice.total_power_w = advice.app_power_w + config.base_power_w;
+
+  const stability::FixedPointResult fp =
+      stability::analyze(params, advice.total_power_w);
+  advice.steady_temp_k = fp.cls == stability::StabilityClass::kUnstable
+                             ? std::numeric_limits<double>::quiet_NaN()
+                             : fp.stable_temp_k;
+  // 10 mK of slack keeps operating points *at* the trip (e.g. after
+  // applying a previous recommendation) from flapping back to "throttled".
+  advice.throttling_expected =
+      fp.cls == stability::StabilityClass::kUnstable ||
+      fp.stable_temp_k > config.trip_temp_k + 0.01;
+
+  if (advice.throttling_expected && advice.app_power_w > 0.0) {
+    const double budget =
+        stability::safe_power(params, config.trip_temp_k) -
+        config.base_power_w;
+    if (budget <= 0.0) {
+      advice.recommended_scale = 0.0;  // base power alone breaks the limit
+    } else {
+      // Largest scale whose (saturation-aware) power fits the budget.
+      double lo = 0.0;
+      double hi = 1.0;
+      for (int i = 0; i < 60; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (power_at_scale(mid) <= budget) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      advice.recommended_scale = lo;
+    }
+  }
+  return advice;
+}
+
+}  // namespace mobitherm::core

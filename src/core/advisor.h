@@ -1,0 +1,55 @@
+// Developer-facing throttling advisor.
+//
+// The paper's conclusion: the case study "can be used by application
+// developers to optimize their apps such that they do not experience
+// thermal throttling". This advisor answers that question analytically
+// for an AppSpec on a given platform:
+//
+//  * estimate the app's steady power demand per phase (work rates at the
+//    target fps, busy cores at the top OPPs, dynamic power + platform
+//    overheads),
+//  * feed the time-weighted average into the stability analysis,
+//  * compare the predicted fixed-point temperature against the governor's
+//    trip point, and
+//  * if throttling is expected, recommend the largest uniform work/fps
+//    scale that makes the app sustainable (via stability::safe_power).
+#pragma once
+
+#include "platform/soc.h"
+#include "power/model.h"
+#include "stability/fixed_point.h"
+#include "workload/app.h"
+
+namespace mobitherm::core {
+
+struct AdvisorConfig {
+  /// Trip point the default governor throttles at.
+  double trip_temp_k = 313.15;
+  /// Constant platform power outside the app's control (board, idle, ...).
+  double base_power_w = 0.8;
+};
+
+struct AppAdvice {
+  /// Time-weighted dynamic power the app demands at full speed (W).
+  double app_power_w = 0.0;
+  /// Total platform power including the base (W).
+  double total_power_w = 0.0;
+  /// Predicted stable fixed-point temperature at that power (K); NaN when
+  /// the power exceeds the critical power (runaway).
+  double steady_temp_k = 0.0;
+  /// True if the default governor would throttle this app.
+  bool throttling_expected = false;
+  /// Largest uniform scale (<= 1) on the app's work/fps that keeps the
+  /// fixed point at/below the trip. 1.0 when no change is needed.
+  double recommended_scale = 1.0;
+};
+
+/// Analyze `app` on the platform described by (`soc_spec`, `power_model`,
+/// stability `params`). The app is assumed to run its CPU work on the big
+/// cluster and its GPU work on the GPU at their top OPPs.
+AppAdvice advise(const platform::SocSpec& soc_spec,
+                 const power::PowerModel& power_model,
+                 const stability::Params& params,
+                 const workload::AppSpec& app, const AdvisorConfig& config);
+
+}  // namespace mobitherm::core

@@ -1,0 +1,132 @@
+#include "governors/cpufreq.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace mobitherm::governors {
+
+// Out-of-line default constructors: nested Config default member
+// initializers are not usable as in-class default arguments (CWG 1397).
+Ondemand::Ondemand() : config_(Config{}) {}
+Conservative::Conservative() : config_(Config{}) {}
+Interactive::Interactive() : config_(Config{}) {}
+Schedutil::Schedutil() : config_(Config{}) {}
+
+
+std::size_t Ondemand::decide(const CpufreqInputs& in,
+                             const platform::OppTable& table) {
+  if (in.utilization >= config_.up_threshold) {
+    hold_remaining_ = config_.sampling_down_factor;
+    return table.max_index();
+  }
+  // sampling_down_factor: hold max for a few periods after a burst.
+  if (hold_remaining_ > 0 && in.current_index == table.max_index()) {
+    --hold_remaining_;
+    if (hold_remaining_ > 0) {
+      return table.max_index();
+    }
+  }
+  // Lowest frequency that would bring utilization to the up-threshold.
+  const double cur_freq = table.at(in.current_index).freq_hz;
+  const double wanted = cur_freq * in.utilization / config_.up_threshold;
+  return table.ceil_index(wanted);
+}
+
+std::size_t Conservative::decide(const CpufreqInputs& in,
+                                 const platform::OppTable& table) {
+  if (in.utilization >= config_.up_threshold) {
+    return std::min(in.current_index + 1, table.max_index());
+  }
+  if (in.utilization <= config_.down_threshold && in.current_index > 0) {
+    return in.current_index - 1;
+  }
+  return in.current_index;
+}
+
+std::size_t Interactive::decide(const CpufreqInputs& in,
+                                const platform::OppTable& table) {
+  const double dt = config_.sampling_period_s;
+  if (boost_remaining_s_ > 0.0) {
+    boost_remaining_s_ -= dt;
+  }
+  const double f_cur = table.at(in.current_index).freq_hz;
+  const double f_max = table.highest().freq_hz;
+  const std::size_t hispeed_index =
+      table.ceil_index(config_.hispeed_fraction * f_max);
+
+  // Lowest OPP whose expected utilization stays at/below the target load.
+  const double wanted = f_cur * in.utilization / config_.target_load;
+  std::size_t target_index = table.ceil_index(wanted);
+
+  std::size_t next = in.current_index;
+  if (in.utilization >= config_.go_hispeed_load) {
+    if (in.current_index < hispeed_index) {
+      // Burst straight to hispeed_freq.
+      next = hispeed_index;
+      time_above_hispeed_ = 0.0;
+    } else {
+      // Already at/above hispeed: raise further only after the delay.
+      time_above_hispeed_ += dt;
+      next = (time_above_hispeed_ >= config_.above_hispeed_delay_s)
+                 ? std::max(target_index, in.current_index)
+                 : in.current_index;
+    }
+  } else {
+    time_above_hispeed_ = 0.0;
+    next = target_index;
+  }
+
+  if (boost_remaining_s_ > 0.0) {
+    // Touch boost: never fall below hispeed while the boost holds.
+    next = std::max(next, hispeed_index);
+  }
+
+  if (next > in.current_index) {
+    time_since_raise_ = 0.0;
+  } else if (next < in.current_index) {
+    // Hold the current speed for min_sample_time before dropping.
+    time_since_raise_ += dt;
+    if (time_since_raise_ < config_.min_sample_time_s) {
+      next = in.current_index;
+    } else {
+      time_since_raise_ = 0.0;
+    }
+  }
+  return std::min(next, table.max_index());
+}
+
+std::size_t Schedutil::decide(const CpufreqInputs& in,
+                              const platform::OppTable& table) {
+  const double f_cur = table.at(in.current_index).freq_hz;
+  const double wanted = config_.headroom * f_cur * in.utilization;
+  return table.ceil_index(wanted);
+}
+
+std::unique_ptr<CpufreqGovernor> make_cpufreq_governor(
+    const std::string& name) {
+  if (name == "performance") {
+    return std::make_unique<Performance>();
+  }
+  if (name == "powersave") {
+    return std::make_unique<Powersave>();
+  }
+  if (name == "userspace") {
+    return std::make_unique<Userspace>(0);
+  }
+  if (name == "ondemand") {
+    return std::make_unique<Ondemand>();
+  }
+  if (name == "conservative") {
+    return std::make_unique<Conservative>();
+  }
+  if (name == "interactive") {
+    return std::make_unique<Interactive>();
+  }
+  if (name == "schedutil") {
+    return std::make_unique<Schedutil>();
+  }
+  throw util::ConfigError("unknown cpufreq governor: " + name);
+}
+
+}  // namespace mobitherm::governors

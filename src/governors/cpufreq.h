@@ -1,0 +1,192 @@
+// DVFS (cpufreq/devfreq-style) governors.
+//
+// A governor is sampled at its own period with the cluster's utilization at
+// the *current* frequency and returns the OPP index it requests. The engine
+// applies min(request, thermal cap), mirroring how the kernel's cpufreq
+// policy is clamped by the thermal framework — the "contradicting
+// governors" interaction the paper discusses in Sec. I.
+//
+// Implemented policies: performance, powersave, userspace, ondemand,
+// conservative, interactive (the Android default the paper names), and
+// schedutil.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "platform/opp.h"
+
+namespace mobitherm::governors {
+
+/// Inputs for one governor decision.
+struct CpufreqInputs {
+  /// Cluster utilization in [0, 1] at the current OPP, averaged over the
+  /// governor's sampling period.
+  double utilization = 0.0;
+  std::size_t current_index = 0;
+};
+
+class CpufreqGovernor {
+ public:
+  virtual ~CpufreqGovernor() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Seconds between decisions.
+  virtual double sampling_period_s() const { return 0.02; }
+
+  /// Requested OPP index for the next interval.
+  virtual std::size_t decide(const CpufreqInputs& in,
+                             const platform::OppTable& table) = 0;
+
+  /// User-input notification (touch/key): governors may boost. Default is
+  /// to ignore it; the interactive governor jumps to hispeed_freq — the
+  /// "highest value whenever it detects user interactions" behaviour the
+  /// paper describes.
+  virtual void notify_input() {}
+};
+
+/// Always the highest OPP.
+class Performance final : public CpufreqGovernor {
+ public:
+  const char* name() const override { return "performance"; }
+  std::size_t decide(const CpufreqInputs&,
+                     const platform::OppTable& table) override {
+    return table.max_index();
+  }
+};
+
+/// Always the lowest OPP.
+class Powersave final : public CpufreqGovernor {
+ public:
+  const char* name() const override { return "powersave"; }
+  std::size_t decide(const CpufreqInputs&,
+                     const platform::OppTable&) override {
+    return 0;
+  }
+};
+
+/// Pinned to a caller-chosen OPP.
+class Userspace final : public CpufreqGovernor {
+ public:
+  explicit Userspace(std::size_t index) : index_(index) {}
+  const char* name() const override { return "userspace"; }
+  void set_index(std::size_t index) { index_ = index; }
+  std::size_t decide(const CpufreqInputs&,
+                     const platform::OppTable& table) override {
+    return std::min(index_, table.max_index());
+  }
+
+ private:
+  std::size_t index_;
+};
+
+/// Classic ondemand: jump to max above the up-threshold, otherwise pick the
+/// lowest frequency that keeps utilization at ~up_threshold.
+class Ondemand final : public CpufreqGovernor {
+ public:
+  struct Config {
+    double up_threshold = 0.80;
+    double sampling_period_s = 0.05;
+    /// Kernel sampling_down_factor: after jumping to max, hold it for this
+    /// many sampling periods before allowing a drop (avoids thrashing on
+    /// bursty loads).
+    int sampling_down_factor = 1;
+  };
+  Ondemand();
+  explicit Ondemand(Config config) : config_(config) {}
+  const char* name() const override { return "ondemand"; }
+  double sampling_period_s() const override {
+    return config_.sampling_period_s;
+  }
+  std::size_t decide(const CpufreqInputs& in,
+                     const platform::OppTable& table) override;
+
+ private:
+  Config config_;
+  int hold_remaining_ = 0;
+};
+
+/// Conservative: single-step moves against up/down thresholds.
+class Conservative final : public CpufreqGovernor {
+ public:
+  struct Config {
+    double up_threshold = 0.80;
+    double down_threshold = 0.35;
+    double sampling_period_s = 0.05;
+  };
+  Conservative();
+  explicit Conservative(Config config) : config_(config) {}
+  const char* name() const override { return "conservative"; }
+  double sampling_period_s() const override {
+    return config_.sampling_period_s;
+  }
+  std::size_t decide(const CpufreqInputs& in,
+                     const platform::OppTable& table) override;
+
+ private:
+  Config config_;
+};
+
+/// Android interactive: jump to hispeed_freq on high load, raise further
+/// only after above_hispeed_delay, and hold speed for min_sample_time
+/// before dropping. This is the governor whose "highest value on user
+/// interaction" behaviour the paper calls out.
+class Interactive final : public CpufreqGovernor {
+ public:
+  struct Config {
+    double go_hispeed_load = 0.85;
+    /// Fraction of f_max used as hispeed_freq.
+    double hispeed_fraction = 0.80;
+    double target_load = 0.90;
+    double above_hispeed_delay_s = 0.02;
+    double min_sample_time_s = 0.08;
+    double sampling_period_s = 0.02;
+    /// How long an input event holds the frequency at/above hispeed.
+    double input_boost_duration_s = 0.5;
+  };
+  Interactive();
+  explicit Interactive(Config config) : config_(config) {}
+  const char* name() const override { return "interactive"; }
+  double sampling_period_s() const override {
+    return config_.sampling_period_s;
+  }
+  std::size_t decide(const CpufreqInputs& in,
+                     const platform::OppTable& table) override;
+  void notify_input() override { boost_remaining_s_ = config_.input_boost_duration_s; }
+
+  bool boosted() const { return boost_remaining_s_ > 0.0; }
+
+ private:
+  Config config_;
+  double time_above_hispeed_ = 0.0;
+  double time_since_raise_ = 0.0;
+  double boost_remaining_s_ = 0.0;
+};
+
+/// schedutil: f_next = headroom * f_cur * util, snapped up.
+class Schedutil final : public CpufreqGovernor {
+ public:
+  struct Config {
+    double headroom = 1.25;
+    double sampling_period_s = 0.01;
+  };
+  Schedutil();
+  explicit Schedutil(Config config) : config_(config) {}
+  const char* name() const override { return "schedutil"; }
+  double sampling_period_s() const override {
+    return config_.sampling_period_s;
+  }
+  std::size_t decide(const CpufreqInputs& in,
+                     const platform::OppTable& table) override;
+
+ private:
+  Config config_;
+};
+
+/// Factory by kernel-style name; throws ConfigError for unknown names.
+std::unique_ptr<CpufreqGovernor> make_cpufreq_governor(
+    const std::string& name);
+
+}  // namespace mobitherm::governors

@@ -1,0 +1,36 @@
+#include "governors/hotplug.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace mobitherm::governors {
+
+HotplugGovernor::HotplugGovernor(const platform::SocSpec& spec,
+                                 Config config)
+    : config_(config) {
+  if (config_.cluster >= spec.clusters.size()) {
+    throw util::ConfigError("HotplugGovernor: cluster index out of range");
+  }
+  max_cores_ = spec.clusters[config_.cluster].num_cores;
+  if (config_.min_cores < 0 || config_.min_cores > max_cores_) {
+    throw util::ConfigError("HotplugGovernor: min_cores out of range");
+  }
+  if (config_.polling_period_s <= 0.0) {
+    throw util::ConfigError("HotplugGovernor: period must be positive");
+  }
+  target_ = max_cores_;
+}
+
+int HotplugGovernor::update(double control_temp_k) {
+  if (control_temp_k > config_.trip_k && target_ > config_.min_cores) {
+    --target_;
+    ++offline_events_;
+  } else if (control_temp_k < config_.trip_k - config_.hysteresis_k &&
+             target_ < max_cores_) {
+    ++target_;
+  }
+  return target_;
+}
+
+}  // namespace mobitherm::governors

@@ -1,0 +1,48 @@
+// Emergency core hotplug.
+//
+// "In extreme cases, the governors resort to powering the cores off to
+// reduce the temperature of the device" (paper Sec. I). This policy
+// offlines big cores one per poll above an emergency trip and brings them
+// back one per poll once the temperature falls below trip - hysteresis.
+#pragma once
+
+#include <cstddef>
+
+#include "platform/soc.h"
+
+namespace mobitherm::governors {
+
+class HotplugGovernor {
+ public:
+  struct Config {
+    /// Cluster whose cores are offlined (typically the big cluster).
+    std::size_t cluster = 1;
+    double trip_k = 368.15;  // 95 degC: a last-resort action
+    double hysteresis_k = 5.0;
+    double polling_period_s = 1.0;
+    /// Never offline below this many cores.
+    int min_cores = 1;
+  };
+
+  HotplugGovernor(const platform::SocSpec& spec, Config config);
+
+  const Config& config() const { return config_; }
+  double polling_period_s() const { return config_.polling_period_s; }
+
+  /// One poll with the control temperature; returns the new core target.
+  int update(double control_temp_k);
+
+  /// Cores this policy currently allows online.
+  int target_cores() const { return target_; }
+
+  /// Times a core was taken offline (for traces/tests).
+  std::size_t offline_events() const { return offline_events_; }
+
+ private:
+  Config config_;
+  int max_cores_;
+  int target_;
+  std::size_t offline_events_ = 0;
+};
+
+}  // namespace mobitherm::governors

@@ -1,0 +1,269 @@
+#include "governors/thermal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace mobitherm::governors {
+
+using util::ConfigError;
+
+StepWiseGovernor::Config StepWiseGovernor::uniform(
+    const platform::SocSpec& spec, double trip_k, double hysteresis_k,
+    double polling_period_s) {
+  Config cfg;
+  cfg.polling_period_s = polling_period_s;
+  for (std::size_t c = 0; c < spec.clusters.size(); ++c) {
+    if (spec.clusters[c].kind == platform::ResourceKind::kMemory) {
+      continue;
+    }
+    Zone zone;
+    zone.cluster = c;
+    zone.sensor_node = spec.clusters[c].thermal_node;
+    zone.trip_k = trip_k;
+    zone.hysteresis_k = hysteresis_k;
+    cfg.zones.push_back(zone);
+  }
+  return cfg;
+}
+
+StepWiseGovernor::StepWiseGovernor(const platform::SocSpec& spec,
+                                   Config config)
+    : config_(std::move(config)) {
+  const std::size_t n = spec.clusters.size();
+  if (config_.zones.empty()) {
+    throw ConfigError("StepWiseGovernor: no zones configured");
+  }
+  for (const Zone& z : config_.zones) {
+    if (z.cluster >= n) {
+      throw ConfigError("StepWiseGovernor: zone cluster out of range");
+    }
+    if (z.steps_per_state == 0) {
+      throw ConfigError("StepWiseGovernor: steps_per_state must be > 0");
+    }
+  }
+  max_index_.reserve(n);
+  for (const platform::ClusterSpec& c : spec.clusters) {
+    max_index_.push_back(c.opps.max_index());
+  }
+  state_.assign(config_.zones.size(), 0);
+}
+
+void StepWiseGovernor::update(const ThermalContext& ctx) {
+  for (std::size_t z = 0; z < config_.zones.size(); ++z) {
+    const Zone& zone = config_.zones[z];
+    double temp = ctx.control_temp_k;
+    if (ctx.node_temp_k != nullptr &&
+        zone.sensor_node < ctx.node_temp_k->size()) {
+      temp = (*ctx.node_temp_k)[zone.sensor_node];
+    }
+    if (temp > zone.trip_k) {
+      state_[z] = std::min(state_[z] + 1, zone.max_states);
+    } else if (temp < zone.trip_k - zone.hysteresis_k && state_[z] > 0) {
+      --state_[z];
+    }
+  }
+}
+
+std::size_t StepWiseGovernor::cap_index(std::size_t cluster) const {
+  if (cluster >= max_index_.size()) {
+    throw ConfigError("StepWiseGovernor: cluster index out of range");
+  }
+  std::size_t cap = max_index_[cluster];
+  for (std::size_t z = 0; z < config_.zones.size(); ++z) {
+    const Zone& zone = config_.zones[z];
+    if (zone.cluster != cluster) {
+      continue;
+    }
+    const std::size_t drop = state_[z] * zone.steps_per_state;
+    const std::size_t top = max_index_[cluster];
+    const std::size_t floor_idx = std::min(zone.floor_index, top);
+    const std::size_t zone_cap =
+        drop >= top - floor_idx ? floor_idx : top - drop;
+    cap = std::min(cap, zone_cap);
+  }
+  return cap;
+}
+
+std::size_t StepWiseGovernor::zone_state(std::size_t z) const {
+  if (z >= state_.size()) {
+    throw ConfigError("StepWiseGovernor: zone index out of range");
+  }
+  return state_[z];
+}
+
+BangBangGovernor::BangBangGovernor(const platform::SocSpec& spec,
+                                   Config config)
+    : config_(std::move(config)) {
+  const std::size_t n = spec.clusters.size();
+  is_actor_.assign(n, false);
+  if (config_.actors.empty()) {
+    for (std::size_t c = 0; c < n; ++c) {
+      is_actor_[c] =
+          spec.clusters[c].kind != platform::ResourceKind::kMemory;
+    }
+  } else {
+    for (std::size_t a : config_.actors) {
+      if (a >= n) {
+        throw ConfigError("BangBangGovernor: actor index out of range");
+      }
+      is_actor_[a] = true;
+    }
+  }
+  max_index_.reserve(n);
+  for (const platform::ClusterSpec& c : spec.clusters) {
+    max_index_.push_back(c.opps.max_index());
+  }
+}
+
+void BangBangGovernor::update(const ThermalContext& ctx) {
+  if (ctx.control_temp_k > config_.trip_k) {
+    tripped_ = true;
+  } else if (ctx.control_temp_k < config_.trip_k - config_.hysteresis_k) {
+    tripped_ = false;
+  }
+}
+
+std::size_t BangBangGovernor::cap_index(std::size_t cluster) const {
+  if (cluster >= max_index_.size()) {
+    throw ConfigError("BangBangGovernor: cluster index out of range");
+  }
+  if (!tripped_ || !is_actor_[cluster]) {
+    return max_index_[cluster];
+  }
+  return std::min(config_.floor_index, max_index_[cluster]);
+}
+
+FairShareGovernor::FairShareGovernor(const platform::SocSpec& spec,
+                                     Config config)
+    : config_(std::move(config)) {
+  const std::size_t n = spec.clusters.size();
+  if (config_.max_temp_k <= config_.trip_k) {
+    throw ConfigError("FairShareGovernor: max_temp must exceed trip");
+  }
+  if (config_.weights.empty()) {
+    config_.weights.assign(n, 0.0);
+    for (std::size_t c = 0; c < n; ++c) {
+      if (spec.clusters[c].kind != platform::ResourceKind::kMemory) {
+        config_.weights[c] = 1.0;
+      }
+    }
+  }
+  if (config_.weights.size() != n) {
+    throw ConfigError("FairShareGovernor: weights size mismatch");
+  }
+  max_index_.reserve(n);
+  for (const platform::ClusterSpec& c : spec.clusters) {
+    max_index_.push_back(c.opps.max_index());
+    cap_.push_back(c.opps.max_index());
+  }
+}
+
+void FairShareGovernor::update(const ThermalContext& ctx) {
+  // Depth into the [trip, max_temp] band, in [0, 1].
+  const double depth =
+      std::clamp((ctx.control_temp_k - config_.trip_k) /
+                     (config_.max_temp_k - config_.trip_k),
+                 0.0, 1.0);
+  for (std::size_t c = 0; c < max_index_.size(); ++c) {
+    if (config_.weights[c] <= 0.0) {
+      cap_[c] = max_index_[c];
+      continue;
+    }
+    const double scaled_depth = std::min(1.0, depth * config_.weights[c]);
+    cap_[c] = static_cast<std::size_t>(
+        std::lround((1.0 - scaled_depth) * max_index_[c]));
+  }
+}
+
+std::size_t FairShareGovernor::cap_index(std::size_t cluster) const {
+  if (cluster >= cap_.size()) {
+    throw ConfigError("FairShareGovernor: cluster index out of range");
+  }
+  return cap_[cluster];
+}
+
+IpaGovernor::IpaGovernor(const platform::SocSpec& spec, Config config)
+    : config_(std::move(config)) {
+  const std::size_t n = spec.clusters.size();
+  if (config_.actors.empty()) {
+    for (std::size_t c = 0; c < n; ++c) {
+      config_.actors.push_back(c);
+    }
+  }
+  for (std::size_t a : config_.actors) {
+    if (a >= n) {
+      throw ConfigError("IpaGovernor: actor index out of range");
+    }
+  }
+  max_index_.reserve(n);
+  cap_.reserve(n);
+  for (const platform::ClusterSpec& c : spec.clusters) {
+    max_index_.push_back(c.opps.max_index());
+    cap_.push_back(c.opps.max_index());
+  }
+}
+
+void IpaGovernor::update(const ThermalContext& ctx) {
+  if (ctx.soc == nullptr || ctx.power == nullptr ||
+      ctx.busy_cores == nullptr || ctx.requested_index == nullptr) {
+    throw ConfigError("IpaGovernor: context must carry soc/power/activity");
+  }
+  const double err = config_.control_temp_k - ctx.control_temp_k;
+
+  // PID power budget (proportional gains asymmetric as in the kernel).
+  const double k_p = err < 0.0 ? config_.k_po : config_.k_pu;
+  integral_ += config_.k_i * err * ctx.dt;
+  integral_ = std::clamp(integral_, -config_.integral_cap_w,
+                         config_.integral_cap_w);
+  double budget =
+      config_.sustainable_power_w + k_p * err + integral_;
+  budget = std::max(budget, 0.0);
+  last_budget_w_ = budget;
+
+  // Each actor requests the power it would draw at its cpufreq-requested
+  // OPP with its current activity.
+  std::vector<double> request(max_index_.size(), 0.0);
+  double total_request = 0.0;
+  for (std::size_t a : config_.actors) {
+    const double busy = (*ctx.busy_cores)[a];
+    const std::size_t want = std::min((*ctx.requested_index)[a],
+                                      max_index_[a]);
+    request[a] = busy * ctx.power->dynamic_per_core_at(a, want) +
+                 ctx.soc->cluster(a).idle_power_w;
+    total_request += request[a];
+  }
+
+  // Grant power proportional to requests; translate each grant into the
+  // highest OPP whose dynamic power at the current activity fits.
+  for (std::size_t c = 0; c < max_index_.size(); ++c) {
+    cap_[c] = max_index_[c];
+  }
+  if (total_request <= 0.0) {
+    return;
+  }
+  for (std::size_t a : config_.actors) {
+    const double grant = budget * request[a] / total_request;
+    const double busy = std::max((*ctx.busy_cores)[a], 1e-3);
+    const double idle = ctx.soc->cluster(a).idle_power_w;
+    std::size_t cap = 0;
+    for (std::size_t i = 0; i <= max_index_[a]; ++i) {
+      const double p =
+          busy * ctx.power->dynamic_per_core_at(a, i) + idle;
+      if (p <= grant) {
+        cap = i;
+      }
+    }
+    cap_[a] = cap;
+  }
+}
+
+std::size_t IpaGovernor::cap_index(std::size_t cluster) const {
+  if (cluster >= cap_.size()) {
+    throw ConfigError("IpaGovernor: cluster index out of range");
+  }
+  return cap_[cluster];
+}
+
+}  // namespace mobitherm::governors

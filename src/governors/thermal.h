@@ -1,0 +1,212 @@
+// Thermal governors: the system-wide throttling baselines of the paper.
+//
+// A thermal governor polls the control temperature and produces a per-
+// cluster OPP *cap*; the engine applies min(cpufreq request, cap). Two
+// kernel policies are modelled:
+//  * StepWiseGovernor — the step_wise policy (trip points + hysteresis,
+//    one throttle step per poll while hot),
+//  * IpaGovernor — ARM Intelligent Power Allocation: a PID power budget
+//    split across actors proportional to their requested power, translated
+//    into frequency caps through the power model (ref. [31] of the paper;
+//    the default Odroid policy of Sec. IV-C).
+// NoThrottle disables thermal management ("throttling disabled" runs).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "platform/soc.h"
+#include "power/model.h"
+
+namespace mobitherm::governors {
+
+/// Context handed to a thermal governor at each poll.
+struct ThermalContext {
+  double dt = 0.1;
+  /// Control temperature (K) — the sensor the policy is bound to (chip
+  /// package on the Nexus, max core/GPU sensor on the Odroid).
+  double control_temp_k = 298.15;
+  /// Current platform state for budget computations.
+  const platform::Soc* soc = nullptr;
+  const power::PowerModel* power = nullptr;
+  /// Fractional busy cores per cluster (for power requests).
+  const std::vector<double>* busy_cores = nullptr;
+  /// OPP indices the cpufreq governors are requesting per cluster.
+  const std::vector<std::size_t>* requested_index = nullptr;
+  /// Per-thermal-node sensor readings (K), for zone-based policies.
+  const std::vector<double>* node_temp_k = nullptr;
+};
+
+class ThermalGovernor {
+ public:
+  virtual ~ThermalGovernor() = default;
+  virtual const char* name() const = 0;
+  virtual double polling_period_s() const { return 0.1; }
+  virtual void update(const ThermalContext& ctx) = 0;
+  /// Highest OPP index cluster `c` may use right now.
+  virtual std::size_t cap_index(std::size_t cluster) const = 0;
+};
+
+/// No thermal management.
+class NoThrottle final : public ThermalGovernor {
+ public:
+  const char* name() const override { return "none"; }
+  void update(const ThermalContext&) override {}
+  std::size_t cap_index(std::size_t) const override {
+    return std::numeric_limits<std::size_t>::max();
+  }
+};
+
+/// Linux step_wise with per-sensor thermal zones (cpu0..3 / gpu / pop-mem
+/// zones on the Snapdragon): while a zone's sensor exceeds its trip point,
+/// deepen that zone's throttle state one step per poll; release one step
+/// per poll once it falls below trip - hysteresis. Each state removes
+/// `steps_per_state` OPP indices from the cap of the cluster the zone
+/// actuates.
+class StepWiseGovernor final : public ThermalGovernor {
+ public:
+  struct Zone {
+    /// Cluster whose OPP cap this zone actuates.
+    std::size_t cluster = 0;
+    /// Thermal node whose sensor the zone is bound to. If
+    /// ThermalContext::node_temp_k is absent, the zone falls back to the
+    /// scalar control temperature.
+    std::size_t sensor_node = 0;
+    double trip_k = 315.15;
+    double hysteresis_k = 2.0;
+    std::size_t steps_per_state = 1;
+    /// Cap never goes below this OPP index.
+    std::size_t floor_index = 0;
+    std::size_t max_states = 64;
+  };
+
+  struct Config {
+    double polling_period_s = 1.0;
+    std::vector<Zone> zones;
+  };
+
+  /// Convenience: one zone per non-memory cluster, all bound to the scalar
+  /// control temperature at the same trip point.
+  static Config uniform(const platform::SocSpec& spec, double trip_k,
+                        double hysteresis_k = 2.0,
+                        double polling_period_s = 1.0);
+
+  StepWiseGovernor(const platform::SocSpec& spec, Config config);
+
+  const char* name() const override { return "step_wise"; }
+  double polling_period_s() const override {
+    return config_.polling_period_s;
+  }
+  void update(const ThermalContext& ctx) override;
+  std::size_t cap_index(std::size_t cluster) const override;
+
+  /// Throttle state of zone `z` (for tests/traces).
+  std::size_t zone_state(std::size_t z) const;
+
+ private:
+  Config config_;
+  std::vector<std::size_t> max_index_;
+  std::vector<std::size_t> state_;  // per zone
+};
+
+/// Linux bang_bang: a two-position regulator. Above the trip the actuated
+/// clusters are capped at their floor index; once the temperature falls
+/// below trip - hysteresis the cap is fully released. Simple, but the
+/// paper's Sec. III shows why it is harsh: everything slows at once.
+class BangBangGovernor final : public ThermalGovernor {
+ public:
+  struct Config {
+    double trip_k = 315.15;
+    double hysteresis_k = 3.0;
+    double polling_period_s = 1.0;
+    /// Clusters capped when tripped; empty = all non-memory clusters.
+    std::vector<std::size_t> actors;
+    /// Cap applied while tripped.
+    std::size_t floor_index = 0;
+  };
+
+  BangBangGovernor(const platform::SocSpec& spec, Config config);
+
+  const char* name() const override { return "bang_bang"; }
+  double polling_period_s() const override {
+    return config_.polling_period_s;
+  }
+  void update(const ThermalContext& ctx) override;
+  std::size_t cap_index(std::size_t cluster) const override;
+
+  bool tripped() const { return tripped_; }
+
+ private:
+  Config config_;
+  std::vector<std::size_t> max_index_;
+  std::vector<bool> is_actor_;
+  bool tripped_ = false;
+};
+
+/// Linux fair_share: above the trip, each actor's cap is scaled down in
+/// proportion to how far the temperature has climbed into the
+/// [trip, max_temp] band, weighted per actor.
+class FairShareGovernor final : public ThermalGovernor {
+ public:
+  struct Config {
+    double trip_k = 315.15;
+    /// Temperature at which actors are pinned to their lowest OPP.
+    double max_temp_k = 335.15;
+    double polling_period_s = 1.0;
+    /// Per-cluster weights (0 = not actuated); empty = weight 1 for all
+    /// non-memory clusters.
+    std::vector<double> weights;
+  };
+
+  FairShareGovernor(const platform::SocSpec& spec, Config config);
+
+  const char* name() const override { return "fair_share"; }
+  double polling_period_s() const override {
+    return config_.polling_period_s;
+  }
+  void update(const ThermalContext& ctx) override;
+  std::size_t cap_index(std::size_t cluster) const override;
+
+ private:
+  Config config_;
+  std::vector<std::size_t> max_index_;
+  std::vector<std::size_t> cap_;
+};
+
+/// ARM Intelligent Power Allocation.
+class IpaGovernor final : public ThermalGovernor {
+ public:
+  struct Config {
+    double control_temp_k = 358.15;   // target (e.g. 85 degC on the XU3)
+    double sustainable_power_w = 2.5;
+    double k_po = 0.6;   // proportional gain when over target (W/K)
+    double k_pu = 0.25;  // proportional gain when under target (W/K)
+    double k_i = 0.01;   // integral gain (W/(K s))
+    double integral_cap_w = 1.0;
+    double polling_period_s = 0.1;
+    /// Clusters IPA actuates (typically big CPU + GPU). Empty = all.
+    std::vector<std::size_t> actors;
+  };
+
+  IpaGovernor(const platform::SocSpec& spec, Config config);
+
+  const char* name() const override { return "ipa"; }
+  double polling_period_s() const override {
+    return config_.polling_period_s;
+  }
+  void update(const ThermalContext& ctx) override;
+  std::size_t cap_index(std::size_t cluster) const override;
+
+  double last_budget_w() const { return last_budget_w_; }
+
+ private:
+  Config config_;
+  std::vector<std::size_t> cap_;
+  std::vector<std::size_t> max_index_;
+  double integral_ = 0.0;
+  double last_budget_w_ = 0.0;
+};
+
+}  // namespace mobitherm::governors

@@ -1,0 +1,52 @@
+#include "linalg/expm.h"
+
+#include <cmath>
+
+#include "linalg/lu.h"
+#include "util/error.h"
+
+namespace mobitherm::linalg {
+
+Matrix expm(const Matrix& a) {
+  if (!a.square()) {
+    throw util::NumericError("expm: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+
+  // Scale A down so that ||A/2^s||_1 <= 0.5, apply the Pade approximant,
+  // then square s times.
+  int s = 0;
+  double norm = a.norm1();
+  while (norm > 0.5 && s < 60) {
+    norm *= 0.5;
+    ++s;
+  }
+  Matrix x = a * std::pow(2.0, -s);
+
+  // Pade(6,6): N = sum c_k X^k, D = sum (-1)^k c_k X^k.
+  // c_k = (2m-k)! m! / ((2m)! (m-k)! k!) for m = 6.
+  static constexpr double kCoeff[] = {1.0,
+                                      1.0 / 2.0,
+                                      5.0 / 44.0,
+                                      1.0 / 66.0,
+                                      1.0 / 792.0,
+                                      1.0 / 15840.0,
+                                      1.0 / 665280.0};
+  Matrix term = Matrix::identity(n);
+  Matrix numer = Matrix::identity(n);
+  Matrix denom = Matrix::identity(n);
+  double sign = 1.0;
+  for (int k = 1; k <= 6; ++k) {
+    term = term * x;
+    sign = -sign;
+    numer += term * kCoeff[k];
+    denom += term * (sign * kCoeff[k]);
+  }
+  Matrix result = Lu(denom).solve(numer);
+  for (int i = 0; i < s; ++i) {
+    result = result * result;
+  }
+  return result;
+}
+
+}  // namespace mobitherm::linalg

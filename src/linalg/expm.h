@@ -1,0 +1,15 @@
+// Matrix exponential via scaling-and-squaring with a Pade(6,6) approximant.
+//
+// Used to build the exact discrete-time propagator Phi = e^{A dt} for the
+// linear(ized) thermal network, so large simulation steps stay stable
+// independent of the network's stiffness.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace mobitherm::linalg {
+
+/// e^A for a square matrix A.
+Matrix expm(const Matrix& a);
+
+}  // namespace mobitherm::linalg

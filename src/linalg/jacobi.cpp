@@ -1,0 +1,99 @@
+#include "linalg/jacobi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace mobitherm::linalg {
+
+using util::NumericError;
+
+namespace {
+
+double off_diagonal_norm(const Matrix& a) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = i + 1; j < a.cols(); ++j) {
+      acc += 2.0 * a(i, j) * a(i, j);
+    }
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+EigenDecomposition jacobi_eigen(const Matrix& a, double tol, int max_sweeps) {
+  if (!a.square()) {
+    throw NumericError("jacobi_eigen: matrix must be square");
+  }
+  if (!a.symmetric(1e-9 * (1.0 + a.norm_inf_entry()))) {
+    throw NumericError("jacobi_eigen: matrix is not symmetric");
+  }
+  const std::size_t n = a.rows();
+  Matrix d = a;
+  Matrix v = Matrix::identity(n);
+  const double scale = std::max(1.0, a.norm_inf_entry());
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm(d) <= tol * scale) {
+      break;
+    }
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (std::abs(apq) <= 1e-300) {
+          continue;
+        }
+        // Classic Jacobi rotation annihilating d(p, q).
+        const double theta = (d(q, q) - d(p, p)) / (2.0 * apq);
+        const double t =
+            (theta >= 0.0 ? 1.0 : -1.0) /
+            (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  if (off_diagonal_norm(d) > 1e-6 * scale) {
+    throw NumericError("jacobi_eigen: did not converge");
+  }
+
+  // Sort ascending by eigenvalue, permuting eigenvector columns alongside.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return d(i, i) < d(j, j); });
+
+  EigenDecomposition result;
+  result.eigenvalues.resize(n);
+  result.eigenvectors = Matrix(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    result.eigenvalues[c] = d(order[c], order[c]);
+    for (std::size_t r = 0; r < n; ++r) {
+      result.eigenvectors(r, c) = v(r, order[c]);
+    }
+  }
+  return result;
+}
+
+}  // namespace mobitherm::linalg

@@ -1,0 +1,24 @@
+// Cyclic Jacobi eigensolver for symmetric matrices.
+//
+// The thermal network's system matrix A = -C^{-1} G is similar to the
+// symmetric matrix -C^{-1/2} G C^{-1/2}; its eigendecomposition yields the
+// exact discrete-time propagator e^{A dt} and the network's time constants,
+// which the stability module uses to estimate time-to-fixed-point.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace mobitherm::linalg {
+
+/// Result of a symmetric eigendecomposition A = V diag(w) V^T.
+struct EigenDecomposition {
+  Vector eigenvalues;   // ascending order
+  Matrix eigenvectors;  // columns correspond to eigenvalues
+};
+
+/// Eigendecomposition of a symmetric matrix via the cyclic Jacobi method.
+/// Throws NumericError if `a` is not symmetric or the sweep limit is hit.
+EigenDecomposition jacobi_eigen(const Matrix& a, double tol = 1e-12,
+                                int max_sweeps = 64);
+
+}  // namespace mobitherm::linalg

@@ -1,0 +1,179 @@
+#include "platform/config_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace mobitherm::platform {
+
+using util::ConfigError;
+
+ResourceKind parse_resource_kind(const std::string& name) {
+  if (name == "cpu-little") {
+    return ResourceKind::kCpuLittle;
+  }
+  if (name == "cpu-big") {
+    return ResourceKind::kCpuBig;
+  }
+  if (name == "gpu") {
+    return ResourceKind::kGpu;
+  }
+  if (name == "memory") {
+    return ResourceKind::kMemory;
+  }
+  throw ConfigError("unknown resource kind: " + name);
+}
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw ConfigError("platform file line " + std::to_string(line) + ": " +
+                    what);
+}
+
+}  // namespace
+
+PlatformDescription load_platform(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw ConfigError("load_platform: cannot open " + path);
+  }
+  PlatformDescription desc;
+  desc.network.t_ambient_k = 298.15;
+
+  // OPPs are collected per cluster and attached when the cluster closes.
+  std::vector<std::pair<double, double>> pending_opps;
+  bool have_cluster = false;
+  ClusterSpec current;
+
+  auto flush_cluster = [&](int line) {
+    if (!have_cluster) {
+      return;
+    }
+    if (pending_opps.empty()) {
+      fail(line, "cluster " + current.name + " has no opp lines");
+    }
+    current.opps = OppTable::from_mhz_mv(pending_opps);
+    desc.soc.clusters.push_back(current);
+    pending_opps.clear();
+    have_cluster = false;
+  };
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t comment = line.find('#');
+    if (comment != std::string::npos) {
+      line.erase(comment);
+    }
+    std::istringstream row(line);
+    std::string keyword;
+    if (!(row >> keyword)) {
+      continue;  // blank line
+    }
+    if (keyword == "soc") {
+      if (!(row >> desc.soc.name)) {
+        fail(line_no, "soc needs a name");
+      }
+    } else if (keyword == "cluster") {
+      flush_cluster(line_no);
+      std::string kind;
+      if (!(row >> current.name >> kind >> current.num_cores >>
+            current.ipc >> current.ceff_f >> current.idle_power_w >>
+            current.leakage_share >> current.nominal_voltage_v >>
+            current.thermal_node)) {
+        fail(line_no, "cluster needs 9 fields");
+      }
+      current.kind = parse_resource_kind(kind);
+      have_cluster = true;
+    } else if (keyword == "opp") {
+      if (!have_cluster) {
+        fail(line_no, "opp before any cluster");
+      }
+      double mhz = 0.0;
+      double mv = 0.0;
+      if (!(row >> mhz >> mv)) {
+        fail(line_no, "opp needs <mhz> <mv>");
+      }
+      pending_opps.emplace_back(mhz, mv);
+    } else if (keyword == "thermal") {
+      std::string sub;
+      double celsius = 0.0;
+      if (!(row >> sub >> celsius) || sub != "ambient_c") {
+        fail(line_no, "expected: thermal ambient_c <celsius>");
+      }
+      desc.network.t_ambient_k = util::celsius_to_kelvin(celsius);
+    } else if (keyword == "node") {
+      thermal::ThermalNodeSpec node;
+      if (!(row >> node.name >> node.capacitance_j_per_k >>
+            node.g_ambient_w_per_k)) {
+        fail(line_no, "node needs <name> <C> <g_amb>");
+      }
+      desc.network.nodes.push_back(node);
+    } else if (keyword == "link") {
+      thermal::ThermalLinkSpec link;
+      if (!(row >> link.a >> link.b >> link.conductance_w_per_k)) {
+        fail(line_no, "link needs <a> <b> <g>");
+      }
+      desc.network.links.push_back(link);
+    } else {
+      fail(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+  flush_cluster(line_no);
+
+  if (desc.soc.clusters.empty()) {
+    throw ConfigError("load_platform: no clusters in " + path);
+  }
+  if (desc.network.nodes.empty()) {
+    throw ConfigError("load_platform: no thermal nodes in " + path);
+  }
+  // Validate eagerly: constructing these throws on inconsistency.
+  Soc validate_soc(desc.soc);
+  thermal::ThermalNetwork validate_net(desc.network);
+  for (const ClusterSpec& c : desc.soc.clusters) {
+    if (c.thermal_node >= desc.network.nodes.size()) {
+      throw ConfigError("load_platform: cluster " + c.name +
+                        " maps to nonexistent thermal node");
+    }
+  }
+  return desc;
+}
+
+void save_platform(const std::string& path,
+                   const PlatformDescription& desc) {
+  std::ofstream out(path);
+  if (!out) {
+    throw ConfigError("save_platform: cannot open " + path);
+  }
+  out.precision(12);
+  out << "# mobitherm platform description\n";
+  out << "soc " << desc.soc.name << "\n\n";
+  for (const ClusterSpec& c : desc.soc.clusters) {
+    out << "cluster " << c.name << " " << to_string(c.kind) << " "
+        << c.num_cores << " " << c.ipc << " " << c.ceff_f << " "
+        << c.idle_power_w << " " << c.leakage_share << " "
+        << c.nominal_voltage_v << " " << c.thermal_node << "\n";
+    for (const OperatingPoint& p : c.opps) {
+      out << "opp " << util::hz_to_mhz(p.freq_hz) << " "
+          << p.voltage_v * 1e3 << "\n";
+    }
+    out << "\n";
+  }
+  out << "thermal ambient_c "
+      << util::kelvin_to_celsius(desc.network.t_ambient_k) << "\n";
+  for (const thermal::ThermalNodeSpec& n : desc.network.nodes) {
+    out << "node " << n.name << " " << n.capacitance_j_per_k << " "
+        << n.g_ambient_w_per_k << "\n";
+  }
+  for (const thermal::ThermalLinkSpec& l : desc.network.links) {
+    out << "link " << l.a << " " << l.b << " " << l.conductance_w_per_k
+        << "\n";
+  }
+}
+
+}  // namespace mobitherm::platform

@@ -1,0 +1,79 @@
+#include "platform/opp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace mobitherm::platform {
+
+using util::ConfigError;
+
+OppTable::OppTable(std::vector<OperatingPoint> points)
+    : points_(std::move(points)) {
+  if (points_.empty()) {
+    throw ConfigError("OppTable must contain at least one operating point");
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const OperatingPoint& a, const OperatingPoint& b) {
+              return a.freq_hz < b.freq_hz;
+            });
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].freq_hz <= 0.0 || points_[i].voltage_v <= 0.0) {
+      throw ConfigError("OppTable entries must have positive freq/voltage");
+    }
+    if (i > 0 && points_[i].freq_hz - points_[i - 1].freq_hz < 1.0) {
+      throw ConfigError("OppTable entries must have distinct frequencies");
+    }
+  }
+}
+
+OppTable OppTable::from_mhz_mv(
+    const std::vector<std::pair<double, double>>& points) {
+  std::vector<OperatingPoint> converted;
+  converted.reserve(points.size());
+  for (const auto& [mhz, mv] : points) {
+    converted.push_back({util::mhz_to_hz(mhz), mv * 1.0e-3});
+  }
+  return OppTable(std::move(converted));
+}
+
+const OperatingPoint& OppTable::at(std::size_t index) const {
+  if (index >= points_.size()) {
+    throw ConfigError("OppTable index out of range");
+  }
+  return points_[index];
+}
+
+std::size_t OppTable::floor_index(double freq_hz) const {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].freq_hz <= freq_hz) {
+      best = i;
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+std::size_t OppTable::ceil_index(double freq_hz) const {
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].freq_hz >= freq_hz) {
+      return i;
+    }
+  }
+  return max_index();
+}
+
+std::size_t OppTable::index_of(double freq_hz) const {
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (std::abs(points_[i].freq_hz - freq_hz) < 1.0) {
+      return i;
+    }
+  }
+  throw ConfigError("OppTable: frequency not in table");
+}
+
+}  // namespace mobitherm::platform

@@ -1,0 +1,58 @@
+// Operating performance points (frequency/voltage pairs) and OPP tables.
+//
+// Governors never set raw frequencies; they pick OPP indices, exactly like
+// the Linux cpufreq/devfreq frameworks the paper's experiments exercise.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace mobitherm::platform {
+
+/// One DVFS operating point.
+struct OperatingPoint {
+  double freq_hz = 0.0;
+  double voltage_v = 0.0;
+};
+
+/// Immutable, ascending-frequency table of operating points.
+class OppTable {
+ public:
+  /// Empty table; a placeholder until a real ladder is assigned. Rejected
+  /// by Soc at construction.
+  OppTable() = default;
+
+  /// Points are sorted by frequency; duplicate frequencies are rejected.
+  /// The list must be non-empty.
+  explicit OppTable(std::vector<OperatingPoint> points);
+
+  /// Convenience constructor from (MHz, mV) pairs.
+  static OppTable from_mhz_mv(
+      const std::vector<std::pair<double, double>>& points);
+
+  std::size_t size() const { return points_.size(); }
+  const OperatingPoint& at(std::size_t index) const;
+  const OperatingPoint& lowest() const { return points_.front(); }
+  const OperatingPoint& highest() const { return points_.back(); }
+  std::size_t max_index() const { return points_.size() - 1; }
+
+  /// Index of the highest OPP with frequency <= freq_hz; 0 if freq_hz is
+  /// below the lowest OPP.
+  std::size_t floor_index(double freq_hz) const;
+
+  /// Index of the lowest OPP with frequency >= freq_hz; max_index() if
+  /// freq_hz is above the highest OPP.
+  std::size_t ceil_index(double freq_hz) const;
+
+  /// Exact index of `freq_hz` (within 1 Hz); throws ConfigError if absent.
+  std::size_t index_of(double freq_hz) const;
+
+  auto begin() const { return points_.begin(); }
+  auto end() const { return points_.end(); }
+
+ private:
+  std::vector<OperatingPoint> points_;
+};
+
+}  // namespace mobitherm::platform

@@ -1,0 +1,165 @@
+#include "platform/presets.h"
+
+namespace mobitherm::platform {
+
+SocSpec snapdragon810() {
+  SocSpec soc;
+  soc.name = "snapdragon810";
+
+  ClusterSpec little;
+  little.name = "a53";
+  little.kind = ResourceKind::kCpuLittle;
+  little.num_cores = 4;
+  little.opps = OppTable::from_mhz_mv({{384.0, 800.0},
+                                       {460.8, 825.0},
+                                       {600.0, 850.0},
+                                       {672.0, 875.0},
+                                       {768.0, 900.0},
+                                       {864.0, 925.0},
+                                       {960.0, 950.0},
+                                       {1248.0, 1025.0},
+                                       {1344.0, 1063.0},
+                                       {1478.4, 1100.0},
+                                       {1555.2, 1125.0}});
+  little.ipc = 1.0;
+  little.ceff_f = 1.35e-10;
+  little.idle_power_w = 0.08;
+  little.leakage_share = 0.12;
+  little.nominal_voltage_v = 1.125;
+  little.thermal_node = kNodeLittle;
+
+  ClusterSpec big;
+  big.name = "a57";
+  big.kind = ResourceKind::kCpuBig;
+  big.num_cores = 4;
+  big.opps = OppTable::from_mhz_mv({{384.0, 850.0},
+                                    {480.0, 875.0},
+                                    {633.6, 900.0},
+                                    {768.0, 925.0},
+                                    {864.0, 938.0},
+                                    {960.0, 950.0},
+                                    {1248.0, 1013.0},
+                                    {1344.0, 1038.0},
+                                    {1440.0, 1063.0},
+                                    {1536.0, 1088.0},
+                                    {1632.0, 1113.0},
+                                    {1689.6, 1125.0},
+                                    {1824.0, 1163.0},
+                                    {1958.4, 1200.0}});
+  big.ipc = 2.0;
+  big.ceff_f = 4.96e-10;
+  big.idle_power_w = 0.12;
+  big.leakage_share = 0.40;
+  big.nominal_voltage_v = 1.20;
+  big.thermal_node = kNodeBig;
+
+  ClusterSpec gpu;
+  gpu.name = "adreno430";
+  gpu.kind = ResourceKind::kGpu;
+  gpu.num_cores = 1;
+  gpu.opps = OppTable::from_mhz_mv({{180.0, 800.0},
+                                    {305.0, 850.0},
+                                    {390.0, 900.0},
+                                    {450.0, 938.0},
+                                    {510.0, 975.0},
+                                    {600.0, 1013.0}});
+  gpu.ipc = 1.0;
+  gpu.ceff_f = 3.90e-9;
+  gpu.idle_power_w = 0.05;
+  gpu.leakage_share = 0.35;
+  gpu.nominal_voltage_v = 1.013;
+  gpu.thermal_node = kNodeGpu;
+
+  ClusterSpec mem;
+  mem.name = "lpddr4";
+  mem.kind = ResourceKind::kMemory;
+  mem.num_cores = 1;
+  mem.opps = OppTable::from_mhz_mv({{1555.0, 1100.0}});
+  mem.ipc = 1.0;
+  mem.ceff_f = 2.0e-10;
+  mem.idle_power_w = 0.12;
+  mem.leakage_share = 0.13;
+  mem.nominal_voltage_v = 1.10;
+  mem.thermal_node = kNodeMemory;
+
+  soc.clusters = {little, big, gpu, mem};
+  return soc;
+}
+
+SocSpec exynos5422() {
+  SocSpec soc;
+  soc.name = "exynos5422";
+
+  auto linear_ladder = [](double lo_mhz, double hi_mhz, double step_mhz,
+                          double lo_mv, double hi_mv) {
+    std::vector<std::pair<double, double>> pts;
+    const int n =
+        static_cast<int>((hi_mhz - lo_mhz) / step_mhz + 0.5) + 1;
+    for (int i = 0; i < n; ++i) {
+      const double f = lo_mhz + step_mhz * i;
+      const double v = lo_mv + (hi_mv - lo_mv) * (f - lo_mhz) /
+                                   (hi_mhz - lo_mhz);
+      pts.emplace_back(f, v);
+    }
+    return OppTable::from_mhz_mv(pts);
+  };
+
+  ClusterSpec little;
+  little.name = "a7";
+  little.kind = ResourceKind::kCpuLittle;
+  little.num_cores = 4;
+  little.opps = linear_ladder(200.0, 1400.0, 100.0, 900.0, 1150.0);
+  little.ipc = 1.0;
+  little.ceff_f = 8.1e-11;
+  little.idle_power_w = 0.06;
+  little.leakage_share = 0.10;
+  little.nominal_voltage_v = 1.15;
+  little.thermal_node = kNodeLittle;
+
+  ClusterSpec big;
+  big.name = "a15";
+  big.kind = ResourceKind::kCpuBig;
+  big.num_cores = 4;
+  big.opps = linear_ladder(200.0, 2000.0, 100.0, 912.5, 1250.0);
+  big.ipc = 2.0;
+  big.ceff_f = 4.16e-10;
+  big.idle_power_w = 0.10;
+  big.leakage_share = 0.45;
+  big.nominal_voltage_v = 1.25;
+  big.thermal_node = kNodeBig;
+
+  ClusterSpec gpu;
+  gpu.name = "mali-t628";
+  gpu.kind = ResourceKind::kGpu;
+  gpu.num_cores = 1;
+  gpu.opps = OppTable::from_mhz_mv({{177.0, 850.0},
+                                    {266.0, 875.0},
+                                    {350.0, 912.0},
+                                    {420.0, 937.0},
+                                    {480.0, 975.0},
+                                    {543.0, 1012.0},
+                                    {600.0, 1050.0}});
+  gpu.ipc = 1.0;
+  gpu.ceff_f = 2.36e-9;
+  gpu.idle_power_w = 0.04;
+  gpu.leakage_share = 0.33;
+  gpu.nominal_voltage_v = 1.05;
+  gpu.thermal_node = kNodeGpu;
+
+  ClusterSpec mem;
+  mem.name = "lpddr3";
+  mem.kind = ResourceKind::kMemory;
+  mem.num_cores = 1;
+  mem.opps = OppTable::from_mhz_mv({{933.0, 1200.0}});
+  mem.ipc = 1.0;
+  mem.ceff_f = 2.3e-10;
+  mem.idle_power_w = 0.10;
+  mem.leakage_share = 0.12;
+  mem.nominal_voltage_v = 1.20;
+  mem.thermal_node = kNodeMemory;
+
+  soc.clusters = {little, big, gpu, mem};
+  return soc;
+}
+
+}  // namespace mobitherm::platform

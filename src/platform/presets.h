@@ -1,0 +1,35 @@
+// SoC presets for the two boards used in the paper.
+//
+// OPP ladders follow the shipped kernels: the Adreno 430 frequencies are
+// exactly the six levels whose residency the paper reports (180 / 305 /
+// 390 / 450 / 510 / 600 MHz), and the Snapdragon big-core ladder contains
+// the 384 MHz and 960 MHz points discussed for the Amazon app. Power
+// coefficients are calibrated so cluster-level power matches the levels
+// reported in Sec. IV-C (e.g. one busy A15 at 2.0 GHz ~ 1.3 W, Mali-T628
+// fully busy at 600 MHz ~ 1.5 W).
+//
+// Thermal-node convention shared with thermal/presets.h:
+//   node 0 = LITTLE cluster, 1 = big cluster, 2 = GPU, 3 = memory,
+//   node 4 = board/case (skin).
+#pragma once
+
+#include "platform/soc.h"
+
+namespace mobitherm::platform {
+
+inline constexpr std::size_t kNodeLittle = 0;
+inline constexpr std::size_t kNodeBig = 1;
+inline constexpr std::size_t kNodeGpu = 2;
+inline constexpr std::size_t kNodeMemory = 3;
+inline constexpr std::size_t kNodeBoard = 4;
+inline constexpr std::size_t kNumThermalNodes = 5;
+
+/// Qualcomm Snapdragon 810 (Nexus 6P): 4x Cortex-A53 + 4x Cortex-A57 +
+/// Adreno 430 + LPDDR4 rail.
+SocSpec snapdragon810();
+
+/// Samsung Exynos 5422 (Odroid-XU3): 4x Cortex-A7 + 4x Cortex-A15 +
+/// Mali-T628 MP6 + LPDDR3 rail.
+SocSpec exynos5422();
+
+}  // namespace mobitherm::platform

@@ -1,0 +1,114 @@
+#include "power/battery.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace mobitherm::power {
+
+using util::ConfigError;
+
+Battery::Battery(BatteryParams params, double initial_soc)
+    : params_(std::move(params)), soc_(initial_soc) {
+  if (params_.capacity_mah <= 0.0 || params_.internal_r_ohm < 0.0) {
+    throw ConfigError("Battery: invalid parameters");
+  }
+  if (initial_soc < 0.0 || initial_soc > 1.0) {
+    throw ConfigError("Battery: initial SoC out of [0, 1]");
+  }
+  if (params_.ocv_curve.size() < 2) {
+    throw ConfigError("Battery: OCV curve needs at least two points");
+  }
+  for (std::size_t i = 0; i < params_.ocv_curve.size(); ++i) {
+    if (i > 0 && (params_.ocv_curve[i].first <=
+                      params_.ocv_curve[i - 1].first ||
+                  params_.ocv_curve[i].second <
+                      params_.ocv_curve[i - 1].second)) {
+      throw ConfigError("Battery: OCV curve must ascend in SoC and OCV");
+    }
+  }
+  if (params_.ocv_curve.front().first != 0.0 ||
+      params_.ocv_curve.back().first != 1.0) {
+    throw ConfigError("Battery: OCV curve must span SoC 0..1");
+  }
+}
+
+double Battery::ocv_v() const {
+  const auto& curve = params_.ocv_curve;
+  if (soc_ <= curve.front().first) {
+    return curve.front().second;
+  }
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    if (soc_ <= curve[i].first) {
+      const double frac = (soc_ - curve[i - 1].first) /
+                          (curve[i].first - curve[i - 1].first);
+      return curve[i - 1].second +
+             frac * (curve[i].second - curve[i - 1].second);
+    }
+  }
+  return curve.back().second;
+}
+
+double Battery::terminal_v(double load_w) const {
+  if (load_w < 0.0) {
+    throw ConfigError("Battery: negative load");
+  }
+  const double ocv = ocv_v();
+  if (ocv <= 0.0) {
+    return 0.0;
+  }
+  // Solve V = OCV - (P/V) R  ->  V^2 - OCV V + P R = 0 (larger root).
+  const double disc = ocv * ocv - 4.0 * load_w * params_.internal_r_ohm;
+  if (disc <= 0.0) {
+    return 0.5 * ocv;  // beyond the deliverable power: brown-out point
+  }
+  return 0.5 * (ocv + std::sqrt(disc));
+}
+
+void Battery::drain(double dt, double load_w) {
+  if (dt <= 0.0 || load_w <= 0.0 || empty()) {
+    return;
+  }
+  const double v = terminal_v(load_w);
+  if (v <= 0.0) {
+    soc_ = 0.0;
+    return;
+  }
+  const double amps = load_w / v;
+  const double capacity_as = params_.capacity_mah * 3.6;  // mAh -> A s
+  soc_ = std::max(0.0, soc_ - amps * dt / capacity_as);
+}
+
+double Battery::energy_remaining_j() const {
+  // Integrate OCV over the remaining charge (trapezoid on the curve).
+  const double capacity_as = params_.capacity_mah * 3.6;
+  double energy = 0.0;
+  const auto& curve = params_.ocv_curve;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double lo = std::min(curve[i - 1].first, soc_);
+    const double hi = std::min(curve[i].first, soc_);
+    if (hi <= lo) {
+      continue;
+    }
+    // OCV at the segment's clipped endpoints (linear in SoC).
+    auto ocv_at = [&](double s) {
+      const double frac = (s - curve[i - 1].first) /
+                          (curve[i].first - curve[i - 1].first);
+      return curve[i - 1].second +
+             frac * (curve[i].second - curve[i - 1].second);
+    };
+    energy += 0.5 * (ocv_at(lo) + ocv_at(hi)) * (hi - lo) * capacity_as;
+  }
+  return energy;
+}
+
+double Battery::projected_runtime_s(double load_w) const {
+  if (load_w <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return energy_remaining_j() / load_w;
+}
+
+}  // namespace mobitherm::power

@@ -1,0 +1,56 @@
+// Battery model: coulomb counting over an OCV(SoC) curve with ohmic drop.
+//
+// The paper's motivation is user experience on battery-powered devices;
+// this model turns the simulator's power draw into state-of-charge,
+// terminal voltage and projected runtime — the numbers a device vendor
+// trades against performance and temperature.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace mobitherm::power {
+
+struct BatteryParams {
+  /// Rated capacity (mAh); Nexus 6P ships 3450 mAh.
+  double capacity_mah = 3450.0;
+  /// Internal (ohmic) resistance.
+  double internal_r_ohm = 0.12;
+  /// Open-circuit voltage vs. state of charge, ascending in SoC.
+  /// Defaults to a typical Li-ion curve.
+  std::vector<std::pair<double, double>> ocv_curve = {
+      {0.00, 3.30}, {0.10, 3.60}, {0.50, 3.80}, {0.90, 4.05}, {1.00, 4.20}};
+};
+
+class Battery {
+ public:
+  explicit Battery(BatteryParams params, double initial_soc = 1.0);
+
+  /// Draw `load_w` watts for `dt` seconds (coulomb counting at the
+  /// terminal voltage). SoC clamps at 0; an empty battery absorbs no
+  /// further charge.
+  void drain(double dt, double load_w);
+
+  /// State of charge in [0, 1].
+  double state_of_charge() const { return soc_; }
+
+  /// Open-circuit voltage at the current SoC.
+  double ocv_v() const;
+
+  /// Terminal voltage under `load_w` (OCV minus IR drop). Clamped at 0.
+  double terminal_v(double load_w) const;
+
+  /// Remaining energy if discharged at low rate (J).
+  double energy_remaining_j() const;
+
+  /// Hours of runtime left at a constant `load_w`; infinity at zero load.
+  double projected_runtime_s(double load_w) const;
+
+  bool empty() const { return soc_ <= 0.0; }
+
+ private:
+  BatteryParams params_;
+  double soc_;
+};
+
+}  // namespace mobitherm::power

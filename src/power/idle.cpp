@@ -1,0 +1,67 @@
+#include "power/idle.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace mobitherm::power {
+
+using util::ConfigError;
+
+CpuIdleModel::CpuIdleModel(std::vector<IdleState> states)
+    : states_(std::move(states)) {
+  if (states_.empty()) {
+    throw ConfigError("CpuIdleModel: at least one state required");
+  }
+  if (states_.front().target_residency_s != 0.0) {
+    throw ConfigError(
+        "CpuIdleModel: first state must always be available "
+        "(target residency 0)");
+  }
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (states_[i].power_fraction < 0.0 ||
+        states_[i].power_fraction > 1.0) {
+      throw ConfigError("CpuIdleModel: power fraction out of [0, 1]");
+    }
+    if (i > 0) {
+      if (states_[i].power_fraction > states_[i - 1].power_fraction) {
+        throw ConfigError(
+            "CpuIdleModel: deeper states must burn less power");
+      }
+      if (states_[i].target_residency_s <=
+          states_[i - 1].target_residency_s) {
+        throw ConfigError(
+            "CpuIdleModel: deeper states need longer residencies");
+      }
+    }
+  }
+}
+
+const IdleState& CpuIdleModel::select(double expected_idle_s) const {
+  const IdleState* best = &states_.front();
+  for (const IdleState& s : states_) {
+    if (s.target_residency_s <= expected_idle_s) {
+      best = &s;
+    }
+  }
+  return *best;
+}
+
+double CpuIdleModel::idle_power_fraction(double utilization,
+                                         double period_s) const {
+  const double util = std::clamp(utilization, 0.0, 1.0);
+  const double idle_interval = (1.0 - util) * period_s;
+  const IdleState& state = select(idle_interval);
+  // Busy fraction keeps the full floor; idle fraction pays the state's.
+  return util + (1.0 - util) * state.power_fraction;
+}
+
+CpuIdleModel CpuIdleModel::default_arm() {
+  return CpuIdleModel({
+      {"wfi", 0.60, 0.0},
+      {"core-off", 0.25, 0.002},
+      {"cluster-off", 0.05, 0.020},
+  });
+}
+
+}  // namespace mobitherm::power

@@ -1,0 +1,49 @@
+// cpuidle (C-state) model.
+//
+// Idle cores are not free: how much of the idle floor a cluster burns
+// depends on how deep a sleep state the idle governor can enter, which in
+// turn depends on how long the cores expect to stay idle. This models the
+// kernel's menu-governor logic at cluster granularity: given the expected
+// idle interval, pick the deepest state whose target residency fits, and
+// report the resulting idle-power fraction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mobitherm::power {
+
+struct IdleState {
+  std::string name;
+  /// Fraction of the cluster's idle floor burned in this state.
+  double power_fraction = 1.0;
+  /// Minimum idle interval for entering this state to pay off.
+  double target_residency_s = 0.0;
+};
+
+class CpuIdleModel {
+ public:
+  /// States must be ordered from shallowest (highest power fraction,
+  /// smallest residency) to deepest. The first state must have
+  /// target_residency_s == 0 (always available).
+  explicit CpuIdleModel(std::vector<IdleState> states);
+
+  /// Deepest state whose target residency fits the expected idle interval.
+  const IdleState& select(double expected_idle_s) const;
+
+  /// Idle-power multiplier for a cluster at `utilization` whose idle gaps
+  /// are roughly (1 - utilization) * period_s long: busy time burns the
+  /// full floor, idle time burns the selected state's fraction.
+  double idle_power_fraction(double utilization, double period_s) const;
+
+  const std::vector<IdleState>& states() const { return states_; }
+
+  /// Typical ARM ladder: clock gating (WFI), core power-down, cluster
+  /// power-down.
+  static CpuIdleModel default_arm();
+
+ private:
+  std::vector<IdleState> states_;
+};
+
+}  // namespace mobitherm::power

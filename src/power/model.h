@@ -1,0 +1,92 @@
+// SoC power model: frequency/voltage-dependent dynamic power plus
+// temperature-dependent leakage.
+//
+// Dynamic power of a cluster with fractional busy cores b at OPP (f, V):
+//     P_dyn = idle + b * ceff * V^2 * f
+// Leakage of a cluster at absolute temperature T and voltage V:
+//     P_leak = share * A * T^2 * exp(-theta / T) * (V / V_nom)
+// where theta = q*Vth/(eta*k) is the leakage temperature constant and A is
+// the SoC-level leakage coefficient. This is the BSIM-style model the
+// paper's stability analysis (ref. [2], Bhat et al. TECS'17) is built on;
+// using the same form in the simulator and the analyzer keeps the
+// fixed-point predictions consistent with the simulated physics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "platform/soc.h"
+
+namespace mobitherm::power {
+
+/// SoC-level leakage parameters (see file comment).
+struct LeakageParams {
+  /// Leakage temperature constant theta = q*Vth/(eta*k), in kelvin.
+  double theta_k = 1857.8;
+  /// SoC leakage coefficient A in W/K^2 at nominal voltage; distributed
+  /// over clusters by ClusterSpec::leakage_share.
+  double a_w_per_k2 = 1.5736e-3;
+};
+
+/// Per-cluster inputs for one power evaluation.
+struct ClusterActivity {
+  /// Busy cores, fractional, in [0, online_cores].
+  double busy_cores = 0.0;
+  /// Absolute temperature of the cluster's thermal node (K).
+  double temp_k = 300.0;
+  /// Multiplier on the idle floor, from the cpuidle model (1 = no C-state
+  /// savings).
+  double idle_power_scale = 1.0;
+};
+
+/// Breakdown of one cluster's power.
+struct ClusterPower {
+  double dynamic_w = 0.0;
+  double idle_w = 0.0;
+  double leakage_w = 0.0;
+  double total() const { return dynamic_w + idle_w + leakage_w; }
+};
+
+/// Evaluates the SoC power model against a platform::Soc's current DVFS
+/// state. Stateless apart from the spec/parameters; all activity is passed
+/// in, so the same model instance serves the simulator, the IPA governor's
+/// budget-to-frequency inversion, and the benches.
+class PowerModel {
+ public:
+  PowerModel(const platform::SocSpec& spec, LeakageParams leakage,
+             double board_base_w = 0.0);
+
+  const LeakageParams& leakage_params() const { return leakage_; }
+
+  /// Constant platform power (regulators, display path, ...) attributed to
+  /// the board node; not part of any measured rail.
+  double board_base_w() const { return board_base_w_; }
+
+  /// Power of cluster `c` at the OPP/online state in `soc` under the given
+  /// activity.
+  ClusterPower cluster_power(const platform::Soc& soc, std::size_t c,
+                             const ClusterActivity& activity) const;
+
+  /// Dynamic power of a fully busy core of cluster `c` at OPP `opp`.
+  /// Used by the IPA governor to translate power budgets into frequency
+  /// caps.
+  double dynamic_per_core_at(std::size_t c, std::size_t opp) const;
+
+  /// Leakage power of cluster `c` at temperature `temp_k` and OPP `opp`.
+  double leakage_at(std::size_t c, std::size_t opp, double temp_k) const;
+
+  /// SoC leakage at temperature `temp_k` with every cluster at nominal
+  /// voltage: A * T^2 * exp(-theta/T). This is the lumped form the
+  /// stability analyzer uses.
+  double soc_leakage_nominal(double temp_k) const;
+
+  std::size_t num_clusters() const { return spec_.clusters.size(); }
+  const platform::SocSpec& spec() const { return spec_; }
+
+ private:
+  platform::SocSpec spec_;
+  LeakageParams leakage_;
+  double board_base_w_;
+};
+
+}  // namespace mobitherm::power

@@ -1,0 +1,511 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "platform/presets.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace mobitherm::sim {
+
+using platform::ResourceKind;
+using util::ConfigError;
+
+namespace {
+
+std::vector<std::size_t> opps_per_cluster(const platform::SocSpec& spec) {
+  std::vector<std::size_t> out;
+  out.reserve(spec.clusters.size());
+  for (const platform::ClusterSpec& c : spec.clusters) {
+    out.push_back(c.opps.size());
+  }
+  return out;
+}
+
+}  // namespace
+
+Engine::Engine(platform::SocSpec soc_spec,
+               thermal::ThermalNetworkSpec net_spec,
+               power::LeakageParams leakage, double board_base_w,
+               EngineConfig config)
+    : config_(config),
+      soc_(soc_spec),
+      power_model_(soc_spec, leakage, board_base_w),
+      network_(std::move(net_spec)),
+      scheduler_(soc_spec, config.window_s),
+      trace_(soc_spec.clusters.size(), opps_per_cluster(soc_spec)),
+      power_window_(config.window_s) {
+  if (config_.tick_s <= 0.0) {
+    throw ConfigError("Engine: tick must be positive");
+  }
+  const std::size_t n = soc_.num_clusters();
+  // Validate thermal-node mapping and locate the board node (assumed to be
+  // the node no cluster maps to, by convention the last one).
+  for (std::size_t c = 0; c < n; ++c) {
+    if (soc_.cluster(c).thermal_node >= network_.num_nodes()) {
+      throw ConfigError("Engine: cluster " + soc_.cluster(c).name +
+                        " maps to a nonexistent thermal node");
+    }
+  }
+  board_node_ = network_.num_nodes() - 1;
+
+  // Default governors: interactive on CPU clusters, ondemand on the GPU,
+  // fixed on memory. No thermal governor by default.
+  cpufreq_.resize(n);
+  requested_index_.assign(n, 0);
+  last_busy_cores_.assign(n, 0.0);
+  conflict_time_s_.assign(n, 0.0);
+  conflict_episodes_.assign(n, 0);
+  in_conflict_.assign(n, false);
+  dvfs_transitions_.assign(n, 0);
+  for (std::size_t c = 0; c < n; ++c) {
+    const ResourceKind kind = soc_.cluster(c).kind;
+    if (kind == ResourceKind::kMemory) {
+      cpufreq_[c].gov = std::make_unique<governors::Userspace>(
+          soc_.cluster(c).opps.max_index());
+    } else if (kind == ResourceKind::kGpu) {
+      cpufreq_[c].gov = std::make_unique<governors::Ondemand>();
+    } else {
+      cpufreq_[c].gov = std::make_unique<governors::Interactive>();
+    }
+    // Start at the highest OPP, like a device waking on user interaction.
+    soc_.set_opp(c, soc_.cluster(c).opps.max_index());
+    requested_index_[c] = soc_.cluster(c).opps.max_index();
+  }
+
+  // Sensors: one per thermal node, one rail per cluster.
+  for (std::size_t node = 0; node < network_.num_nodes(); ++node) {
+    thermal::TemperatureSensor::Config sc;
+    sc.name = network_.spec().nodes[node].name;
+    sc.period_s = config_.temp_sensor_period_s;
+    sc.noise_stddev_k = config_.temp_sensor_noise_k;
+    sc.lsb_k = 0.1;
+    sc.seed = util::derive_seed(config_.seed, 100 + node);
+    node_sensors_.emplace_back(sc);
+    node_sensors_.back().prime(network_.ambient_k());
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    power::RailSensor::Config rc;
+    rc.name = soc_.cluster(c).name;
+    rc.period_s = config_.rail_sensor_period_s;
+    rc.noise_stddev_w = config_.rail_sensor_noise_w;
+    rc.seed = util::derive_seed(config_.seed, 200 + c);
+    rails_.emplace_back(rc);
+  }
+  if (config_.enable_daq) {
+    power::DaqSimulator::Config dc;
+    dc.seed = util::derive_seed(config_.seed, 300);
+    daq_ = std::make_unique<power::DaqSimulator>(dc);
+  }
+}
+
+std::size_t Engine::add_app(const workload::AppSpec& spec,
+                            std::optional<std::size_t> cpu_cluster) {
+  return add_app_at(spec, 0.0, cpu_cluster);
+}
+
+std::size_t Engine::add_app_at(const workload::AppSpec& spec,
+                               double delay_s,
+                               std::optional<std::size_t> cpu_cluster) {
+  if (delay_s < 0.0) {
+    throw ConfigError("Engine: app start delay must be non-negative");
+  }
+  const std::size_t cpu =
+      cpu_cluster.value_or(soc_.spec().big());
+  std::optional<std::size_t> gpu;
+  if (soc_.spec().has_kind(ResourceKind::kGpu)) {
+    gpu = soc_.spec().gpu();
+  }
+  AppSlot slot;
+  slot.instance = std::make_unique<workload::AppInstance>(
+      spec, scheduler_, cpu, gpu,
+      util::derive_seed(config_.seed, 400 + apps_.size()));
+  slot.start_s = now_ + delay_s;
+  apps_.push_back(std::move(slot));
+  return apps_.size() - 1;
+}
+
+void Engine::suspend_app(std::size_t index) {
+  if (index >= apps_.size()) {
+    throw ConfigError("Engine: app index out of range");
+  }
+  apps_[index].suspended = true;
+}
+
+void Engine::resume_app(std::size_t index) {
+  if (index >= apps_.size()) {
+    throw ConfigError("Engine: app index out of range");
+  }
+  apps_[index].suspended = false;
+}
+
+bool Engine::app_suspended(std::size_t index) const {
+  if (index >= apps_.size()) {
+    throw ConfigError("Engine: app index out of range");
+  }
+  return apps_[index].suspended;
+}
+
+workload::AppInstance& Engine::app(std::size_t index) {
+  if (index >= apps_.size()) {
+    throw ConfigError("Engine: app index out of range");
+  }
+  return *apps_[index].instance;
+}
+
+const workload::AppInstance& Engine::app(std::size_t index) const {
+  if (index >= apps_.size()) {
+    throw ConfigError("Engine: app index out of range");
+  }
+  return *apps_[index].instance;
+}
+
+void Engine::set_cpufreq_governor(
+    std::size_t cluster, std::unique_ptr<governors::CpufreqGovernor> gov) {
+  if (cluster >= cpufreq_.size()) {
+    throw ConfigError("Engine: cluster index out of range");
+  }
+  if (!gov) {
+    throw ConfigError("Engine: null governor");
+  }
+  cpufreq_[cluster].gov = std::move(gov);
+  cpufreq_[cluster].since_decide_s = 0.0;
+  cpufreq_[cluster].util_time_integral = 0.0;
+}
+
+void Engine::set_thermal_governor(
+    std::unique_ptr<governors::ThermalGovernor> gov) {
+  thermal_gov_ = std::move(gov);
+  thermal_accum_ = 0.0;
+}
+
+void Engine::set_appaware_governor(
+    std::unique_ptr<core::AppAwareGovernor> gov) {
+  appaware_ = std::move(gov);
+  appaware_accum_ = 0.0;
+}
+
+void Engine::set_hotplug_governor(
+    std::unique_ptr<governors::HotplugGovernor> gov) {
+  hotplug_ = std::move(gov);
+  hotplug_accum_ = 0.0;
+}
+
+void Engine::enable_skin_estimator(thermal::SkinModelParams params) {
+  skin_.emplace(params);
+  skin_->reset(network_.temperature(board_node_));
+}
+
+double Engine::skin_temp_k() const {
+  if (!skin_.has_value()) {
+    throw ConfigError("Engine: skin estimator not enabled");
+  }
+  return skin_->skin_temp_k();
+}
+
+double Engine::conflict_time_s(std::size_t cluster) const {
+  if (cluster >= conflict_time_s_.size()) {
+    throw ConfigError("Engine: cluster index out of range");
+  }
+  return conflict_time_s_[cluster];
+}
+
+std::size_t Engine::conflict_episodes(std::size_t cluster) const {
+  if (cluster >= conflict_episodes_.size()) {
+    throw ConfigError("Engine: cluster index out of range");
+  }
+  return conflict_episodes_[cluster];
+}
+
+std::size_t Engine::dvfs_transitions(std::size_t cluster) const {
+  if (cluster >= dvfs_transitions_.size()) {
+    throw ConfigError("Engine: cluster index out of range");
+  }
+  return dvfs_transitions_[cluster];
+}
+
+void Engine::inject_input() {
+  for (std::size_t c = 0; c < soc_.num_clusters(); ++c) {
+    const ResourceKind kind = soc_.cluster(c).kind;
+    if (kind == ResourceKind::kCpuLittle || kind == ResourceKind::kCpuBig) {
+      cpufreq_[c].gov->notify_input();
+    }
+  }
+}
+
+double Engine::control_temp_k() const {
+  double best = 0.0;
+  for (std::size_t node = 0; node < node_sensors_.size(); ++node) {
+    if (node == board_node_) {
+      continue;  // board/skin is not a throttling sensor
+    }
+    best = std::max(best, node_sensors_[node].last_k());
+  }
+  return best;
+}
+
+double Engine::windowed_power_w() const {
+  return power_window_.mean(last_total_power_w_);
+}
+
+const power::RailSensor& Engine::rail(std::size_t cluster) const {
+  if (cluster >= rails_.size()) {
+    throw ConfigError("Engine: rail index out of range");
+  }
+  return rails_[cluster];
+}
+
+void Engine::set_initial_temperature(double t_k) {
+  linalg::Vector temps(network_.num_nodes(), t_k);
+  network_.set_temperatures(temps);
+  for (thermal::TemperatureSensor& sensor : node_sensors_) {
+    sensor.prime(t_k);
+  }
+}
+
+void Engine::run(double seconds) {
+  const auto ticks = static_cast<long long>(
+      std::llround(seconds / config_.tick_s));
+  for (long long i = 0; i < ticks; ++i) {
+    tick();
+  }
+}
+
+void Engine::tick() {
+  const double dt = config_.tick_s;
+  const std::size_t n = soc_.num_clusters();
+
+  // 0. Injected user input (touch boost).
+  if (config_.input_event_interval_s > 0.0) {
+    input_accum_ += dt;
+    if (input_accum_ >= config_.input_event_interval_s) {
+      inject_input();
+      input_accum_ = 0.0;
+    }
+  }
+
+  // 1. Workload demands (suspended or not-yet-started apps demand zero).
+  for (AppSlot& slot : apps_) {
+    if (slot.suspended || now_ < slot.start_s) {
+      scheduler_.process(slot.instance->cpu_pid()).set_demand_rate(0.0);
+      if (slot.instance->gpu_pid() >= 0) {
+        scheduler_.process(slot.instance->gpu_pid()).set_demand_rate(0.0);
+      }
+      continue;
+    }
+    slot.instance->set_demands(scheduler_, now_ - slot.start_s, dt);
+  }
+
+  // 2. Allocation and frame accounting.
+  scheduler_.allocate(soc_, dt);
+  for (AppSlot& slot : apps_) {
+    slot.instance->account(scheduler_, dt);
+  }
+
+  // 2b. Memory-bandwidth contention: aggregate app traffic vs. peak.
+  if (config_.enable_memory_contention) {
+    double bytes_per_s = 0.0;
+    for (AppSlot& slot : apps_) {
+      const double intensity = slot.instance->spec().mem_bytes_per_work;
+      if (intensity <= 0.0) {
+        continue;
+      }
+      double granted =
+          scheduler_.process(slot.instance->cpu_pid()).granted_rate();
+      if (slot.instance->gpu_pid() >= 0) {
+        granted +=
+            scheduler_.process(slot.instance->gpu_pid()).granted_rate();
+      }
+      bytes_per_s += granted * intensity;
+    }
+    last_mem_bw_gbps_ = bytes_per_s * 1e-9;
+    const double peak = config_.mem_peak_bandwidth_gbps;
+    last_mem_stall_ =
+        last_mem_bw_gbps_ > peak ? 1.0 - peak / last_mem_bw_gbps_ : 0.0;
+    if (last_mem_stall_ > 0.0) {
+      for (std::size_t c = 0; c < n; ++c) {
+        if (soc_.cluster(c).kind != ResourceKind::kMemory) {
+          scheduler_.set_capacity_penalty(c, last_mem_stall_);
+        }
+      }
+    }
+  }
+
+  // 3. Activities (memory activity follows CPU/GPU traffic).
+  double cpu_busy = 0.0;
+  double gpu_busy = 0.0;
+  for (std::size_t c = 0; c < n; ++c) {
+    last_busy_cores_[c] = scheduler_.cluster_busy_cores(c);
+    const ResourceKind kind = soc_.cluster(c).kind;
+    if (kind == ResourceKind::kGpu) {
+      gpu_busy += last_busy_cores_[c];
+    } else if (kind != ResourceKind::kMemory) {
+      cpu_busy += last_busy_cores_[c];
+    }
+  }
+
+  // 4. Power per cluster, node injection vector.
+  linalg::Vector node_power(network_.num_nodes(), 0.0);
+  double total_power = power_model_.board_base_w();
+  node_power[board_node_] += power_model_.board_base_w();
+  for (std::size_t c = 0; c < n; ++c) {
+    power::ClusterActivity activity;
+    const ResourceKind kind = soc_.cluster(c).kind;
+    if (kind == ResourceKind::kMemory) {
+      activity.busy_cores = std::clamp(config_.mem_cpu_coeff * cpu_busy +
+                                           config_.mem_gpu_coeff * gpu_busy,
+                                       0.0, 1.0);
+      last_busy_cores_[c] = activity.busy_cores;
+    } else {
+      activity.busy_cores = last_busy_cores_[c];
+    }
+    if (config_.enable_cpuidle && kind != ResourceKind::kMemory) {
+      // Expected idle gaps at tick granularity scaled by a scheduler
+      // quantum (~10 ms), matching menu-governor horizons.
+      activity.idle_power_scale = cpuidle_.idle_power_fraction(
+          scheduler_.cluster_utilization(soc_, c), 0.01);
+    }
+    activity.temp_k = network_.temperature(soc_.cluster(c).thermal_node);
+    const power::ClusterPower p =
+        power_model_.cluster_power(soc_, c, activity);
+    node_power[soc_.cluster(c).thermal_node] += p.total();
+    total_power += p.total();
+    scheduler_.attribute_power(c, p.dynamic_w, dt);
+    rails_[c].feed(dt, p.total());
+    trace_.add_rail_energy(c, p.total() * dt);
+  }
+  last_total_power_w_ = total_power;
+  power_window_.push(dt, total_power);
+  if (daq_) {
+    daq_->feed(dt, total_power);
+  }
+
+  // 5. Thermal step and sensor refresh.
+  network_.step(node_power, dt);
+  for (std::size_t node = 0; node < node_sensors_.size(); ++node) {
+    node_sensors_[node].feed(dt, network_.temperature(node));
+  }
+  if (skin_.has_value()) {
+    skin_->step(network_.temperature(board_node_), dt);
+  }
+
+  // 6. Residency is accrued at the OPPs active during this tick.
+  for (std::size_t c = 0; c < n; ++c) {
+    trace_.add_residency(c, soc_.state(c).opp_index, dt);
+  }
+  trace_.add_time(dt);
+
+  // 7. Governors at their own periods.
+  for (std::size_t c = 0; c < n; ++c) {
+    CpufreqSlot& slot = cpufreq_[c];
+    slot.since_decide_s += dt;
+    slot.util_time_integral += scheduler_.governor_utilization(c) * dt;
+    if (slot.since_decide_s + 1e-12 >= slot.gov->sampling_period_s()) {
+      governors::CpufreqInputs in;
+      in.utilization = slot.util_time_integral / slot.since_decide_s;
+      in.current_index = soc_.state(c).opp_index;
+      requested_index_[c] = slot.gov->decide(in, soc_.cluster(c).opps);
+      slot.since_decide_s = 0.0;
+      slot.util_time_integral = 0.0;
+    }
+  }
+  if (thermal_gov_) {
+    thermal_accum_ += dt;
+    if (thermal_accum_ + 1e-12 >= thermal_gov_->polling_period_s()) {
+      governors::ThermalContext ctx;
+      ctx.dt = thermal_accum_;
+      ctx.control_temp_k = control_temp_k();
+      ctx.soc = &soc_;
+      ctx.power = &power_model_;
+      ctx.busy_cores = &last_busy_cores_;
+      ctx.requested_index = &requested_index_;
+      std::vector<double> node_temps(node_sensors_.size());
+      for (std::size_t node = 0; node < node_sensors_.size(); ++node) {
+        node_temps[node] = node_sensors_[node].last_k();
+      }
+      ctx.node_temp_k = &node_temps;
+      thermal_gov_->update(ctx);
+      thermal_accum_ = 0.0;
+    }
+  }
+  if (appaware_) {
+    appaware_accum_ += dt;
+    if (appaware_accum_ + 1e-12 >= appaware_->config().period_s) {
+      const core::AppAwareDecision d = appaware_->update(
+          scheduler_, windowed_power_w(), control_temp_k());
+      decisions_.emplace_back(now_, d);
+      appaware_accum_ = 0.0;
+    }
+  }
+  if (hotplug_) {
+    hotplug_accum_ += dt;
+    if (hotplug_accum_ + 1e-12 >= hotplug_->polling_period_s()) {
+      const int cores = hotplug_->update(control_temp_k());
+      soc_.set_online_cores(hotplug_->config().cluster, cores);
+      hotplug_accum_ = 0.0;
+    }
+  }
+  apply_dvfs();
+
+  // Contradiction accounting: the thermal cap clamping the cpufreq request
+  // is the governor conflict the paper highlights.
+  for (std::size_t c = 0; c < n; ++c) {
+    const bool clamped =
+        thermal_gov_ != nullptr &&
+        thermal_gov_->cap_index(c) < requested_index_[c];
+    if (clamped) {
+      conflict_time_s_[c] += dt;
+      if (!in_conflict_[c]) {
+        ++conflict_episodes_[c];
+      }
+    }
+    in_conflict_[c] = clamped;
+  }
+
+  // 8. Decimated trace point.
+  trace_accum_ += dt;
+  if (trace_accum_ + 1e-12 >= config_.trace_period_s) {
+    TracePoint p;
+    p.t_s = now_;
+    double max_chip = 0.0;
+    for (std::size_t node = 0; node < network_.num_nodes(); ++node) {
+      if (node != board_node_) {
+        max_chip = std::max(max_chip, network_.temperature(node));
+      }
+    }
+    p.max_chip_temp_k = max_chip;
+    p.board_temp_k = network_.temperature(board_node_);
+    p.total_power_w = total_power;
+    for (std::size_t c = 0; c < n; ++c) {
+      p.cluster_freq_hz.push_back(soc_.frequency_hz(c));
+    }
+    for (AppSlot& slot : apps_) {
+      p.app_fps.push_back(slot.instance->instantaneous_fps());
+    }
+    trace_.add_point(std::move(p));
+    trace_accum_ = 0.0;
+  }
+
+  now_ += dt;
+}
+
+void Engine::apply_dvfs() {
+  for (std::size_t c = 0; c < soc_.num_clusters(); ++c) {
+    std::size_t index = requested_index_[c];
+    if (thermal_gov_) {
+      index = std::min(index, thermal_gov_->cap_index(c));
+    }
+    index = std::min(index, soc_.cluster(c).opps.max_index());
+    if (index != soc_.state(c).opp_index) {
+      ++dvfs_transitions_[c];
+      if (config_.dvfs_latency_s > 0.0) {
+        scheduler_.set_capacity_penalty(
+            c, std::min(1.0, config_.dvfs_latency_s / config_.tick_s));
+      }
+    }
+    soc_.set_opp(c, index);
+  }
+}
+
+}  // namespace mobitherm::sim

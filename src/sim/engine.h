@@ -1,0 +1,245 @@
+// Discrete-time simulation engine.
+//
+// Binds the platform, power model, thermal network, scheduler, workloads
+// and governors into one tick loop:
+//   demands -> allocation -> frame accounting -> power -> thermal step ->
+//   sensors -> governors (at their own periods) -> DVFS apply -> tracing.
+//
+// Governors only ever see sensor readings; the physics advances on the
+// true state. All randomness is derived from EngineConfig::seed.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/appaware.h"
+#include "governors/cpufreq.h"
+#include "governors/hotplug.h"
+#include "governors/thermal.h"
+#include "platform/soc.h"
+#include "power/idle.h"
+#include "power/model.h"
+#include "power/sensors.h"
+#include "sched/scheduler.h"
+#include "sim/trace.h"
+#include "thermal/network.h"
+#include "thermal/sensors.h"
+#include "thermal/skin.h"
+#include "util/sliding_window.h"
+#include "workload/app.h"
+
+namespace mobitherm::sim {
+
+struct EngineConfig {
+  double tick_s = 0.001;
+  double trace_period_s = 0.1;
+  /// Sliding-window length for per-process and total-power accounting.
+  double window_s = 1.0;
+  std::uint64_t seed = 42;
+
+  double temp_sensor_period_s = 0.05;
+  double temp_sensor_noise_k = 0.1;
+  double rail_sensor_period_s = 0.1;
+  double rail_sensor_noise_w = 0.005;
+  /// Record the whole-device DAQ trace (1 kHz) like the Nexus setup.
+  bool enable_daq = false;
+
+  /// Memory pseudo-cluster activity: busy fraction =
+  /// mem_cpu_coeff * (cpu busy cores) + mem_gpu_coeff * (gpu busy cores).
+  double mem_cpu_coeff = 0.08;
+  double mem_gpu_coeff = 0.45;
+
+  /// Model cpuidle (C-state) savings on the CPU clusters' idle floors
+  /// using power::CpuIdleModel::default_arm(). Off by default: the board
+  /// presets were characterized with the floor always on.
+  bool enable_cpuidle = false;
+
+  /// Time lost per DVFS transition (voltage regulator settle + relock);
+  /// charged to the transitioning cluster's next tick. 0 = free switches.
+  double dvfs_latency_s = 0.0;
+
+  /// Inject a user-input event (touch) every this many seconds; boosts
+  /// interactive governors. 0 = no injected input.
+  double input_event_interval_s = 0.0;
+
+  /// Model DRAM bandwidth contention: when the apps' aggregate traffic
+  /// (granted work x AppSpec::mem_bytes_per_work) exceeds the peak
+  /// bandwidth, CPU/GPU capacity stalls proportionally on the next tick.
+  /// Off by default (the paper's workloads are compute/GPU bound).
+  bool enable_memory_contention = false;
+  double mem_peak_bandwidth_gbps = 13.0;
+};
+
+class Engine {
+ public:
+  Engine(platform::SocSpec soc_spec, thermal::ThermalNetworkSpec net_spec,
+         power::LeakageParams leakage, double board_base_w,
+         EngineConfig config = {});
+
+  // --- wiring -------------------------------------------------------------
+
+  /// Add an app; its CPU process starts on `cpu_cluster` (default: the big
+  /// cluster). Returns the app index.
+  std::size_t add_app(const workload::AppSpec& spec,
+                      std::optional<std::size_t> cpu_cluster = std::nullopt);
+
+  /// Add an app that starts demanding work `delay_s` seconds from now
+  /// (e.g. a background task launched mid-experiment).
+  std::size_t add_app_at(const workload::AppSpec& spec, double delay_s,
+                         std::optional<std::size_t> cpu_cluster =
+                             std::nullopt);
+
+  /// Suspend / resume an app (a suspended app demands nothing; its clock
+  /// keeps running, like an Android app moved to the cached state).
+  void suspend_app(std::size_t index);
+  void resume_app(std::size_t index);
+  bool app_suspended(std::size_t index) const;
+
+  workload::AppInstance& app(std::size_t index);
+  const workload::AppInstance& app(std::size_t index) const;
+  std::size_t num_apps() const { return apps_.size(); }
+
+  void set_cpufreq_governor(std::size_t cluster,
+                            std::unique_ptr<governors::CpufreqGovernor> gov);
+  void set_thermal_governor(std::unique_ptr<governors::ThermalGovernor> gov);
+  void set_appaware_governor(std::unique_ptr<core::AppAwareGovernor> gov);
+  void set_hotplug_governor(std::unique_ptr<governors::HotplugGovernor> gov);
+
+  /// Enable the first-order skin-temperature estimator, fed from the board
+  /// node. skin_temp_k() returns the estimate afterwards.
+  void enable_skin_estimator(thermal::SkinModelParams params);
+
+  // --- execution ----------------------------------------------------------
+
+  /// Set every thermal node (and sensor priming) to `t_k`; models a device
+  /// that is already warm when the experiment starts, as in the paper's
+  /// traces, whose curves begin well above ambient.
+  void set_initial_temperature(double t_k);
+
+  /// Advance the simulation by `seconds`.
+  void run(double seconds);
+  double now_s() const { return now_; }
+
+  // --- state access -------------------------------------------------------
+
+  platform::Soc& soc() { return soc_; }
+  const platform::Soc& soc() const { return soc_; }
+  sched::Scheduler& scheduler() { return scheduler_; }
+  const sched::Scheduler& scheduler() const { return scheduler_; }
+  thermal::ThermalNetwork& network() { return network_; }
+  const power::PowerModel& power_model() const { return power_model_; }
+  const Trace& trace() const { return trace_; }
+
+  /// Control temperature as the governors see it: max over the chip-node
+  /// sensors (K).
+  double control_temp_k() const;
+
+  /// True total power of the last tick (W).
+  double total_power_w() const { return last_total_power_w_; }
+
+  /// Windowed (1 s) true total power (W).
+  double windowed_power_w() const;
+
+  const power::RailSensor& rail(std::size_t cluster) const;
+  const power::DaqSimulator* daq() const { return daq_.get(); }
+
+  core::AppAwareGovernor* appaware() { return appaware_.get(); }
+  governors::ThermalGovernor* thermal_governor() {
+    return thermal_gov_.get();
+  }
+  governors::HotplugGovernor* hotplug_governor() { return hotplug_.get(); }
+
+  /// Estimated skin temperature (K); throws if the estimator is disabled.
+  double skin_temp_k() const;
+  bool has_skin_estimator() const { return skin_.has_value(); }
+
+  /// Governor-contradiction accounting (paper Sec. I: "the outputs of the
+  /// thermal and frequency governors may contradict each other"): time the
+  /// cluster spent with the cpufreq request clamped by a thermal cap, and
+  /// the number of distinct contradiction episodes.
+  double conflict_time_s(std::size_t cluster) const;
+  std::size_t conflict_episodes(std::size_t cluster) const;
+
+  /// Number of OPP changes applied on `cluster` so far.
+  std::size_t dvfs_transitions(std::size_t cluster) const;
+
+  /// Deliver a user-input event to every CPU cluster's governor now
+  /// (interactive governors boost to hispeed, per the paper's Sec. I).
+  void inject_input();
+
+  /// Aggregate DRAM traffic demanded during the last tick (GB/s); 0 when
+  /// the contention model is disabled.
+  double memory_bandwidth_gbps() const { return last_mem_bw_gbps_; }
+
+  /// Fraction of the last tick stalled on memory (0 when uncontended).
+  double memory_stall_fraction() const { return last_mem_stall_; }
+
+  /// Timestamped decisions of the application-aware governor.
+  const std::vector<std::pair<double, core::AppAwareDecision>>& decisions()
+      const {
+    return decisions_;
+  }
+
+ private:
+  void tick();
+  void apply_dvfs();
+
+  EngineConfig config_;
+  platform::Soc soc_;
+  power::PowerModel power_model_;
+  thermal::ThermalNetwork network_;
+  sched::Scheduler scheduler_;
+  Trace trace_;
+
+  struct AppSlot {
+    std::unique_ptr<workload::AppInstance> instance;
+    double start_s = 0.0;
+    bool suspended = false;
+  };
+  std::vector<AppSlot> apps_;
+
+  // Governors and their scheduling accumulators.
+  struct CpufreqSlot {
+    std::unique_ptr<governors::CpufreqGovernor> gov;
+    double since_decide_s = 0.0;
+    double util_time_integral = 0.0;  // integral of utilization dt
+  };
+  std::vector<CpufreqSlot> cpufreq_;
+  std::vector<std::size_t> requested_index_;
+
+  std::unique_ptr<governors::ThermalGovernor> thermal_gov_;
+  double thermal_accum_ = 0.0;
+
+  std::unique_ptr<core::AppAwareGovernor> appaware_;
+  double appaware_accum_ = 0.0;
+  std::vector<std::pair<double, core::AppAwareDecision>> decisions_;
+
+  std::unique_ptr<governors::HotplugGovernor> hotplug_;
+  double hotplug_accum_ = 0.0;
+
+  std::optional<thermal::SkinEstimator> skin_;
+
+  std::vector<double> conflict_time_s_;
+  std::vector<std::size_t> conflict_episodes_;
+  std::vector<bool> in_conflict_;
+  std::vector<std::size_t> dvfs_transitions_;
+  double input_accum_ = 0.0;
+  double last_mem_bw_gbps_ = 0.0;
+  double last_mem_stall_ = 0.0;
+
+  // Sensors.
+  std::vector<thermal::TemperatureSensor> node_sensors_;
+  std::vector<power::RailSensor> rails_;
+  std::unique_ptr<power::DaqSimulator> daq_;
+
+  power::CpuIdleModel cpuidle_ = power::CpuIdleModel::default_arm();
+  util::SlidingWindow power_window_;
+  double last_total_power_w_ = 0.0;
+  std::vector<double> last_busy_cores_;
+  double now_ = 0.0;
+  double trace_accum_ = 0.0;
+  std::size_t board_node_ = 0;
+};
+
+}  // namespace mobitherm::sim

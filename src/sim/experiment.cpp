@@ -1,0 +1,226 @@
+#include "sim/experiment.h"
+
+#include <cmath>
+
+#include "platform/presets.h"
+#include "stability/presets.h"
+#include "thermal/presets.h"
+#include "util/units.h"
+#include "workload/presets.h"
+
+namespace mobitherm::sim {
+
+using platform::SocSpec;
+using util::kelvin_to_celsius;
+
+const char* to_string(ThermalPolicy policy) {
+  switch (policy) {
+    case ThermalPolicy::kNone:
+      return "none";
+    case ThermalPolicy::kDefault:
+      return "default";
+    case ThermalPolicy::kProposed:
+      return "proposed";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Decimate the trace's control-temperature series to one point per 2 s.
+std::vector<std::pair<double, double>> temp_trace(const Trace& trace,
+                                                  double period_s = 2.0) {
+  std::vector<std::pair<double, double>> out;
+  double next = 0.0;
+  for (const TracePoint& p : trace.points()) {
+    if (p.t_s + 1e-9 >= next) {
+      out.emplace_back(p.t_s, kelvin_to_celsius(p.max_chip_temp_k));
+      next += period_s;
+    }
+  }
+  return out;
+}
+
+double peak_temp_c(const Trace& trace) {
+  double best = 0.0;
+  for (const TracePoint& p : trace.points()) {
+    best = std::max(best, kelvin_to_celsius(p.max_chip_temp_k));
+  }
+  return best;
+}
+
+/// Mean fps of `app` over every occurrence of phase `phase` in its looping
+/// schedule, skipping `skip_s` seconds after each phase entry.
+double phase_mean_fps(const workload::AppInstance& app, std::size_t phase,
+                      double duration_s, double skip_s = 2.0) {
+  const std::vector<double>& samples = app.fps_samples();
+  double sum = 0.0;
+  int count = 0;
+  for (std::size_t sec = 0; sec < samples.size() &&
+                            static_cast<double>(sec) < duration_s;
+       ++sec) {
+    const double mid = static_cast<double>(sec) + 0.5;
+    if (app.phase_index_at(mid) != phase) {
+      continue;
+    }
+    // Skip the transient right after a phase switch.
+    if (app.phase_index_at(std::max(0.0, mid - skip_s)) != phase) {
+      continue;
+    }
+    sum += samples[sec];
+    ++count;
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+}  // namespace
+
+governors::StepWiseGovernor::Config nexus_stepwise_config() {
+  // Per-sensor zones as on the Snapdragon: the CPU zones trip lower than
+  // the GPU zone (tuned so Amazon-class CPU apps throttle near 39-40 degC
+  // while games settle near 41-42 degC as in Figs. 1/3/5).
+  const platform::SocSpec spec = platform::snapdragon810();
+  governors::StepWiseGovernor::Config cfg;
+  cfg.polling_period_s = 1.0;
+  using Zone = governors::StepWiseGovernor::Zone;
+  Zone little;
+  little.cluster = spec.little();
+  little.sensor_node = spec.clusters[spec.little()].thermal_node;
+  little.trip_k = util::celsius_to_kelvin(39.0);
+  little.hysteresis_k = 1.5;
+  little.steps_per_state = 2;
+  Zone big = little;
+  big.cluster = spec.big();
+  big.sensor_node = spec.clusters[spec.big()].thermal_node;
+  Zone gpu;
+  gpu.cluster = spec.gpu();
+  gpu.sensor_node = spec.clusters[spec.gpu()].thermal_node;
+  gpu.trip_k = util::celsius_to_kelvin(41.0);
+  gpu.hysteresis_k = 1.5;
+  gpu.steps_per_state = 1;
+  cfg.zones = {little, big, gpu};
+  return cfg;
+}
+
+NexusResult run_nexus_app(const NexusRun& run) {
+  const SocSpec spec = platform::snapdragon810();
+  EngineConfig cfg;
+  cfg.seed = run.seed;
+  cfg.enable_daq = true;
+  Engine engine(spec, thermal::nexus6p_network(),
+                power::LeakageParams{
+                    stability::nexus6p_params().leak_theta_k,
+                    stability::nexus6p_params().leak_a_w_per_k2},
+                /*board_base_w=*/0.3, cfg);
+
+  engine.set_initial_temperature(util::celsius_to_kelvin(run.initial_temp_c));
+  if (run.throttling) {
+    engine.set_thermal_governor(std::make_unique<governors::StepWiseGovernor>(
+        spec, nexus_stepwise_config()));
+  }
+  const std::size_t app_index = engine.add_app(run.app);
+  engine.run(run.duration_s);
+
+  NexusResult result;
+  result.temp_trace_c = temp_trace(engine.trace());
+  result.peak_temp_c = peak_temp_c(engine.trace());
+  result.final_temp_c = result.temp_trace_c.empty()
+                            ? 0.0
+                            : result.temp_trace_c.back().second;
+  const std::size_t gpu = spec.gpu();
+  const std::size_t big = spec.big();
+  result.gpu_residency = engine.trace().residency_fraction(gpu);
+  result.big_residency = engine.trace().residency_fraction(big);
+  for (const platform::OperatingPoint& p : spec.clusters[gpu].opps) {
+    result.gpu_freqs_mhz.push_back(util::hz_to_mhz(p.freq_hz));
+  }
+  for (const platform::OperatingPoint& p : spec.clusters[big].opps) {
+    result.big_freqs_mhz.push_back(util::hz_to_mhz(p.freq_hz));
+  }
+  result.median_fps = engine.app(app_index).median_fps();
+  result.mean_power_w =
+      engine.daq() != nullptr ? engine.daq()->mean_power_w() : 0.0;
+  return result;
+}
+
+governors::IpaGovernor::Config odroid_ipa_config(const SocSpec& spec) {
+  // Kernel defaults run hot: the exynos trip ladder only bites in the
+  // 90-100 degC range, which is why Fig. 8's default-policy curve rises
+  // toward ~95 degC before settling.
+  governors::IpaGovernor::Config cfg;
+  cfg.control_temp_k = util::celsius_to_kelvin(95.0);
+  cfg.sustainable_power_w = 2.4;
+  cfg.k_pu = 0.50;
+  cfg.k_po = 0.85;
+  cfg.actors = {spec.big(), spec.gpu()};
+  return cfg;
+}
+
+core::AppAwareConfig odroid_appaware_config(const SocSpec& spec) {
+  core::AppAwareConfig cfg;
+  cfg.period_s = 0.1;
+  cfg.temp_limit_k = util::celsius_to_kelvin(85.0);
+  cfg.time_limit_s = 60.0;
+  cfg.big_cluster = spec.big();
+  cfg.little_cluster = spec.little();
+  return cfg;
+}
+
+OdroidResult run_odroid(const OdroidRun& run) {
+  const SocSpec spec = platform::exynos5422();
+  EngineConfig cfg;
+  cfg.seed = run.seed;
+  Engine engine(spec, thermal::odroidxu3_network(),
+                power::LeakageParams{
+                    stability::odroid_xu3_params().leak_theta_k,
+                    stability::odroid_xu3_params().leak_a_w_per_k2},
+                /*board_base_w=*/0.25, cfg);
+
+  engine.set_initial_temperature(util::celsius_to_kelvin(run.initial_temp_c));
+  switch (run.policy) {
+    case ThermalPolicy::kNone:
+      break;
+    case ThermalPolicy::kDefault:
+      engine.set_thermal_governor(std::make_unique<governors::IpaGovernor>(
+          spec, odroid_ipa_config(spec)));
+      break;
+    case ThermalPolicy::kProposed:
+      engine.set_appaware_governor(std::make_unique<core::AppAwareGovernor>(
+          odroid_appaware_config(spec), stability::odroid_xu3_params()));
+      break;
+  }
+
+  const std::size_t fg = engine.add_app(run.foreground);
+  std::optional<std::size_t> bg;
+  if (run.with_bml) {
+    bg = engine.add_app(workload::bml());
+  }
+  engine.run(run.duration_s);
+
+  OdroidResult result;
+  result.max_temp_trace_c = temp_trace(engine.trace());
+  result.peak_temp_c = peak_temp_c(engine.trace());
+  for (std::size_t c = 0; c < spec.clusters.size(); ++c) {
+    result.mean_rail_w.push_back(engine.trace().mean_rail_power_w(c));
+    result.rail_names.push_back(spec.clusters[c].name);
+  }
+  const workload::AppInstance& fg_app = engine.app(fg);
+  for (std::size_t ph = 0; ph < fg_app.spec().phases.size(); ++ph) {
+    result.phase_fps.push_back(
+        phase_mean_fps(fg_app, ph, run.duration_s));
+  }
+  result.median_fps = fg_app.median_fps();
+  for (const auto& [t, d] : engine.decisions()) {
+    if (d.migrated.has_value()) {
+      ++result.migrations;
+    }
+  }
+  if (bg.has_value()) {
+    result.bml_work = engine.scheduler()
+                          .process(engine.app(*bg).cpu_pid())
+                          .completed_work();
+  }
+  return result;
+}
+
+}  // namespace mobitherm::sim

@@ -1,0 +1,95 @@
+// Standard experiment scenarios shared by the benches and examples.
+//
+// run_nexus_app() reproduces the Sec. III methodology: one app on the
+// Nexus 6P model for 140 s, with the default thermal governor either
+// enabled (step_wise on the package sensor) or disabled.
+//
+// run_odroid() reproduces the Sec. IV-C methodology on the Odroid-XU3
+// model: a realtime GPU benchmark, optionally a BML background task, under
+// one of three policies — no thermal management, the kernel default
+// (trip points + IPA), or the proposed application-aware governor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/appaware.h"
+#include "sim/engine.h"
+#include "workload/app.h"
+
+namespace mobitherm::sim {
+
+enum class ThermalPolicy { kNone, kDefault, kProposed };
+
+const char* to_string(ThermalPolicy policy);
+
+// --- Nexus 6P (Sec. III) --------------------------------------------------
+
+struct NexusRun {
+  workload::AppSpec app;
+  bool throttling = true;
+  double duration_s = 140.0;
+  /// Device temperature at experiment start (the paper's traces begin
+  /// around 36 degC — the phone is already warm from handling).
+  double initial_temp_c = 36.0;
+  std::uint64_t seed = 42;
+};
+
+struct NexusResult {
+  /// (time s, control temperature degC), one point per 2 s like Fig. 1.
+  std::vector<std::pair<double, double>> temp_trace_c;
+  /// Time-in-state fractions over the run.
+  std::vector<double> gpu_residency;
+  std::vector<double> big_residency;
+  std::vector<double> gpu_freqs_mhz;
+  std::vector<double> big_freqs_mhz;
+  double median_fps = 0.0;
+  double mean_power_w = 0.0;
+  double final_temp_c = 0.0;
+  double peak_temp_c = 0.0;
+};
+
+/// Default step_wise configuration used for the Nexus runs.
+governors::StepWiseGovernor::Config nexus_stepwise_config();
+
+NexusResult run_nexus_app(const NexusRun& run);
+
+// --- Odroid-XU3 (Sec. IV-C) ------------------------------------------------
+
+struct OdroidRun {
+  workload::AppSpec foreground;  // threedmark() or nenamark()
+  bool with_bml = false;
+  ThermalPolicy policy = ThermalPolicy::kDefault;
+  double duration_s = 250.0;
+  /// Board temperature at experiment start (Fig. 8 curves start ~50 degC).
+  double initial_temp_c = 50.0;
+  std::uint64_t seed = 42;
+};
+
+struct OdroidResult {
+  /// (time s, max chip temperature degC).
+  std::vector<std::pair<double, double>> max_temp_trace_c;
+  /// Mean power per cluster rail over the run, cluster order (little, big,
+  /// gpu, mem).
+  std::vector<double> mean_rail_w;
+  std::vector<std::string> rail_names;
+  /// Mean foreground fps per phase index (GT1/GT2 for 3DMark, levels for
+  /// Nenamark).
+  std::vector<double> phase_fps;
+  double median_fps = 0.0;
+  double peak_temp_c = 0.0;
+  std::size_t migrations = 0;
+  /// Background work completed (BML progress), work units.
+  double bml_work = 0.0;
+};
+
+/// Default IPA configuration used as the Odroid "default policy".
+governors::IpaGovernor::Config odroid_ipa_config(
+    const platform::SocSpec& spec);
+
+/// Default proposed-governor configuration for the Odroid runs.
+core::AppAwareConfig odroid_appaware_config(const platform::SocSpec& spec);
+
+OdroidResult run_odroid(const OdroidRun& run);
+
+}  // namespace mobitherm::sim

@@ -1,0 +1,46 @@
+#include "sim/montecarlo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace mobitherm::sim {
+
+SeedStats summarize(const std::vector<double>& samples) {
+  if (samples.empty()) {
+    throw util::ConfigError("summarize: empty sample set");
+  }
+  SeedStats stats;
+  stats.n = static_cast<int>(samples.size());
+  stats.min = *std::min_element(samples.begin(), samples.end());
+  stats.max = *std::max_element(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (double v : samples) {
+    sum += v;
+  }
+  stats.mean = sum / stats.n;
+  if (stats.n > 1) {
+    double acc = 0.0;
+    for (double v : samples) {
+      acc += (v - stats.mean) * (v - stats.mean);
+    }
+    stats.stddev = std::sqrt(acc / (stats.n - 1));
+  }
+  return stats;
+}
+
+SeedStats across_seeds(const std::function<double(std::uint64_t)>& metric,
+                       int n, std::uint64_t base_seed) {
+  if (n <= 0) {
+    throw util::ConfigError("across_seeds: n must be positive");
+  }
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    samples.push_back(metric(base_seed + static_cast<std::uint64_t>(i)));
+  }
+  return summarize(samples);
+}
+
+}  // namespace mobitherm::sim

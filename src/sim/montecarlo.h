@@ -1,0 +1,31 @@
+// Multi-seed experiment statistics.
+//
+// Workload jitter and sensor noise are seeded, so any scenario can be
+// replayed across seeds to attach confidence information to a reported
+// number — what a careful reproduction does before comparing against the
+// paper's single hardware run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace mobitherm::sim {
+
+struct SeedStats {
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  int n = 0;
+};
+
+/// Summary statistics of a sample set; throws ConfigError when empty.
+SeedStats summarize(const std::vector<double>& samples);
+
+/// Evaluate `metric(seed)` for seeds base_seed..base_seed+n-1 and
+/// summarize. The metric typically wraps run_nexus_app/run_odroid.
+SeedStats across_seeds(const std::function<double(std::uint64_t)>& metric,
+                       int n, std::uint64_t base_seed = 1);
+
+}  // namespace mobitherm::sim

@@ -1,0 +1,113 @@
+#include "sim/report.h"
+
+#include <sstream>
+
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace mobitherm::sim {
+
+RunReport make_report(const Engine& engine, double temp_limit_c) {
+  RunReport report;
+  report.temp_limit_c = temp_limit_c;
+  const Trace& trace = engine.trace();
+  report.duration_s = trace.duration_s();
+  report.total_energy_j = trace.total_rail_energy_j();
+
+  // Temperature exposure from the decimated trace.
+  const auto& points = trace.points();
+  double temp_sum = 0.0;
+  double prev_t = 0.0;
+  for (const TracePoint& p : points) {
+    const double c = util::kelvin_to_celsius(p.max_chip_temp_k);
+    report.peak_temp_c = std::max(report.peak_temp_c, c);
+    temp_sum += c;
+    const double dt = p.t_s - prev_t;
+    if (c > temp_limit_c) {
+      report.time_above_limit_s += dt;
+    }
+    prev_t = p.t_s;
+  }
+  if (!points.empty()) {
+    report.mean_temp_c = temp_sum / static_cast<double>(points.size());
+  }
+
+  // Per-app performance and energy.
+  for (std::size_t i = 0; i < engine.num_apps(); ++i) {
+    const workload::AppInstance& app = engine.app(i);
+    AppReport ar;
+    ar.name = app.spec().name;
+    const std::vector<double>& samples = app.fps_samples();
+    if (!samples.empty()) {
+      ar.median_fps = util::median(samples);
+      ar.p10_fps = util::percentile(samples, 10.0);
+      ar.p90_fps = util::percentile(samples, 90.0);
+      ar.mean_fps = util::mean(samples);
+    }
+    ar.energy_j =
+        engine.scheduler().process(app.cpu_pid()).consumed_energy_j();
+    if (app.gpu_pid() >= 0) {
+      ar.energy_j +=
+          engine.scheduler().process(app.gpu_pid()).consumed_energy_j();
+    }
+    if (app.total_frames() > 0.0) {
+      ar.mj_per_frame = 1.0e3 * ar.energy_j / app.total_frames();
+    }
+    report.apps.push_back(ar);
+  }
+
+  // Per-cluster power, residency-weighted frequency, DVFS behaviour.
+  const platform::SocSpec& spec = engine.soc().spec();
+  for (std::size_t c = 0; c < spec.clusters.size(); ++c) {
+    ClusterReport cr;
+    cr.name = spec.clusters[c].name;
+    cr.mean_power_w = trace.mean_rail_power_w(c);
+    cr.energy_j = cr.mean_power_w * report.duration_s;
+    const std::vector<double>& res = trace.residency_s(c);
+    double weighted = 0.0;
+    double total = 0.0;
+    for (std::size_t i = 0; i < res.size(); ++i) {
+      weighted += res[i] * spec.clusters[c].opps.at(i).freq_hz;
+      total += res[i];
+    }
+    cr.mean_freq_mhz =
+        total > 0.0 ? util::hz_to_mhz(weighted / total) : 0.0;
+    cr.dvfs_transitions = engine.dvfs_transitions(c);
+    cr.conflict_time_s = engine.conflict_time_s(c);
+    report.clusters.push_back(cr);
+  }
+  return report;
+}
+
+std::string format_report(const RunReport& report) {
+  std::ostringstream out;
+  out.precision(4);
+  out << "=== run report (" << report.duration_s << " s) ===\n";
+  out << "temperature: peak " << report.peak_temp_c << " degC, mean "
+      << report.mean_temp_c << " degC, " << report.time_above_limit_s
+      << " s above " << report.temp_limit_c << " degC\n";
+  out << "energy: " << report.total_energy_j << " J across rails\n";
+  out << "--- apps ---\n";
+  for (const AppReport& a : report.apps) {
+    out << "  " << a.name << ": median " << a.median_fps << " fps (p10 "
+        << a.p10_fps << ", p90 " << a.p90_fps << "), " << a.energy_j
+        << " J";
+    if (a.mj_per_frame > 0.0) {
+      out << ", " << a.mj_per_frame << " mJ/frame";
+    }
+    out << "\n";
+  }
+  out << "--- clusters ---\n";
+  for (const ClusterReport& c : report.clusters) {
+    out << "  " << c.name << ": " << c.mean_power_w << " W mean, "
+        << c.mean_freq_mhz << " MHz mean, " << c.dvfs_transitions
+        << " transitions";
+    if (c.conflict_time_s > 0.0) {
+      out << ", " << c.conflict_time_s << " s throttled-vs-request";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mobitherm::sim

@@ -1,0 +1,53 @@
+// Post-run analysis of a simulation: the summary a thermal-management
+// evaluation reports — thermal exposure, performance percentiles, energy,
+// and DVFS behaviour — computed from the engine's trace and apps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace mobitherm::sim {
+
+struct AppReport {
+  std::string name;
+  double median_fps = 0.0;
+  double p10_fps = 0.0;   // low-percentile fps (stutter indicator)
+  double p90_fps = 0.0;
+  double mean_fps = 0.0;
+  double energy_j = 0.0;  // attributed dynamic energy
+  /// Millijoules per frame; 0 for batch tasks.
+  double mj_per_frame = 0.0;
+};
+
+struct ClusterReport {
+  std::string name;
+  double mean_power_w = 0.0;
+  double energy_j = 0.0;
+  /// Time-weighted mean frequency (MHz).
+  double mean_freq_mhz = 0.0;
+  std::size_t dvfs_transitions = 0;
+  double conflict_time_s = 0.0;
+};
+
+struct RunReport {
+  double duration_s = 0.0;
+  double peak_temp_c = 0.0;
+  double mean_temp_c = 0.0;
+  /// Seconds the max chip temperature spent above the given threshold.
+  double time_above_limit_s = 0.0;
+  double temp_limit_c = 0.0;
+  double total_energy_j = 0.0;
+  std::vector<AppReport> apps;
+  std::vector<ClusterReport> clusters;
+};
+
+/// Build the report from a finished (or in-flight) engine.
+/// `temp_limit_c` parameterizes the thermal-exposure metric.
+RunReport make_report(const Engine& engine, double temp_limit_c = 85.0);
+
+/// Render the report as human-readable text.
+std::string format_report(const RunReport& report);
+
+}  // namespace mobitherm::sim

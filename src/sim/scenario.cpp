@@ -1,0 +1,52 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace mobitherm::sim {
+
+Scenario& Scenario::at(double at_s, const std::string& label,
+                       Action action) {
+  if (at_s < 0.0) {
+    throw util::ConfigError("Scenario: event time must be non-negative");
+  }
+  if (!action) {
+    throw util::ConfigError("Scenario: null action");
+  }
+  events_.push_back({at_s, label, std::move(action), events_.size()});
+  return *this;
+}
+
+void Scenario::run(Engine& engine, double duration_s) {
+  fired_.clear();
+  std::vector<Event*> order;
+  order.reserve(events_.size());
+  for (Event& e : events_) {
+    order.push_back(&e);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Event* a, const Event* b) {
+                     return a->at_s < b->at_s ||
+                            (a->at_s == b->at_s && a->order < b->order);
+                   });
+
+  const double start = engine.now_s();
+  double elapsed = 0.0;
+  for (Event* e : order) {
+    if (e->at_s >= duration_s) {
+      break;
+    }
+    if (e->at_s > elapsed) {
+      engine.run(e->at_s - elapsed);
+      elapsed = e->at_s;
+    }
+    e->action(engine);
+    fired_.emplace_back(start + e->at_s, e->label);
+  }
+  if (elapsed < duration_s) {
+    engine.run(duration_s - elapsed);
+  }
+}
+
+}  // namespace mobitherm::sim

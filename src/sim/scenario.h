@@ -1,0 +1,48 @@
+// Declarative timed scenarios.
+//
+// An experiment is often "run X, launch Y at t=60, suspend it at t=120":
+// Scenario collects timed actions against the engine and replays them in
+// order, so tests and benches describe complex runs declaratively instead
+// of hand-slicing engine.run() calls.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace mobitherm::sim {
+
+class Scenario {
+ public:
+  using Action = std::function<void(Engine&)>;
+
+  /// Schedule `action` at absolute scenario time `at_s` (seconds from the
+  /// scenario start). Returns *this for chaining.
+  Scenario& at(double at_s, const std::string& label, Action action);
+
+  /// Run `engine` for `duration_s`, firing actions at their times (events
+  /// beyond the duration never fire). Actions scheduled at the same time
+  /// fire in insertion order.
+  void run(Engine& engine, double duration_s);
+
+  /// (time, label) of every action fired by the last run().
+  const std::vector<std::pair<double, std::string>>& fired() const {
+    return fired_;
+  }
+
+ private:
+  struct Event {
+    double at_s;
+    std::string label;
+    Action action;
+    std::size_t order;
+  };
+
+  std::vector<Event> events_;
+  std::vector<std::pair<double, std::string>> fired_;
+};
+
+}  // namespace mobitherm::sim

@@ -1,0 +1,119 @@
+#include "sim/trace.h"
+
+#include "util/csv.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace mobitherm::sim {
+
+using util::ConfigError;
+
+Trace::Trace(std::size_t num_clusters,
+             const std::vector<std::size_t>& opps_per_cluster)
+    : rail_energy_j_(num_clusters, 0.0) {
+  if (opps_per_cluster.size() != num_clusters) {
+    throw ConfigError("Trace: opps_per_cluster size mismatch");
+  }
+  residency_.reserve(num_clusters);
+  for (std::size_t n : opps_per_cluster) {
+    residency_.emplace_back(n, 0.0);
+  }
+}
+
+void Trace::add_point(TracePoint point) {
+  points_.push_back(std::move(point));
+}
+
+void Trace::add_residency(std::size_t cluster, std::size_t opp_index,
+                          double dt) {
+  if (cluster >= residency_.size() ||
+      opp_index >= residency_[cluster].size()) {
+    throw ConfigError("Trace: residency index out of range");
+  }
+  residency_[cluster][opp_index] += dt;
+}
+
+void Trace::add_rail_energy(std::size_t cluster, double joules) {
+  if (cluster >= rail_energy_j_.size()) {
+    throw ConfigError("Trace: rail index out of range");
+  }
+  rail_energy_j_[cluster] += joules;
+}
+
+const std::vector<double>& Trace::residency_s(std::size_t cluster) const {
+  if (cluster >= residency_.size()) {
+    throw ConfigError("Trace: cluster index out of range");
+  }
+  return residency_[cluster];
+}
+
+std::vector<double> Trace::residency_fraction(std::size_t cluster) const {
+  const std::vector<double>& s = residency_s(cluster);
+  double total = 0.0;
+  for (double v : s) {
+    total += v;
+  }
+  std::vector<double> frac(s.size(), 0.0);
+  if (total > 0.0) {
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      frac[i] = s[i] / total;
+    }
+  }
+  return frac;
+}
+
+double Trace::mean_rail_power_w(std::size_t cluster) const {
+  if (cluster >= rail_energy_j_.size()) {
+    throw ConfigError("Trace: rail index out of range");
+  }
+  return duration_s_ > 0.0 ? rail_energy_j_[cluster] / duration_s_ : 0.0;
+}
+
+double Trace::total_rail_energy_j() const {
+  double total = 0.0;
+  for (double e : rail_energy_j_) {
+    total += e;
+  }
+  return total;
+}
+
+void Trace::write_timeseries_csv(
+    const std::string& path, const std::vector<std::string>& cluster_names,
+    const std::vector<std::string>& app_names) const {
+  std::vector<std::string> header = {"t_s", "max_chip_temp_c",
+                                     "board_temp_c", "total_power_w"};
+  for (const std::string& name : cluster_names) {
+    header.push_back(name + "_freq_mhz");
+  }
+  for (const std::string& name : app_names) {
+    header.push_back(name + "_fps");
+  }
+  util::CsvWriter csv(path, header);
+  for (const TracePoint& p : points_) {
+    std::vector<double> row = {p.t_s,
+                               util::kelvin_to_celsius(p.max_chip_temp_k),
+                               util::kelvin_to_celsius(p.board_temp_k),
+                               p.total_power_w};
+    for (double f : p.cluster_freq_hz) {
+      row.push_back(util::hz_to_mhz(f));
+    }
+    for (double fps : p.app_fps) {
+      row.push_back(fps);
+    }
+    csv.row(row);
+  }
+}
+
+void Trace::write_residency_csv(const std::string& path, std::size_t cluster,
+                                const std::vector<double>& freqs_hz) const {
+  const std::vector<double> frac = residency_fraction(cluster);
+  if (freqs_hz.size() != frac.size()) {
+    throw ConfigError("Trace: frequency list size mismatch");
+  }
+  util::CsvWriter csv(path, {"freq_mhz", "fraction"});
+  for (std::size_t i = 0; i < frac.size(); ++i) {
+    csv.row(std::vector<double>{util::hz_to_mhz(freqs_hz[i]), frac[i]});
+  }
+}
+
+}  // namespace mobitherm::sim

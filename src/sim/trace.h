@@ -1,0 +1,63 @@
+// Simulation trace: decimated time series, OPP residency accounting, and
+// per-rail energy — everything needed to regenerate the paper's figures
+// (temperature profiles, frequency-residency histograms, power pies).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mobitherm::sim {
+
+/// One decimated sample of the simulation state.
+struct TracePoint {
+  double t_s = 0.0;
+  /// Max over the chip nodes (what "maximum temperature" plots show).
+  double max_chip_temp_k = 0.0;
+  double board_temp_k = 0.0;
+  double total_power_w = 0.0;
+  std::vector<double> cluster_freq_hz;
+  std::vector<double> app_fps;
+};
+
+class Trace {
+ public:
+  Trace(std::size_t num_clusters, const std::vector<std::size_t>& opps_per_cluster);
+
+  void add_point(TracePoint point);
+  void add_residency(std::size_t cluster, std::size_t opp_index, double dt);
+  void add_rail_energy(std::size_t cluster, double joules);
+  void add_time(double dt) { duration_s_ += dt; }
+
+  const std::vector<TracePoint>& points() const { return points_; }
+  double duration_s() const { return duration_s_; }
+
+  /// Seconds spent at each OPP of `cluster`.
+  const std::vector<double>& residency_s(std::size_t cluster) const;
+
+  /// Fraction of total time at each OPP of `cluster` (sums to ~1).
+  std::vector<double> residency_fraction(std::size_t cluster) const;
+
+  /// Mean power of the cluster rail over the run (true energy / time).
+  double mean_rail_power_w(std::size_t cluster) const;
+
+  /// Total energy across all rails (J).
+  double total_rail_energy_j() const;
+
+  /// Export points to CSV (column per channel). `app_names` labels the fps
+  /// columns; `cluster_names` the frequency columns.
+  void write_timeseries_csv(const std::string& path,
+                            const std::vector<std::string>& cluster_names,
+                            const std::vector<std::string>& app_names) const;
+
+  /// Export residency fractions of one cluster to CSV (freq_mhz, fraction).
+  void write_residency_csv(const std::string& path, std::size_t cluster,
+                           const std::vector<double>& freqs_hz) const;
+
+ private:
+  std::vector<TracePoint> points_;
+  std::vector<std::vector<double>> residency_;
+  std::vector<double> rail_energy_j_;
+  double duration_s_ = 0.0;
+};
+
+}  // namespace mobitherm::sim

@@ -1,0 +1,124 @@
+#include "stability/calibrate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/error.h"
+
+namespace mobitherm::stability {
+
+using util::NumericError;
+
+namespace {
+
+// The tangency and critical-fixed-point conditions determine (G, A) in
+// closed form for a given theta:
+//   G = A e^{-theta/T_c} (2 T_c + theta)                       (tangency)
+//   G (T_c - T_amb) = P_c + A T_c^2 e^{-theta/T_c}             (fixed point)
+// =>  A(theta) = P_c / ( e^{-theta/T_c} [ (2 T_c + theta)(T_c - T_amb)
+//                                          - T_c^2 ] ).
+struct Reduced {
+  double g;
+  double a;
+};
+
+Reduced reduce(const CalibrationTargets& t, double theta) {
+  const double e = std::exp(-theta / t.t_critical_k);
+  const double denom =
+      e * ((2.0 * t.t_critical_k + theta) *
+               (t.t_critical_k - t.t_ambient_k) -
+           t.t_critical_k * t.t_critical_k);
+  if (denom <= 0.0) {
+    throw NumericError("calibrate: degenerate critical-point geometry");
+  }
+  const double a = t.p_critical_w / denom;
+  const double g = a * e * (2.0 * t.t_critical_k + theta);
+  return {g, a};
+}
+
+// Residual of the steady-state observation as a function of theta alone.
+double steady_residual(const CalibrationTargets& t, double theta) {
+  const Reduced r = reduce(t, theta);
+  const double leak = r.a * t.t_stable_k * t.t_stable_k *
+                      std::exp(-theta / t.t_stable_k);
+  return r.g * (t.t_stable_k - t.t_ambient_k) - t.p_observed_w - leak;
+}
+
+}  // namespace
+
+Params calibrate(const CalibrationTargets& targets, double c_j_per_k,
+                 const CalibrationGuess& guess, double tol, int max_iter) {
+  (void)guess;  // retained for API stability; the 1-D reduction needs none
+  if (targets.t_stable_k <= targets.t_ambient_k ||
+      targets.t_critical_k <= targets.t_stable_k ||
+      targets.p_critical_w <= targets.p_observed_w) {
+    throw NumericError(
+        "calibrate: targets must satisfy T_amb < T_s < T_c and P_a < P_c");
+  }
+  if (c_j_per_k <= 0.0) {
+    throw NumericError("calibrate: capacitance must be positive");
+  }
+
+  // The reduction is only defined for theta above the geometric bound where
+  // (2 T_c + theta)(T_c - T_amb) exceeds T_c^2.
+  const double theta_min =
+      targets.t_critical_k * targets.t_critical_k /
+          (targets.t_critical_k - targets.t_ambient_k) -
+      2.0 * targets.t_critical_k;
+
+  // Scan theta for a sign change of the steady-state residual, then bisect.
+  const double theta_lo = std::max(200.0, 1.01 * theta_min);
+  const double theta_hi = 20000.0;
+  const int kScanSteps = 400;
+  double prev_theta = theta_lo;
+  double prev_res = steady_residual(targets, prev_theta);
+  double lo = 0.0;
+  double hi = 0.0;
+  bool bracketed = false;
+  for (int i = 1; i <= kScanSteps; ++i) {
+    const double theta =
+        theta_lo * std::pow(theta_hi / theta_lo,
+                            static_cast<double>(i) / kScanSteps);
+    const double res = steady_residual(targets, theta);
+    if ((prev_res <= 0.0) != (res <= 0.0)) {
+      lo = prev_theta;
+      hi = theta;
+      bracketed = true;
+      break;
+    }
+    prev_theta = theta;
+    prev_res = res;
+  }
+  if (!bracketed) {
+    throw NumericError(
+        "calibrate: no leakage constant fits these targets (residual at "
+        "theta=1000 is " +
+        std::to_string(steady_residual(targets, 1000.0)) +
+        " W); adjust t_stable_k or p_observed_w");
+  }
+
+  double flo = steady_residual(targets, lo);
+  for (int i = 0; i < max_iter && hi - lo > tol * hi; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = steady_residual(targets, mid);
+    if ((flo <= 0.0) == (fmid <= 0.0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double theta = 0.5 * (lo + hi);
+  const Reduced r = reduce(targets, theta);
+
+  Params p;
+  p.g_w_per_k = r.g;
+  p.leak_a_w_per_k2 = r.a;
+  p.leak_theta_k = theta;
+  p.t_ambient_k = targets.t_ambient_k;
+  p.c_j_per_k = c_j_per_k;
+  return p;
+}
+
+}  // namespace mobitherm::stability

@@ -1,0 +1,42 @@
+// Calibration of the lumped power-temperature model from measurable
+// targets. Given an ambient temperature and
+//   * one steady-state observation (stable temperature T_s at power P_a),
+//   * the critical power P_c and the critically-stable temperature T_c,
+// solve for (G, A, theta) such that
+//   G (T_s - T_amb) = P_a + A T_s^2 e^{-theta/T_s}          (steady state)
+//   G (T_c - T_amb) = P_c + A T_c^2 e^{-theta/T_c}          (fixed point)
+//   G = A e^{-theta/T_c} (2 T_c + theta)                    (tangency)
+// The tangency and critical-fixed-point equations determine A(theta) and
+// G(theta) in closed form; the steady-state observation then becomes a 1-D
+// root-finding problem in theta, solved by bracketing + bisection. This is
+// how the board presets are derived, and it lets users re-fit the analyzer
+// to their own measurements.
+#pragma once
+
+#include "stability/fixed_point.h"
+
+namespace mobitherm::stability {
+
+struct CalibrationTargets {
+  double t_ambient_k = 298.15;
+  /// Steady-state observation.
+  double p_observed_w = 2.0;
+  double t_stable_k = 336.0;
+  /// Runaway boundary.
+  double p_critical_w = 5.5;
+  double t_critical_k = 450.0;
+};
+
+struct CalibrationGuess {
+  double g_w_per_k = 0.07;
+  double a_w_per_k2 = 1.5e-3;
+  double theta_k = 1800.0;
+};
+
+/// Solve for (G, A, theta); C and T_amb are copied through (C from
+/// `c_j_per_k`). Throws NumericError if Newton fails to converge.
+Params calibrate(const CalibrationTargets& targets, double c_j_per_k,
+                 const CalibrationGuess& guess = {}, double tol = 1e-10,
+                 int max_iter = 200);
+
+}  // namespace mobitherm::stability

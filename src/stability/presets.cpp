@@ -1,0 +1,33 @@
+#include "stability/presets.h"
+
+#include "stability/calibrate.h"
+
+namespace mobitherm::stability {
+
+Params odroid_xu3_params() {
+  // Calibration consistent with thermal::odroidxu3_network() (lumped
+  // ambient conductance ~0.078 W/K): a 2 W workload settles near 65 degC,
+  // and the roots of the fixed-point function merge at 5.5 W as in Fig. 7b.
+  CalibrationTargets targets;
+  targets.t_ambient_k = 298.15;
+  targets.p_observed_w = 2.0;
+  targets.t_stable_k = 338.0;
+  targets.p_critical_w = 5.5;
+  targets.t_critical_k = 450.0;
+  return calibrate(targets, /*c_j_per_k=*/5.9);
+}
+
+Params nexus6p_params() {
+  // Direct characterization consistent with thermal::nexus6p_network():
+  // the phone chassis spreads heat better (G ~ 0.18 W/K) and leaks ~0.42 W
+  // at a 47 degC package temperature.
+  Params p;
+  p.g_w_per_k = 0.18;
+  p.c_j_per_k = 8.1;
+  p.t_ambient_k = 298.15;
+  p.leak_theta_k = 2000.0;
+  p.leak_a_w_per_k2 = 2.125e-3;
+  return p;
+}
+
+}  // namespace mobitherm::stability

@@ -1,0 +1,19 @@
+// Stability-analysis parameter presets for the two boards.
+//
+// The Odroid-XU3 set reproduces the calibration behind Fig. 7: with ~25 degC
+// ambient, a 2 W workload settles around 63 degC and the critical power is
+// 5.5 W — the power at which the two roots of the fixed-point function merge
+// in Fig. 7b.
+#pragma once
+
+#include "stability/fixed_point.h"
+
+namespace mobitherm::stability {
+
+/// Odroid-XU3 (Exynos 5422), fan disabled. Critical power = 5.5 W.
+Params odroid_xu3_params();
+
+/// Nexus 6P (Snapdragon 810) phone package.
+Params nexus6p_params();
+
+}  // namespace mobitherm::stability

@@ -1,0 +1,82 @@
+#include "stability/trajectory.h"
+
+#include <cmath>
+
+#include "thermal/lumped.h"
+#include "util/error.h"
+
+namespace mobitherm::stability {
+
+double temperature_after(const Params& p, double p_dyn_w, double t0_k,
+                         double dt) {
+  thermal::LumpedModel model(p);
+  model.set_temperature(t0_k);
+  model.step(p_dyn_w, dt);
+  return model.temperature_k();
+}
+
+double time_to_temperature(const Params& p, double p_dyn_w, double t0_k,
+                           double t_target_k, double horizon_s) {
+  if (t0_k <= 0.0) {
+    throw util::NumericError("time_to_temperature: non-positive start");
+  }
+  const double initial_rate =
+      thermal::temperature_derivative(p, t0_k, p_dyn_w);
+  const bool heating = t_target_k >= t0_k;
+  // Already there, or moving away from the target from the start.
+  if (std::abs(t_target_k - t0_k) < 1e-12) {
+    return 0.0;
+  }
+  if ((heating && initial_rate <= 0.0) || (!heating && initial_rate >= 0.0)) {
+    // The trajectory is monotone (1-D autonomous ODE), so a wrong-signed
+    // initial derivative means the target is unreachable.
+    return kNever;
+  }
+
+  thermal::LumpedModel model(p);
+  model.set_temperature(t0_k);
+  const double tau = p.c_j_per_k / p.g_w_per_k;
+  const double step = std::min(0.02 * tau, horizon_s);
+  double elapsed = 0.0;
+  double prev_t = t0_k;
+  while (elapsed < horizon_s) {
+    model.step(p_dyn_w, step);
+    const double cur_t = model.temperature_k();
+    const bool crossed =
+        heating ? (cur_t >= t_target_k) : (cur_t <= t_target_k);
+    if (crossed) {
+      // Linear interpolation inside the step.
+      const double frac = (t_target_k - prev_t) / (cur_t - prev_t);
+      return elapsed + frac * step;
+    }
+    // Converged without crossing: asymptote is on the near side.
+    if (std::abs(cur_t - prev_t) < 1e-9 * step) {
+      return kNever;
+    }
+    prev_t = cur_t;
+    elapsed += step;
+  }
+  return kNever;
+}
+
+double time_to_fixed_point(const Params& p, double p_dyn_w, double t0_k,
+                           double band_k, double horizon_s) {
+  const FixedPointResult r = analyze(p, p_dyn_w);
+  if (r.cls == StabilityClass::kUnstable) {
+    return kNever;
+  }
+  if (r.cls == StabilityClass::kStable && !std::isnan(r.unstable_temp_k) &&
+      t0_k > r.unstable_temp_k) {
+    return kNever;  // runaway region: diverges away from the fixed point
+  }
+  const double target = t0_k < r.stable_temp_k
+                            ? r.stable_temp_k - band_k
+                            : r.stable_temp_k + band_k;
+  if ((t0_k < r.stable_temp_k && target <= t0_k) ||
+      (t0_k >= r.stable_temp_k && target >= t0_k)) {
+    return 0.0;  // already inside the band
+  }
+  return time_to_temperature(p, p_dyn_w, t0_k, target, horizon_s);
+}
+
+}  // namespace mobitherm::stability

@@ -1,0 +1,34 @@
+// Temperature trajectories of the lumped power-temperature dynamics and
+// the time-to-fixed-point estimate the proposed governor uses (Sec. IV-B):
+// "the algorithm estimates the time it will take for the system to reach
+// the fixed point".
+#pragma once
+
+#include <limits>
+
+#include "stability/fixed_point.h"
+
+namespace mobitherm::stability {
+
+inline constexpr double kNever = std::numeric_limits<double>::infinity();
+
+/// Temperature after `dt` seconds starting at `t0_k` under constant dynamic
+/// power (adaptive RK4 integration).
+double temperature_after(const Params& p, double p_dyn_w, double t0_k,
+                         double dt);
+
+/// Time for the trajectory starting at `t0_k` to first reach
+/// `t_target_k`, under constant dynamic power. Returns kNever if the target
+/// is never reached within `horizon_s` (e.g. the target lies beyond the
+/// stable fixed point the trajectory converges to) and 0 if already past it
+/// in the direction of travel.
+double time_to_temperature(const Params& p, double p_dyn_w, double t0_k,
+                           double t_target_k, double horizon_s = 3600.0);
+
+/// Time to get within `band_k` kelvin of the stable fixed-point
+/// temperature; kNever if the system is unstable (no fixed point) or the
+/// start lies in the runaway region left of the unstable fixed point.
+double time_to_fixed_point(const Params& p, double p_dyn_w, double t0_k,
+                           double band_k = 0.5, double horizon_s = 3600.0);
+
+}  // namespace mobitherm::stability

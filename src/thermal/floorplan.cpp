@@ -1,0 +1,127 @@
+#include "thermal/floorplan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace mobitherm::thermal {
+
+using util::ConfigError;
+
+double interval_overlap(double a0, double a1, double b0, double b1) {
+  return std::max(0.0, std::min(a1, b1) - std::max(a0, b0));
+}
+
+namespace {
+
+bool rectangles_overlap(const Block& a, const Block& b, double tol) {
+  return interval_overlap(a.x_mm + tol, a.x_mm + a.w_mm - tol, b.x_mm,
+                          b.x_mm + b.w_mm) > 0.0 &&
+         interval_overlap(a.y_mm + tol, a.y_mm + a.h_mm - tol, b.y_mm,
+                          b.y_mm + b.h_mm) > 0.0;
+}
+
+}  // namespace
+
+bool blocks_adjacent(const Block& a, const Block& b, double tol_mm) {
+  return shared_edge_mm(a, b, tol_mm) > 0.0;
+}
+
+double shared_edge_mm(const Block& a, const Block& b, double tol_mm) {
+  // Vertical edges touching: a's right against b's left or vice versa.
+  const bool x_touch =
+      std::abs((a.x_mm + a.w_mm) - b.x_mm) <= tol_mm ||
+      std::abs((b.x_mm + b.w_mm) - a.x_mm) <= tol_mm;
+  if (x_touch) {
+    const double overlap = interval_overlap(a.y_mm, a.y_mm + a.h_mm,
+                                            b.y_mm, b.y_mm + b.h_mm);
+    if (overlap > tol_mm) {
+      return overlap;
+    }
+  }
+  // Horizontal edges touching.
+  const bool y_touch =
+      std::abs((a.y_mm + a.h_mm) - b.y_mm) <= tol_mm ||
+      std::abs((b.y_mm + b.h_mm) - a.y_mm) <= tol_mm;
+  if (y_touch) {
+    const double overlap = interval_overlap(a.x_mm, a.x_mm + a.w_mm,
+                                            b.x_mm, b.x_mm + b.w_mm);
+    if (overlap > tol_mm) {
+      return overlap;
+    }
+  }
+  return 0.0;
+}
+
+ThermalNetworkSpec network_from_floorplan(const std::vector<Block>& blocks,
+                                          const FloorplanParams& params) {
+  if (blocks.empty()) {
+    throw ConfigError("network_from_floorplan: no blocks");
+  }
+  for (const Block& b : blocks) {
+    if (b.w_mm <= 0.0 || b.h_mm <= 0.0) {
+      throw ConfigError("network_from_floorplan: degenerate block " +
+                        b.name);
+    }
+  }
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    for (std::size_t j = i + 1; j < blocks.size(); ++j) {
+      if (rectangles_overlap(blocks[i], blocks[j], 1e-9)) {
+        throw ConfigError("network_from_floorplan: blocks " +
+                          blocks[i].name + " and " + blocks[j].name +
+                          " overlap");
+      }
+    }
+  }
+
+  ThermalNetworkSpec spec;
+  spec.t_ambient_k = params.t_ambient_k;
+  for (const Block& b : blocks) {
+    const double area = b.w_mm * b.h_mm;
+    // Blocks dump their heat through the stack (modelled via the board
+    // node); direct block-to-air conduction is negligible.
+    spec.nodes.push_back({b.name, params.c_per_mm2 * area, 0.0});
+  }
+  spec.nodes.push_back({params.board_name,
+                        params.board_capacitance_j_per_k,
+                        params.board_g_ambient_w_per_k});
+  const std::size_t board = spec.nodes.size() - 1;
+
+  // Lateral coupling between adjacent blocks.
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    for (std::size_t j = i + 1; j < blocks.size(); ++j) {
+      const double edge = shared_edge_mm(blocks[i], blocks[j]);
+      if (edge <= 0.0) {
+        continue;
+      }
+      const double dx = (blocks[i].x_mm + 0.5 * blocks[i].w_mm) -
+                        (blocks[j].x_mm + 0.5 * blocks[j].w_mm);
+      const double dy = (blocks[i].y_mm + 0.5 * blocks[i].h_mm) -
+                        (blocks[j].y_mm + 0.5 * blocks[j].h_mm);
+      const double distance = std::sqrt(dx * dx + dy * dy);
+      spec.links.push_back(
+          {i, j, params.k_lateral_w_per_k * edge / distance});
+    }
+  }
+  // Vertical coupling into the spreader/board.
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const double area = blocks[i].w_mm * blocks[i].h_mm;
+    spec.links.push_back({i, board, params.g_vertical_per_mm2 * area});
+  }
+  return spec;
+}
+
+std::vector<Block> exynos5422_floorplan() {
+  // ~100 mm^2 die: the A15 cluster and Mali GPU dominate; the A7 cluster
+  // tucks next to the memory interface. Node order matches
+  // platform/presets.h (little, big, gpu, mem).
+  return {
+      {"little", 0.0, 6.0, 4.0, 4.0},
+      {"big", 4.0, 6.0, 6.0, 4.0},
+      {"gpu", 0.0, 0.0, 6.0, 6.0},
+      {"mem", 6.0, 0.0, 4.0, 6.0},
+  };
+}
+
+}  // namespace mobitherm::thermal

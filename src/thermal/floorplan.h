@@ -1,0 +1,64 @@
+// Floorplan-derived RC thermal networks (HotSpot-lite).
+//
+// Instead of hand-tuning node capacitances and conductances, derive them
+// from die geometry: each block becomes a node whose capacitance scales
+// with its area (times the silicon volumetric heat capacity), lateral
+// conductances follow shared-edge length over center distance, and every
+// block couples vertically into a spreader/board node proportional to its
+// area. The result plugs directly into thermal::ThermalNetwork.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "thermal/network.h"
+
+namespace mobitherm::thermal {
+
+/// One rectangular block of the floorplan, in millimetres.
+struct Block {
+  std::string name;
+  double x_mm = 0.0;  // lower-left corner
+  double y_mm = 0.0;
+  double w_mm = 1.0;
+  double h_mm = 1.0;
+};
+
+struct FloorplanParams {
+  /// Heat capacity per die area (J/(K mm^2)): silicon + package stack.
+  double c_per_mm2 = 0.016;
+  /// Lateral conductance scale (W/K per mm of shared edge per 1/mm
+  /// distance): g = k_lateral * shared_edge / center_distance.
+  double k_lateral_w_per_k = 0.15;
+  /// Vertical conductance into the spreader/board per block area
+  /// (W/(K mm^2)).
+  double g_vertical_per_mm2 = 0.004;
+  /// Spreader/board node: capacitance and conductance to ambient.
+  double board_capacitance_j_per_k = 4.5;
+  double board_g_ambient_w_per_k = 0.06;
+  std::string board_name = "board";
+  double t_ambient_k = 298.15;
+};
+
+/// Overlap length of two 1-D intervals [a0,a1), [b0,b1).
+double interval_overlap(double a0, double a1, double b0, double b1);
+
+/// True if two blocks share a boundary segment (touching edges with
+/// positive overlap).
+bool blocks_adjacent(const Block& a, const Block& b, double tol_mm = 1e-6);
+
+/// Shared-edge length between two adjacent blocks (0 if not adjacent).
+double shared_edge_mm(const Block& a, const Block& b, double tol_mm = 1e-6);
+
+/// Build the RC network: one node per block (same order) plus the board
+/// node appended last. Throws ConfigError on overlapping or degenerate
+/// blocks.
+ThermalNetworkSpec network_from_floorplan(const std::vector<Block>& blocks,
+                                          const FloorplanParams& params);
+
+/// A plausible Exynos 5422 die floorplan (little / big / gpu / mem blocks,
+/// in the node order platform/presets.h expects).
+std::vector<Block> exynos5422_floorplan();
+
+}  // namespace mobitherm::thermal

@@ -1,0 +1,49 @@
+// Single-node lumped thermal model with temperature-dependent leakage.
+//
+//     C dT/dt = -G (T - T_amb) + P_dyn + A T^2 e^{-theta/T}
+//
+// This is the model whose fixed points the stability module analyzes
+// (Sec. IV-A of the paper / ref. [2]); the simulator uses the multi-node
+// ThermalNetwork, and the analyzer reduces it to this lumped form.
+#pragma once
+
+namespace mobitherm::thermal {
+
+/// Parameters of the lumped power-temperature dynamics.
+struct LumpedParams {
+  double g_w_per_k = 0.07;       // conductance to ambient
+  double c_j_per_k = 6.0;        // heat capacitance
+  double t_ambient_k = 298.15;   // ambient temperature
+  double leak_a_w_per_k2 = 1.5736e-3;  // leakage coefficient A
+  double leak_theta_k = 1857.8;        // leakage temperature constant theta
+};
+
+/// Leakage power A T^2 e^{-theta/T} at temperature `t_k`.
+double leakage_power(const LumpedParams& p, double t_k);
+
+/// Net heat flow dT/dt at temperature `t_k` with dynamic power `p_dyn_w`.
+double temperature_derivative(const LumpedParams& p, double t_k,
+                              double p_dyn_w);
+
+/// Integrable lumped model (adaptive RK4).
+class LumpedModel {
+ public:
+  explicit LumpedModel(LumpedParams params);
+
+  const LumpedParams& params() const { return params_; }
+  double temperature_k() const { return temp_k_; }
+  void set_temperature(double t_k) { temp_k_ = t_k; }
+
+  /// Advance by dt with constant dynamic power. During thermal runaway the
+  /// temperature saturates at kMaxTemperatureK instead of overflowing (the
+  /// physical device would have failed long before).
+  void step(double p_dyn_w, double dt);
+
+  static constexpr double kMaxTemperatureK = 2000.0;
+
+ private:
+  LumpedParams params_;
+  double temp_k_;
+};
+
+}  // namespace mobitherm::thermal

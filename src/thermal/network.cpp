@@ -1,0 +1,226 @@
+#include "thermal/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "linalg/expm.h"
+#include "linalg/jacobi.h"
+#include "linalg/lu.h"
+#include "util/error.h"
+
+namespace mobitherm::thermal {
+
+using linalg::Matrix;
+using linalg::Vector;
+using util::ConfigError;
+// Vector is an alias for std::vector<double>, so ADL does not reach the
+// arithmetic operators defined in mobitherm::linalg; import them by name.
+using linalg::operator+;
+using linalg::operator-;
+using linalg::operator*;
+
+ThermalNetwork::ThermalNetwork(ThermalNetworkSpec spec, StepMethod method)
+    : spec_(std::move(spec)), method_(method) {
+  if (spec_.nodes.empty()) {
+    throw ConfigError("ThermalNetwork: no nodes");
+  }
+  double total_g_amb = 0.0;
+  for (const ThermalNodeSpec& n : spec_.nodes) {
+    if (n.capacitance_j_per_k <= 0.0) {
+      throw ConfigError("ThermalNetwork: node " + n.name +
+                        " needs positive capacitance");
+    }
+    if (n.g_ambient_w_per_k < 0.0) {
+      throw ConfigError("ThermalNetwork: negative ambient conductance");
+    }
+    total_g_amb += n.g_ambient_w_per_k;
+  }
+  if (total_g_amb <= 0.0) {
+    throw ConfigError(
+        "ThermalNetwork: at least one node must couple to ambient");
+  }
+  for (const ThermalLinkSpec& l : spec_.links) {
+    if (l.a >= spec_.nodes.size() || l.b >= spec_.nodes.size() ||
+        l.a == l.b) {
+      throw ConfigError("ThermalNetwork: invalid link endpoints");
+    }
+    if (l.conductance_w_per_k <= 0.0) {
+      throw ConfigError("ThermalNetwork: link conductance must be positive");
+    }
+  }
+  build_matrices();
+  reset();
+}
+
+void ThermalNetwork::build_matrices() {
+  const std::size_t n = spec_.nodes.size();
+  g_total_ = Matrix(n, n);
+  inv_c_.assign(n, 0.0);
+  amb_inject_.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    g_total_(i, i) = spec_.nodes[i].g_ambient_w_per_k;
+    inv_c_[i] = 1.0 / spec_.nodes[i].capacitance_j_per_k;
+    amb_inject_[i] = spec_.nodes[i].g_ambient_w_per_k * spec_.t_ambient_k;
+  }
+  for (const ThermalLinkSpec& l : spec_.links) {
+    g_total_(l.a, l.a) += l.conductance_w_per_k;
+    g_total_(l.b, l.b) += l.conductance_w_per_k;
+    g_total_(l.a, l.b) -= l.conductance_w_per_k;
+    g_total_(l.b, l.a) -= l.conductance_w_per_k;
+  }
+}
+
+double ThermalNetwork::temperature(std::size_t node) const {
+  if (node >= temp_.size()) {
+    throw ConfigError("ThermalNetwork: node index out of range");
+  }
+  return temp_[node];
+}
+
+double ThermalNetwork::max_temperature() const {
+  return *std::max_element(temp_.begin(), temp_.end());
+}
+
+void ThermalNetwork::reset() {
+  temp_.assign(spec_.nodes.size(), spec_.t_ambient_k);
+}
+
+void ThermalNetwork::set_temperatures(const Vector& temps) {
+  if (temps.size() != spec_.nodes.size()) {
+    throw ConfigError("ThermalNetwork: temperature vector size mismatch");
+  }
+  temp_ = temps;
+}
+
+void ThermalNetwork::step(const Vector& power_w, double dt) {
+  if (power_w.size() != spec_.nodes.size()) {
+    throw ConfigError("ThermalNetwork: power vector size mismatch");
+  }
+  if (dt <= 0.0) {
+    return;
+  }
+  if (method_ == StepMethod::kExact) {
+    step_exact(power_w, dt);
+  } else {
+    step_rk4(power_w, dt);
+  }
+}
+
+Vector ThermalNetwork::derivative(const Vector& temps,
+                                  const Vector& power_w) const {
+  Vector d = g_total_ * temps;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    d[i] = inv_c_[i] * (power_w[i] + amb_inject_[i] - d[i]);
+  }
+  return d;
+}
+
+void ThermalNetwork::step_rk4(const Vector& power_w, double dt) {
+  // Substep so that dt_sub stays below half the fastest time constant.
+  double fastest = 1e300;
+  for (std::size_t i = 0; i < temp_.size(); ++i) {
+    const double gi = g_total_(i, i);
+    if (gi > 0.0) {
+      fastest = std::min(fastest, 1.0 / (gi * inv_c_[i]));
+    }
+  }
+  const int substeps =
+      std::max(1, static_cast<int>(std::ceil(dt / (0.5 * fastest))));
+  const double h = dt / substeps;
+  for (int s = 0; s < substeps; ++s) {
+    const Vector k1 = derivative(temp_, power_w);
+    const Vector k2 = derivative(temp_ + (h / 2.0) * k1, power_w);
+    const Vector k3 = derivative(temp_ + (h / 2.0) * k2, power_w);
+    const Vector k4 = derivative(temp_ + h * k3, power_w);
+    temp_ = temp_ + (h / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+  }
+}
+
+void ThermalNetwork::prepare_exact(double dt) {
+  if (cached_dt_ == dt) {
+    return;
+  }
+  // A = -C^{-1} G. Phi = e^{A dt}.
+  const std::size_t n = temp_.size();
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = -inv_c_[i] * g_total_(i, j) * dt;
+    }
+  }
+  phi_ = linalg::expm(a);
+  cached_dt_ = dt;
+}
+
+void ThermalNetwork::step_exact(const Vector& power_w, double dt) {
+  prepare_exact(dt);
+  if (!g_inverse_ready_) {
+    g_inverse_ = linalg::inverse(g_total_);
+    g_inverse_ready_ = true;
+  }
+  // For constant P over the step: T(t+dt) = T_ss + Phi (T - T_ss).
+  const Vector t_ss = g_inverse_ * (power_w + amb_inject_);
+  temp_ = t_ss + phi_ * (temp_ - t_ss);
+}
+
+Vector ThermalNetwork::steady_state(const Vector& power_w) const {
+  if (power_w.size() != spec_.nodes.size()) {
+    throw ConfigError("ThermalNetwork: power vector size mismatch");
+  }
+  linalg::Cholesky chol(g_total_);
+  return chol.solve(power_w + amb_inject_);
+}
+
+double ThermalNetwork::link_flow_w(std::size_t link) const {
+  if (link >= spec_.links.size()) {
+    throw ConfigError("ThermalNetwork: link index out of range");
+  }
+  const ThermalLinkSpec& l = spec_.links[link];
+  return l.conductance_w_per_k * (temp_[l.a] - temp_[l.b]);
+}
+
+double ThermalNetwork::ambient_flow_w(std::size_t node) const {
+  if (node >= spec_.nodes.size()) {
+    throw ConfigError("ThermalNetwork: node index out of range");
+  }
+  return spec_.nodes[node].g_ambient_w_per_k *
+         (temp_[node] - spec_.t_ambient_k);
+}
+
+double ThermalNetwork::total_ambient_conductance() const {
+  double g = 0.0;
+  for (const ThermalNodeSpec& n : spec_.nodes) {
+    g += n.g_ambient_w_per_k;
+  }
+  return g;
+}
+
+double ThermalNetwork::total_capacitance() const {
+  double c = 0.0;
+  for (const ThermalNodeSpec& n : spec_.nodes) {
+    c += n.capacitance_j_per_k;
+  }
+  return c;
+}
+
+double ThermalNetwork::slowest_time_constant() const {
+  // C^{-1} G is similar to the symmetric S = C^{-1/2} G C^{-1/2}; its
+  // eigenvalues are the reciprocal time constants.
+  const std::size_t n = temp_.size();
+  Matrix s(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      s(i, j) = std::sqrt(inv_c_[i]) * g_total_(i, j) * std::sqrt(inv_c_[j]);
+    }
+  }
+  const linalg::EigenDecomposition eig = linalg::jacobi_eigen(s);
+  const double lambda_min = eig.eigenvalues.front();
+  if (lambda_min <= 0.0) {
+    throw util::NumericError(
+        "ThermalNetwork: system matrix is not positive definite");
+  }
+  return 1.0 / lambda_min;
+}
+
+}  // namespace mobitherm::thermal

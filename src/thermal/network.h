@@ -1,0 +1,111 @@
+// Compact RC thermal network (HotSpot-style).
+//
+// Nodes carry a heat capacitance and an optional conductance to ambient;
+// links couple node pairs. The dynamics are
+//     C dT/dt = -G_total T + P + g_amb * T_amb
+// where G_total = Laplacian(links) + diag(g_amb) is symmetric positive
+// definite whenever at least one node is grounded to ambient.
+//
+// Two integrators are provided:
+//  * kRk4   — classic Runge-Kutta with automatic substepping,
+//  * kExact — exact propagator for piecewise-constant power, built once per
+//             step size from the eigendecomposition of the symmetrized
+//             system matrix (robust to stiffness; the default).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace mobitherm::thermal {
+
+struct ThermalNodeSpec {
+  std::string name;
+  double capacitance_j_per_k = 1.0;
+  double g_ambient_w_per_k = 0.0;
+};
+
+struct ThermalLinkSpec {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  double conductance_w_per_k = 0.0;
+};
+
+struct ThermalNetworkSpec {
+  std::vector<ThermalNodeSpec> nodes;
+  std::vector<ThermalLinkSpec> links;
+  double t_ambient_k = 298.15;
+};
+
+enum class StepMethod { kRk4, kExact };
+
+class ThermalNetwork {
+ public:
+  explicit ThermalNetwork(ThermalNetworkSpec spec,
+                          StepMethod method = StepMethod::kExact);
+
+  std::size_t num_nodes() const { return spec_.nodes.size(); }
+  const ThermalNetworkSpec& spec() const { return spec_; }
+
+  /// Current node temperatures (K).
+  const linalg::Vector& temperatures() const { return temp_; }
+  double temperature(std::size_t node) const;
+  double max_temperature() const;
+
+  /// Reset all nodes to ambient (or to the given vector).
+  void reset();
+  void set_temperatures(const linalg::Vector& temps);
+
+  /// Advance by dt seconds with node power injection `power_w` (held
+  /// constant over the step).
+  void step(const linalg::Vector& power_w, double dt);
+
+  /// Steady-state temperatures for constant power (solves G_total T = P +
+  /// g_amb T_amb).
+  linalg::Vector steady_state(const linalg::Vector& power_w) const;
+
+  /// Heat flow through link `link` at the current temperatures, positive
+  /// from node `a` to node `b` (W).
+  double link_flow_w(std::size_t link) const;
+
+  /// Heat flow from `node` into the ambient at the current temperatures
+  /// (W).
+  double ambient_flow_w(std::size_t node) const;
+
+  /// Total conductance to ambient (W/K); the lumped-model G equivalent.
+  double total_ambient_conductance() const;
+
+  /// Sum of node capacitances (J/K); the lumped-model C equivalent.
+  double total_capacitance() const;
+
+  /// Slowest time constant of the network (s), from the smallest eigenvalue
+  /// of C^{-1} G_total.
+  double slowest_time_constant() const;
+
+  double ambient_k() const { return spec_.t_ambient_k; }
+
+ private:
+  void build_matrices();
+  void prepare_exact(double dt);
+  void step_rk4(const linalg::Vector& power_w, double dt);
+  void step_exact(const linalg::Vector& power_w, double dt);
+  linalg::Vector derivative(const linalg::Vector& temps,
+                            const linalg::Vector& power_w) const;
+
+  ThermalNetworkSpec spec_;
+  StepMethod method_;
+  linalg::Matrix g_total_;    // conductance matrix incl. ambient ground
+  linalg::Vector inv_c_;      // 1 / capacitance per node
+  linalg::Vector amb_inject_; // g_amb * T_amb per node
+  linalg::Vector temp_;
+
+  // Exact-propagator cache, keyed by the last step size.
+  double cached_dt_ = -1.0;
+  linalg::Matrix phi_;        // e^{-C^{-1} G dt}
+  linalg::Matrix g_inverse_;  // for steady-state solves
+  bool g_inverse_ready_ = false;
+};
+
+}  // namespace mobitherm::thermal

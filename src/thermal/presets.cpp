@@ -1,0 +1,80 @@
+#include "thermal/presets.h"
+
+#include "util/error.h"
+
+namespace mobitherm::thermal {
+
+namespace {
+
+// Node indices; keep in sync with platform/presets.h.
+constexpr std::size_t kLittle = 0;
+constexpr std::size_t kBig = 1;
+constexpr std::size_t kGpu = 2;
+constexpr std::size_t kMem = 3;
+constexpr std::size_t kBoard = 4;
+
+}  // namespace
+
+ThermalNetworkSpec nexus6p_network(double t_ambient_k) {
+  ThermalNetworkSpec spec;
+  spec.t_ambient_k = t_ambient_k;
+  spec.nodes = {
+      {"little", 0.20, 0.006},
+      {"big", 0.35, 0.012},
+      {"gpu", 0.30, 0.012},
+      {"mem", 0.25, 0.006},
+      {"board", 7.00, 0.144},
+  };
+  spec.links = {
+      {kLittle, kBig, 0.60},  {kBig, kGpu, 0.50},    {kLittle, kGpu, 0.30},
+      {kMem, kBig, 0.20},     {kMem, kGpu, 0.20},    {kLittle, kBoard, 0.35},
+      {kBig, kBoard, 0.50},   {kGpu, kBoard, 0.45},  {kMem, kBoard, 0.30},
+  };
+  return spec;
+}
+
+ThermalNetworkSpec odroidxu3_network(double t_ambient_k) {
+  ThermalNetworkSpec spec;
+  spec.t_ambient_k = t_ambient_k;
+  spec.nodes = {
+      {"little", 0.25, 0.004},
+      {"big", 0.45, 0.006},
+      {"gpu", 0.40, 0.005},
+      {"mem", 0.30, 0.003},
+      {"board", 4.50, 0.0598},
+  };
+  spec.links = {
+      {kLittle, kBig, 0.60},  {kBig, kGpu, 0.50},    {kLittle, kGpu, 0.30},
+      {kMem, kBig, 0.20},     {kMem, kGpu, 0.20},    {kLittle, kBoard, 0.35},
+      {kBig, kBoard, 0.50},   {kGpu, kBoard, 0.45},  {kMem, kBoard, 0.30},
+  };
+  return spec;
+}
+
+ThermalNetworkSpec odroidxu3_network_with_fan(double t_ambient_k,
+                                              double fan_factor) {
+  ThermalNetworkSpec spec = odroidxu3_network(t_ambient_k);
+  if (fan_factor < 1.0) {
+    throw util::ConfigError(
+        "odroidxu3_network_with_fan: fan factor must be >= 1");
+  }
+  spec.nodes.back().g_ambient_w_per_k *= fan_factor;
+  return spec;
+}
+
+LumpedParams lumped_equivalent(const ThermalNetworkSpec& spec,
+                               double leak_a_w_per_k2, double leak_theta_k) {
+  LumpedParams p;
+  p.t_ambient_k = spec.t_ambient_k;
+  p.g_w_per_k = 0.0;
+  p.c_j_per_k = 0.0;
+  for (const ThermalNodeSpec& n : spec.nodes) {
+    p.g_w_per_k += n.g_ambient_w_per_k;
+    p.c_j_per_k += n.capacitance_j_per_k;
+  }
+  p.leak_a_w_per_k2 = leak_a_w_per_k2;
+  p.leak_theta_k = leak_theta_k;
+  return p;
+}
+
+}  // namespace mobitherm::thermal

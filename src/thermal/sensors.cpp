@@ -1,0 +1,34 @@
+#include "thermal/sensors.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace mobitherm::thermal {
+
+TemperatureSensor::TemperatureSensor(Config config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  if (config_.period_s <= 0.0) {
+    throw util::ConfigError("TemperatureSensor: period must be positive");
+  }
+}
+
+void TemperatureSensor::feed(double dt, double t_k) {
+  if (dt <= 0.0) {
+    return;
+  }
+  accum_time_ += dt;
+  while (accum_time_ >= config_.period_s) {
+    double sample = t_k;
+    if (config_.noise_stddev_k > 0.0) {
+      sample += rng_.normal(0.0, config_.noise_stddev_k);
+    }
+    if (config_.lsb_k > 0.0) {
+      sample = std::round(sample / config_.lsb_k) * config_.lsb_k;
+    }
+    last_k_ = sample;
+    accum_time_ -= config_.period_s;
+  }
+}
+
+}  // namespace mobitherm::thermal

@@ -1,0 +1,44 @@
+// Temperature sensor model: periodic sampling, Gaussian noise, LSB
+// quantization. Governors read sensors, never the true node state, matching
+// how the kernel thermal framework sees the hardware TMU.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.h"
+
+namespace mobitherm::thermal {
+
+class TemperatureSensor {
+ public:
+  struct Config {
+    std::string name = "tmu";
+    double period_s = 0.1;      // TMU refresh interval
+    double noise_stddev_k = 0.0;
+    double lsb_k = 0.0;         // quantization step; XU3 TMUs report 1 degC
+    std::uint64_t seed = 3;
+  };
+
+  explicit TemperatureSensor(Config config);
+
+  /// Advance time by dt with true temperature `t_k`.
+  void feed(double dt, double t_k);
+
+  /// Most recent latched reading; before the first sample, returns the
+  /// initial value passed to prime().
+  double last_k() const { return last_k_; }
+
+  /// Seed the pre-first-sample reading (typically ambient).
+  void prime(double t_k) { last_k_ = t_k; }
+
+  const std::string& name() const { return config_.name; }
+
+ private:
+  Config config_;
+  util::Xorshift64Star rng_;
+  double accum_time_ = 0.0;
+  double last_k_ = 298.15;
+};
+
+}  // namespace mobitherm::thermal

@@ -1,0 +1,33 @@
+#include "thermal/skin.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace mobitherm::thermal {
+
+SkinEstimator::SkinEstimator(SkinModelParams params)
+    : params_(params), skin_k_(params.t_ambient_k) {
+  if (params_.alpha < 0.0 || params_.alpha > 1.0) {
+    throw util::ConfigError("SkinEstimator: alpha must be in [0, 1]");
+  }
+  if (params_.tau_s <= 0.0 || params_.t_ambient_k <= 0.0) {
+    throw util::ConfigError("SkinEstimator: invalid parameters");
+  }
+}
+
+void SkinEstimator::step(double board_temp_k, double dt) {
+  if (dt <= 0.0) {
+    return;
+  }
+  const double target = steady_skin_k(board_temp_k);
+  // Exact first-order response over the step (board held constant).
+  skin_k_ = target + (skin_k_ - target) * std::exp(-dt / params_.tau_s);
+}
+
+double SkinEstimator::steady_skin_k(double board_temp_k) const {
+  return params_.alpha * board_temp_k +
+         (1.0 - params_.alpha) * params_.t_ambient_k;
+}
+
+}  // namespace mobitherm::thermal

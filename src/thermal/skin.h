@@ -1,0 +1,44 @@
+// Skin-temperature estimation.
+//
+// The paper motivates thermal management with *skin* temperature ("power
+// dissipation increases not only the junction temperature ... but also the
+// skin temperature of the platforms, which directly impacts the user
+// satisfaction", citing Egilmez'15 and Park'18). The device surface is not
+// directly instrumented, so shipping governors estimate it from internal
+// sensors. This model uses the common first-order form: the skin tracks a
+// blend of the case/board temperature and ambient with a slow time
+// constant,
+//     tau * dT_skin/dt = alpha*T_board + (1-alpha)*T_amb - T_skin.
+#pragma once
+
+namespace mobitherm::thermal {
+
+struct SkinModelParams {
+  /// Weight of the board/case temperature in the steady-state blend.
+  double alpha = 0.70;
+  /// Skin time constant (s); plastic/glass backs are slow.
+  double tau_s = 45.0;
+  double t_ambient_k = 298.15;
+};
+
+class SkinEstimator {
+ public:
+  explicit SkinEstimator(SkinModelParams params);
+
+  const SkinModelParams& params() const { return params_; }
+
+  /// Advance the estimate by dt with the current board temperature.
+  void step(double board_temp_k, double dt);
+
+  double skin_temp_k() const { return skin_k_; }
+  void reset(double t_k) { skin_k_ = t_k; }
+
+  /// Where the skin would settle if the board held this temperature.
+  double steady_skin_k(double board_temp_k) const;
+
+ private:
+  SkinModelParams params_;
+  double skin_k_;
+};
+
+}  // namespace mobitherm::thermal

@@ -1,0 +1,69 @@
+#include "util/csv.h"
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace mobitherm::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), width_(header.size()) {
+  if (!out_) {
+    throw ConfigError("CsvWriter: cannot open " + path);
+  }
+  if (header.empty()) {
+    throw ConfigError("CsvWriter: empty header");
+  }
+  row(header);
+}
+
+CsvWriter::~CsvWriter() = default;
+
+void CsvWriter::row(const std::vector<double>& cells) {
+  if (cells.size() != width_) {
+    throw ConfigError("CsvWriter: row width mismatch");
+  }
+  std::ostringstream line;
+  line.precision(12);  // round-trips physical quantities without bloat
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) {
+      line << ',';
+    }
+    line << cells[i];
+  }
+  out_ << line.str() << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (cells.size() != width_) {
+    throw ConfigError("CsvWriter: row width mismatch");
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) {
+      out_ << ',';
+    }
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::flush() { out_.flush(); }
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) {
+    return field;
+  }
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') {
+      quoted += "\"\"";
+    } else {
+      quoted += c;
+    }
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace mobitherm::util

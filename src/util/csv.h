@@ -1,0 +1,39 @@
+// Minimal CSV writer used to export simulation traces for plotting.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mobitherm::util {
+
+/// Streams rows of doubles/strings to a CSV file. Quotes are applied only
+/// when needed (comma, quote or newline inside a field).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws ConfigError
+  /// if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Write one row of numeric cells; must match the header width.
+  void row(const std::vector<double>& cells);
+
+  /// Write one row of pre-formatted string cells; must match header width.
+  void row(const std::vector<std::string>& cells);
+
+  /// Flush buffered output to disk.
+  void flush();
+
+ private:
+  static std::string escape(const std::string& field);
+
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+}  // namespace mobitherm::util

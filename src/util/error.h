@@ -1,0 +1,43 @@
+// Error types for mobitherm. Configuration and usage errors throw
+// ConfigError; numerical failures (non-convergence, singular systems) throw
+// NumericError. Internal invariants use MOBITHERM_ASSERT, which is active in
+// all build types (the library is a research tool; silent corruption is
+// worse than an abort).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace mobitherm::util {
+
+/// Thrown for invalid configuration or API misuse (bad parameters, unknown
+/// names, out-of-range indices detected at the API boundary).
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a numerical routine fails to converge or encounters a
+/// singular / ill-conditioned system.
+class NumericError : public std::runtime_error {
+ public:
+  explicit NumericError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "mobitherm assertion failed: %s at %s:%d\n", expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace mobitherm::util
+
+#define MOBITHERM_ASSERT(expr)                                 \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::mobitherm::util::assert_fail(#expr, __FILE__, __LINE__); \
+    }                                                          \
+  } while (false)

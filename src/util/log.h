@@ -1,0 +1,38 @@
+// Leveled logging to stderr. The simulator and governors log at Debug/Info;
+// tests and benches raise the threshold to keep output clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mobitherm::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line (used by the MOBITHERM_LOG macro).
+void log_message(LogLevel level, const std::string& message);
+
+}  // namespace mobitherm::util
+
+#define MOBITHERM_LOG(level, expr)                                      \
+  do {                                                                  \
+    if (static_cast<int>(level) >=                                      \
+        static_cast<int>(::mobitherm::util::log_level())) {             \
+      std::ostringstream mobitherm_log_stream;                          \
+      mobitherm_log_stream << expr;                                     \
+      ::mobitherm::util::log_message(level, mobitherm_log_stream.str()); \
+    }                                                                   \
+  } while (false)
+
+#define MOBITHERM_DEBUG(expr) \
+  MOBITHERM_LOG(::mobitherm::util::LogLevel::kDebug, expr)
+#define MOBITHERM_INFO(expr) \
+  MOBITHERM_LOG(::mobitherm::util::LogLevel::kInfo, expr)
+#define MOBITHERM_WARN(expr) \
+  MOBITHERM_LOG(::mobitherm::util::LogLevel::kWarn, expr)
+#define MOBITHERM_ERROR(expr) \
+  MOBITHERM_LOG(::mobitherm::util::LogLevel::kError, expr)

@@ -1,0 +1,56 @@
+// PELT-style exponentially decayed load tracking.
+//
+// The kernel's Per-Entity Load Tracking accumulates runnable time in ~1 ms
+// segments, decaying history geometrically so that ~32 ms of history holds
+// half the weight. mobitherm's windows use rectangular averaging (the
+// paper's 1 s filter); PeltSignal provides the kernel-faithful alternative
+// for governors that want it (see governors::Schedutil's pelt option).
+#pragma once
+
+#include <cmath>
+
+namespace mobitherm::util {
+
+class PeltSignal {
+ public:
+  /// `half_life_s`: time after which a contribution's weight halves
+  /// (kernel default ~32 ms).
+  explicit PeltSignal(double half_life_s = 0.032)
+      : decay_per_s_(std::log(2.0) / half_life_s) {}
+
+  /// Record that the tracked entity ran at `level` (e.g. utilization in
+  /// [0,1]) for `dt` seconds.
+  void update(double dt, double level) {
+    if (dt <= 0.0) {
+      return;
+    }
+    // Continuous-time limit of the PELT recurrence: both the value and the
+    // normalization decay by e^{-k dt}, with the new segment contributing
+    // its exact integral.
+    const double decay = std::exp(-decay_per_s_ * dt);
+    const double segment = (1.0 - decay) / decay_per_s_;  // integral weight
+    value_ = value_ * decay + level * segment;
+    weight_ = weight_ * decay + segment;
+  }
+
+  /// Current decayed average; `fallback` before any update.
+  double load(double fallback = 0.0) const {
+    return weight_ > 0.0 ? value_ / weight_ : fallback;
+  }
+
+  /// Fraction of the asymptotic history already accumulated (0 -> cold,
+  /// ~1 -> warm).
+  double warmth() const { return weight_ * decay_per_s_; }
+
+  void reset() {
+    value_ = 0.0;
+    weight_ = 0.0;
+  }
+
+ private:
+  double decay_per_s_;
+  double value_ = 0.0;
+  double weight_ = 0.0;
+};
+
+}  // namespace mobitherm::util

@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic elements in mobitherm (workload jitter, sensor noise) draw
+// from explicitly seeded Xorshift64Star instances so that every simulation,
+// test and benchmark run is bit-reproducible. std::mt19937 is avoided only
+// to keep the state small and the sequence identical across standard
+// library implementations.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace mobitherm::util {
+
+/// xorshift64* generator (Vigna, 2016). Passes BigCrush for our purposes
+/// and has a 64-bit state that is trivially copyable.
+class Xorshift64Star {
+ public:
+  explicit constexpr Xorshift64Star(std::uint64_t seed)
+      : state_(seed != 0 ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+  /// Next raw 64-bit value.
+  constexpr std::uint64_t next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal deviate (Box-Muller; one value per call, the twin is
+  /// discarded to keep the call sequence simple and deterministic).
+  double normal() {
+    // Avoid log(0) by mapping into (0, 1].
+    const double u1 = 1.0 - uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) { return n == 0 ? 0 : next() % n; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Split a seed into a stream-specific seed; used to give each simulated
+/// component (per-app jitter, per-sensor noise) an independent stream from
+/// one top-level seed.
+constexpr std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream) {
+  // SplitMix64 finalizer over (seed, stream).
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace mobitherm::util

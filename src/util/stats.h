@@ -1,0 +1,68 @@
+// Small statistics helpers shared by the trace recorder and benches.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+
+namespace mobitherm::util {
+
+/// Median of a sample set (average of the two middle elements for even n).
+/// The input is copied; an empty input throws.
+inline double median(std::vector<double> values) {
+  if (values.empty()) {
+    throw ConfigError("median of empty sample set");
+  }
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  if (n % 2 == 1) {
+    return values[n / 2];
+  }
+  return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+/// Linear-interpolation percentile, p in [0, 100].
+inline double percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    throw ConfigError("percentile of empty sample set");
+  }
+  if (p < 0.0 || p > 100.0) {
+    throw ConfigError("percentile p out of [0, 100]");
+  }
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) {
+    return values.front();
+  }
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+inline double mean(const std::vector<double>& values) {
+  if (values.empty()) {
+    throw ConfigError("mean of empty sample set");
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+inline double stddev(const std::vector<double>& values) {
+  if (values.size() < 2) {
+    return 0.0;
+  }
+  const double m = mean(values);
+  double acc = 0.0;
+  for (double v : values) {
+    acc += (v - m) * (v - m);
+  }
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+}  // namespace mobitherm::util

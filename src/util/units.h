@@ -1,0 +1,53 @@
+// Unit conventions and conversion helpers used across mobitherm.
+//
+// All internal computations use SI units:
+//   temperature  -> kelvin   (double)
+//   power        -> watt     (double)
+//   frequency    -> hertz    (double)
+//   time         -> second   (double)
+//   capacitance  -> J/K, conductance -> W/K
+//
+// User-facing presentation (traces, tables) converts to degC / MHz / ms at
+// the edge, via the helpers below.
+#pragma once
+
+namespace mobitherm::util {
+
+inline constexpr double kZeroCelsiusInKelvin = 273.15;
+
+/// Convert a temperature in degrees Celsius to kelvin.
+constexpr double celsius_to_kelvin(double celsius) {
+  return celsius + kZeroCelsiusInKelvin;
+}
+
+/// Convert a temperature in kelvin to degrees Celsius.
+constexpr double kelvin_to_celsius(double kelvin) {
+  return kelvin - kZeroCelsiusInKelvin;
+}
+
+/// Convert a frequency in megahertz to hertz.
+constexpr double mhz_to_hz(double mhz) { return mhz * 1.0e6; }
+
+/// Convert a frequency in hertz to megahertz.
+constexpr double hz_to_mhz(double hz) { return hz * 1.0e-6; }
+
+/// Convert milliseconds to seconds.
+constexpr double ms_to_s(double ms) { return ms * 1.0e-3; }
+
+/// Convert seconds to milliseconds.
+constexpr double s_to_ms(double s) { return s * 1.0e3; }
+
+/// Convert milliwatts to watts.
+constexpr double mw_to_w(double mw) { return mw * 1.0e-3; }
+
+/// Boltzmann constant in eV/K; used to derive the leakage temperature
+/// constant theta = q*Vth/(eta*k) from a threshold voltage.
+inline constexpr double kBoltzmannEvPerK = 8.617333262e-5;
+
+/// Leakage temperature constant theta (kelvin) for a threshold voltage
+/// `vth_volts` and subthreshold-slope ideality factor `eta`.
+constexpr double leakage_theta(double vth_volts, double eta) {
+  return vth_volts / (eta * kBoltzmannEvPerK);
+}
+
+}  // namespace mobitherm::util

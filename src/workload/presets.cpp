@@ -1,0 +1,174 @@
+#include "workload/presets.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace mobitherm::workload {
+
+// Work units are abstract cycles: a cluster retires ipc * freq units per
+// core-second, so e.g. the Adreno 430 at 600 MHz delivers 6.0e8 units/s.
+
+AppSpec paperio() {
+  AppSpec app;
+  app.name = "paperio";
+  app.target_fps = 60.0;
+  app.phases = {
+      {10.0, 5.0e7, 1.70e7},  // action: GPU-bound, ~35 fps at 600 MHz
+      {5.0, 4.0e7, 1.20e7},   // regular play, ~50 fps
+      {4.0, 2.0e7, 0.60e7},   // menus / respawn: vsync-capped
+  };
+  app.jitter = 0.08;
+  app.cpu_threads = 2;
+  return app;
+}
+
+AppSpec stickman_hook() {
+  AppSpec app;
+  app.name = "stickman-hook";
+  app.target_fps = 60.0;
+  app.phases = {
+      {14.0, 4.0e7, 1.02e7},  // swing action: ~59 fps at 600 MHz
+      {4.0, 2.0e7, 0.50e7},   // level transitions
+  };
+  app.jitter = 0.06;
+  app.cpu_threads = 2;
+  return app;
+}
+
+AppSpec amazon() {
+  AppSpec app;
+  app.name = "amazon";
+  app.target_fps = 60.0;
+  app.phases = {
+      {10.0, 1.12e8, 2.0e6},  // scroll burst: single-core bound, ~35 fps
+      {2.0, 2.50e7, 1.0e6},   // reading a page
+      {2.0, 5.00e7, 1.5e6},   // image-heavy browse
+  };
+  app.jitter = 0.10;
+  app.cpu_threads = 1;  // main-thread-bound rendering pipeline
+  return app;
+}
+
+AppSpec hangouts() {
+  AppSpec app;
+  app.name = "hangouts";
+  app.target_fps = 45.0;  // camera-paced video pipeline
+  app.phases = {
+      {12.0, 9.3e7, 2.5e6},   // call with active video: ~42 fps at f_max
+      {4.0, 3.0e7, 1.5e6},    // muted / static scene
+  };
+  app.jitter = 0.07;
+  app.cpu_threads = 1;  // decode pipeline bound to one big core
+  return app;
+}
+
+AppSpec facebook() {
+  AppSpec app;
+  app.name = "facebook";
+  app.target_fps = 60.0;
+  app.phases = {
+      {9.0, 5.0e7, 1.70e7},   // in-app game (the paper plays a game here)
+      {4.0, 8.0e7, 0.40e7},   // feed scrolling
+      {2.0, 3.0e7, 0.20e7},   // reading
+  };
+  app.jitter = 0.09;
+  app.cpu_threads = 2;
+  return app;
+}
+
+std::vector<AppSpec> nexus_apps() {
+  return {paperio(), stickman_hook(), amazon(), hangouts(), facebook()};
+}
+
+AppSpec youtube() {
+  AppSpec app;
+  app.name = "youtube";
+  app.target_fps = 30.0;  // video cadence
+  app.phases = {
+      {20.0, 3.0e7, 2.0e6},   // steady playback (decode mostly in HW)
+      {2.0, 9.0e7, 4.0e6},    // seek: re-buffer burst
+  };
+  app.jitter = 0.05;
+  app.cpu_threads = 2;
+  return app;
+}
+
+AppSpec navigation() {
+  AppSpec app;
+  app.name = "navigation";
+  app.target_fps = 60.0;
+  app.phases = {
+      {15.0, 4.0e7, 6.0e6},   // cruising: map pan/render
+      {3.0, 1.1e8, 8.0e6},    // reroute: path recomputation burst
+  };
+  app.jitter = 0.08;
+  app.cpu_threads = 2;
+  return app;
+}
+
+AppSpec threedmark(double phase_s) {
+  AppSpec app;
+  app.name = "3dmark";
+  app.target_fps = 120.0;  // benchmark renders uncapped
+  app.phases = {
+      {phase_s, 2.8e7, 6.2e6},   // GT1: ~97 fps at 600 MHz
+      {phase_s, 2.6e7, 1.18e7},  // GT2: ~51 fps at 600 MHz
+  };
+  app.jitter = 0.0;
+  app.cpu_threads = 2;
+  app.realtime = true;  // registers itself per Sec. IV-B
+  return app;
+}
+
+AppSpec nenamark(int levels, double level_s) {
+  if (levels <= 0) {
+    throw util::ConfigError("nenamark: levels must be positive");
+  }
+  AppSpec app;
+  app.name = "nenamark";
+  app.target_fps = 120.0;
+  app.loop = false;
+  const double base_gpu_work = 1.25e7;
+  const double growth = 1.2;
+  for (int l = 0; l < levels; ++l) {
+    app.phases.push_back(
+        {level_s, 1.5e7, base_gpu_work * std::pow(growth, l)});
+  }
+  app.jitter = 0.0;
+  app.cpu_threads = 2;
+  app.realtime = true;
+  return app;
+}
+
+AppSpec bml() {
+  AppSpec app;
+  app.name = "bml";
+  app.target_fps = 0.0;  // batch: unbounded demand, measured by work done
+  app.phases = {{1.0, 1.0, 0.0}};
+  app.cls = sched::ProcessClass::kBackground;
+  app.cpu_threads = 1;
+  return app;
+}
+
+double nenamark_score(const std::vector<double>& level_fps,
+                      double threshold_fps) {
+  double score = 0.0;
+  double prev_fps = 0.0;
+  for (std::size_t i = 0; i < level_fps.size(); ++i) {
+    const double fps = level_fps[i];
+    if (fps >= threshold_fps) {
+      score = static_cast<double>(i + 1);
+      prev_fps = fps;
+      continue;
+    }
+    // First failing level: credit the fraction of the fps gap covered.
+    if (i > 0 && prev_fps > threshold_fps && prev_fps > fps) {
+      score += (prev_fps - threshold_fps) / (prev_fps - fps);
+    }
+    break;
+  }
+  return score;
+}
+
+}  // namespace mobitherm::workload

@@ -1,0 +1,55 @@
+// App presets for the paper's workloads.
+//
+// Nexus 6P study (Sec. III): Paper.io, Stickman Hook (GPU-heavy games),
+// Amazon (CPU-bound shopping), Google Hangouts (video conferencing),
+// Facebook (mixed, in-app game). Per-frame work values are calibrated so
+// the simulated median FPS with/without throttling lands near Table I.
+//
+// Odroid-XU3 study (Sec. IV-C): 3DMark (GT1/GT2 phases), Nenamark
+// (escalating levels; the levels metric is computed by the bench), and
+// MiBench basicmath-large (BML) as the background batch task.
+#pragma once
+
+#include "workload/app.h"
+
+namespace mobitherm::workload {
+
+// --- Nexus 6P apps -------------------------------------------------------
+AppSpec paperio();
+AppSpec stickman_hook();
+AppSpec amazon();
+AppSpec hangouts();
+AppSpec facebook();
+
+/// All five Table I apps, in the paper's order.
+std::vector<AppSpec> nexus_apps();
+
+// --- extra workloads (beyond the paper's app set) -------------------------
+
+/// Video playback: camera-paced 30 fps, hardware-assisted decode (light
+/// CPU), memory-heavy streaming.
+AppSpec youtube();
+
+/// Turn-by-turn navigation: map rendering at cruise plus periodic
+/// CPU-heavy rerouting bursts.
+AppSpec navigation();
+
+// --- Odroid-XU3 workloads ------------------------------------------------
+
+/// 3DMark: alternating Graphics Test 1 / Graphics Test 2 phases.
+/// Phase 0 = GT1, phase 1 = GT2 (each `phase_s` seconds, looping).
+AppSpec threedmark(double phase_s = 30.0);
+
+/// Nenamark: `levels` phases of growing GPU work; non-looping. The level
+/// score is derived from per-level FPS by nenamark_score().
+AppSpec nenamark(int levels = 8, double level_s = 20.0);
+
+/// MiBench basicmath-large: single-threaded CPU batch task.
+AppSpec bml();
+
+/// Nenamark levels metric: number of levels sustained above `threshold_fps`,
+/// with linear interpolation inside the first failing level.
+double nenamark_score(const std::vector<double>& level_fps,
+                      double threshold_fps = 30.0);
+
+}  // namespace mobitherm::workload

@@ -1,0 +1,169 @@
+// Tests for the throttling advisor and per-process energy accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/advisor.h"
+#include "platform/presets.h"
+#include "power/model.h"
+#include "sched/scheduler.h"
+#include "sim/engine.h"
+#include "stability/presets.h"
+#include "thermal/presets.h"
+#include "util/error.h"
+#include "util/units.h"
+#include "workload/presets.h"
+
+namespace mobitherm::core {
+namespace {
+
+using util::celsius_to_kelvin;
+
+struct Fixture {
+  platform::SocSpec spec = platform::snapdragon810();
+  stability::Params params = stability::nexus6p_params();
+  power::PowerModel pm{spec,
+                       power::LeakageParams{params.leak_theta_k,
+                                            params.leak_a_w_per_k2}};
+  AdvisorConfig config() {
+    AdvisorConfig cfg;
+    cfg.trip_temp_k = celsius_to_kelvin(41.0);
+    cfg.base_power_w = 0.9;
+    return cfg;
+  }
+};
+
+TEST(Advisor, RejectsEmptyApp) {
+  Fixture f;
+  workload::AppSpec empty;
+  empty.name = "empty";
+  EXPECT_THROW(advise(f.spec, f.pm, f.params, empty, f.config()),
+               util::ConfigError);
+}
+
+TEST(Advisor, GameExpectsThrottlingLightAppDoesNot) {
+  Fixture f;
+  // Paper.io heats past the trip point (Fig. 1) -> advisor must flag it.
+  const AppAdvice game =
+      advise(f.spec, f.pm, f.params, workload::paperio(), f.config());
+  EXPECT_TRUE(game.throttling_expected);
+  EXPECT_GT(game.app_power_w, 1.0);
+  EXPECT_LT(game.recommended_scale, 1.0);
+  EXPECT_GT(game.recommended_scale, 0.0);
+
+  // A near-idle app stays under the trip.
+  workload::AppSpec light;
+  light.name = "light";
+  light.target_fps = 30.0;
+  light.phases = {{10.0, 1.0e6, 1.0e5}};
+  const AppAdvice idle =
+      advise(f.spec, f.pm, f.params, light, f.config());
+  EXPECT_FALSE(idle.throttling_expected);
+  EXPECT_DOUBLE_EQ(idle.recommended_scale, 1.0);
+  EXPECT_LT(idle.steady_temp_k, celsius_to_kelvin(41.0));
+}
+
+TEST(Advisor, SteadyTempMatchesStabilityAnalysis) {
+  Fixture f;
+  const AppAdvice a =
+      advise(f.spec, f.pm, f.params, workload::amazon(), f.config());
+  EXPECT_NEAR(a.steady_temp_k,
+              stability::stable_temperature(f.params, a.total_power_w),
+              1e-9);
+  EXPECT_NEAR(a.total_power_w, a.app_power_w + 0.9, 1e-12);
+}
+
+TEST(Advisor, RecommendedScaleMakesTheAppSustainable) {
+  Fixture f;
+  const AdvisorConfig cfg = f.config();
+  const AppAdvice before =
+      advise(f.spec, f.pm, f.params, workload::paperio(), cfg);
+  ASSERT_TRUE(before.throttling_expected);
+
+  // Apply the recommendation and re-advise: now sustainable.
+  workload::AppSpec scaled = workload::paperio();
+  for (workload::Phase& ph : scaled.phases) {
+    ph.cpu_work_per_frame *= before.recommended_scale;
+    ph.gpu_work_per_frame *= before.recommended_scale;
+  }
+  const AppAdvice after = advise(f.spec, f.pm, f.params, scaled, cfg);
+  EXPECT_FALSE(after.throttling_expected);
+  EXPECT_LE(after.steady_temp_k, cfg.trip_temp_k + 0.5);
+}
+
+TEST(Advisor, RunawayPowerReportsNanSteadyTemp) {
+  Fixture f;
+  workload::AppSpec monster;
+  monster.name = "monster";
+  monster.target_fps = 60.0;
+  monster.phases = {{10.0, 1.0e12, 1.0e12}};
+  monster.cpu_threads = 4;
+  AdvisorConfig cfg = f.config();
+  cfg.base_power_w = 40.0;  // push past the (high) Nexus critical power
+  const AppAdvice a = advise(f.spec, f.pm, f.params, monster, cfg);
+  EXPECT_TRUE(a.throttling_expected);
+  EXPECT_TRUE(std::isnan(a.steady_temp_k));
+}
+
+TEST(Advisor, BatchAppUsesFullCoreDemand) {
+  Fixture f;
+  const AppAdvice a =
+      advise(f.spec, f.pm, f.params, workload::bml(), f.config());
+  // One saturated big core at the top OPP.
+  EXPECT_NEAR(a.app_power_w,
+              f.pm.dynamic_per_core_at(
+                  f.spec.big(), f.spec.clusters[f.spec.big()].opps.max_index()),
+              1e-9);
+}
+
+// --- per-process energy ---------------------------------------------------------
+
+TEST(ProcessEnergy, AccumulatesAttributedEnergy) {
+  const platform::SocSpec spec = platform::exynos5422();
+  platform::Soc soc(spec);
+  sched::Scheduler sched(spec);
+  for (std::size_t c = 0; c < soc.num_clusters(); ++c) {
+    soc.set_opp(c, spec.clusters[c].opps.max_index());
+  }
+  sched::ProcessSpec ps;
+  ps.name = "p";
+  ps.threads = 1;
+  const sched::Pid pid = sched.spawn(ps, spec.big());
+  sched.process(pid).set_demand_rate(4.0e9);
+  for (int i = 0; i < 100; ++i) {
+    sched.allocate(soc, 0.01);
+    sched.attribute_power(spec.big(), 2.0, 0.01);
+  }
+  EXPECT_NEAR(sched.process(pid).consumed_energy_j(), 2.0, 1e-9);
+  EXPECT_NEAR(sched.process(pid).energy_per_work(), 2.0 / 4.0e9, 1e-15);
+}
+
+TEST(ProcessEnergy, EngineAttributesEnergyToApps) {
+  const stability::Params p = stability::odroid_xu3_params();
+  sim::Engine engine(platform::exynos5422(), thermal::odroidxu3_network(),
+                     power::LeakageParams{p.leak_theta_k,
+                                          p.leak_a_w_per_k2},
+                     0.25);
+  const std::size_t game = engine.add_app(workload::threedmark());
+  const std::size_t hog = engine.add_app(workload::bml());
+  engine.run(10.0);
+  const double game_energy =
+      engine.scheduler()
+          .process(engine.app(game).cpu_pid())
+          .consumed_energy_j() +
+      engine.scheduler()
+          .process(engine.app(game).gpu_pid())
+          .consumed_energy_j();
+  const double hog_energy = engine.scheduler()
+                                .process(engine.app(hog).cpu_pid())
+                                .consumed_energy_j();
+  EXPECT_GT(game_energy, 5.0);
+  EXPECT_GT(hog_energy, 3.0);
+  // Attributed (dynamic) energy is below the total rail energy, which
+  // also carries idle and leakage.
+  EXPECT_LT(game_energy + hog_energy,
+            engine.trace().total_rail_energy_j());
+}
+
+}  // namespace
+}  // namespace mobitherm::core

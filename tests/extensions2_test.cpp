@@ -1,0 +1,233 @@
+// Tests for the second extension batch: bang_bang / fair_share thermal
+// policies, thermal-network flow introspection, and engine app lifecycle
+// (delayed start, suspend/resume).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "governors/thermal.h"
+#include "platform/presets.h"
+#include "sim/engine.h"
+#include "stability/presets.h"
+#include "thermal/network.h"
+#include "thermal/presets.h"
+#include "util/error.h"
+#include "util/units.h"
+#include "workload/presets.h"
+
+namespace mobitherm {
+namespace {
+
+using util::ConfigError;
+using util::celsius_to_kelvin;
+
+// --- bang_bang --------------------------------------------------------------
+
+governors::ThermalContext ctx_at(double temp_c) {
+  governors::ThermalContext ctx;
+  ctx.control_temp_k = celsius_to_kelvin(temp_c);
+  return ctx;
+}
+
+TEST(BangBang, TwoPositionBehaviour) {
+  const platform::SocSpec spec = platform::exynos5422();
+  governors::BangBangGovernor::Config cfg;
+  cfg.trip_k = celsius_to_kelvin(85.0);
+  cfg.hysteresis_k = 5.0;
+  cfg.floor_index = 2;
+  governors::BangBangGovernor gov(spec, cfg);
+  const std::size_t big = spec.big();
+  const std::size_t top = spec.clusters[big].opps.max_index();
+
+  EXPECT_EQ(gov.cap_index(big), top);
+  gov.update(ctx_at(90.0));
+  EXPECT_TRUE(gov.tripped());
+  EXPECT_EQ(gov.cap_index(big), 2u);
+  // Inside the hysteresis band: still tripped.
+  gov.update(ctx_at(82.0));
+  EXPECT_TRUE(gov.tripped());
+  // Below trip - hysteresis: full release, no intermediate levels.
+  gov.update(ctx_at(79.0));
+  EXPECT_FALSE(gov.tripped());
+  EXPECT_EQ(gov.cap_index(big), top);
+}
+
+TEST(BangBang, MemoryIsNotAnActorByDefault) {
+  const platform::SocSpec spec = platform::exynos5422();
+  governors::BangBangGovernor gov(spec,
+                                  governors::BangBangGovernor::Config{});
+  gov.update(ctx_at(200.0));
+  const std::size_t mem =
+      spec.index_of_kind(platform::ResourceKind::kMemory);
+  EXPECT_EQ(gov.cap_index(mem), spec.clusters[mem].opps.max_index());
+  EXPECT_EQ(gov.cap_index(spec.big()), 0u);
+}
+
+TEST(BangBang, ValidatesActors) {
+  const platform::SocSpec spec = platform::exynos5422();
+  governors::BangBangGovernor::Config cfg;
+  cfg.actors = {99};
+  EXPECT_THROW(governors::BangBangGovernor gov(spec, cfg), ConfigError);
+}
+
+// --- fair_share ----------------------------------------------------------------
+
+TEST(FairShare, CapScalesWithDepthIntoBand) {
+  const platform::SocSpec spec = platform::exynos5422();
+  governors::FairShareGovernor::Config cfg;
+  cfg.trip_k = celsius_to_kelvin(80.0);
+  cfg.max_temp_k = celsius_to_kelvin(100.0);
+  governors::FairShareGovernor gov(spec, cfg);
+  const std::size_t big = spec.big();
+  const std::size_t top = spec.clusters[big].opps.max_index();
+
+  gov.update(ctx_at(70.0));  // below trip
+  EXPECT_EQ(gov.cap_index(big), top);
+  gov.update(ctx_at(90.0));  // halfway into the band
+  EXPECT_NEAR(static_cast<double>(gov.cap_index(big)), 0.5 * top, 1.0);
+  gov.update(ctx_at(100.0));  // at max temp
+  EXPECT_EQ(gov.cap_index(big), 0u);
+  gov.update(ctx_at(150.0));  // beyond: clamped
+  EXPECT_EQ(gov.cap_index(big), 0u);
+}
+
+TEST(FairShare, WeightsBiasTheThrottling) {
+  const platform::SocSpec spec = platform::exynos5422();
+  governors::FairShareGovernor::Config cfg;
+  cfg.trip_k = celsius_to_kelvin(80.0);
+  cfg.max_temp_k = celsius_to_kelvin(100.0);
+  cfg.weights.assign(spec.clusters.size(), 0.0);
+  cfg.weights[spec.big()] = 2.0;   // throttled twice as hard
+  cfg.weights[spec.gpu()] = 1.0;
+  governors::FairShareGovernor gov(spec, cfg);
+  gov.update(ctx_at(85.0));  // depth 0.25
+  const double big_frac =
+      static_cast<double>(gov.cap_index(spec.big())) /
+      spec.clusters[spec.big()].opps.max_index();
+  const double gpu_frac =
+      static_cast<double>(gov.cap_index(spec.gpu())) /
+      spec.clusters[spec.gpu()].opps.max_index();
+  EXPECT_LT(big_frac, gpu_frac);
+  // Zero-weight clusters are untouched.
+  EXPECT_EQ(gov.cap_index(spec.little()),
+            spec.clusters[spec.little()].opps.max_index());
+}
+
+TEST(FairShare, ValidatesConfig) {
+  const platform::SocSpec spec = platform::exynos5422();
+  governors::FairShareGovernor::Config bad;
+  bad.max_temp_k = bad.trip_k;  // empty band
+  EXPECT_THROW(governors::FairShareGovernor gov(spec, bad), ConfigError);
+  governors::FairShareGovernor::Config wrong;
+  wrong.max_temp_k = wrong.trip_k + 10.0;
+  wrong.weights = {1.0};
+  EXPECT_THROW(governors::FairShareGovernor gov2(spec, wrong), ConfigError);
+}
+
+// --- network flow introspection ----------------------------------------------------
+
+TEST(NetworkFlows, LinkAndAmbientFlowsBalanceAtSteadyState) {
+  thermal::ThermalNetworkSpec spec;
+  spec.t_ambient_k = 300.0;
+  spec.nodes = {{"chip", 0.5, 0.01}, {"board", 5.0, 0.1}};
+  spec.links = {{0, 1, 0.5}};
+  thermal::ThermalNetwork net(spec);
+  const linalg::Vector power = {2.0, 0.0};
+  net.set_temperatures(net.steady_state(power));
+
+  // Chip balance: injection == link flow + ambient flow.
+  EXPECT_NEAR(net.link_flow_w(0) + net.ambient_flow_w(0), 2.0, 1e-9);
+  // Board balance: link inflow == board ambient outflow.
+  EXPECT_NEAR(net.link_flow_w(0), net.ambient_flow_w(1), 1e-9);
+  // Flow direction: chip -> board (chip is hotter).
+  EXPECT_GT(net.link_flow_w(0), 0.0);
+  EXPECT_THROW(net.link_flow_w(1), ConfigError);
+  EXPECT_THROW(net.ambient_flow_w(2), ConfigError);
+}
+
+// --- engine app lifecycle -----------------------------------------------------------
+
+power::LeakageParams odroid_leakage() {
+  const stability::Params p = stability::odroid_xu3_params();
+  return power::LeakageParams{p.leak_theta_k, p.leak_a_w_per_k2};
+}
+
+TEST(AppLifecycle, DelayedAppStartsLater) {
+  sim::Engine engine(platform::exynos5422(), thermal::odroidxu3_network(),
+                     odroid_leakage(), 0.25);
+  const std::size_t late = engine.add_app_at(workload::bml(), 5.0);
+  engine.run(4.0);
+  EXPECT_DOUBLE_EQ(
+      engine.scheduler().process(engine.app(late).cpu_pid()).granted_rate(),
+      0.0);
+  const double before =
+      engine.scheduler().process(engine.app(late).cpu_pid()).completed_work();
+  EXPECT_DOUBLE_EQ(before, 0.0);
+  engine.run(4.0);  // now past the start time
+  EXPECT_GT(
+      engine.scheduler().process(engine.app(late).cpu_pid()).completed_work(),
+      1.0e9);
+  EXPECT_THROW(engine.add_app_at(workload::bml(), -1.0), ConfigError);
+}
+
+TEST(AppLifecycle, SuspendStopsDemandResumeRestoresIt) {
+  sim::Engine engine(platform::exynos5422(), thermal::odroidxu3_network(),
+                     odroid_leakage(), 0.25);
+  const std::size_t hog = engine.add_app(workload::bml());
+  engine.run(2.0);
+  const double work_before =
+      engine.scheduler().process(engine.app(hog).cpu_pid()).completed_work();
+  EXPECT_GT(work_before, 0.0);
+
+  engine.suspend_app(hog);
+  EXPECT_TRUE(engine.app_suspended(hog));
+  engine.run(2.0);
+  const double work_suspended =
+      engine.scheduler().process(engine.app(hog).cpu_pid()).completed_work();
+  EXPECT_NEAR(work_suspended, work_before, 1e-6 * work_before + 1e7);
+
+  engine.resume_app(hog);
+  engine.run(2.0);
+  EXPECT_GT(
+      engine.scheduler().process(engine.app(hog).cpu_pid()).completed_work(),
+      work_suspended + 1.0e9);
+  EXPECT_THROW(engine.suspend_app(99), ConfigError);
+  EXPECT_THROW(engine.resume_app(99), ConfigError);
+  EXPECT_THROW(engine.app_suspended(99), ConfigError);
+}
+
+TEST(AppLifecycle, SuspendingTheHogCoolsTheSystem) {
+  sim::Engine engine(platform::exynos5422(), thermal::odroidxu3_network(),
+                     odroid_leakage(), 0.25);
+  const std::size_t hog = engine.add_app(workload::bml());
+  engine.run(150.0);  // approach the loaded steady state (~50 degC)
+  const double hot = engine.network().max_temperature();
+  engine.suspend_app(hog);
+  engine.run(60.0);
+  EXPECT_LT(engine.network().max_temperature(), hot - 2.0);
+}
+
+// --- bang_bang end-to-end --------------------------------------------------------------
+
+TEST(BangBang, EngineOscillatesAroundTrip) {
+  const platform::SocSpec spec = platform::exynos5422();
+  sim::Engine engine(spec, thermal::odroidxu3_network(), odroid_leakage(),
+                     0.25);
+  engine.set_initial_temperature(celsius_to_kelvin(60.0));
+  governors::BangBangGovernor::Config cfg;
+  cfg.trip_k = celsius_to_kelvin(70.0);
+  cfg.hysteresis_k = 3.0;
+  cfg.polling_period_s = 0.5;
+  engine.set_thermal_governor(
+      std::make_unique<governors::BangBangGovernor>(spec, cfg));
+  engine.add_app(workload::threedmark());
+  engine.run(120.0);
+  // The temperature hovers near the trip band instead of running away.
+  EXPECT_LT(engine.network().max_temperature(), celsius_to_kelvin(76.0));
+  EXPECT_GT(engine.network().max_temperature(), celsius_to_kelvin(62.0));
+  // Bang-bang causes repeated full-throttle episodes (contradictions).
+  EXPECT_GE(engine.conflict_episodes(spec.gpu()), 2u);
+}
+
+}  // namespace
+}  // namespace mobitherm

@@ -1,0 +1,212 @@
+// Tests for the floorplan-derived thermal networks, DVFS transition costs,
+// and the interactive governor's input boost.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "governors/cpufreq.h"
+#include "platform/presets.h"
+#include "sim/engine.h"
+#include "stability/presets.h"
+#include "thermal/floorplan.h"
+#include "thermal/network.h"
+#include "thermal/presets.h"
+#include "util/error.h"
+#include "util/units.h"
+#include "workload/presets.h"
+
+namespace mobitherm {
+namespace {
+
+using util::ConfigError;
+
+// --- geometry helpers ------------------------------------------------------------
+
+TEST(Floorplan, IntervalOverlap) {
+  EXPECT_DOUBLE_EQ(thermal::interval_overlap(0.0, 2.0, 1.0, 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(thermal::interval_overlap(0.0, 1.0, 2.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(thermal::interval_overlap(0.0, 4.0, 1.0, 2.0), 1.0);
+}
+
+TEST(Floorplan, AdjacencyAndSharedEdges) {
+  const thermal::Block a{"a", 0.0, 0.0, 2.0, 2.0};
+  const thermal::Block right{"r", 2.0, 0.5, 2.0, 2.0};
+  const thermal::Block above{"u", 0.0, 2.0, 1.0, 1.0};
+  const thermal::Block far{"f", 5.0, 5.0, 1.0, 1.0};
+  const thermal::Block corner{"c", 2.0, 2.0, 1.0, 1.0};
+
+  EXPECT_TRUE(thermal::blocks_adjacent(a, right));
+  EXPECT_NEAR(thermal::shared_edge_mm(a, right), 1.5, 1e-12);
+  EXPECT_TRUE(thermal::blocks_adjacent(a, above));
+  EXPECT_NEAR(thermal::shared_edge_mm(a, above), 1.0, 1e-12);
+  EXPECT_FALSE(thermal::blocks_adjacent(a, far));
+  // Touching only at a corner: no shared edge.
+  EXPECT_FALSE(thermal::blocks_adjacent(a, corner));
+}
+
+// --- network generation -----------------------------------------------------------
+
+TEST(Floorplan, GeneratesValidNetwork) {
+  const thermal::ThermalNetworkSpec spec = thermal::network_from_floorplan(
+      thermal::exynos5422_floorplan(), thermal::FloorplanParams{});
+  // 4 blocks + board node.
+  ASSERT_EQ(spec.nodes.size(), 5u);
+  EXPECT_EQ(spec.nodes.back().name, "board");
+  // Must construct (grounded, SPD) and behave.
+  thermal::ThermalNetwork net(spec);
+  EXPECT_GT(net.slowest_time_constant(), 5.0);
+  const linalg::Vector ss =
+      net.steady_state({0.2, 2.0, 1.5, 0.3, 0.25});
+  for (double t : ss) {
+    EXPECT_GT(t, spec.t_ambient_k);
+    EXPECT_LT(t, 500.0);
+  }
+}
+
+TEST(Floorplan, CapacitanceScalesWithArea) {
+  thermal::FloorplanParams params;
+  const auto spec = thermal::network_from_floorplan(
+      {{"small", 0.0, 0.0, 1.0, 1.0}, {"large", 1.0, 0.0, 4.0, 1.0}},
+      params);
+  EXPECT_NEAR(spec.nodes[0].capacitance_j_per_k, params.c_per_mm2, 1e-12);
+  EXPECT_NEAR(spec.nodes[1].capacitance_j_per_k, 4.0 * params.c_per_mm2,
+              1e-12);
+}
+
+TEST(Floorplan, AdjacentBlocksRunCloserInTemperature) {
+  // Heat one block; its edge-sharing neighbour ends up hotter than an
+  // equally-sized distant block.
+  const std::vector<thermal::Block> blocks = {
+      {"hot", 0.0, 0.0, 2.0, 2.0},
+      {"near", 2.0, 0.0, 2.0, 2.0},
+      {"far", 10.0, 10.0, 2.0, 2.0},
+  };
+  thermal::ThermalNetwork net(
+      thermal::network_from_floorplan(blocks, thermal::FloorplanParams{}));
+  const linalg::Vector ss = net.steady_state({2.0, 0.0, 0.0, 0.0});
+  EXPECT_GT(ss[0], ss[1]);
+  EXPECT_GT(ss[1], ss[2]);
+}
+
+TEST(Floorplan, RejectsBadInput) {
+  EXPECT_THROW(thermal::network_from_floorplan({}, {}), ConfigError);
+  EXPECT_THROW(thermal::network_from_floorplan(
+                   {{"zero", 0.0, 0.0, 0.0, 1.0}}, {}),
+               ConfigError);
+  EXPECT_THROW(thermal::network_from_floorplan(
+                   {{"a", 0.0, 0.0, 2.0, 2.0}, {"b", 1.0, 1.0, 2.0, 2.0}},
+                   {}),
+               ConfigError);  // overlapping
+}
+
+TEST(Floorplan, WorksAsEngineSubstrate) {
+  // The generated network drops straight into the engine in place of the
+  // hand-tuned preset.
+  const stability::Params p = stability::odroid_xu3_params();
+  thermal::FloorplanParams fp;
+  fp.board_g_ambient_w_per_k = 0.0778;  // match the preset's lumped G
+  sim::Engine engine(
+      platform::exynos5422(),
+      thermal::network_from_floorplan(thermal::exynos5422_floorplan(), fp),
+      power::LeakageParams{p.leak_theta_k, p.leak_a_w_per_k2}, 0.25);
+  engine.add_app(workload::threedmark());
+  engine.run(20.0);
+  EXPECT_GT(engine.network().max_temperature(), 310.0);
+  EXPECT_GT(engine.app(0).median_fps(), 40.0);
+}
+
+// --- DVFS transition cost -----------------------------------------------------------
+
+TEST(DvfsCost, TransitionsAreCounted) {
+  const stability::Params p = stability::odroid_xu3_params();
+  sim::Engine engine(platform::exynos5422(), thermal::odroidxu3_network(),
+                     power::LeakageParams{p.leak_theta_k, p.leak_a_w_per_k2},
+                     0.25);
+  engine.add_app(workload::threedmark());
+  engine.run(5.0);
+  const std::size_t big = engine.soc().spec().big();
+  // The interactive governor moves at least once off the boot OPP.
+  EXPECT_GE(engine.dvfs_transitions(big), 1u);
+  EXPECT_THROW(engine.dvfs_transitions(99), ConfigError);
+}
+
+TEST(DvfsCost, LatencyReducesThroughput) {
+  const stability::Params p = stability::odroid_xu3_params();
+  const power::LeakageParams leak{p.leak_theta_k, p.leak_a_w_per_k2};
+  auto run_with = [&](double latency) {
+    sim::EngineConfig cfg;
+    cfg.dvfs_latency_s = latency;
+    sim::Engine engine(platform::exynos5422(),
+                       thermal::odroidxu3_network(), leak, 0.25, cfg);
+    // Conservative governor on a jittery load switches often.
+    workload::AppSpec app = workload::threedmark();
+    app.jitter = 0.3;
+    app.jitter_interval_s = 0.1;
+    const std::size_t big = engine.soc().spec().big();
+    engine.set_cpufreq_governor(
+        big, std::make_unique<governors::Conservative>());
+    engine.add_app(app);
+    engine.run(20.0);
+    return engine.app(0).total_frames();
+  };
+  const double free_switches = run_with(0.0);
+  const double costly = run_with(0.0008);  // 0.8 ms of every 1 ms tick
+  EXPECT_LT(costly, free_switches);
+}
+
+TEST(DvfsCost, PenaltyValidation) {
+  sched::Scheduler sched(platform::exynos5422());
+  EXPECT_THROW(sched.set_capacity_penalty(99, 0.5), ConfigError);
+  EXPECT_THROW(sched.set_capacity_penalty(0, 1.5), ConfigError);
+}
+
+// --- input boost ----------------------------------------------------------------------
+
+TEST(InputBoost, InteractiveJumpsToHispeedOnInput) {
+  governors::Interactive gov;
+  const platform::OppTable table = platform::OppTable::from_mhz_mv(
+      {{200.0, 900.0}, {400.0, 950.0}, {600.0, 1000.0}, {800.0, 1050.0},
+       {1000.0, 1100.0}});
+  governors::CpufreqInputs idle;
+  idle.utilization = 0.0;
+  idle.current_index = 0;
+  EXPECT_EQ(gov.decide(idle, table), 0u);
+  gov.notify_input();
+  EXPECT_TRUE(gov.boosted());
+  // Boost holds the request at/above hispeed (0.8 * 1000 -> index 3).
+  EXPECT_EQ(gov.decide(idle, table), 3u);
+  // After the boost duration it decays back.
+  for (int i = 0; i < 60; ++i) {
+    gov.decide(idle, table);
+  }
+  EXPECT_FALSE(gov.boosted());
+}
+
+TEST(InputBoost, EngineInjectionRaisesCpuFrequency) {
+  const stability::Params p = stability::odroid_xu3_params();
+  sim::EngineConfig cfg;
+  cfg.input_event_interval_s = 0.2;  // constant tapping
+  sim::Engine engine(platform::exynos5422(), thermal::odroidxu3_network(),
+                     power::LeakageParams{p.leak_theta_k, p.leak_a_w_per_k2},
+                     0.25, cfg);
+  // No load at all: without input the interactive governor would sit at
+  // the lowest OPP; the touch boost keeps it at/above hispeed.
+  engine.run(5.0);
+  const std::size_t big = engine.soc().spec().big();
+  const double hispeed =
+      0.8 * engine.soc().cluster(big).opps.highest().freq_hz;
+  EXPECT_GE(engine.soc().frequency_hz(big), hispeed * 0.99);
+}
+
+TEST(InputBoost, NoInputMeansIdleFrequency) {
+  const stability::Params p = stability::odroid_xu3_params();
+  sim::Engine engine(platform::exynos5422(), thermal::odroidxu3_network(),
+                     power::LeakageParams{p.leak_theta_k, p.leak_a_w_per_k2},
+                     0.25);
+  engine.run(5.0);
+  const std::size_t big = engine.soc().spec().big();
+  EXPECT_EQ(engine.soc().state(big).opp_index, 0u);
+}
+
+}  // namespace
+}  // namespace mobitherm

@@ -1,0 +1,159 @@
+// Tests for the cpuidle model and the Fig. 7 auxiliary-temperature
+// fixed-point iteration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "platform/presets.h"
+#include "power/idle.h"
+#include "sim/engine.h"
+#include "stability/fixed_point.h"
+#include "stability/presets.h"
+#include "thermal/presets.h"
+#include "util/error.h"
+#include "workload/presets.h"
+
+namespace mobitherm {
+namespace {
+
+using util::ConfigError;
+
+// --- CpuIdleModel --------------------------------------------------------------
+
+TEST(CpuIdle, ValidatesLadder) {
+  EXPECT_THROW(power::CpuIdleModel({}), ConfigError);
+  EXPECT_THROW(power::CpuIdleModel({{"late", 1.0, 0.5}}), ConfigError);
+  EXPECT_THROW(power::CpuIdleModel({{"a", 0.5, 0.0}, {"b", 0.8, 0.1}}),
+               ConfigError);  // deeper burns more
+  EXPECT_THROW(power::CpuIdleModel({{"a", 0.5, 0.0}, {"b", 0.3, 0.0}}),
+               ConfigError);  // duplicate residency
+  EXPECT_THROW(power::CpuIdleModel({{"a", 1.5, 0.0}}), ConfigError);
+}
+
+TEST(CpuIdle, SelectsDeepestFittingState) {
+  const power::CpuIdleModel model = power::CpuIdleModel::default_arm();
+  EXPECT_EQ(model.select(0.0005).name, "wfi");
+  EXPECT_EQ(model.select(0.005).name, "core-off");
+  EXPECT_EQ(model.select(0.050).name, "cluster-off");
+}
+
+TEST(CpuIdle, FractionMonotoneInUtilization) {
+  const power::CpuIdleModel model = power::CpuIdleModel::default_arm();
+  double prev = 0.0;
+  for (double util = 0.0; util <= 1.0; util += 0.1) {
+    const double frac = model.idle_power_fraction(util, 0.01);
+    EXPECT_GE(frac, prev - 1e-12) << util;
+    EXPECT_GE(frac, 0.0);
+    EXPECT_LE(frac, 1.0);
+    prev = frac;
+  }
+  // Fully busy burns the whole floor; long idle reaches the deepest state.
+  EXPECT_DOUBLE_EQ(model.idle_power_fraction(1.0, 0.01), 1.0);
+  EXPECT_NEAR(model.idle_power_fraction(0.0, 1.0), 0.05, 1e-12);
+}
+
+TEST(CpuIdle, EngineIdlePowerDropsWithCpuidle) {
+  const stability::Params p = stability::odroid_xu3_params();
+  const power::LeakageParams leak{p.leak_theta_k, p.leak_a_w_per_k2};
+  sim::EngineConfig off;
+  sim::EngineConfig on;
+  on.enable_cpuidle = true;
+  sim::Engine plain(platform::exynos5422(), thermal::odroidxu3_network(),
+                    leak, 0.25, off);
+  sim::Engine saving(platform::exynos5422(), thermal::odroidxu3_network(),
+                     leak, 0.25, on);
+  plain.run(5.0);
+  saving.run(5.0);
+  // An idle system saves most of the CPU idle floors.
+  EXPECT_LT(saving.total_power_w(), plain.total_power_w() - 0.05);
+}
+
+TEST(CpuIdle, BusySystemSavesLittle) {
+  const stability::Params p = stability::odroid_xu3_params();
+  const power::LeakageParams leak{p.leak_theta_k, p.leak_a_w_per_k2};
+  sim::EngineConfig on;
+  on.enable_cpuidle = true;
+  sim::Engine plain(platform::exynos5422(), thermal::odroidxu3_network(),
+                    leak, 0.25);
+  sim::Engine saving(platform::exynos5422(), thermal::odroidxu3_network(),
+                     leak, 0.25, on);
+  plain.add_app(workload::threedmark());
+  saving.add_app(workload::threedmark());
+  plain.run(5.0);
+  saving.run(5.0);
+  // Under load the idle gaps shrink, so the delta is small.
+  EXPECT_NEAR(saving.total_power_w(), plain.total_power_w(), 0.25);
+}
+
+TEST(PowerModel, RejectsBadIdleScale) {
+  const platform::SocSpec spec = platform::exynos5422();
+  const power::PowerModel pm(spec, power::LeakageParams{});
+  platform::Soc soc(spec);
+  power::ClusterActivity act;
+  act.idle_power_scale = 1.5;
+  EXPECT_THROW(pm.cluster_power(soc, spec.big(), act), ConfigError);
+}
+
+// --- fixed-point iteration (Fig. 7 arrows) --------------------------------------
+
+TEST(Iteration, ConvergesToStableRootFromBetweenRoots) {
+  const stability::Params p = stability::odroid_xu3_params();
+  const stability::FixedPointResult r = stability::analyze(p, 2.0);
+  const double start = 0.5 * (r.unstable_x + r.stable_x);
+  const auto xs = stability::iterate_auxiliary(p, 2.0, start, 400);
+  // Between the roots f > 0: the auxiliary temperature increases
+  // monotonically toward the stable root (the paper's rightward arrows).
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    EXPECT_GE(xs[i], xs[i - 1] - 1e-12);
+    EXPECT_LE(xs[i], r.stable_x + 1e-6);
+  }
+  EXPECT_NEAR(xs.back(), r.stable_x, 1e-3);
+}
+
+TEST(Iteration, FallsBackFromRightOfStableRoot) {
+  const stability::Params p = stability::odroid_xu3_params();
+  const stability::FixedPointResult r = stability::analyze(p, 2.0);
+  const auto xs =
+      stability::iterate_auxiliary(p, 2.0, r.stable_x + 1.0, 400);
+  // Right of the stable root f < 0: iterates decrease back to it.
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    EXPECT_LE(xs[i], xs[i - 1] + 1e-12);
+  }
+  EXPECT_NEAR(xs.back(), r.stable_x, 1e-3);
+}
+
+TEST(Iteration, RunsAwayLeftOfUnstableRoot) {
+  const stability::Params p = stability::odroid_xu3_params();
+  const stability::FixedPointResult r = stability::analyze(p, 2.0);
+  const auto xs =
+      stability::iterate_auxiliary(p, 2.0, 0.9 * r.unstable_x, 4000);
+  // Left of the unstable root f < 0: the auxiliary temperature keeps
+  // falling (actual temperature keeps rising — thermal runaway).
+  EXPECT_LT(xs.back(), 0.5 * r.unstable_x);
+}
+
+TEST(Iteration, NoFixedPointAlwaysRunsAway) {
+  const stability::Params p = stability::odroid_xu3_params();
+  const auto xs = stability::iterate_auxiliary(p, 8.0, 4.5, 20000);
+  EXPECT_NEAR(xs.back(), 1e-3, 1e-9);  // hit the floor (T -> infinity)
+}
+
+TEST(Iteration, FixedPointIsStationary) {
+  const stability::Params p = stability::odroid_xu3_params();
+  const stability::FixedPointResult r = stability::analyze(p, 2.0);
+  const auto xs = stability::iterate_auxiliary(p, 2.0, r.stable_x, 10);
+  for (double x : xs) {
+    EXPECT_NEAR(x, r.stable_x, 1e-9);
+  }
+}
+
+TEST(Iteration, ValidatesArguments) {
+  const stability::Params p = stability::odroid_xu3_params();
+  EXPECT_THROW(stability::iterate_auxiliary(p, 2.0, 0.0, 10),
+               util::NumericError);
+  EXPECT_THROW(stability::iterate_auxiliary(p, 2.0, 1.0, -1),
+               util::NumericError);
+}
+
+}  // namespace
+}  // namespace mobitherm

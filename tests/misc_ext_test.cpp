@@ -1,0 +1,81 @@
+// Tests for app_to_trace and the ondemand sampling_down_factor.
+#include <gtest/gtest.h>
+
+#include "governors/cpufreq.h"
+#include "platform/opp.h"
+#include "util/error.h"
+#include "workload/presets.h"
+#include "workload/rate_trace.h"
+
+namespace mobitherm {
+namespace {
+
+TEST(AppToTrace, SamplesPhaseScheduleWithJitter) {
+  const workload::AppSpec app = workload::paperio();
+  const auto trace = workload::app_to_trace(app, 40, 7);
+  ASSERT_EQ(trace.size(), 40u);
+  // Second 0 sits in the action phase: demand ~ cpu_work * 60 within the
+  // jitter band.
+  const double base_cpu = app.phases[0].cpu_work_per_frame * 60.0;
+  EXPECT_NEAR(trace[0].cpu_rate, base_cpu, app.jitter * base_cpu + 1.0);
+  // Second 16 sits in the menu phase (10 + 5 <= 16.5 < 19): much lighter.
+  EXPECT_LT(trace[16].gpu_rate, 0.5 * trace[0].gpu_rate);
+  // Looping: second 19.5 wraps back to the action phase.
+  EXPECT_GT(trace[19].gpu_rate, 0.8 * trace[0].gpu_rate);
+}
+
+TEST(AppToTrace, RoundTripsThroughTraceToApp) {
+  const workload::AppSpec original = workload::navigation();
+  const auto trace = workload::app_to_trace(original, 30, 3);
+  const workload::AppSpec replay =
+      workload::trace_to_app("replay", trace, original.target_fps);
+  ASSERT_EQ(replay.phases.size(), 30u);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_NEAR(replay.phases[i].cpu_work_per_frame * original.target_fps,
+                trace[i].cpu_rate, 1e-6 * (1.0 + trace[i].cpu_rate));
+  }
+}
+
+TEST(AppToTrace, Validates) {
+  workload::AppSpec empty;
+  EXPECT_THROW(workload::app_to_trace(empty, 10), util::ConfigError);
+  EXPECT_THROW(workload::app_to_trace(workload::paperio(), 0),
+               util::ConfigError);
+}
+
+TEST(OndemandSamplingDown, HoldsMaxAfterBurst) {
+  governors::Ondemand::Config cfg;
+  cfg.sampling_down_factor = 3;
+  governors::Ondemand gov(cfg);
+  const platform::OppTable table = platform::OppTable::from_mhz_mv(
+      {{200.0, 900.0}, {600.0, 1000.0}, {1000.0, 1100.0}});
+  governors::CpufreqInputs burst;
+  burst.utilization = 0.95;
+  burst.current_index = 0;
+  EXPECT_EQ(gov.decide(burst, table), 2u);  // jump to max
+
+  governors::CpufreqInputs idle;
+  idle.utilization = 0.05;
+  idle.current_index = 2;
+  // Held at max for sampling_down_factor - 1 further decisions.
+  EXPECT_EQ(gov.decide(idle, table), 2u);
+  EXPECT_EQ(gov.decide(idle, table), 2u);
+  EXPECT_EQ(gov.decide(idle, table), 0u);  // finally drops
+}
+
+TEST(OndemandSamplingDown, DefaultDropsImmediately) {
+  governors::Ondemand gov;
+  const platform::OppTable table = platform::OppTable::from_mhz_mv(
+      {{200.0, 900.0}, {600.0, 1000.0}, {1000.0, 1100.0}});
+  governors::CpufreqInputs burst;
+  burst.utilization = 0.95;
+  burst.current_index = 0;
+  EXPECT_EQ(gov.decide(burst, table), 2u);
+  governors::CpufreqInputs idle;
+  idle.utilization = 0.05;
+  idle.current_index = 2;
+  EXPECT_EQ(gov.decide(idle, table), 0u);
+}
+
+}  // namespace
+}  // namespace mobitherm

@@ -1,0 +1,249 @@
+// Unit tests for the power module: dynamic/leakage model, rail sensors,
+// DAQ simulator, energy counters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "platform/presets.h"
+#include "power/model.h"
+#include "power/sensors.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace mobitherm::power {
+namespace {
+
+using platform::Soc;
+using platform::SocSpec;
+using util::ConfigError;
+
+LeakageParams test_leakage() { return LeakageParams{1600.0, 1.0e-3}; }
+
+// --- PowerModel ---------------------------------------------------------------
+
+TEST(PowerModel, RejectsBadParams) {
+  const SocSpec spec = platform::exynos5422();
+  EXPECT_THROW(PowerModel(spec, LeakageParams{-1.0, 1e-3}), ConfigError);
+  EXPECT_THROW(PowerModel(spec, test_leakage(), -0.5), ConfigError);
+}
+
+TEST(PowerModel, DynamicPowerFollowsCV2F) {
+  const SocSpec spec = platform::exynos5422();
+  const PowerModel pm(spec, test_leakage());
+  Soc soc(spec);
+  const std::size_t big = spec.big();
+  soc.set_opp(big, spec.clusters[big].opps.max_index());
+
+  ClusterActivity act;
+  act.busy_cores = 1.0;
+  act.temp_k = 300.0;
+  const ClusterPower one = pm.cluster_power(soc, big, act);
+  act.busy_cores = 2.0;
+  const ClusterPower two = pm.cluster_power(soc, big, act);
+  EXPECT_NEAR(two.dynamic_w, 2.0 * one.dynamic_w, 1e-12);
+
+  // Hand value: ceff * V^2 * f at the top OPP.
+  const platform::ClusterSpec& cs = spec.clusters[big];
+  const double expected = cs.ceff_f * 1.25 * 1.25 * 2.0e9;
+  EXPECT_NEAR(one.dynamic_w, expected, 1e-9);
+}
+
+TEST(PowerModel, DynamicPowerDropsWithFrequency) {
+  const SocSpec spec = platform::exynos5422();
+  const PowerModel pm(spec, test_leakage());
+  const std::size_t gpu = spec.gpu();
+  const double high = pm.dynamic_per_core_at(gpu, 6);
+  const double low = pm.dynamic_per_core_at(gpu, 0);
+  EXPECT_GT(high, 3.0 * low);
+}
+
+TEST(PowerModel, LeakageGrowsSuperlinearlyWithTemperature) {
+  const SocSpec spec = platform::exynos5422();
+  const PowerModel pm(spec, test_leakage());
+  const double cold = pm.soc_leakage_nominal(300.0);
+  const double warm = pm.soc_leakage_nominal(350.0);
+  const double hot = pm.soc_leakage_nominal(400.0);
+  EXPECT_GT(warm, cold);
+  EXPECT_GT(hot - warm, warm - cold);  // convex in T over this range
+  // Matches the closed form A T^2 exp(-theta/T).
+  EXPECT_NEAR(cold, 1.0e-3 * 300.0 * 300.0 * std::exp(-1600.0 / 300.0),
+              1e-12);
+}
+
+TEST(PowerModel, ClusterLeakageSplitsByShare) {
+  const SocSpec spec = platform::exynos5422();
+  const PowerModel pm(spec, test_leakage());
+  Soc soc(spec);
+  double total = 0.0;
+  for (std::size_t c = 0; c < spec.clusters.size(); ++c) {
+    // Nominal voltage: pick the OPP whose voltage equals nominal (top).
+    soc.set_opp(c, spec.clusters[c].opps.max_index());
+    ClusterActivity act;
+    act.busy_cores = 0.0;
+    act.temp_k = 350.0;
+    total += pm.cluster_power(soc, c, act).leakage_w;
+  }
+  // Shares sum to 1 and top-OPP voltage == nominal, so the cluster sum
+  // equals the SoC-level closed form.
+  EXPECT_NEAR(total, pm.soc_leakage_nominal(350.0), 1e-9);
+}
+
+TEST(PowerModel, LeakageScalesWithVoltage) {
+  const SocSpec spec = platform::exynos5422();
+  const PowerModel pm(spec, test_leakage());
+  const std::size_t big = spec.big();
+  const double at_min = pm.leakage_at(big, 0, 350.0);
+  const double at_max =
+      pm.leakage_at(big, spec.clusters[big].opps.max_index(), 350.0);
+  const double v_ratio = spec.clusters[big].opps.at(0).voltage_v /
+                         spec.clusters[big].opps.highest().voltage_v;
+  EXPECT_NEAR(at_min / at_max, v_ratio, 1e-9);
+}
+
+TEST(PowerModel, RejectsBusyBeyondOnline) {
+  const SocSpec spec = platform::exynos5422();
+  const PowerModel pm(spec, test_leakage());
+  Soc soc(spec);
+  ClusterActivity act;
+  act.busy_cores = 5.0;  // only 4 cores
+  act.temp_k = 300.0;
+  EXPECT_THROW(pm.cluster_power(soc, spec.big(), act), ConfigError);
+}
+
+TEST(PowerModel, IdleClusterDrawsIdleFloorPlusLeakage) {
+  const SocSpec spec = platform::exynos5422();
+  const PowerModel pm(spec, test_leakage());
+  Soc soc(spec);
+  ClusterActivity act;
+  act.busy_cores = 0.0;
+  act.temp_k = 320.0;
+  const ClusterPower p = pm.cluster_power(soc, spec.big(), act);
+  EXPECT_DOUBLE_EQ(p.dynamic_w, 0.0);
+  EXPECT_DOUBLE_EQ(p.idle_w, spec.clusters[spec.big()].idle_power_w);
+  EXPECT_GT(p.leakage_w, 0.0);
+  EXPECT_NEAR(p.total(), p.idle_w + p.leakage_w, 1e-12);
+}
+
+// --- RailSensor -----------------------------------------------------------------
+
+TEST(RailSensor, LatchesOncePerPeriod) {
+  RailSensor::Config cfg;
+  cfg.period_s = 0.1;
+  RailSensor sensor(cfg);
+  EXPECT_DOUBLE_EQ(sensor.last_sample_w(), 0.0);
+  sensor.feed(0.05, 2.0);
+  EXPECT_DOUBLE_EQ(sensor.last_sample_w(), 0.0);  // not yet
+  sensor.feed(0.05, 2.0);
+  EXPECT_NEAR(sensor.last_sample_w(), 2.0, 1e-9);
+}
+
+TEST(RailSensor, SampleIsPeriodAverage) {
+  RailSensor::Config cfg;
+  cfg.period_s = 0.1;
+  RailSensor sensor(cfg);
+  sensor.feed(0.05, 1.0);
+  sensor.feed(0.05, 3.0);
+  EXPECT_NEAR(sensor.last_sample_w(), 2.0, 1e-9);
+}
+
+TEST(RailSensor, QuantizationApplies) {
+  RailSensor::Config cfg;
+  cfg.period_s = 0.1;
+  cfg.lsb_w = 0.25;
+  RailSensor sensor(cfg);
+  sensor.feed(0.1, 1.13);
+  EXPECT_DOUBLE_EQ(sensor.last_sample_w(), 1.25);
+}
+
+TEST(RailSensor, NoiseIsDeterministicPerSeed) {
+  RailSensor::Config cfg;
+  cfg.period_s = 0.01;
+  cfg.noise_stddev_w = 0.1;
+  cfg.seed = 5;
+  RailSensor a(cfg);
+  RailSensor b(cfg);
+  for (int i = 0; i < 100; ++i) {
+    a.feed(0.01, 1.0);
+    b.feed(0.01, 1.0);
+    EXPECT_DOUBLE_EQ(a.last_sample_w(), b.last_sample_w());
+  }
+}
+
+TEST(RailSensor, WindowedTracksRecentPower) {
+  RailSensor::Config cfg;
+  cfg.period_s = 0.1;
+  RailSensor sensor(cfg);
+  for (int i = 0; i < 20; ++i) {
+    sensor.feed(0.1, 1.0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    sensor.feed(0.1, 3.0);
+  }
+  EXPECT_NEAR(sensor.windowed_w(), 3.0, 1e-6);
+}
+
+TEST(RailSensor, RejectsBadPeriod) {
+  RailSensor::Config cfg;
+  cfg.period_s = 0.0;
+  EXPECT_THROW(RailSensor sensor(cfg), ConfigError);
+}
+
+// --- DaqSimulator ----------------------------------------------------------------
+
+TEST(Daq, SamplesAtConfiguredRate) {
+  DaqSimulator::Config cfg;
+  cfg.sample_rate_hz = 1000.0;
+  cfg.noise_stddev_w = 0.0;
+  DaqSimulator daq(cfg);
+  daq.feed(1.0, 2.5);
+  // ~1000 samples in 1 s (first at t=0).
+  EXPECT_NEAR(static_cast<double>(daq.num_samples()), 1001.0, 2.0);
+  EXPECT_NEAR(daq.mean_power_w(), 2.5, 1e-9);
+}
+
+TEST(Daq, TraceIsDecimated) {
+  DaqSimulator::Config cfg;
+  cfg.sample_rate_hz = 1000.0;
+  cfg.trace_decimation = 100;
+  DaqSimulator daq(cfg);
+  daq.feed(1.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(daq.trace().size()), 11.0, 1.0);
+}
+
+TEST(Daq, NoiseAffectsSamplesButNotDeterminism) {
+  DaqSimulator::Config cfg;
+  cfg.noise_stddev_w = 0.05;
+  cfg.seed = 11;
+  DaqSimulator a(cfg);
+  DaqSimulator b(cfg);
+  a.feed(0.5, 1.0);
+  b.feed(0.5, 1.0);
+  EXPECT_DOUBLE_EQ(a.mean_power_w(), b.mean_power_w());
+  EXPECT_NEAR(a.mean_power_w(), 1.0, 0.02);
+}
+
+TEST(Daq, RejectsBadConfig) {
+  DaqSimulator::Config cfg;
+  cfg.sample_rate_hz = 0.0;
+  EXPECT_THROW(DaqSimulator daq(cfg), ConfigError);
+  DaqSimulator::Config cfg2;
+  cfg2.trace_decimation = 0;
+  EXPECT_THROW(DaqSimulator daq2(cfg2), ConfigError);
+}
+
+// --- EnergyCounter ------------------------------------------------------------------
+
+TEST(EnergyCounter, IntegratesExactly) {
+  EnergyCounter ec;
+  ec.add(2.0, 3.0);
+  ec.add(1.0, 6.0);
+  EXPECT_DOUBLE_EQ(ec.energy_j(), 12.0);
+  EXPECT_DOUBLE_EQ(ec.mean_power_w(), 4.0);
+  EXPECT_DOUBLE_EQ(ec.elapsed_s(), 3.0);
+  ec.reset();
+  EXPECT_DOUBLE_EQ(ec.energy_j(), 0.0);
+  EXPECT_DOUBLE_EQ(ec.mean_power_w(), 0.0);
+}
+
+}  // namespace
+}  // namespace mobitherm::power

@@ -1,0 +1,283 @@
+// Tests for the simulation engine and trace recorder.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include "platform/presets.h"
+#include "sim/engine.h"
+#include "stability/presets.h"
+#include "thermal/presets.h"
+#include "util/error.h"
+#include "util/units.h"
+#include "workload/presets.h"
+
+namespace mobitherm::sim {
+namespace {
+
+using platform::SocSpec;
+using util::ConfigError;
+using util::celsius_to_kelvin;
+
+power::LeakageParams odroid_leakage() {
+  const stability::Params p = stability::odroid_xu3_params();
+  return power::LeakageParams{p.leak_theta_k, p.leak_a_w_per_k2};
+}
+
+std::unique_ptr<Engine> make_engine(EngineConfig cfg = {}) {
+  return std::make_unique<Engine>(platform::exynos5422(),
+                                  thermal::odroidxu3_network(),
+                                  odroid_leakage(), 0.25, cfg);
+}
+
+TEST(Engine, ValidatesConfig) {
+  EngineConfig cfg;
+  cfg.tick_s = 0.0;
+  EXPECT_THROW(make_engine(cfg), ConfigError);
+}
+
+TEST(Engine, StartsAtAmbientAndMaxOpp) {
+  auto engine = make_engine();
+  EXPECT_NEAR(engine->network().temperature(0), 298.15, 1e-9);
+  for (std::size_t c = 0; c < engine->soc().num_clusters(); ++c) {
+    EXPECT_EQ(engine->soc().state(c).opp_index,
+              engine->soc().cluster(c).opps.max_index());
+  }
+}
+
+TEST(Engine, IdleSystemStaysNearAmbient) {
+  auto engine = make_engine();
+  engine->run(20.0);
+  // Idle + board power only: a couple of kelvin above ambient at most.
+  EXPECT_LT(engine->network().max_temperature(), 298.15 + 15.0);
+  EXPECT_GT(engine->network().max_temperature(), 298.15);
+}
+
+TEST(Engine, LoadHeatsTheSoc) {
+  auto engine = make_engine();
+  engine->add_app(workload::threedmark());
+  engine->run(30.0);
+  EXPECT_GT(engine->network().max_temperature(),
+            celsius_to_kelvin(40.0));
+  EXPECT_GT(engine->total_power_w(), 2.0);
+}
+
+TEST(Engine, SetInitialTemperaturePrimesEverything) {
+  auto engine = make_engine();
+  engine->set_initial_temperature(celsius_to_kelvin(50.0));
+  EXPECT_NEAR(engine->network().temperature(0), celsius_to_kelvin(50.0),
+              1e-9);
+  EXPECT_NEAR(engine->control_temp_k(), celsius_to_kelvin(50.0), 1e-9);
+}
+
+TEST(Engine, AppAccessorsValidate) {
+  auto engine = make_engine();
+  EXPECT_THROW(engine->app(0), ConfigError);
+  const std::size_t i = engine->add_app(workload::bml());
+  EXPECT_EQ(i, 0u);
+  EXPECT_NO_THROW(engine->app(0));
+  EXPECT_THROW(engine->set_cpufreq_governor(99, nullptr), ConfigError);
+  EXPECT_THROW(engine->set_cpufreq_governor(0, nullptr), ConfigError);
+  EXPECT_THROW(engine->rail(99), ConfigError);
+}
+
+TEST(Engine, ResidencyAccountsAllTime) {
+  auto engine = make_engine();
+  engine->add_app(workload::threedmark());
+  engine->run(10.0);
+  for (std::size_t c = 0; c < engine->soc().num_clusters(); ++c) {
+    double total = 0.0;
+    for (double s : engine->trace().residency_s(c)) {
+      total += s;
+    }
+    EXPECT_NEAR(total, 10.0, 1e-6) << "cluster " << c;
+  }
+  EXPECT_NEAR(engine->trace().duration_s(), 10.0, 1e-6);
+}
+
+TEST(Engine, TracePointsAtConfiguredPeriod) {
+  EngineConfig cfg;
+  cfg.trace_period_s = 0.5;
+  auto engine = make_engine(cfg);
+  engine->run(10.0);
+  EXPECT_NEAR(static_cast<double>(engine->trace().points().size()), 20.0,
+              2.0);
+  // Time stamps are increasing.
+  const auto& pts = engine->trace().points();
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GT(pts[i].t_s, pts[i - 1].t_s);
+  }
+}
+
+TEST(Engine, RailEnergyMatchesMeanPower) {
+  auto engine = make_engine();
+  engine->add_app(workload::threedmark());
+  engine->run(10.0);
+  double rail_total = 0.0;
+  for (std::size_t c = 0; c < engine->soc().num_clusters(); ++c) {
+    rail_total += engine->trace().mean_rail_power_w(c);
+  }
+  // Rails exclude the board base power.
+  EXPECT_GT(rail_total, 1.0);
+  EXPECT_NEAR(rail_total + 0.25, engine->windowed_power_w(), 1.0);
+}
+
+TEST(Engine, PerformanceGovernorPinsMax) {
+  auto engine = make_engine();
+  const std::size_t big = engine->soc().spec().big();
+  engine->set_cpufreq_governor(big,
+                               std::make_unique<governors::Performance>());
+  engine->add_app(workload::bml());
+  engine->run(1.0);
+  EXPECT_EQ(engine->soc().state(big).opp_index,
+            engine->soc().cluster(big).opps.max_index());
+}
+
+TEST(Engine, PowersaveGovernorDropsToMin) {
+  auto engine = make_engine();
+  const std::size_t big = engine->soc().spec().big();
+  engine->set_cpufreq_governor(big,
+                               std::make_unique<governors::Powersave>());
+  engine->add_app(workload::bml());
+  engine->run(1.0);
+  EXPECT_EQ(engine->soc().state(big).opp_index, 0u);
+}
+
+TEST(Engine, InteractiveRampsUpUnderLoad) {
+  auto engine = make_engine();
+  const std::size_t big = engine->soc().spec().big();
+  engine->add_app(workload::bml());  // saturates one big core
+  engine->run(2.0);
+  EXPECT_GT(engine->soc().frequency_hz(big), util::mhz_to_hz(1500.0));
+}
+
+TEST(Engine, ThermalGovernorCapsDvfs) {
+  auto engine = make_engine();
+  const SocSpec spec = platform::exynos5422();
+  // A zone that is always tripped caps the big cluster hard.
+  governors::StepWiseGovernor::Config cfg;
+  governors::StepWiseGovernor::Zone z;
+  z.cluster = spec.big();
+  z.sensor_node = spec.clusters[spec.big()].thermal_node;
+  z.trip_k = 0.0;  // always above trip
+  z.steps_per_state = 4;
+  cfg.zones = {z};
+  cfg.polling_period_s = 0.1;
+  engine->set_thermal_governor(
+      std::make_unique<governors::StepWiseGovernor>(spec, cfg));
+  engine->add_app(workload::bml());
+  engine->run(5.0);
+  EXPECT_EQ(engine->soc().state(spec.big()).opp_index, 0u);
+}
+
+TEST(Engine, AppAwareDecisionsAreRecorded) {
+  auto engine = make_engine();
+  const SocSpec spec = platform::exynos5422();
+  core::AppAwareConfig cfg;
+  cfg.big_cluster = spec.big();
+  cfg.little_cluster = spec.little();
+  cfg.temp_limit_k = celsius_to_kelvin(85.0);
+  engine->set_appaware_governor(std::make_unique<core::AppAwareGovernor>(
+      cfg, stability::odroid_xu3_params()));
+  engine->add_app(workload::bml());
+  engine->run(1.0);
+  // 100 ms period over 1 s -> ~10 decisions.
+  EXPECT_NEAR(static_cast<double>(engine->decisions().size()), 10.0, 2.0);
+}
+
+TEST(Engine, MemoryActivityFollowsLoad) {
+  auto engine = make_engine();
+  const std::size_t mem =
+      engine->soc().spec().index_of_kind(platform::ResourceKind::kMemory);
+  engine->run(2.0);
+  const double idle_mem = engine->trace().mean_rail_power_w(mem);
+
+  auto loaded = make_engine();
+  loaded->add_app(workload::threedmark());
+  loaded->run(2.0);
+  EXPECT_GT(loaded->trace().mean_rail_power_w(mem), idle_mem);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  EngineConfig cfg;
+  cfg.seed = 7;
+  auto a = make_engine(cfg);
+  auto b = make_engine(cfg);
+  a->add_app(workload::threedmark());
+  b->add_app(workload::threedmark());
+  a->run(5.0);
+  b->run(5.0);
+  EXPECT_DOUBLE_EQ(a->network().max_temperature(),
+                   b->network().max_temperature());
+  EXPECT_DOUBLE_EQ(a->total_power_w(), b->total_power_w());
+  EXPECT_DOUBLE_EQ(a->app(0).total_frames(), b->app(0).total_frames());
+}
+
+TEST(Engine, DaqOnlyWhenEnabled) {
+  auto off = make_engine();
+  EXPECT_EQ(off->daq(), nullptr);
+  EngineConfig cfg;
+  cfg.enable_daq = true;
+  auto on = make_engine(cfg);
+  on->run(0.5);
+  ASSERT_NE(on->daq(), nullptr);
+  EXPECT_GT(on->daq()->num_samples(), 400u);
+}
+
+// --- Trace ------------------------------------------------------------------
+
+TEST(Trace, ValidatesIndices) {
+  Trace trace(2, {3, 4});
+  EXPECT_THROW(trace.add_residency(2, 0, 1.0), ConfigError);
+  EXPECT_THROW(trace.add_residency(0, 3, 1.0), ConfigError);
+  EXPECT_THROW(trace.add_rail_energy(2, 1.0), ConfigError);
+  EXPECT_THROW(trace.residency_s(2), ConfigError);
+  EXPECT_THROW(Trace(2, {3}), ConfigError);
+}
+
+TEST(Trace, ResidencyFractionsNormalize) {
+  Trace trace(1, {3});
+  trace.add_residency(0, 0, 1.0);
+  trace.add_residency(0, 2, 3.0);
+  const std::vector<double> frac = trace.residency_fraction(0);
+  EXPECT_NEAR(frac[0], 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(frac[1], 0.0);
+  EXPECT_NEAR(frac[2], 0.75, 1e-12);
+}
+
+TEST(Trace, CsvExports) {
+  Trace trace(1, {2});
+  TracePoint p;
+  p.t_s = 0.0;
+  p.max_chip_temp_k = 300.0;
+  p.board_temp_k = 299.0;
+  p.total_power_w = 1.5;
+  p.cluster_freq_hz = {1.0e9};
+  p.app_fps = {42.0};
+  trace.add_point(p);
+  trace.add_residency(0, 1, 2.0);
+  trace.add_time(2.0);
+
+  const std::string ts = ::testing::TempDir() + "trace_ts.csv";
+  const std::string rs = ::testing::TempDir() + "trace_res.csv";
+  trace.write_timeseries_csv(ts, {"big"}, {"game"});
+  trace.write_residency_csv(rs, 0, {5.0e8, 1.0e9});
+
+  std::ifstream fts(ts);
+  std::string header;
+  std::getline(fts, header);
+  EXPECT_EQ(header, "t_s,max_chip_temp_c,board_temp_c,total_power_w,"
+                    "big_freq_mhz,game_fps");
+  std::ifstream frs(rs);
+  std::getline(frs, header);
+  EXPECT_EQ(header, "freq_mhz,fraction");
+  std::string row;
+  std::getline(frs, row);
+  EXPECT_EQ(row, "500,0");
+  std::remove(ts.c_str());
+  std::remove(rs.c_str());
+}
+
+}  // namespace
+}  // namespace mobitherm::sim

@@ -1,0 +1,318 @@
+// Unit tests for the util module: units, RNG, ring buffer, sliding window,
+// statistics, CSV writer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/sliding_window.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace mobitherm::util {
+namespace {
+
+// --- units ----------------------------------------------------------------
+
+TEST(Units, CelsiusKelvinRoundTrip) {
+  EXPECT_DOUBLE_EQ(celsius_to_kelvin(0.0), 273.15);
+  EXPECT_DOUBLE_EQ(celsius_to_kelvin(100.0), 373.15);
+  EXPECT_DOUBLE_EQ(kelvin_to_celsius(celsius_to_kelvin(42.5)), 42.5);
+}
+
+TEST(Units, FrequencyConversions) {
+  EXPECT_DOUBLE_EQ(mhz_to_hz(600.0), 6.0e8);
+  EXPECT_DOUBLE_EQ(hz_to_mhz(mhz_to_hz(1958.4)), 1958.4);
+}
+
+TEST(Units, TimeAndPower) {
+  EXPECT_DOUBLE_EQ(ms_to_s(100.0), 0.1);
+  EXPECT_DOUBLE_EQ(s_to_ms(ms_to_s(250.0)), 250.0);
+  EXPECT_DOUBLE_EQ(mw_to_w(1500.0), 1.5);
+}
+
+TEST(Units, LeakageThetaMatchesPhysics) {
+  // theta = Vth / (eta * k); Vth=0.2 V, eta=1.25 -> ~1856 K.
+  const double theta = leakage_theta(0.2, 1.25);
+  EXPECT_NEAR(theta, 0.2 / (1.25 * 8.617333262e-5), 1e-9);
+  EXPECT_GT(theta, 1800.0);
+  EXPECT_LT(theta, 1900.0);
+}
+
+// --- rng --------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xorshift64Star a(123);
+  Xorshift64Star b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xorshift64Star a(1);
+  Xorshift64Star b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.next() == b.next() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ZeroSeedIsRemapped) {
+  Xorshift64Star z(0);
+  EXPECT_NE(z.next(), 0u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xorshift64Star r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Xorshift64Star r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(2.5, 3.5);
+    EXPECT_GE(u, 2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Xorshift64Star r(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += r.uniform();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsAreSane) {
+  Xorshift64Star r(13);
+  const int n = 100000;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, NormalWithParams) {
+  Xorshift64Star r(17);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    sum += r.normal(10.0, 2.0);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, BelowStaysBelow) {
+  Xorshift64Star r(19);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+  EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, DeriveSeedIsStableAndStreamsDiffer) {
+  EXPECT_EQ(derive_seed(42, 1), derive_seed(42, 1));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t s = 0; s < 100; ++s) {
+    seen.insert(derive_seed(42, s));
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+// --- ring buffer ------------------------------------------------------------
+
+TEST(RingBuffer, RejectsZeroCapacity) {
+  EXPECT_THROW(RingBuffer<int>(0), ConfigError);
+}
+
+TEST(RingBuffer, FillsThenOverwritesOldest) {
+  RingBuffer<int> rb(3);
+  EXPECT_TRUE(rb.empty());
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.front(), 1);
+  rb.push(4);
+  EXPECT_EQ(rb.front(), 2);
+  EXPECT_EQ(rb.back(), 4);
+  EXPECT_EQ(rb[0], 2);
+  EXPECT_EQ(rb[1], 3);
+  EXPECT_EQ(rb[2], 4);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> rb(2);
+  rb.push(5);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.size(), 0u);
+}
+
+// --- sliding window ----------------------------------------------------------
+
+TEST(SlidingWindow, RejectsNonPositiveWindow) {
+  EXPECT_THROW(SlidingWindow(0.0), ConfigError);
+  EXPECT_THROW(SlidingWindow(-1.0), ConfigError);
+}
+
+TEST(SlidingWindow, MeanOfUniformSamples) {
+  SlidingWindow w(1.0);
+  for (int i = 0; i < 10; ++i) {
+    w.push(0.1, 5.0);
+  }
+  EXPECT_NEAR(w.mean(), 5.0, 1e-12);
+  EXPECT_TRUE(w.warm());
+}
+
+TEST(SlidingWindow, FallbackBeforeAnySample) {
+  SlidingWindow w(1.0);
+  EXPECT_DOUBLE_EQ(w.mean(7.5), 7.5);
+  EXPECT_FALSE(w.warm());
+}
+
+TEST(SlidingWindow, OldSamplesEvicted) {
+  SlidingWindow w(1.0);
+  // 1 s of value 0, then 1 s of value 10: the window must only see the 10s.
+  for (int i = 0; i < 10; ++i) {
+    w.push(0.1, 0.0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    w.push(0.1, 10.0);
+  }
+  EXPECT_NEAR(w.mean(), 10.0, 1e-9);
+  EXPECT_NEAR(w.covered(), 1.0, 1e-9);
+}
+
+TEST(SlidingWindow, PartialEvictionIsExact) {
+  SlidingWindow w(1.0);
+  w.push(0.8, 0.0);
+  w.push(0.6, 10.0);
+  // Window holds 0.4 s of 0 and 0.6 s of 10 -> mean 6.0.
+  EXPECT_NEAR(w.mean(), 6.0, 1e-9);
+}
+
+TEST(SlidingWindow, DurationWeighting) {
+  SlidingWindow w(10.0);
+  w.push(9.0, 1.0);
+  w.push(1.0, 11.0);
+  EXPECT_NEAR(w.mean(), 2.0, 1e-12);
+}
+
+TEST(SlidingWindow, IgnoresNonPositiveDt) {
+  SlidingWindow w(1.0);
+  w.push(0.0, 100.0);
+  w.push(-1.0, 100.0);
+  EXPECT_DOUBLE_EQ(w.mean(3.0), 3.0);
+}
+
+TEST(SlidingWindow, ClearEmptiesState) {
+  SlidingWindow w(1.0);
+  w.push(0.5, 4.0);
+  w.clear();
+  EXPECT_DOUBLE_EQ(w.mean(-1.0), -1.0);
+  EXPECT_DOUBLE_EQ(w.covered(), 0.0);
+}
+
+// --- stats -------------------------------------------------------------------
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({5.0}), 5.0);
+}
+
+TEST(Stats, MedianThrowsOnEmpty) {
+  EXPECT_THROW(median({}), ConfigError);
+}
+
+TEST(Stats, PercentileEndpointsAndMidpoint) {
+  std::vector<double> v = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 20.0);
+}
+
+TEST(Stats, PercentileValidatesInput) {
+  EXPECT_THROW(percentile({}, 50.0), ConfigError);
+  EXPECT_THROW(percentile({1.0}, -1.0), ConfigError);
+  EXPECT_THROW(percentile({1.0}, 101.0), ConfigError);
+}
+
+TEST(Stats, MeanAndStddev) {
+  std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(stddev(v), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+}
+
+// --- csv ---------------------------------------------------------------------
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "mobitherm_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.row(std::vector<double>{1.5, 2.5});
+    csv.row(std::vector<std::string>{"x", "y,z"});
+    csv.flush();
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.5,2.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,\"y,z\"");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsWidthMismatch) {
+  const std::string path = ::testing::TempDir() + "mobitherm_csv_test2.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.row(std::vector<double>{1.0}), ConfigError);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsEmptyHeaderAndBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), ConfigError);
+}
+
+TEST(Csv, EscapesQuotes) {
+  const std::string path = ::testing::TempDir() + "mobitherm_csv_test3.csv";
+  {
+    CsvWriter csv(path, {"a"});
+    csv.row(std::vector<std::string>{"say \"hi\""});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);  // header
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"say \"\"hi\"\"\"");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mobitherm::util
