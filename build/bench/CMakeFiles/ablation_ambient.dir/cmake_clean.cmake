@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ambient.dir/ablation_ambient.cpp.o"
+  "CMakeFiles/ablation_ambient.dir/ablation_ambient.cpp.o.d"
+  "ablation_ambient"
+  "ablation_ambient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ambient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_paperio_temperature.dir/fig01_paperio_temperature.cpp.o"
+  "CMakeFiles/fig01_paperio_temperature.dir/fig01_paperio_temperature.cpp.o.d"
+  "fig01_paperio_temperature"
+  "fig01_paperio_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_paperio_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

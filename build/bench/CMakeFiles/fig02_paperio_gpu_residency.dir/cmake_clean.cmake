@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_paperio_gpu_residency.dir/fig02_paperio_gpu_residency.cpp.o"
+  "CMakeFiles/fig02_paperio_gpu_residency.dir/fig02_paperio_gpu_residency.cpp.o.d"
+  "fig02_paperio_gpu_residency"
+  "fig02_paperio_gpu_residency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_paperio_gpu_residency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

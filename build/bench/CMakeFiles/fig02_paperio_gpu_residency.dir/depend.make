@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02_paperio_gpu_residency.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_stickman_temperature.dir/fig03_stickman_temperature.cpp.o"
+  "CMakeFiles/fig03_stickman_temperature.dir/fig03_stickman_temperature.cpp.o.d"
+  "fig03_stickman_temperature"
+  "fig03_stickman_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_stickman_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_stickman_gpu_residency.dir/fig04_stickman_gpu_residency.cpp.o"
+  "CMakeFiles/fig04_stickman_gpu_residency.dir/fig04_stickman_gpu_residency.cpp.o.d"
+  "fig04_stickman_gpu_residency"
+  "fig04_stickman_gpu_residency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_stickman_gpu_residency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

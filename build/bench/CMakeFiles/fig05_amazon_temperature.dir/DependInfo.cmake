@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig05_amazon_temperature.cpp" "bench/CMakeFiles/fig05_amazon_temperature.dir/fig05_amazon_temperature.cpp.o" "gcc" "bench/CMakeFiles/fig05_amazon_temperature.dir/fig05_amazon_temperature.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mobitherm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mobitherm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/governors/CMakeFiles/mobitherm_governors.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mobitherm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mobitherm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/stability/CMakeFiles/mobitherm_stability.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/mobitherm_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mobitherm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/mobitherm_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mobitherm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mobitherm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_amazon_temperature.dir/fig05_amazon_temperature.cpp.o"
+  "CMakeFiles/fig05_amazon_temperature.dir/fig05_amazon_temperature.cpp.o.d"
+  "fig05_amazon_temperature"
+  "fig05_amazon_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_amazon_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_amazon_cpu_residency.dir/fig06_amazon_cpu_residency.cpp.o"
+  "CMakeFiles/fig06_amazon_cpu_residency.dir/fig06_amazon_cpu_residency.cpp.o.d"
+  "fig06_amazon_cpu_residency"
+  "fig06_amazon_cpu_residency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_amazon_cpu_residency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_amazon_cpu_residency.
+# This may be replaced when dependencies are built.

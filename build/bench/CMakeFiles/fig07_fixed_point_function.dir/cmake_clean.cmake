@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_fixed_point_function.dir/fig07_fixed_point_function.cpp.o"
+  "CMakeFiles/fig07_fixed_point_function.dir/fig07_fixed_point_function.cpp.o.d"
+  "fig07_fixed_point_function"
+  "fig07_fixed_point_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_fixed_point_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

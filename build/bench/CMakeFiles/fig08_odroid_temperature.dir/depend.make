@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_odroid_temperature.
+# This may be replaced when dependencies are built.

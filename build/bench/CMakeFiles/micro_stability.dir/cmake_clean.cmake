@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_stability.dir/micro_stability.cpp.o"
+  "CMakeFiles/micro_stability.dir/micro_stability.cpp.o.d"
+  "micro_stability"
+  "micro_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

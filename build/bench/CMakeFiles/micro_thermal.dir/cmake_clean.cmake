@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_thermal.dir/micro_thermal.cpp.o"
+  "CMakeFiles/micro_thermal.dir/micro_thermal.cpp.o.d"
+  "micro_thermal"
+  "micro_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

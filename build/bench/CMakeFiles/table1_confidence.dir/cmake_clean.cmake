@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_confidence.dir/table1_confidence.cpp.o"
+  "CMakeFiles/table1_confidence.dir/table1_confidence.cpp.o.d"
+  "table1_confidence"
+  "table1_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

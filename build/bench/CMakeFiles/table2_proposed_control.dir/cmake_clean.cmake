@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_proposed_control.dir/table2_proposed_control.cpp.o"
+  "CMakeFiles/table2_proposed_control.dir/table2_proposed_control.cpp.o.d"
+  "table2_proposed_control"
+  "table2_proposed_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_proposed_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_advisor.dir/app_advisor.cpp.o"
+  "CMakeFiles/app_advisor.dir/app_advisor.cpp.o.d"
+  "app_advisor"
+  "app_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

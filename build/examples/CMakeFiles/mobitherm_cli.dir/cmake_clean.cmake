@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobitherm_cli.dir/mobitherm_cli.cpp.o"
+  "CMakeFiles/mobitherm_cli.dir/mobitherm_cli.cpp.o.d"
+  "mobitherm_cli"
+  "mobitherm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobitherm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexus_throttling_study.dir/nexus_throttling_study.cpp.o"
+  "CMakeFiles/nexus_throttling_study.dir/nexus_throttling_study.cpp.o.d"
+  "nexus_throttling_study"
+  "nexus_throttling_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexus_throttling_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

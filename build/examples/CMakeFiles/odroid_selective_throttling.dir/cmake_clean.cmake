@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odroid_selective_throttling.dir/odroid_selective_throttling.cpp.o"
+  "CMakeFiles/odroid_selective_throttling.dir/odroid_selective_throttling.cpp.o.d"
+  "odroid_selective_throttling"
+  "odroid_selective_throttling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odroid_selective_throttling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

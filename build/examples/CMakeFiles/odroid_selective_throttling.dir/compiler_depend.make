@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for odroid_selective_throttling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_runaway_demo.dir/thermal_runaway_demo.cpp.o"
+  "CMakeFiles/thermal_runaway_demo.dir/thermal_runaway_demo.cpp.o.d"
+  "thermal_runaway_demo"
+  "thermal_runaway_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_runaway_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

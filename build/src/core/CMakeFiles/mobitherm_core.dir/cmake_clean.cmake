@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobitherm_core.dir/advisor.cpp.o"
+  "CMakeFiles/mobitherm_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/mobitherm_core.dir/appaware.cpp.o"
+  "CMakeFiles/mobitherm_core.dir/appaware.cpp.o.d"
+  "libmobitherm_core.a"
+  "libmobitherm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobitherm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobitherm_governors.dir/cpufreq.cpp.o"
+  "CMakeFiles/mobitherm_governors.dir/cpufreq.cpp.o.d"
+  "CMakeFiles/mobitherm_governors.dir/hotplug.cpp.o"
+  "CMakeFiles/mobitherm_governors.dir/hotplug.cpp.o.d"
+  "CMakeFiles/mobitherm_governors.dir/thermal.cpp.o"
+  "CMakeFiles/mobitherm_governors.dir/thermal.cpp.o.d"
+  "libmobitherm_governors.a"
+  "libmobitherm_governors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobitherm_governors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmobitherm_governors.a"
+)

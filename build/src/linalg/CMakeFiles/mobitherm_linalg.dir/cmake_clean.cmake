@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobitherm_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/mobitherm_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/mobitherm_linalg.dir/expm.cpp.o"
+  "CMakeFiles/mobitherm_linalg.dir/expm.cpp.o.d"
+  "CMakeFiles/mobitherm_linalg.dir/jacobi.cpp.o"
+  "CMakeFiles/mobitherm_linalg.dir/jacobi.cpp.o.d"
+  "CMakeFiles/mobitherm_linalg.dir/lu.cpp.o"
+  "CMakeFiles/mobitherm_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/mobitherm_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/mobitherm_linalg.dir/matrix.cpp.o.d"
+  "libmobitherm_linalg.a"
+  "libmobitherm_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobitherm_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/config_io.cpp" "src/platform/CMakeFiles/mobitherm_platform.dir/config_io.cpp.o" "gcc" "src/platform/CMakeFiles/mobitherm_platform.dir/config_io.cpp.o.d"
+  "/root/repo/src/platform/opp.cpp" "src/platform/CMakeFiles/mobitherm_platform.dir/opp.cpp.o" "gcc" "src/platform/CMakeFiles/mobitherm_platform.dir/opp.cpp.o.d"
+  "/root/repo/src/platform/presets.cpp" "src/platform/CMakeFiles/mobitherm_platform.dir/presets.cpp.o" "gcc" "src/platform/CMakeFiles/mobitherm_platform.dir/presets.cpp.o.d"
+  "/root/repo/src/platform/soc.cpp" "src/platform/CMakeFiles/mobitherm_platform.dir/soc.cpp.o" "gcc" "src/platform/CMakeFiles/mobitherm_platform.dir/soc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/thermal/CMakeFiles/mobitherm_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mobitherm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mobitherm_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobitherm_platform.dir/config_io.cpp.o"
+  "CMakeFiles/mobitherm_platform.dir/config_io.cpp.o.d"
+  "CMakeFiles/mobitherm_platform.dir/opp.cpp.o"
+  "CMakeFiles/mobitherm_platform.dir/opp.cpp.o.d"
+  "CMakeFiles/mobitherm_platform.dir/presets.cpp.o"
+  "CMakeFiles/mobitherm_platform.dir/presets.cpp.o.d"
+  "CMakeFiles/mobitherm_platform.dir/soc.cpp.o"
+  "CMakeFiles/mobitherm_platform.dir/soc.cpp.o.d"
+  "libmobitherm_platform.a"
+  "libmobitherm_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobitherm_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobitherm_power.dir/battery.cpp.o"
+  "CMakeFiles/mobitherm_power.dir/battery.cpp.o.d"
+  "CMakeFiles/mobitherm_power.dir/idle.cpp.o"
+  "CMakeFiles/mobitherm_power.dir/idle.cpp.o.d"
+  "CMakeFiles/mobitherm_power.dir/model.cpp.o"
+  "CMakeFiles/mobitherm_power.dir/model.cpp.o.d"
+  "CMakeFiles/mobitherm_power.dir/sensors.cpp.o"
+  "CMakeFiles/mobitherm_power.dir/sensors.cpp.o.d"
+  "libmobitherm_power.a"
+  "libmobitherm_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobitherm_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

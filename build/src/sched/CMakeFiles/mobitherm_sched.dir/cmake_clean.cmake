@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobitherm_sched.dir/process.cpp.o"
+  "CMakeFiles/mobitherm_sched.dir/process.cpp.o.d"
+  "CMakeFiles/mobitherm_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/mobitherm_sched.dir/scheduler.cpp.o.d"
+  "libmobitherm_sched.a"
+  "libmobitherm_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobitherm_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

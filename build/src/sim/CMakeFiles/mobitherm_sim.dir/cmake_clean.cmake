@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobitherm_sim.dir/engine.cpp.o"
+  "CMakeFiles/mobitherm_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/mobitherm_sim.dir/experiment.cpp.o"
+  "CMakeFiles/mobitherm_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/mobitherm_sim.dir/montecarlo.cpp.o"
+  "CMakeFiles/mobitherm_sim.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/mobitherm_sim.dir/report.cpp.o"
+  "CMakeFiles/mobitherm_sim.dir/report.cpp.o.d"
+  "CMakeFiles/mobitherm_sim.dir/scenario.cpp.o"
+  "CMakeFiles/mobitherm_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/mobitherm_sim.dir/trace.cpp.o"
+  "CMakeFiles/mobitherm_sim.dir/trace.cpp.o.d"
+  "libmobitherm_sim.a"
+  "libmobitherm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobitherm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

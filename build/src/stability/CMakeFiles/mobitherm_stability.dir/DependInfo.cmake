@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stability/calibrate.cpp" "src/stability/CMakeFiles/mobitherm_stability.dir/calibrate.cpp.o" "gcc" "src/stability/CMakeFiles/mobitherm_stability.dir/calibrate.cpp.o.d"
+  "/root/repo/src/stability/fixed_point.cpp" "src/stability/CMakeFiles/mobitherm_stability.dir/fixed_point.cpp.o" "gcc" "src/stability/CMakeFiles/mobitherm_stability.dir/fixed_point.cpp.o.d"
+  "/root/repo/src/stability/presets.cpp" "src/stability/CMakeFiles/mobitherm_stability.dir/presets.cpp.o" "gcc" "src/stability/CMakeFiles/mobitherm_stability.dir/presets.cpp.o.d"
+  "/root/repo/src/stability/safety.cpp" "src/stability/CMakeFiles/mobitherm_stability.dir/safety.cpp.o" "gcc" "src/stability/CMakeFiles/mobitherm_stability.dir/safety.cpp.o.d"
+  "/root/repo/src/stability/trajectory.cpp" "src/stability/CMakeFiles/mobitherm_stability.dir/trajectory.cpp.o" "gcc" "src/stability/CMakeFiles/mobitherm_stability.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/thermal/CMakeFiles/mobitherm_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mobitherm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mobitherm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

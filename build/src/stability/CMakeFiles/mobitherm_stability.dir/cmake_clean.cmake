@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobitherm_stability.dir/calibrate.cpp.o"
+  "CMakeFiles/mobitherm_stability.dir/calibrate.cpp.o.d"
+  "CMakeFiles/mobitherm_stability.dir/fixed_point.cpp.o"
+  "CMakeFiles/mobitherm_stability.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/mobitherm_stability.dir/presets.cpp.o"
+  "CMakeFiles/mobitherm_stability.dir/presets.cpp.o.d"
+  "CMakeFiles/mobitherm_stability.dir/safety.cpp.o"
+  "CMakeFiles/mobitherm_stability.dir/safety.cpp.o.d"
+  "CMakeFiles/mobitherm_stability.dir/trajectory.cpp.o"
+  "CMakeFiles/mobitherm_stability.dir/trajectory.cpp.o.d"
+  "libmobitherm_stability.a"
+  "libmobitherm_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobitherm_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

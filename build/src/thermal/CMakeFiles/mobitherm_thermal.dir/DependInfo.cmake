@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/floorplan.cpp" "src/thermal/CMakeFiles/mobitherm_thermal.dir/floorplan.cpp.o" "gcc" "src/thermal/CMakeFiles/mobitherm_thermal.dir/floorplan.cpp.o.d"
+  "/root/repo/src/thermal/lumped.cpp" "src/thermal/CMakeFiles/mobitherm_thermal.dir/lumped.cpp.o" "gcc" "src/thermal/CMakeFiles/mobitherm_thermal.dir/lumped.cpp.o.d"
+  "/root/repo/src/thermal/network.cpp" "src/thermal/CMakeFiles/mobitherm_thermal.dir/network.cpp.o" "gcc" "src/thermal/CMakeFiles/mobitherm_thermal.dir/network.cpp.o.d"
+  "/root/repo/src/thermal/presets.cpp" "src/thermal/CMakeFiles/mobitherm_thermal.dir/presets.cpp.o" "gcc" "src/thermal/CMakeFiles/mobitherm_thermal.dir/presets.cpp.o.d"
+  "/root/repo/src/thermal/sensors.cpp" "src/thermal/CMakeFiles/mobitherm_thermal.dir/sensors.cpp.o" "gcc" "src/thermal/CMakeFiles/mobitherm_thermal.dir/sensors.cpp.o.d"
+  "/root/repo/src/thermal/skin.cpp" "src/thermal/CMakeFiles/mobitherm_thermal.dir/skin.cpp.o" "gcc" "src/thermal/CMakeFiles/mobitherm_thermal.dir/skin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/mobitherm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mobitherm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

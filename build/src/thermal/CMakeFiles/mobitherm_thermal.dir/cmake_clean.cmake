@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobitherm_thermal.dir/floorplan.cpp.o"
+  "CMakeFiles/mobitherm_thermal.dir/floorplan.cpp.o.d"
+  "CMakeFiles/mobitherm_thermal.dir/lumped.cpp.o"
+  "CMakeFiles/mobitherm_thermal.dir/lumped.cpp.o.d"
+  "CMakeFiles/mobitherm_thermal.dir/network.cpp.o"
+  "CMakeFiles/mobitherm_thermal.dir/network.cpp.o.d"
+  "CMakeFiles/mobitherm_thermal.dir/presets.cpp.o"
+  "CMakeFiles/mobitherm_thermal.dir/presets.cpp.o.d"
+  "CMakeFiles/mobitherm_thermal.dir/sensors.cpp.o"
+  "CMakeFiles/mobitherm_thermal.dir/sensors.cpp.o.d"
+  "CMakeFiles/mobitherm_thermal.dir/skin.cpp.o"
+  "CMakeFiles/mobitherm_thermal.dir/skin.cpp.o.d"
+  "libmobitherm_thermal.a"
+  "libmobitherm_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobitherm_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

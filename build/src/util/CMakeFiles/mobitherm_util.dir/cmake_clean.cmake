@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobitherm_util.dir/csv.cpp.o"
+  "CMakeFiles/mobitherm_util.dir/csv.cpp.o.d"
+  "CMakeFiles/mobitherm_util.dir/log.cpp.o"
+  "CMakeFiles/mobitherm_util.dir/log.cpp.o.d"
+  "libmobitherm_util.a"
+  "libmobitherm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobitherm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app.cpp" "src/workload/CMakeFiles/mobitherm_workload.dir/app.cpp.o" "gcc" "src/workload/CMakeFiles/mobitherm_workload.dir/app.cpp.o.d"
+  "/root/repo/src/workload/presets.cpp" "src/workload/CMakeFiles/mobitherm_workload.dir/presets.cpp.o" "gcc" "src/workload/CMakeFiles/mobitherm_workload.dir/presets.cpp.o.d"
+  "/root/repo/src/workload/rate_trace.cpp" "src/workload/CMakeFiles/mobitherm_workload.dir/rate_trace.cpp.o" "gcc" "src/workload/CMakeFiles/mobitherm_workload.dir/rate_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/mobitherm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/mobitherm_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mobitherm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/mobitherm_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mobitherm_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobitherm_workload.dir/app.cpp.o"
+  "CMakeFiles/mobitherm_workload.dir/app.cpp.o.d"
+  "CMakeFiles/mobitherm_workload.dir/presets.cpp.o"
+  "CMakeFiles/mobitherm_workload.dir/presets.cpp.o.d"
+  "CMakeFiles/mobitherm_workload.dir/rate_trace.cpp.o"
+  "CMakeFiles/mobitherm_workload.dir/rate_trace.cpp.o.d"
+  "libmobitherm_workload.a"
+  "libmobitherm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobitherm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

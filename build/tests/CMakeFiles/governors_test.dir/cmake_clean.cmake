@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/governors_test.dir/governors_test.cpp.o"
+  "CMakeFiles/governors_test.dir/governors_test.cpp.o.d"
+  "governors_test"
+  "governors_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/governors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

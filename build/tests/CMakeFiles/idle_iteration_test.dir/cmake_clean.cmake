@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idle_iteration_test.dir/idle_iteration_test.cpp.o"
+  "CMakeFiles/idle_iteration_test.dir/idle_iteration_test.cpp.o.d"
+  "idle_iteration_test"
+  "idle_iteration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idle_iteration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misc_ext_test.dir/misc_ext_test.cpp.o"
+  "CMakeFiles/misc_ext_test.dir/misc_ext_test.cpp.o.d"
+  "misc_ext_test"
+  "misc_ext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misc_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
