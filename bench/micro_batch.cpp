@@ -1,0 +1,106 @@
+// Batch-runner microbenchmark: a 16-seed Nexus sweep (Table I confidence
+// methodology) executed serially and through the parallel batch runner.
+// Prints per-path wall clock, the speedup, and verifies that the parallel
+// statistics are bit-identical to the serial ones — the property that makes
+// the parallel path a drop-in replacement for across_seeds().
+//
+// Usage: micro_batch [seeds] [duration_s] [threads]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "bench_util.h"
+#include "sim/batch.h"
+#include "sim/experiment.h"
+#include "sim/montecarlo.h"
+#include "workload/presets.h"
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mobitherm;
+  const int seeds = argc > 1 ? std::atoi(argv[1]) : 16;
+  const double duration_s = argc > 2 ? std::atof(argv[2]) : 20.0;
+  const int threads_arg = argc > 3 ? std::atoi(argv[3]) : 4;
+  if (seeds <= 0 || duration_s <= 0.0 || threads_arg < 0) {
+    std::fprintf(stderr,
+                 "usage: micro_batch [seeds>0] [duration_s>0] "
+                 "[threads>=0, 0=hardware]\n");
+    return 2;
+  }
+  const unsigned threads = static_cast<unsigned>(threads_arg);
+
+  bench::header("micro_batch",
+                "multi-seed Nexus sweep, serial vs. parallel batch runner");
+  std::printf("\n%d seeds x %.0f s Paper.io on the Nexus 6P model; "
+              "%u worker threads (hardware reports %u)\n",
+              seeds, duration_s, threads,
+              std::thread::hardware_concurrency());
+
+  auto metric = [&](std::uint64_t seed) {
+    sim::NexusRun run;
+    run.app = workload::paperio();
+    run.duration_s = duration_s;
+    run.seed = seed;
+    return sim::run_nexus_app(run).median_fps;
+  };
+
+  double t0 = now_s();
+  const sim::SeedStats serial = sim::across_seeds(metric, seeds, 1, 1);
+  const double serial_s = now_s() - t0;
+
+  t0 = now_s();
+  const sim::SeedStats parallel =
+      sim::across_seeds(metric, seeds, 1, threads);
+  const double parallel_s = now_s() - t0;
+
+  std::printf("\n%-28s %8.2f s wall\n", "serial across_seeds", serial_s);
+  std::printf("%-28s %8.2f s wall\n", "parallel batch runner", parallel_s);
+  std::printf("%-28s %8.2fx\n", "speedup",
+              parallel_s > 0.0 ? serial_s / parallel_s : 0.0);
+
+  const bool identical = serial.mean == parallel.mean &&
+                         serial.stddev == parallel.stddev &&
+                         serial.min == parallel.min &&
+                         serial.max == parallel.max &&
+                         serial.n == parallel.n;
+  std::printf("\nmedian fps: %.3f +- %.3f (min %.3f, max %.3f, n=%d)\n",
+              serial.mean, serial.stddev, serial.min, serial.max, serial.n);
+  std::printf("serial vs parallel statistics: %s\n",
+              identical ? "bit-identical" : "MISMATCH");
+
+  // Full per-run records through the scenario-factory API.
+  sim::BatchOptions opts;
+  opts.threads = threads;
+  const auto records = sim::BatchRunner(opts).run(
+      static_cast<std::size_t>(seeds), 1, duration_s,
+      [&](std::size_t, std::uint64_t seed) {
+        sim::NexusRun run;
+        run.app = workload::paperio();
+        run.duration_s = duration_s;
+        run.seed = seed;
+        return sim::make_nexus_engine(run);
+      });
+  double fastest = records.front().wall_s;
+  double slowest = records.front().wall_s;
+  for (const sim::BatchRecord& r : records) {
+    fastest = std::min(fastest, r.wall_s);
+    slowest = std::max(slowest, r.wall_s);
+  }
+  std::printf("\nper-run records: %zu; per-run wall %.2f..%.2f s; "
+              "run 0 peak %.1f degC, median %.1f fps\n",
+              records.size(), fastest, slowest,
+              records.front().metrics.peak_temp_c,
+              records.front().metrics.median_fps.front());
+
+  return identical ? 0 : 1;
+}

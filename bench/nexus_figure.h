@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "sim/batch.h"
 #include "sim/experiment.h"
 #include "workload/app.h"
 
@@ -17,15 +18,20 @@ struct NexusPair {
   sim::NexusResult with_throttling;
 };
 
+/// The two runs are independent engines, so they fan across the batch
+/// pool (worker count bounded by the hardware).
 inline NexusPair run_pair(const workload::AppSpec& app,
                           double duration_s = 140.0) {
-  sim::NexusRun run;
-  run.app = app;
-  run.duration_s = duration_s;
-  run.throttling = false;
-  NexusPair pair{sim::run_nexus_app(run), {}};
-  run.throttling = true;
-  pair.with_throttling = sim::run_nexus_app(run);
+  NexusPair pair;
+  sim::NexusResult* out[2] = {&pair.without_throttling,
+                              &pair.with_throttling};
+  sim::parallel_for_index(2, 2, [&](std::size_t i) {
+    sim::NexusRun run;
+    run.app = app;
+    run.duration_s = duration_s;
+    run.throttling = i == 1;
+    *out[i] = sim::run_nexus_app(run);
+  });
   return pair;
 }
 

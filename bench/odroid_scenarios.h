@@ -3,6 +3,7 @@
 // and 3DMark + BML under the proposed application-aware governor.
 #pragma once
 
+#include "sim/batch.h"
 #include "sim/experiment.h"
 #include "workload/presets.h"
 
@@ -14,23 +15,23 @@ struct OdroidTriple {
   sim::OdroidResult proposed;
 };
 
+/// The three policy scenarios are independent engines, so they fan across
+/// the batch pool (worker count bounded by the hardware).
 inline OdroidTriple run_triple(const workload::AppSpec& foreground,
                                double duration_s = 250.0,
                                double initial_temp_c = 50.0) {
-  sim::OdroidRun run;
-  run.foreground = foreground;
-  run.duration_s = duration_s;
-  run.initial_temp_c = initial_temp_c;
-
-  run.with_bml = false;
-  run.policy = sim::ThermalPolicy::kDefault;
-  OdroidTriple t{sim::run_odroid(run), {}, {}};
-
-  run.with_bml = true;
-  t.with_bml = sim::run_odroid(run);
-
-  run.policy = sim::ThermalPolicy::kProposed;
-  t.proposed = sim::run_odroid(run);
+  OdroidTriple t;
+  sim::OdroidResult* out[3] = {&t.alone, &t.with_bml, &t.proposed};
+  sim::parallel_for_index(3, 3, [&](std::size_t i) {
+    sim::OdroidRun run;
+    run.foreground = foreground;
+    run.duration_s = duration_s;
+    run.initial_temp_c = initial_temp_c;
+    run.with_bml = i > 0;
+    run.policy = i == 2 ? sim::ThermalPolicy::kProposed
+                        : sim::ThermalPolicy::kDefault;
+    *out[i] = sim::run_odroid(run);
+  });
   return t;
 }
 

@@ -71,6 +71,7 @@ class AppAwareGovernor {
  public:
   AppAwareGovernor(AppAwareConfig config, stability::Params params);
 
+  const char* name() const { return "app_aware"; }
   const AppAwareConfig& config() const { return config_; }
   const stability::Params& stability_params() const { return params_; }
 

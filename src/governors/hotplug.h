@@ -26,6 +26,7 @@ class HotplugGovernor {
 
   HotplugGovernor(const platform::SocSpec& spec, Config config);
 
+  const char* name() const { return "hotplug_emergency"; }
   const Config& config() const { return config_; }
   double polling_period_s() const { return config_.polling_period_s; }
 

@@ -9,6 +9,15 @@ namespace mobitherm::governors {
 
 using util::ConfigError;
 
+std::vector<std::size_t> ThermalGovernor::caps(
+    std::size_t num_clusters) const {
+  std::vector<std::size_t> out(num_clusters);
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    out[c] = cap_index(c);
+  }
+  return out;
+}
+
 StepWiseGovernor::Config StepWiseGovernor::uniform(
     const platform::SocSpec& spec, double trip_k, double hysteresis_k,
     double polling_period_s) {

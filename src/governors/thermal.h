@@ -47,6 +47,10 @@ class ThermalGovernor {
   virtual void update(const ThermalContext& ctx) = 0;
   /// Highest OPP index cluster `c` may use right now.
   virtual std::size_t cap_index(std::size_t cluster) const = 0;
+
+  /// Snapshot of cap_index for clusters [0, num_clusters) — the payload of
+  /// a GovernorDecisionEvent on the engine's observer bus.
+  std::vector<std::size_t> caps(std::size_t num_clusters) const;
 };
 
 /// No thermal management.

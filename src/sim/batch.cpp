@@ -1,0 +1,136 @@
+#include "sim/batch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/error.h"
+
+namespace mobitherm::sim {
+
+void parallel_for_index(std::size_t n, unsigned threads,
+                        const std::function<void(std::size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) {
+      threads = 1;
+    }
+  }
+  const std::size_t workers =
+      std::min<std::size_t>(threads, n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error) {
+          return;  // a sibling already failed; stop claiming work
+        }
+      }
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back(worker);
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+BatchRunner::BatchRunner(BatchOptions options) : options_(options) {}
+
+unsigned BatchRunner::resolved_threads() const {
+  if (options_.threads != 0) {
+    return options_.threads;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::vector<BatchRecord> BatchRunner::run(std::size_t runs,
+                                          std::uint64_t base_seed,
+                                          double duration_s,
+                                          const EngineFactory& factory,
+                                          MetricsOptions metrics) const {
+  if (!factory) {
+    throw util::ConfigError("BatchRunner: null engine factory");
+  }
+  if (runs == 0) {
+    throw util::ConfigError("BatchRunner: runs must be positive");
+  }
+  std::vector<BatchRecord> records(runs);
+  parallel_for_index(runs, resolved_threads(), [&](std::size_t i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    const auto start = std::chrono::steady_clock::now();
+    std::unique_ptr<Engine> engine = factory(i, seed);
+    if (!engine) {
+      throw util::ConfigError("BatchRunner: factory returned null engine");
+    }
+    MetricsObserver tap(metrics);
+    engine->add_observer(&tap);
+    engine->run(duration_s);
+    BatchRecord& rec = records[i];
+    rec.index = i;
+    rec.seed = seed;
+    rec.metrics = tap.metrics(*engine);
+    rec.report = make_report(*engine, metrics.temp_limit_c);
+    rec.wall_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  });
+  return records;
+}
+
+std::vector<double> BatchRunner::sweep(
+    const std::function<double(std::uint64_t)>& metric, int n,
+    std::uint64_t base_seed) const {
+  if (!metric) {
+    throw util::ConfigError("BatchRunner: null metric");
+  }
+  if (n <= 0) {
+    throw util::ConfigError("BatchRunner: n must be positive");
+  }
+  std::vector<double> samples(static_cast<std::size_t>(n));
+  parallel_for_index(samples.size(), resolved_threads(),
+                     [&](std::size_t i) {
+                       samples[i] = metric(base_seed +
+                                           static_cast<std::uint64_t>(i));
+                     });
+  return samples;
+}
+
+}  // namespace mobitherm::sim

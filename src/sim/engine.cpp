@@ -55,10 +55,7 @@ Engine::Engine(platform::SocSpec soc_spec,
   cpufreq_.resize(n);
   requested_index_.assign(n, 0);
   last_busy_cores_.assign(n, 0.0);
-  conflict_time_s_.assign(n, 0.0);
-  conflict_episodes_.assign(n, 0);
   in_conflict_.assign(n, false);
-  dvfs_transitions_.assign(n, 0);
   for (std::size_t c = 0; c < n; ++c) {
     const ResourceKind kind = soc_.cluster(c).kind;
     if (kind == ResourceKind::kMemory) {
@@ -93,11 +90,22 @@ Engine::Engine(platform::SocSpec soc_spec,
     rc.seed = util::derive_seed(config_.seed, 200 + c);
     rails_.emplace_back(rc);
   }
+
+  // Built-in instrumentation observers; they serve the legacy accessors
+  // (decisions(), conflict_time_s(), dvfs_transitions(), daq()).
+  decision_log_ = std::make_unique<DecisionLogObserver>();
+  conflicts_ = std::make_unique<ConflictAccountingObserver>(n);
+  dvfs_counter_ = std::make_unique<DvfsTransitionCounter>(n);
+  observers_.push_back(decision_log_.get());
+  observers_.push_back(conflicts_.get());
+  observers_.push_back(dvfs_counter_.get());
   if (config_.enable_daq) {
     power::DaqSimulator::Config dc;
     dc.seed = util::derive_seed(config_.seed, 300);
-    daq_ = std::make_unique<power::DaqSimulator>(dc);
+    daq_observer_ = std::make_unique<DaqObserver>(dc);
+    observers_.push_back(daq_observer_.get());
   }
+  num_builtin_observers_ = observers_.size();
 }
 
 std::size_t Engine::add_app(const workload::AppSpec& spec,
@@ -197,6 +205,26 @@ void Engine::enable_skin_estimator(thermal::SkinModelParams params) {
   skin_->reset(network_.temperature(board_node_));
 }
 
+void Engine::add_observer(SimObserver* observer) {
+  if (observer == nullptr) {
+    throw ConfigError("Engine: null observer");
+  }
+  observers_.push_back(observer);
+}
+
+void Engine::remove_observer(SimObserver* observer) {
+  for (std::size_t i = num_builtin_observers_; i < observers_.size(); ++i) {
+    if (observers_[i] == observer) {
+      observers_.erase(observers_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+std::size_t Engine::num_observers() const {
+  return observers_.size() - num_builtin_observers_;
+}
+
 double Engine::skin_temp_k() const {
   if (!skin_.has_value()) {
     throw ConfigError("Engine: skin estimator not enabled");
@@ -205,24 +233,24 @@ double Engine::skin_temp_k() const {
 }
 
 double Engine::conflict_time_s(std::size_t cluster) const {
-  if (cluster >= conflict_time_s_.size()) {
+  if (cluster >= conflicts_->num_clusters()) {
     throw ConfigError("Engine: cluster index out of range");
   }
-  return conflict_time_s_[cluster];
+  return conflicts_->time_s(cluster);
 }
 
 std::size_t Engine::conflict_episodes(std::size_t cluster) const {
-  if (cluster >= conflict_episodes_.size()) {
+  if (cluster >= conflicts_->num_clusters()) {
     throw ConfigError("Engine: cluster index out of range");
   }
-  return conflict_episodes_[cluster];
+  return conflicts_->episodes(cluster);
 }
 
 std::size_t Engine::dvfs_transitions(std::size_t cluster) const {
-  if (cluster >= dvfs_transitions_.size()) {
+  if (cluster >= dvfs_counter_->num_clusters()) {
     throw ConfigError("Engine: cluster index out of range");
   }
-  return dvfs_transitions_[cluster];
+  return dvfs_counter_->transitions(cluster);
 }
 
 void Engine::inject_input() {
@@ -265,27 +293,62 @@ void Engine::set_initial_temperature(double t_k) {
 }
 
 void Engine::run(double seconds) {
-  const auto ticks = static_cast<long long>(
-      std::llround(seconds / config_.tick_s));
+  // Carry fractional ticks across calls so repeated short runs advance
+  // exactly as far as one long run (run(0.05) x20 == run(1.0)).
+  pending_ticks_ += seconds / config_.tick_s;
+  const auto ticks =
+      static_cast<long long>(std::floor(pending_ticks_ + 1e-9));
+  if (ticks <= 0) {
+    return;
+  }
+  pending_ticks_ -= static_cast<double>(ticks);
   for (long long i = 0; i < ticks; ++i) {
     tick();
   }
 }
 
 void Engine::tick() {
-  const double dt = config_.tick_s;
-  const std::size_t n = soc_.num_clusters();
+  TickContext ctx;
+  ctx.dt = config_.tick_s;
 
-  // 0. Injected user input (touch boost).
-  if (config_.input_event_interval_s > 0.0) {
-    input_accum_ += dt;
-    if (input_accum_ >= config_.input_event_interval_s) {
-      inject_input();
-      input_accum_ = 0.0;
-    }
+  stage_input(ctx);
+  stage_demand(ctx);
+  stage_allocate(ctx);
+  stage_contention(ctx);
+  stage_power(ctx);
+  stage_thermal(ctx);
+  stage_sensors(ctx);
+  stage_residency(ctx);
+  stage_governors(ctx);
+  stage_dvfs(ctx);
+  stage_trace(ctx);
+
+  TickInfo info;
+  info.t_s = now_;
+  info.dt = ctx.dt;
+  info.total_power_w = ctx.total_power_w;
+  info.max_chip_temp_k = ctx.max_chip_temp_k;
+  info.board_temp_k = ctx.board_temp_k;
+  info.engine = this;
+  publish_tick(info);
+
+  now_ += ctx.dt;
+}
+
+// Injected user input (touch boost).
+void Engine::stage_input(TickContext& ctx) {
+  if (config_.input_event_interval_s <= 0.0) {
+    return;
   }
+  input_accum_ += ctx.dt;
+  if (input_accum_ >= config_.input_event_interval_s) {
+    inject_input();
+    input_accum_ = 0.0;
+  }
+}
 
-  // 1. Workload demands (suspended or not-yet-started apps demand zero).
+// Workload demands (suspended or not-yet-started apps demand zero).
+void Engine::stage_demand(TickContext& ctx) {
   for (AppSlot& slot : apps_) {
     if (slot.suspended || now_ < slot.start_s) {
       scheduler_.process(slot.instance->cpu_pid()).set_demand_rate(0.0);
@@ -294,68 +357,77 @@ void Engine::tick() {
       }
       continue;
     }
-    slot.instance->set_demands(scheduler_, now_ - slot.start_s, dt);
+    slot.instance->set_demands(scheduler_, now_ - slot.start_s, ctx.dt);
   }
+}
 
-  // 2. Allocation and frame accounting.
-  scheduler_.allocate(soc_, dt);
+// Allocation and frame accounting.
+void Engine::stage_allocate(TickContext& ctx) {
+  scheduler_.allocate(soc_, ctx.dt);
   for (AppSlot& slot : apps_) {
-    slot.instance->account(scheduler_, dt);
+    slot.instance->account(scheduler_, ctx.dt);
   }
+}
 
-  // 2b. Memory-bandwidth contention: aggregate app traffic vs. peak.
-  if (config_.enable_memory_contention) {
-    double bytes_per_s = 0.0;
-    for (AppSlot& slot : apps_) {
-      const double intensity = slot.instance->spec().mem_bytes_per_work;
-      if (intensity <= 0.0) {
-        continue;
-      }
-      double granted =
-          scheduler_.process(slot.instance->cpu_pid()).granted_rate();
-      if (slot.instance->gpu_pid() >= 0) {
-        granted +=
-            scheduler_.process(slot.instance->gpu_pid()).granted_rate();
-      }
-      bytes_per_s += granted * intensity;
+// Memory-bandwidth contention: aggregate app traffic vs. peak.
+void Engine::stage_contention(TickContext&) {
+  if (!config_.enable_memory_contention) {
+    return;
+  }
+  double bytes_per_s = 0.0;
+  for (AppSlot& slot : apps_) {
+    const double intensity = slot.instance->spec().mem_bytes_per_work;
+    if (intensity <= 0.0) {
+      continue;
     }
-    last_mem_bw_gbps_ = bytes_per_s * 1e-9;
-    const double peak = config_.mem_peak_bandwidth_gbps;
-    last_mem_stall_ =
-        last_mem_bw_gbps_ > peak ? 1.0 - peak / last_mem_bw_gbps_ : 0.0;
-    if (last_mem_stall_ > 0.0) {
-      for (std::size_t c = 0; c < n; ++c) {
-        if (soc_.cluster(c).kind != ResourceKind::kMemory) {
-          scheduler_.set_capacity_penalty(c, last_mem_stall_);
-        }
+    double granted =
+        scheduler_.process(slot.instance->cpu_pid()).granted_rate();
+    if (slot.instance->gpu_pid() >= 0) {
+      granted +=
+          scheduler_.process(slot.instance->gpu_pid()).granted_rate();
+    }
+    bytes_per_s += granted * intensity;
+  }
+  last_mem_bw_gbps_ = bytes_per_s * 1e-9;
+  const double peak = config_.mem_peak_bandwidth_gbps;
+  last_mem_stall_ =
+      last_mem_bw_gbps_ > peak ? 1.0 - peak / last_mem_bw_gbps_ : 0.0;
+  if (last_mem_stall_ > 0.0) {
+    for (std::size_t c = 0; c < soc_.num_clusters(); ++c) {
+      if (soc_.cluster(c).kind != ResourceKind::kMemory) {
+        scheduler_.set_capacity_penalty(c, last_mem_stall_);
       }
     }
   }
+}
 
-  // 3. Activities (memory activity follows CPU/GPU traffic).
-  double cpu_busy = 0.0;
-  double gpu_busy = 0.0;
+// Activities (memory activity follows CPU/GPU traffic), then power per
+// cluster and the thermal-node injection vector.
+void Engine::stage_power(TickContext& ctx) {
+  const std::size_t n = soc_.num_clusters();
+  ctx.cpu_busy_cores = 0.0;
+  ctx.gpu_busy_cores = 0.0;
   for (std::size_t c = 0; c < n; ++c) {
     last_busy_cores_[c] = scheduler_.cluster_busy_cores(c);
     const ResourceKind kind = soc_.cluster(c).kind;
     if (kind == ResourceKind::kGpu) {
-      gpu_busy += last_busy_cores_[c];
+      ctx.gpu_busy_cores += last_busy_cores_[c];
     } else if (kind != ResourceKind::kMemory) {
-      cpu_busy += last_busy_cores_[c];
+      ctx.cpu_busy_cores += last_busy_cores_[c];
     }
   }
 
-  // 4. Power per cluster, node injection vector.
-  linalg::Vector node_power(network_.num_nodes(), 0.0);
-  double total_power = power_model_.board_base_w();
-  node_power[board_node_] += power_model_.board_base_w();
+  ctx.node_power = linalg::Vector(network_.num_nodes(), 0.0);
+  ctx.total_power_w = power_model_.board_base_w();
+  ctx.node_power[board_node_] += power_model_.board_base_w();
   for (std::size_t c = 0; c < n; ++c) {
     power::ClusterActivity activity;
     const ResourceKind kind = soc_.cluster(c).kind;
     if (kind == ResourceKind::kMemory) {
-      activity.busy_cores = std::clamp(config_.mem_cpu_coeff * cpu_busy +
-                                           config_.mem_gpu_coeff * gpu_busy,
-                                       0.0, 1.0);
+      activity.busy_cores =
+          std::clamp(config_.mem_cpu_coeff * ctx.cpu_busy_cores +
+                         config_.mem_gpu_coeff * ctx.gpu_busy_cores,
+                     0.0, 1.0);
       last_busy_cores_[c] = activity.busy_cores;
     } else {
       activity.busy_cores = last_busy_cores_[c];
@@ -369,34 +441,52 @@ void Engine::tick() {
     activity.temp_k = network_.temperature(soc_.cluster(c).thermal_node);
     const power::ClusterPower p =
         power_model_.cluster_power(soc_, c, activity);
-    node_power[soc_.cluster(c).thermal_node] += p.total();
-    total_power += p.total();
-    scheduler_.attribute_power(c, p.dynamic_w, dt);
-    rails_[c].feed(dt, p.total());
-    trace_.add_rail_energy(c, p.total() * dt);
+    ctx.node_power[soc_.cluster(c).thermal_node] += p.total();
+    ctx.total_power_w += p.total();
+    scheduler_.attribute_power(c, p.dynamic_w, ctx.dt);
+    rails_[c].feed(ctx.dt, p.total());
+    trace_.add_rail_energy(c, p.total() * ctx.dt);
   }
-  last_total_power_w_ = total_power;
-  power_window_.push(dt, total_power);
-  if (daq_) {
-    daq_->feed(dt, total_power);
-  }
+  last_total_power_w_ = ctx.total_power_w;
+  power_window_.push(ctx.dt, ctx.total_power_w);
+}
 
-  // 5. Thermal step and sensor refresh.
-  network_.step(node_power, dt);
-  for (std::size_t node = 0; node < node_sensors_.size(); ++node) {
-    node_sensors_[node].feed(dt, network_.temperature(node));
-  }
+// Thermal step (RC network + skin estimator).
+void Engine::stage_thermal(TickContext& ctx) {
+  network_.step(ctx.node_power, ctx.dt);
   if (skin_.has_value()) {
-    skin_->step(network_.temperature(board_node_), dt);
+    skin_->step(network_.temperature(board_node_), ctx.dt);
   }
-
-  // 6. Residency is accrued at the OPPs active during this tick.
-  for (std::size_t c = 0; c < n; ++c) {
-    trace_.add_residency(c, soc_.state(c).opp_index, dt);
+  ctx.max_chip_temp_k = 0.0;
+  for (std::size_t node = 0; node < network_.num_nodes(); ++node) {
+    if (node != board_node_) {
+      ctx.max_chip_temp_k =
+          std::max(ctx.max_chip_temp_k, network_.temperature(node));
+    }
   }
-  trace_.add_time(dt);
+  ctx.board_temp_k = network_.temperature(board_node_);
+}
 
-  // 7. Governors at their own periods.
+// Sensor refresh at the post-step temperatures.
+void Engine::stage_sensors(TickContext& ctx) {
+  for (std::size_t node = 0; node < node_sensors_.size(); ++node) {
+    node_sensors_[node].feed(ctx.dt, network_.temperature(node));
+  }
+}
+
+// Residency is accrued at the OPPs active during this tick (stage_dvfs has
+// not switched them yet).
+void Engine::stage_residency(TickContext& ctx) {
+  for (std::size_t c = 0; c < soc_.num_clusters(); ++c) {
+    trace_.add_residency(c, soc_.state(c).opp_index, ctx.dt);
+  }
+  trace_.add_time(ctx.dt);
+}
+
+// Governors at their own periods; each decision is published to the bus.
+void Engine::stage_governors(TickContext& ctx) {
+  const double dt = ctx.dt;
+  const std::size_t n = soc_.num_clusters();
   for (std::size_t c = 0; c < n; ++c) {
     CpufreqSlot& slot = cpufreq_[c];
     slot.since_decide_s += dt;
@@ -408,25 +498,41 @@ void Engine::tick() {
       requested_index_[c] = slot.gov->decide(in, soc_.cluster(c).opps);
       slot.since_decide_s = 0.0;
       slot.util_time_integral = 0.0;
+
+      GovernorDecisionEvent e;
+      e.t_s = now_;
+      e.kind = GovernorKind::kCpufreq;
+      e.governor = slot.gov->name();
+      e.cluster = c;
+      e.requested_index = requested_index_[c];
+      publish_governor_decision(e);
     }
   }
   if (thermal_gov_) {
     thermal_accum_ += dt;
     if (thermal_accum_ + 1e-12 >= thermal_gov_->polling_period_s()) {
-      governors::ThermalContext ctx;
-      ctx.dt = thermal_accum_;
-      ctx.control_temp_k = control_temp_k();
-      ctx.soc = &soc_;
-      ctx.power = &power_model_;
-      ctx.busy_cores = &last_busy_cores_;
-      ctx.requested_index = &requested_index_;
+      governors::ThermalContext tctx;
+      tctx.dt = thermal_accum_;
+      tctx.control_temp_k = control_temp_k();
+      tctx.soc = &soc_;
+      tctx.power = &power_model_;
+      tctx.busy_cores = &last_busy_cores_;
+      tctx.requested_index = &requested_index_;
       std::vector<double> node_temps(node_sensors_.size());
       for (std::size_t node = 0; node < node_sensors_.size(); ++node) {
         node_temps[node] = node_sensors_[node].last_k();
       }
-      ctx.node_temp_k = &node_temps;
-      thermal_gov_->update(ctx);
+      tctx.node_temp_k = &node_temps;
+      thermal_gov_->update(tctx);
       thermal_accum_ = 0.0;
+
+      const std::vector<std::size_t> caps = thermal_gov_->caps(n);
+      GovernorDecisionEvent e;
+      e.t_s = now_;
+      e.kind = GovernorKind::kThermal;
+      e.governor = thermal_gov_->name();
+      e.thermal_caps = &caps;
+      publish_governor_decision(e);
     }
   }
   if (appaware_) {
@@ -434,8 +540,14 @@ void Engine::tick() {
     if (appaware_accum_ + 1e-12 >= appaware_->config().period_s) {
       const core::AppAwareDecision d = appaware_->update(
           scheduler_, windowed_power_w(), control_temp_k());
-      decisions_.emplace_back(now_, d);
       appaware_accum_ = 0.0;
+
+      GovernorDecisionEvent e;
+      e.t_s = now_;
+      e.kind = GovernorKind::kAppAware;
+      e.governor = appaware_->name();
+      e.decision = &d;
+      publish_governor_decision(e);
     }
   }
   if (hotplug_) {
@@ -444,50 +556,57 @@ void Engine::tick() {
       const int cores = hotplug_->update(control_temp_k());
       soc_.set_online_cores(hotplug_->config().cluster, cores);
       hotplug_accum_ = 0.0;
+
+      GovernorDecisionEvent e;
+      e.t_s = now_;
+      e.kind = GovernorKind::kHotplug;
+      e.governor = hotplug_->name();
+      e.target_cores = cores;
+      publish_governor_decision(e);
     }
   }
-  apply_dvfs();
+}
 
-  // Contradiction accounting: the thermal cap clamping the cpufreq request
-  // is the governor conflict the paper highlights.
-  for (std::size_t c = 0; c < n; ++c) {
+// Apply min(request, thermal cap) and account governor contradictions: the
+// thermal cap clamping the cpufreq request is the conflict the paper
+// highlights. Episode boundaries are published as thermal events.
+void Engine::stage_dvfs(TickContext&) {
+  apply_dvfs();
+  for (std::size_t c = 0; c < soc_.num_clusters(); ++c) {
     const bool clamped =
         thermal_gov_ != nullptr &&
         thermal_gov_->cap_index(c) < requested_index_[c];
-    if (clamped) {
-      conflict_time_s_[c] += dt;
-      if (!in_conflict_[c]) {
-        ++conflict_episodes_[c];
-      }
+    if (clamped != in_conflict_[c]) {
+      ThermalEvent e;
+      e.kind = clamped ? ThermalEvent::Kind::kConflictBegin
+                       : ThermalEvent::Kind::kConflictEnd;
+      e.t_s = now_;
+      e.cluster = c;
+      publish_thermal_event(e);
     }
     in_conflict_[c] = clamped;
   }
+}
 
-  // 8. Decimated trace point.
-  trace_accum_ += dt;
-  if (trace_accum_ + 1e-12 >= config_.trace_period_s) {
-    TracePoint p;
-    p.t_s = now_;
-    double max_chip = 0.0;
-    for (std::size_t node = 0; node < network_.num_nodes(); ++node) {
-      if (node != board_node_) {
-        max_chip = std::max(max_chip, network_.temperature(node));
-      }
-    }
-    p.max_chip_temp_k = max_chip;
-    p.board_temp_k = network_.temperature(board_node_);
-    p.total_power_w = total_power;
-    for (std::size_t c = 0; c < n; ++c) {
-      p.cluster_freq_hz.push_back(soc_.frequency_hz(c));
-    }
-    for (AppSlot& slot : apps_) {
-      p.app_fps.push_back(slot.instance->instantaneous_fps());
-    }
-    trace_.add_point(std::move(p));
-    trace_accum_ = 0.0;
+// Decimated trace point.
+void Engine::stage_trace(TickContext& ctx) {
+  trace_accum_ += ctx.dt;
+  if (trace_accum_ + 1e-12 < config_.trace_period_s) {
+    return;
   }
-
-  now_ += dt;
+  TracePoint p;
+  p.t_s = now_;
+  p.max_chip_temp_k = ctx.max_chip_temp_k;
+  p.board_temp_k = ctx.board_temp_k;
+  p.total_power_w = ctx.total_power_w;
+  for (std::size_t c = 0; c < soc_.num_clusters(); ++c) {
+    p.cluster_freq_hz.push_back(soc_.frequency_hz(c));
+  }
+  for (AppSlot& slot : apps_) {
+    p.app_fps.push_back(slot.instance->instantaneous_fps());
+  }
+  trace_.add_point(std::move(p));
+  trace_accum_ = 0.0;
 }
 
 void Engine::apply_dvfs() {
@@ -498,13 +617,42 @@ void Engine::apply_dvfs() {
     }
     index = std::min(index, soc_.cluster(c).opps.max_index());
     if (index != soc_.state(c).opp_index) {
-      ++dvfs_transitions_[c];
+      DvfsTransitionEvent e;
+      e.t_s = now_;
+      e.cluster = c;
+      e.from_index = soc_.state(c).opp_index;
+      e.to_index = index;
+      publish_dvfs_transition(e);
       if (config_.dvfs_latency_s > 0.0) {
         scheduler_.set_capacity_penalty(
             c, std::min(1.0, config_.dvfs_latency_s / config_.tick_s));
       }
     }
     soc_.set_opp(c, index);
+  }
+}
+
+void Engine::publish_tick(const TickInfo& info) {
+  for (SimObserver* o : observers_) {
+    o->on_tick(info);
+  }
+}
+
+void Engine::publish_governor_decision(const GovernorDecisionEvent& event) {
+  for (SimObserver* o : observers_) {
+    o->on_governor_decision(event);
+  }
+}
+
+void Engine::publish_dvfs_transition(const DvfsTransitionEvent& event) {
+  for (SimObserver* o : observers_) {
+    o->on_dvfs_transition(event);
+  }
+}
+
+void Engine::publish_thermal_event(const ThermalEvent& event) {
+  for (SimObserver* o : observers_) {
+    o->on_thermal_event(event);
   }
 }
 

@@ -1,12 +1,23 @@
 // Discrete-time simulation engine.
 //
 // Binds the platform, power model, thermal network, scheduler, workloads
-// and governors into one tick loop:
-//   demands -> allocation -> frame accounting -> power -> thermal step ->
-//   sensors -> governors (at their own periods) -> DVFS apply -> tracing.
+// and governors into a staged tick pipeline:
+//   input -> demand -> allocate/account -> contention -> power -> thermal
+//   -> sensors -> residency -> governors -> dvfs -> trace
+// Each stage is a private method receiving an explicit TickContext, so the
+// stages are independently testable and the loop reads as the methodology
+// diagram the paper describes.
 //
 // Governors only ever see sensor readings; the physics advances on the
 // true state. All randomness is derived from EngineConfig::seed.
+//
+// Instrumentation flows through the observer bus (sim/observer.h): after
+// every tick, and at every governor decision, DVFS transition, and
+// thermal-conflict boundary, the engine publishes to its observers. The
+// built-in observers (sim/observers.h) provide the legacy accessors
+// (decisions(), conflict_time_s(), dvfs_transitions(), daq()); external
+// observers attach with add_observer() and never perturb the simulation —
+// a run yields a byte-identical Trace with zero, one, or N observers.
 #pragma once
 
 #include <memory>
@@ -22,6 +33,8 @@
 #include "power/model.h"
 #include "power/sensors.h"
 #include "sched/scheduler.h"
+#include "sim/observer.h"
+#include "sim/observers.h"
 #include "sim/trace.h"
 #include "thermal/network.h"
 #include "thermal/sensors.h"
@@ -110,6 +123,19 @@ class Engine {
   /// node. skin_temp_k() returns the estimate afterwards.
   void enable_skin_estimator(thermal::SkinModelParams params);
 
+  // --- observer bus -------------------------------------------------------
+
+  /// Attach a passive observer (non-owning; must outlive any run() call).
+  /// Observers are notified in attachment order, after the built-in
+  /// instrumentation observers.
+  void add_observer(SimObserver* observer);
+
+  /// Detach a previously attached external observer (no-op if absent).
+  void remove_observer(SimObserver* observer);
+
+  /// Number of externally attached observers.
+  std::size_t num_observers() const;
+
   // --- execution ----------------------------------------------------------
 
   /// Set every thermal node (and sensor priming) to `t_k`; models a device
@@ -117,7 +143,9 @@ class Engine {
   /// traces, whose curves begin well above ambient.
   void set_initial_temperature(double t_k);
 
-  /// Advance the simulation by `seconds`.
+  /// Advance the simulation by `seconds`. Fractional ticks are carried to
+  /// the next call, so run(0.05) twenty times advances exactly as far as
+  /// run(1.0) once.
   void run(double seconds);
   double now_s() const { return now_; }
 
@@ -142,7 +170,9 @@ class Engine {
   double windowed_power_w() const;
 
   const power::RailSensor& rail(std::size_t cluster) const;
-  const power::DaqSimulator* daq() const { return daq_.get(); }
+  const power::DaqSimulator* daq() const {
+    return daq_observer_ ? daq_observer_->daq() : nullptr;
+  }
 
   core::AppAwareGovernor* appaware() { return appaware_.get(); }
   governors::ThermalGovernor* thermal_governor() {
@@ -157,11 +187,13 @@ class Engine {
   /// Governor-contradiction accounting (paper Sec. I: "the outputs of the
   /// thermal and frequency governors may contradict each other"): time the
   /// cluster spent with the cpufreq request clamped by a thermal cap, and
-  /// the number of distinct contradiction episodes.
+  /// the number of distinct contradiction episodes. Served by the built-in
+  /// ConflictAccountingObserver.
   double conflict_time_s(std::size_t cluster) const;
   std::size_t conflict_episodes(std::size_t cluster) const;
 
-  /// Number of OPP changes applied on `cluster` so far.
+  /// Number of OPP changes applied on `cluster` so far (built-in
+  /// DvfsTransitionCounter).
   std::size_t dvfs_transitions(std::size_t cluster) const;
 
   /// Deliver a user-input event to every CPU cluster's governor now
@@ -175,15 +207,52 @@ class Engine {
   /// Fraction of the last tick stalled on memory (0 when uncontended).
   double memory_stall_fraction() const { return last_mem_stall_; }
 
-  /// Timestamped decisions of the application-aware governor.
+  /// Timestamped decisions of the application-aware governor (built-in
+  /// DecisionLogObserver).
   const std::vector<std::pair<double, core::AppAwareDecision>>& decisions()
       const {
-    return decisions_;
+    return decision_log_->decisions();
   }
 
  private:
+  /// Scratch state threaded through one tick's stages.
+  struct TickContext {
+    double dt = 0.0;
+    /// Fractional busy cores aggregated over CPU / GPU clusters
+    /// (stage_power input for the memory pseudo-cluster).
+    double cpu_busy_cores = 0.0;
+    double gpu_busy_cores = 0.0;
+    /// Per-thermal-node power injection built by stage_power (W).
+    linalg::Vector node_power;
+    /// True total power of this tick (W).
+    double total_power_w = 0.0;
+    /// Post-thermal-step temperatures (stage_thermal output, K).
+    double max_chip_temp_k = 0.0;
+    double board_temp_k = 0.0;
+  };
+
   void tick();
+
+  // Pipeline stages, in tick order.
+  void stage_input(TickContext& ctx);        // injected touch events
+  void stage_demand(TickContext& ctx);       // app demand rates
+  void stage_allocate(TickContext& ctx);     // scheduler + frame accounting
+  void stage_contention(TickContext& ctx);   // DRAM bandwidth stalls
+  void stage_power(TickContext& ctx);        // activities -> cluster power
+  void stage_thermal(TickContext& ctx);      // RC network + skin step
+  void stage_sensors(TickContext& ctx);      // sensor sampling
+  void stage_residency(TickContext& ctx);    // time-in-state accrual
+  void stage_governors(TickContext& ctx);    // periodic governor decisions
+  void stage_dvfs(TickContext& ctx);         // apply caps, count conflicts
+  void stage_trace(TickContext& ctx);        // decimated trace point
+
   void apply_dvfs();
+
+  // Observer-bus publication.
+  void publish_tick(const TickInfo& info);
+  void publish_governor_decision(const GovernorDecisionEvent& event);
+  void publish_dvfs_transition(const DvfsTransitionEvent& event);
+  void publish_thermal_event(const ThermalEvent& event);
 
   EngineConfig config_;
   platform::Soc soc_;
@@ -213,17 +282,13 @@ class Engine {
 
   std::unique_ptr<core::AppAwareGovernor> appaware_;
   double appaware_accum_ = 0.0;
-  std::vector<std::pair<double, core::AppAwareDecision>> decisions_;
 
   std::unique_ptr<governors::HotplugGovernor> hotplug_;
   double hotplug_accum_ = 0.0;
 
   std::optional<thermal::SkinEstimator> skin_;
 
-  std::vector<double> conflict_time_s_;
-  std::vector<std::size_t> conflict_episodes_;
   std::vector<bool> in_conflict_;
-  std::vector<std::size_t> dvfs_transitions_;
   double input_accum_ = 0.0;
   double last_mem_bw_gbps_ = 0.0;
   double last_mem_stall_ = 0.0;
@@ -231,13 +296,22 @@ class Engine {
   // Sensors.
   std::vector<thermal::TemperatureSensor> node_sensors_;
   std::vector<power::RailSensor> rails_;
-  std::unique_ptr<power::DaqSimulator> daq_;
+
+  // Observer bus: built-ins first (owned), then external attachments.
+  std::unique_ptr<DecisionLogObserver> decision_log_;
+  std::unique_ptr<ConflictAccountingObserver> conflicts_;
+  std::unique_ptr<DvfsTransitionCounter> dvfs_counter_;
+  std::unique_ptr<DaqObserver> daq_observer_;
+  std::vector<SimObserver*> observers_;
+  std::size_t num_builtin_observers_ = 0;
 
   power::CpuIdleModel cpuidle_ = power::CpuIdleModel::default_arm();
   util::SlidingWindow power_window_;
   double last_total_power_w_ = 0.0;
   std::vector<double> last_busy_cores_;
   double now_ = 0.0;
+  /// Fractional-tick remainder carried across run() calls.
+  double pending_ticks_ = 0.0;
   double trace_accum_ = 0.0;
   std::size_t board_node_ = 0;
 };

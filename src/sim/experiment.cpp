@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "platform/presets.h"
+#include "sim/metrics.h"
 #include "stability/presets.h"
 #include "thermal/presets.h"
 #include "util/units.h"
@@ -11,7 +12,6 @@
 namespace mobitherm::sim {
 
 using platform::SocSpec;
-using util::kelvin_to_celsius;
 
 const char* to_string(ThermalPolicy policy) {
   switch (policy) {
@@ -24,56 +24,6 @@ const char* to_string(ThermalPolicy policy) {
   }
   return "?";
 }
-
-namespace {
-
-/// Decimate the trace's control-temperature series to one point per 2 s.
-std::vector<std::pair<double, double>> temp_trace(const Trace& trace,
-                                                  double period_s = 2.0) {
-  std::vector<std::pair<double, double>> out;
-  double next = 0.0;
-  for (const TracePoint& p : trace.points()) {
-    if (p.t_s + 1e-9 >= next) {
-      out.emplace_back(p.t_s, kelvin_to_celsius(p.max_chip_temp_k));
-      next += period_s;
-    }
-  }
-  return out;
-}
-
-double peak_temp_c(const Trace& trace) {
-  double best = 0.0;
-  for (const TracePoint& p : trace.points()) {
-    best = std::max(best, kelvin_to_celsius(p.max_chip_temp_k));
-  }
-  return best;
-}
-
-/// Mean fps of `app` over every occurrence of phase `phase` in its looping
-/// schedule, skipping `skip_s` seconds after each phase entry.
-double phase_mean_fps(const workload::AppInstance& app, std::size_t phase,
-                      double duration_s, double skip_s = 2.0) {
-  const std::vector<double>& samples = app.fps_samples();
-  double sum = 0.0;
-  int count = 0;
-  for (std::size_t sec = 0; sec < samples.size() &&
-                            static_cast<double>(sec) < duration_s;
-       ++sec) {
-    const double mid = static_cast<double>(sec) + 0.5;
-    if (app.phase_index_at(mid) != phase) {
-      continue;
-    }
-    // Skip the transient right after a phase switch.
-    if (app.phase_index_at(std::max(0.0, mid - skip_s)) != phase) {
-      continue;
-    }
-    sum += samples[sec];
-    ++count;
-  }
-  return count > 0 ? sum / count : 0.0;
-}
-
-}  // namespace
 
 governors::StepWiseGovernor::Config nexus_stepwise_config() {
   // Per-sensor zones as on the Snapdragon: the CPU zones trip lower than
@@ -102,44 +52,46 @@ governors::StepWiseGovernor::Config nexus_stepwise_config() {
   return cfg;
 }
 
-NexusResult run_nexus_app(const NexusRun& run) {
+std::unique_ptr<Engine> make_nexus_engine(const NexusRun& run) {
   const SocSpec spec = platform::snapdragon810();
   EngineConfig cfg;
   cfg.seed = run.seed;
   cfg.enable_daq = true;
-  Engine engine(spec, thermal::nexus6p_network(),
-                power::LeakageParams{
-                    stability::nexus6p_params().leak_theta_k,
-                    stability::nexus6p_params().leak_a_w_per_k2},
-                /*board_base_w=*/0.3, cfg);
+  auto engine = std::make_unique<Engine>(
+      spec, thermal::nexus6p_network(),
+      power::LeakageParams{stability::nexus6p_params().leak_theta_k,
+                           stability::nexus6p_params().leak_a_w_per_k2},
+      /*board_base_w=*/0.3, cfg);
 
-  engine.set_initial_temperature(util::celsius_to_kelvin(run.initial_temp_c));
+  engine->set_initial_temperature(
+      util::celsius_to_kelvin(run.initial_temp_c));
   if (run.throttling) {
-    engine.set_thermal_governor(std::make_unique<governors::StepWiseGovernor>(
-        spec, nexus_stepwise_config()));
+    engine->set_thermal_governor(
+        std::make_unique<governors::StepWiseGovernor>(
+            spec, nexus_stepwise_config()));
   }
-  const std::size_t app_index = engine.add_app(run.app);
-  engine.run(run.duration_s);
+  engine->add_app(run.app);
+  return engine;
+}
 
+NexusResult run_nexus_app(const NexusRun& run) {
+  std::unique_ptr<Engine> engine = make_nexus_engine(run);
+  engine->run(run.duration_s);
+
+  const SocSpec& spec = engine->soc().spec();
+  const RunMetrics m = summarize_run(*engine);
   NexusResult result;
-  result.temp_trace_c = temp_trace(engine.trace());
-  result.peak_temp_c = peak_temp_c(engine.trace());
-  result.final_temp_c = result.temp_trace_c.empty()
-                            ? 0.0
-                            : result.temp_trace_c.back().second;
+  result.temp_trace_c = m.temp_trace_c;
+  result.peak_temp_c = m.peak_temp_c;
+  result.final_temp_c = m.final_temp_c;
   const std::size_t gpu = spec.gpu();
   const std::size_t big = spec.big();
-  result.gpu_residency = engine.trace().residency_fraction(gpu);
-  result.big_residency = engine.trace().residency_fraction(big);
-  for (const platform::OperatingPoint& p : spec.clusters[gpu].opps) {
-    result.gpu_freqs_mhz.push_back(util::hz_to_mhz(p.freq_hz));
-  }
-  for (const platform::OperatingPoint& p : spec.clusters[big].opps) {
-    result.big_freqs_mhz.push_back(util::hz_to_mhz(p.freq_hz));
-  }
-  result.median_fps = engine.app(app_index).median_fps();
-  result.mean_power_w =
-      engine.daq() != nullptr ? engine.daq()->mean_power_w() : 0.0;
+  result.gpu_residency = m.residency[gpu];
+  result.big_residency = m.residency[big];
+  result.gpu_freqs_mhz = m.freqs_mhz[gpu];
+  result.big_freqs_mhz = m.freqs_mhz[big];
+  result.median_fps = m.median_fps[0];
+  result.mean_power_w = m.mean_power_w;
   return result;
 }
 
@@ -166,58 +118,59 @@ core::AppAwareConfig odroid_appaware_config(const SocSpec& spec) {
   return cfg;
 }
 
-OdroidResult run_odroid(const OdroidRun& run) {
+std::unique_ptr<Engine> make_odroid_engine(const OdroidRun& run) {
   const SocSpec spec = platform::exynos5422();
   EngineConfig cfg;
   cfg.seed = run.seed;
-  Engine engine(spec, thermal::odroidxu3_network(),
-                power::LeakageParams{
-                    stability::odroid_xu3_params().leak_theta_k,
-                    stability::odroid_xu3_params().leak_a_w_per_k2},
-                /*board_base_w=*/0.25, cfg);
+  auto engine = std::make_unique<Engine>(
+      spec, thermal::odroidxu3_network(),
+      power::LeakageParams{stability::odroid_xu3_params().leak_theta_k,
+                           stability::odroid_xu3_params().leak_a_w_per_k2},
+      /*board_base_w=*/0.25, cfg);
 
-  engine.set_initial_temperature(util::celsius_to_kelvin(run.initial_temp_c));
+  engine->set_initial_temperature(
+      util::celsius_to_kelvin(run.initial_temp_c));
   switch (run.policy) {
     case ThermalPolicy::kNone:
       break;
     case ThermalPolicy::kDefault:
-      engine.set_thermal_governor(std::make_unique<governors::IpaGovernor>(
+      engine->set_thermal_governor(std::make_unique<governors::IpaGovernor>(
           spec, odroid_ipa_config(spec)));
       break;
     case ThermalPolicy::kProposed:
-      engine.set_appaware_governor(std::make_unique<core::AppAwareGovernor>(
+      engine->set_appaware_governor(std::make_unique<core::AppAwareGovernor>(
           odroid_appaware_config(spec), stability::odroid_xu3_params()));
       break;
   }
 
-  const std::size_t fg = engine.add_app(run.foreground);
-  std::optional<std::size_t> bg;
+  engine->add_app(run.foreground);
   if (run.with_bml) {
-    bg = engine.add_app(workload::bml());
+    engine->add_app(workload::bml());
   }
-  engine.run(run.duration_s);
+  return engine;
+}
 
+OdroidResult run_odroid(const OdroidRun& run) {
+  std::unique_ptr<Engine> engine = make_odroid_engine(run);
+  const std::size_t fg = 0;
+  engine->run(run.duration_s);
+
+  const RunMetrics m = summarize_run(*engine);
   OdroidResult result;
-  result.max_temp_trace_c = temp_trace(engine.trace());
-  result.peak_temp_c = peak_temp_c(engine.trace());
-  for (std::size_t c = 0; c < spec.clusters.size(); ++c) {
-    result.mean_rail_w.push_back(engine.trace().mean_rail_power_w(c));
-    result.rail_names.push_back(spec.clusters[c].name);
-  }
-  const workload::AppInstance& fg_app = engine.app(fg);
-  for (std::size_t ph = 0; ph < fg_app.spec().phases.size(); ++ph) {
-    result.phase_fps.push_back(
-        phase_mean_fps(fg_app, ph, run.duration_s));
-  }
-  result.median_fps = fg_app.median_fps();
-  for (const auto& [t, d] : engine.decisions()) {
+  result.max_temp_trace_c = m.temp_trace_c;
+  result.peak_temp_c = m.peak_temp_c;
+  result.mean_rail_w = m.mean_rail_w;
+  result.rail_names = m.rail_names;
+  result.phase_fps = m.phase_fps[fg];
+  result.median_fps = m.median_fps[fg];
+  for (const auto& [t, d] : engine->decisions()) {
     if (d.migrated.has_value()) {
       ++result.migrations;
     }
   }
-  if (bg.has_value()) {
-    result.bml_work = engine.scheduler()
-                          .process(engine.app(*bg).cpu_pid())
+  if (run.with_bml) {
+    result.bml_work = engine->scheduler()
+                          .process(engine->app(1).cpu_pid())
                           .completed_work();
   }
   return result;

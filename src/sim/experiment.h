@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/appaware.h"
@@ -52,6 +53,11 @@ struct NexusResult {
 /// Default step_wise configuration used for the Nexus runs.
 governors::StepWiseGovernor::Config nexus_stepwise_config();
 
+/// Build the fully wired Nexus engine for `run` without running it — the
+/// scenario factory the batch runner (sim/batch.h) fans across seeds. The
+/// app of interest is always app index 0.
+std::unique_ptr<Engine> make_nexus_engine(const NexusRun& run);
+
 NexusResult run_nexus_app(const NexusRun& run);
 
 // --- Odroid-XU3 (Sec. IV-C) ------------------------------------------------
@@ -89,6 +95,11 @@ governors::IpaGovernor::Config odroid_ipa_config(
 
 /// Default proposed-governor configuration for the Odroid runs.
 core::AppAwareConfig odroid_appaware_config(const platform::SocSpec& spec);
+
+/// Build the fully wired Odroid engine for `run` without running it. The
+/// foreground app is index 0; the BML background task, when enabled, is
+/// index 1.
+std::unique_ptr<Engine> make_odroid_engine(const OdroidRun& run);
 
 OdroidResult run_odroid(const OdroidRun& run);
 

@@ -1,0 +1,93 @@
+// Per-run metric summaries.
+//
+// Every figure/table bench and the run_nexus_app/run_odroid scenarios need
+// the same handful of summaries out of a finished engine: the decimated
+// max-chip-temperature trace, peak/final temperature, per-cluster OPP
+// residency fractions, per-rail mean power, and per-app FPS statistics.
+// RunMetrics collects them once; summarize_run() computes them from the
+// engine's Trace (so the numbers are identical to what the benches
+// historically hand-rolled), and MetricsObserver is the observer-bus
+// flavour that additionally accrues live per-tick statistics the decimated
+// trace cannot provide (true peak, time above a thermal limit).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/observer.h"
+#include "sim/trace.h"
+#include "workload/app.h"
+
+namespace mobitherm::sim {
+
+struct MetricsOptions {
+  /// Decimation period of the reported temperature trace (the paper's
+  /// figures plot one point per 2 s).
+  double temp_trace_period_s = 2.0;
+  /// Thermal limit used for the live time-above-limit accrual (degC).
+  double temp_limit_c = 85.0;
+};
+
+/// One run's worth of summaries, cluster- and app-indexed like the engine.
+struct RunMetrics {
+  /// (time s, max chip temperature degC), decimated from the trace.
+  std::vector<std::pair<double, double>> temp_trace_c;
+  /// Peak / final of the decimated trace (what the figures report).
+  double peak_temp_c = 0.0;
+  double final_temp_c = 0.0;
+  /// DAQ mean power when the capture is enabled, otherwise rail energy
+  /// over duration plus the board base (W).
+  double mean_power_w = 0.0;
+  /// Per cluster: time-in-state fractions and the matching OPP MHz ladder.
+  std::vector<std::vector<double>> residency;
+  std::vector<std::vector<double>> freqs_mhz;
+  /// Mean rail power (W) and rail names, cluster order.
+  std::vector<double> mean_rail_w;
+  std::vector<std::string> rail_names;
+  /// Per app: median FPS over the run and mean FPS per phase index.
+  std::vector<double> median_fps;
+  std::vector<std::vector<double>> phase_fps;
+};
+
+/// Decimate the trace's max-chip-temperature series to one point per
+/// `period_s` (degC).
+std::vector<std::pair<double, double>> decimate_temp_trace(
+    const Trace& trace, double period_s = 2.0);
+
+/// Peak max-chip temperature over the decimated trace points (degC).
+double trace_peak_temp_c(const Trace& trace);
+
+/// Mean fps of `app` over every occurrence of phase `phase` in its looping
+/// schedule, skipping `skip_s` seconds after each phase entry.
+double phase_mean_fps(const workload::AppInstance& app, std::size_t phase,
+                      double duration_s, double skip_s = 2.0);
+
+/// Compute the full summary from a finished (or in-flight) engine.
+RunMetrics summarize_run(const Engine& engine,
+                         const MetricsOptions& options = {});
+
+/// Observer-bus metrics tap: attach before running, call metrics() at the
+/// end. live_peak_temp_c()/live_time_above_limit_s() are accrued at tick
+/// resolution, which the decimated trace cannot see.
+class MetricsObserver final : public SimObserver {
+ public:
+  explicit MetricsObserver(MetricsOptions options = {});
+
+  void on_tick(const TickInfo& info) override;
+
+  /// Full trace-based summary, identical to summarize_run(engine, options).
+  RunMetrics metrics(const Engine& engine) const;
+
+  double live_peak_temp_c() const { return live_peak_temp_c_; }
+  double live_time_above_limit_s() const { return live_above_limit_s_; }
+  std::size_t ticks_observed() const { return ticks_; }
+
+ private:
+  MetricsOptions options_;
+  double live_peak_temp_c_ = 0.0;
+  double live_above_limit_s_ = 0.0;
+  std::size_t ticks_ = 0;
+};
+
+}  // namespace mobitherm::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/batch.h"
 #include "util/error.h"
 
 namespace mobitherm::sim {
@@ -31,16 +32,13 @@ SeedStats summarize(const std::vector<double>& samples) {
 }
 
 SeedStats across_seeds(const std::function<double(std::uint64_t)>& metric,
-                       int n, std::uint64_t base_seed) {
+                       int n, std::uint64_t base_seed, unsigned threads) {
   if (n <= 0) {
     throw util::ConfigError("across_seeds: n must be positive");
   }
-  std::vector<double> samples;
-  samples.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    samples.push_back(metric(base_seed + static_cast<std::uint64_t>(i)));
-  }
-  return summarize(samples);
+  BatchOptions options;
+  options.threads = threads == 0 ? 0 : threads;
+  return summarize(BatchRunner(options).sweep(metric, n, base_seed));
 }
 
 }  // namespace mobitherm::sim

@@ -3,7 +3,10 @@
 // Workload jitter and sensor noise are seeded, so any scenario can be
 // replayed across seeds to attach confidence information to a reported
 // number — what a careful reproduction does before comparing against the
-// paper's single hardware run.
+// paper's single hardware run. Seed fan-out is delegated to the parallel
+// batch runner (sim/batch.h): every seed gets an isolated engine, results
+// are collected in seed order, and the summary is bit-identical for any
+// thread count (including the serial threads=1 path).
 #pragma once
 
 #include <cstdint>
@@ -25,7 +28,12 @@ SeedStats summarize(const std::vector<double>& samples);
 
 /// Evaluate `metric(seed)` for seeds base_seed..base_seed+n-1 and
 /// summarize. The metric typically wraps run_nexus_app/run_odroid.
+/// `threads` > 1 fans the seeds across a worker pool; the metric is then
+/// invoked concurrently and must be thread-safe (a metric that builds its
+/// own engine per call, like the run_* scenarios, is). The statistics are
+/// bit-identical to the serial threads=1 evaluation.
 SeedStats across_seeds(const std::function<double(std::uint64_t)>& metric,
-                       int n, std::uint64_t base_seed = 1);
+                       int n, std::uint64_t base_seed = 1,
+                       unsigned threads = 1);
 
 }  // namespace mobitherm::sim
