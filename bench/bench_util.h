@@ -1,9 +1,87 @@
-// Shared output helpers for the figure/table reproduction binaries.
+// Shared output helpers for the figure/table reproduction binaries, plus an
+// opt-in allocation-counting harness for the microbenchmarks.
 #pragma once
 
 #include <cstdio>
 #include <string>
 #include <vector>
+
+// Define MOBITHERM_BENCH_COUNT_ALLOCS before including this header (from
+// exactly one translation unit per binary) to replace the global operator
+// new/delete with counting versions. The counters let microbenchmarks report
+// allocations per iteration and assert that warmed-up hot paths are
+// allocation-free (cf. Marcu et al.: the measurement harness must be cheap
+// enough not to perturb what it measures).
+#ifdef MOBITHERM_BENCH_COUNT_ALLOCS
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace mobitherm::bench {
+
+inline std::atomic<std::size_t> g_alloc_count{0};
+
+/// Total number of operator-new calls since process start.
+inline std::size_t alloc_count() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+/// Counts allocations between construction and count().
+class AllocationScope {
+ public:
+  AllocationScope() : start_(alloc_count()) {}
+  std::size_t count() const { return alloc_count() - start_; }
+
+ private:
+  std::size_t start_;
+};
+
+}  // namespace mobitherm::bench
+
+inline void* mobitherm_counting_alloc(std::size_t size) {
+  mobitherm::bench::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+inline void* mobitherm_counting_alloc(std::size_t size,
+                                      std::align_val_t align) {
+  mobitherm::bench::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(align);
+  const std::size_t rounded = ((size ? size : 1) + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size) { return mobitherm_counting_alloc(size); }
+void* operator new[](std::size_t size) {
+  return mobitherm_counting_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return mobitherm_counting_alloc(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return mobitherm_counting_alloc(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // MOBITHERM_BENCH_COUNT_ALLOCS
 
 namespace mobitherm::bench {
 

@@ -11,11 +11,17 @@ using util::ConfigError;
 
 std::vector<std::size_t> ThermalGovernor::caps(
     std::size_t num_clusters) const {
-  std::vector<std::size_t> out(num_clusters);
+  std::vector<std::size_t> out;
+  caps_into(num_clusters, out);
+  return out;
+}
+
+void ThermalGovernor::caps_into(std::size_t num_clusters,
+                                std::vector<std::size_t>& out) const {
+  out.resize(num_clusters);
   for (std::size_t c = 0; c < num_clusters; ++c) {
     out[c] = cap_index(c);
   }
-  return out;
 }
 
 StepWiseGovernor::Config StepWiseGovernor::uniform(

@@ -51,6 +51,11 @@ class ThermalGovernor {
   /// Snapshot of cap_index for clusters [0, num_clusters) — the payload of
   /// a GovernorDecisionEvent on the engine's observer bus.
   std::vector<std::size_t> caps(std::size_t num_clusters) const;
+
+  /// Allocation-free caps(): writes into caller-owned `out` (resized on
+  /// first use, then reused).
+  void caps_into(std::size_t num_clusters,
+                 std::vector<std::size_t>& out) const;
 };
 
 /// No thermal management.

@@ -36,29 +36,34 @@ Cholesky::Cholesky(const Matrix& a) : l_(a.rows(), a.cols()) {
 }
 
 Vector Cholesky::solve(const Vector& b) const {
+  Vector x;
+  solve_into(b, x);
+  return x;
+}
+
+void Cholesky::solve_into(const Vector& b, Vector& x) const {
   const std::size_t n = l_.rows();
   if (b.size() != n) {
     throw NumericError("Cholesky::solve: dimension mismatch");
   }
-  // L y = b
-  Vector y(n);
+  x.resize(n);
+  // L y = b, with y written into x. Position i is read from b before it is
+  // overwritten, so b and x may alias.
   for (std::size_t i = 0; i < n; ++i) {
     double acc = b[i];
     for (std::size_t j = 0; j < i; ++j) {
-      acc -= l_(i, j) * y[j];
+      acc -= l_(i, j) * x[j];
     }
-    y[i] = acc / l_(i, i);
+    x[i] = acc / l_(i, i);
   }
-  // L^T x = y
-  Vector x(n);
+  // L^T x = y, in place: x[ii] depends only on y[ii] and final x[j > ii].
   for (std::size_t ii = n; ii-- > 0;) {
-    double acc = y[ii];
+    double acc = x[ii];
     for (std::size_t j = ii + 1; j < n; ++j) {
       acc -= l_(j, ii) * x[j];
     }
     x[ii] = acc / l_(ii, ii);
   }
-  return x;
 }
 
 bool is_spd(const Matrix& a) {

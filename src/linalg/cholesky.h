@@ -18,6 +18,11 @@ class Cholesky {
   /// Solve A x = b.
   Vector solve(const Vector& b) const;
 
+  /// Solve A x = b into caller-owned x without allocating (once x has
+  /// capacity n). `x` may alias `b`; the triangular solves run in place.
+  /// Bit-identical to solve().
+  void solve_into(const Vector& b, Vector& x) const;
+
   /// Lower-triangular factor.
   const Matrix& factor() const { return l_; }
 

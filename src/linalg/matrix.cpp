@@ -199,6 +199,32 @@ double dot(const Vector& a, const Vector& b) {
 
 double norm2(const Vector& v) { return std::sqrt(dot(v, v)); }
 
+void gemv(const Matrix& a, const Vector& x, Vector& y) {
+  MOBITHERM_ASSERT(a.cols() == x.size());
+  MOBITHERM_ASSERT(&x != &y);
+  y.resize(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      acc += a(i, j) * x[j];
+    }
+    y[i] = acc;
+  }
+}
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  MOBITHERM_ASSERT(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+void scal(double s, Vector& x) {
+  for (double& v : x) {
+    v *= s;
+  }
+}
+
 double norm_inf(const Vector& v) {
   double best = 0.0;
   for (double x : v) {

@@ -76,4 +76,18 @@ double dot(const Vector& a, const Vector& b);
 double norm2(const Vector& v);
 double norm_inf(const Vector& v);
 
+// In-place kernels for allocation-free hot loops. They write into
+// caller-owned scratch and produce bit-identical results to the
+// value-semantics operators above (same accumulation order), so callers can
+// swap between the two without perturbing trajectories.
+
+/// y = A x. Resizes y on first use; y must not alias x.
+void gemv(const Matrix& a, const Vector& x, Vector& y);
+
+/// y += alpha * x.
+void axpy(double alpha, const Vector& x, Vector& y);
+
+/// x *= s.
+void scal(double s, Vector& x);
+
 }  // namespace mobitherm::linalg

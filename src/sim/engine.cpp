@@ -49,6 +49,8 @@ Engine::Engine(platform::SocSpec soc_spec,
     }
   }
   board_node_ = network_.num_nodes() - 1;
+  node_power_.assign(network_.num_nodes(), 0.0);
+  node_temp_scratch_.assign(network_.num_nodes(), 0.0);
 
   // Default governors: interactive on CPU clusters, ondemand on the GPU,
   // fixed on memory. No thermal governor by default.
@@ -417,9 +419,9 @@ void Engine::stage_power(TickContext& ctx) {
     }
   }
 
-  ctx.node_power = linalg::Vector(network_.num_nodes(), 0.0);
+  std::fill(node_power_.begin(), node_power_.end(), 0.0);
   ctx.total_power_w = power_model_.board_base_w();
-  ctx.node_power[board_node_] += power_model_.board_base_w();
+  node_power_[board_node_] += power_model_.board_base_w();
   for (std::size_t c = 0; c < n; ++c) {
     power::ClusterActivity activity;
     const ResourceKind kind = soc_.cluster(c).kind;
@@ -441,7 +443,7 @@ void Engine::stage_power(TickContext& ctx) {
     activity.temp_k = network_.temperature(soc_.cluster(c).thermal_node);
     const power::ClusterPower p =
         power_model_.cluster_power(soc_, c, activity);
-    ctx.node_power[soc_.cluster(c).thermal_node] += p.total();
+    node_power_[soc_.cluster(c).thermal_node] += p.total();
     ctx.total_power_w += p.total();
     scheduler_.attribute_power(c, p.dynamic_w, ctx.dt);
     rails_[c].feed(ctx.dt, p.total());
@@ -453,7 +455,7 @@ void Engine::stage_power(TickContext& ctx) {
 
 // Thermal step (RC network + skin estimator).
 void Engine::stage_thermal(TickContext& ctx) {
-  network_.step(ctx.node_power, ctx.dt);
+  network_.step(node_power_, ctx.dt);
   if (skin_.has_value()) {
     skin_->step(network_.temperature(board_node_), ctx.dt);
   }
@@ -518,20 +520,19 @@ void Engine::stage_governors(TickContext& ctx) {
       tctx.power = &power_model_;
       tctx.busy_cores = &last_busy_cores_;
       tctx.requested_index = &requested_index_;
-      std::vector<double> node_temps(node_sensors_.size());
       for (std::size_t node = 0; node < node_sensors_.size(); ++node) {
-        node_temps[node] = node_sensors_[node].last_k();
+        node_temp_scratch_[node] = node_sensors_[node].last_k();
       }
-      tctx.node_temp_k = &node_temps;
+      tctx.node_temp_k = &node_temp_scratch_;
       thermal_gov_->update(tctx);
       thermal_accum_ = 0.0;
 
-      const std::vector<std::size_t> caps = thermal_gov_->caps(n);
+      thermal_gov_->caps_into(n, caps_scratch_);
       GovernorDecisionEvent e;
       e.t_s = now_;
       e.kind = GovernorKind::kThermal;
       e.governor = thermal_gov_->name();
-      e.thermal_caps = &caps;
+      e.thermal_caps = &caps_scratch_;
       publish_governor_decision(e);
     }
   }
@@ -599,6 +600,8 @@ void Engine::stage_trace(TickContext& ctx) {
   p.max_chip_temp_k = ctx.max_chip_temp_k;
   p.board_temp_k = ctx.board_temp_k;
   p.total_power_w = ctx.total_power_w;
+  p.cluster_freq_hz.reserve(soc_.num_clusters());
+  p.app_fps.reserve(apps_.size());
   for (std::size_t c = 0; c < soc_.num_clusters(); ++c) {
     p.cluster_freq_hz.push_back(soc_.frequency_hz(c));
   }

@@ -215,15 +215,15 @@ class Engine {
   }
 
  private:
-  /// Scratch state threaded through one tick's stages.
+  /// Scratch state threaded through one tick's stages. Vector-valued
+  /// scratch lives in engine-owned members (node_power_, node_temp_scratch_,
+  /// caps_scratch_) reused across ticks so the hot loop never allocates.
   struct TickContext {
     double dt = 0.0;
     /// Fractional busy cores aggregated over CPU / GPU clusters
     /// (stage_power input for the memory pseudo-cluster).
     double cpu_busy_cores = 0.0;
     double gpu_busy_cores = 0.0;
-    /// Per-thermal-node power injection built by stage_power (W).
-    linalg::Vector node_power;
     /// True total power of this tick (W).
     double total_power_w = 0.0;
     /// Post-thermal-step temperatures (stage_thermal output, K).
@@ -304,6 +304,12 @@ class Engine {
   std::unique_ptr<DaqObserver> daq_observer_;
   std::vector<SimObserver*> observers_;
   std::size_t num_builtin_observers_ = 0;
+
+  // Per-tick scratch hoisted out of TickContext (sized at construction,
+  // reused every tick; see the hot-path allocation policy in DESIGN.md).
+  linalg::Vector node_power_;                // stage_power -> stage_thermal
+  std::vector<double> node_temp_scratch_;    // thermal-governor sensor view
+  std::vector<std::size_t> caps_scratch_;    // thermal-governor cap snapshot
 
   power::CpuIdleModel cpuidle_ = power::CpuIdleModel::default_arm();
   util::SlidingWindow power_window_;

@@ -6,7 +6,6 @@
 #include "linalg/cholesky.h"
 #include "linalg/expm.h"
 #include "linalg/jacobi.h"
-#include "linalg/lu.h"
 #include "util/error.h"
 
 namespace mobitherm::thermal {
@@ -69,6 +68,17 @@ void ThermalNetwork::build_matrices() {
     g_total_(l.a, l.b) -= l.conductance_w_per_k;
     g_total_(l.b, l.a) -= l.conductance_w_per_k;
   }
+  // The spec is immutable from here on, so factor G once for every
+  // steady-state and exact-propagator solve.
+  g_chol_.emplace(g_total_);
+  scratch_p_.assign(n, 0.0);
+  scratch_a_.assign(n, 0.0);
+  scratch_b_.assign(n, 0.0);
+  k1_.assign(n, 0.0);
+  k2_.assign(n, 0.0);
+  k3_.assign(n, 0.0);
+  k4_.assign(n, 0.0);
+  rk_stage_.assign(n, 0.0);
 }
 
 double ThermalNetwork::temperature(std::size_t node) const {
@@ -107,13 +117,15 @@ void ThermalNetwork::step(const Vector& power_w, double dt) {
   }
 }
 
-Vector ThermalNetwork::derivative(const Vector& temps,
-                                  const Vector& power_w) const {
-  Vector d = g_total_ * temps;
-  for (std::size_t i = 0; i < d.size(); ++i) {
-    d[i] = inv_c_[i] * (power_w[i] + amb_inject_[i] - d[i]);
+// Allocation-free derivative: out = C^{-1} (P + amb - G T). Same
+// accumulation order as the old value-semantics formulation.
+void ThermalNetwork::derivative_into(const Vector& temps,
+                                     const Vector& power_w,
+                                     Vector& out) const {
+  linalg::gemv(g_total_, temps, out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = inv_c_[i] * (power_w[i] + amb_inject_[i] - out[i]);
   }
-  return d;
 }
 
 void ThermalNetwork::step_rk4(const Vector& power_w, double dt) {
@@ -128,12 +140,28 @@ void ThermalNetwork::step_rk4(const Vector& power_w, double dt) {
   const int substeps =
       std::max(1, static_cast<int>(std::ceil(dt / (0.5 * fastest))));
   const double h = dt / substeps;
+  // Classic RK4 through preallocated k1..k4 / stage buffers; the stage and
+  // update arithmetic keeps the original evaluation order, so trajectories
+  // are bit-identical to the allocating formulation.
+  const std::size_t n = temp_.size();
   for (int s = 0; s < substeps; ++s) {
-    const Vector k1 = derivative(temp_, power_w);
-    const Vector k2 = derivative(temp_ + (h / 2.0) * k1, power_w);
-    const Vector k3 = derivative(temp_ + (h / 2.0) * k2, power_w);
-    const Vector k4 = derivative(temp_ + h * k3, power_w);
-    temp_ = temp_ + (h / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+    derivative_into(temp_, power_w, k1_);
+    for (std::size_t i = 0; i < n; ++i) {
+      rk_stage_[i] = temp_[i] + (h / 2.0) * k1_[i];
+    }
+    derivative_into(rk_stage_, power_w, k2_);
+    for (std::size_t i = 0; i < n; ++i) {
+      rk_stage_[i] = temp_[i] + (h / 2.0) * k2_[i];
+    }
+    derivative_into(rk_stage_, power_w, k3_);
+    for (std::size_t i = 0; i < n; ++i) {
+      rk_stage_[i] = temp_[i] + h * k3_[i];
+    }
+    derivative_into(rk_stage_, power_w, k4_);
+    for (std::size_t i = 0; i < n; ++i) {
+      temp_[i] = temp_[i] + (h / 6.0) * (k1_[i] + 2.0 * k2_[i] +
+                                         2.0 * k3_[i] + k4_[i]);
+    }
   }
 }
 
@@ -150,26 +178,65 @@ void ThermalNetwork::prepare_exact(double dt) {
     }
   }
   phi_ = linalg::expm(a);
+  // Psi = (I - Phi) G^{-1}. G^{-1} is symmetric, so row i of Psi is the
+  // Cholesky solve of G x = row i of (I - Phi) — no explicit inverse.
+  psi_ = Matrix(n, n);
+  Vector row(n);
+  Vector sol(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      row[j] = (i == j ? 1.0 : 0.0) - phi_(i, j);
+    }
+    g_chol_->solve_into(row, sol);
+    for (std::size_t j = 0; j < n; ++j) {
+      psi_(i, j) = sol[j];
+    }
+  }
   cached_dt_ = dt;
 }
 
 void ThermalNetwork::step_exact(const Vector& power_w, double dt) {
   prepare_exact(dt);
-  if (!g_inverse_ready_) {
-    g_inverse_ = linalg::inverse(g_total_);
-    g_inverse_ready_ = true;
+  // For constant P over the step: T(t+dt) = Phi T + Psi (P + amb), the
+  // affine form of T_ss + Phi (T - T_ss).
+  const std::size_t n = temp_.size();
+  scratch_p_ = power_w;
+  linalg::axpy(1.0, amb_inject_, scratch_p_);
+  linalg::gemv(phi_, temp_, scratch_a_);
+  linalg::gemv(psi_, scratch_p_, scratch_b_);
+  for (std::size_t i = 0; i < n; ++i) {
+    temp_[i] = scratch_a_[i] + scratch_b_[i];
   }
-  // For constant P over the step: T(t+dt) = T_ss + Phi (T - T_ss).
-  const Vector t_ss = g_inverse_ * (power_w + amb_inject_);
-  temp_ = t_ss + phi_ * (temp_ - t_ss);
+}
+
+const Matrix& ThermalNetwork::exact_phi() const {
+  if (cached_dt_ < 0.0) {
+    throw util::NumericError("ThermalNetwork: exact stepper not prepared");
+  }
+  return phi_;
+}
+
+const Matrix& ThermalNetwork::exact_psi() const {
+  if (cached_dt_ < 0.0) {
+    throw util::NumericError("ThermalNetwork: exact stepper not prepared");
+  }
+  return psi_;
 }
 
 Vector ThermalNetwork::steady_state(const Vector& power_w) const {
+  Vector out;
+  steady_state_into(power_w, out);
+  return out;
+}
+
+void ThermalNetwork::steady_state_into(const Vector& power_w,
+                                       Vector& out) const {
   if (power_w.size() != spec_.nodes.size()) {
     throw ConfigError("ThermalNetwork: power vector size mismatch");
   }
-  linalg::Cholesky chol(g_total_);
-  return chol.solve(power_w + amb_inject_);
+  out = power_w;
+  linalg::axpy(1.0, amb_inject_, out);
+  g_chol_->solve_into(out, out);
 }
 
 double ThermalNetwork::link_flow_w(std::size_t link) const {
@@ -205,6 +272,11 @@ double ThermalNetwork::total_capacitance() const {
 }
 
 double ThermalNetwork::slowest_time_constant() const {
+  // The spec (and hence G, C) is immutable after construction, so the
+  // eigendecomposition is computed at most once.
+  if (tau_cache_ > 0.0) {
+    return tau_cache_;
+  }
   // C^{-1} G is similar to the symmetric S = C^{-1/2} G C^{-1/2}; its
   // eigenvalues are the reciprocal time constants.
   const std::size_t n = temp_.size();
@@ -220,7 +292,8 @@ double ThermalNetwork::slowest_time_constant() const {
     throw util::NumericError(
         "ThermalNetwork: system matrix is not positive definite");
   }
-  return 1.0 / lambda_min;
+  tau_cache_ = 1.0 / lambda_min;
+  return tau_cache_;
 }
 
 }  // namespace mobitherm::thermal

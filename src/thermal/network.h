@@ -11,12 +11,21 @@
 //  * kExact — exact propagator for piecewise-constant power, built once per
 //             step size from the eigendecomposition of the symmetrized
 //             system matrix (robust to stiffness; the default).
+//
+// Hot-path allocation policy: the spec is immutable after construction, so
+// the G factorization is computed once and cached; the exact stepper is
+// precomputed as the affine map T' = Phi T + Psi (P + amb) with
+// Psi = (I - Phi) G^{-1} obtained via Cholesky solves; and both steppers
+// write through network-owned scratch, so step() and steady_state_into()
+// never touch the heap after the first step at a given dt.
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "linalg/cholesky.h"
 #include "linalg/matrix.h"
 
 namespace mobitherm::thermal {
@@ -63,8 +72,25 @@ class ThermalNetwork {
   void step(const linalg::Vector& power_w, double dt);
 
   /// Steady-state temperatures for constant power (solves G_total T = P +
-  /// g_amb T_amb).
+  /// g_amb T_amb) against the factorization cached at construction.
   linalg::Vector steady_state(const linalg::Vector& power_w) const;
+
+  /// Allocation-free steady_state: writes into caller-owned `out` (which
+  /// may be reused across calls; resized on first use).
+  void steady_state_into(const linalg::Vector& power_w,
+                         linalg::Vector& out) const;
+
+  /// Cached Cholesky factorization of G_total (built once at construction).
+  const linalg::Cholesky& g_factor() const { return *g_chol_; }
+
+  /// Exact-stepper affine map for the last-prepared step size:
+  /// T' = exact_phi() T + exact_psi() (P + ambient_injection()). Only valid
+  /// after a kExact step (throws NumericError before).
+  const linalg::Matrix& exact_phi() const;
+  const linalg::Matrix& exact_psi() const;
+
+  /// Per-node ambient injection g_amb * T_amb (W).
+  const linalg::Vector& ambient_injection() const { return amb_inject_; }
 
   /// Heat flow through link `link` at the current temperatures, positive
   /// from node `a` to node `b` (W).
@@ -91,8 +117,9 @@ class ThermalNetwork {
   void prepare_exact(double dt);
   void step_rk4(const linalg::Vector& power_w, double dt);
   void step_exact(const linalg::Vector& power_w, double dt);
-  linalg::Vector derivative(const linalg::Vector& temps,
-                            const linalg::Vector& power_w) const;
+  void derivative_into(const linalg::Vector& temps,
+                       const linalg::Vector& power_w,
+                       linalg::Vector& out) const;
 
   ThermalNetworkSpec spec_;
   StepMethod method_;
@@ -101,11 +128,23 @@ class ThermalNetwork {
   linalg::Vector amb_inject_; // g_amb * T_amb per node
   linalg::Vector temp_;
 
+  // G factorization, built once at construction (the spec is immutable).
+  std::optional<linalg::Cholesky> g_chol_;
+
   // Exact-propagator cache, keyed by the last step size.
   double cached_dt_ = -1.0;
-  linalg::Matrix phi_;        // e^{-C^{-1} G dt}
-  linalg::Matrix g_inverse_;  // for steady-state solves
-  bool g_inverse_ready_ = false;
+  linalg::Matrix phi_;  // e^{-C^{-1} G dt}
+  linalg::Matrix psi_;  // (I - Phi) G^{-1}: maps P + amb to the step input
+
+  // Stepper scratch (sized at construction; reused every step).
+  linalg::Vector scratch_p_;   // P + amb
+  linalg::Vector scratch_a_;   // Phi T
+  linalg::Vector scratch_b_;   // Psi (P + amb)
+  linalg::Vector k1_, k2_, k3_, k4_, rk_stage_;
+
+  // slowest_time_constant() memo (the spec is immutable, so it never
+  // invalidates).
+  mutable double tau_cache_ = -1.0;
 };
 
 }  // namespace mobitherm::thermal
