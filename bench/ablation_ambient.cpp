@@ -24,14 +24,14 @@ int main() {
               "budget@85C (W)", "peak (degC)", "migrations");
   for (double ambient_c : {15.0, 25.0, 35.0, 45.0}) {
     stability::Params params = stability::odroid_xu3_params();
-    params.t_ambient_k = util::celsius_to_kelvin(ambient_c);
+    params.t_ambient_k = util::celsius(ambient_c);
     const double p_crit = stability::critical_power(params);
     const double budget =
         stability::safe_power(params, util::celsius_to_kelvin(85.0));
 
     const platform::SocSpec spec = platform::exynos5422();
     sim::Engine engine(
-        spec, thermal::odroidxu3_network(util::celsius_to_kelvin(ambient_c)),
+        spec, thermal::odroidxu3_network(util::celsius(ambient_c)),
         power::LeakageParams{params.leak_theta_k, params.leak_a_w_per_k2},
         0.25);
     engine.set_initial_temperature(

@@ -59,7 +59,7 @@ Row run(Policy policy) {
       engine.set_thermal_governor(
           std::make_unique<governors::StepWiseGovernor>(
               spec, governors::StepWiseGovernor::uniform(
-                        spec, util::celsius_to_kelvin(85.0))));
+                        spec, util::celsius(85.0))));
       break;
     case Policy::kIpa:
       engine.set_thermal_governor(std::make_unique<governors::IpaGovernor>(
@@ -68,7 +68,7 @@ Row run(Policy policy) {
     case Policy::kHotplug: {
       governors::HotplugGovernor::Config cfg;
       cfg.cluster = spec.big();
-      cfg.trip_k = util::celsius_to_kelvin(85.0);
+      cfg.trip_k = util::celsius(85.0);
       engine.set_hotplug_governor(
           std::make_unique<governors::HotplugGovernor>(spec, cfg));
       break;

@@ -97,12 +97,12 @@ void BM_NetworkStepExact(benchmark::State& state) {
   thermal::ThermalNetwork net(thermal::odroidxu3_network(),
                               thermal::StepMethod::kExact);
   const linalg::Vector power = {0.2, 2.0, 1.5, 0.3, 0.25};
-  net.step(power, 0.001);  // warm the propagator cache
+  net.step(power, util::seconds(0.001));  // warm the propagator cache
   for (auto _ : state) {
-    net.step(power, 0.001);
+    net.step(power, util::seconds(0.001));
   }
   report_allocs(state,
-                allocs_per_iteration(1000, [&] { net.step(power, 0.001); }),
+                allocs_per_iteration(1000, [&] { net.step(power, util::seconds(0.001)); }),
                 0.0);
   benchmark::DoNotOptimize(net.temperatures());
 }
@@ -112,12 +112,12 @@ void BM_NetworkStepRk4(benchmark::State& state) {
   thermal::ThermalNetwork net(thermal::odroidxu3_network(),
                               thermal::StepMethod::kRk4);
   const linalg::Vector power = {0.2, 2.0, 1.5, 0.3, 0.25};
-  net.step(power, 0.001);  // warm the scratch buffers
+  net.step(power, util::seconds(0.001));  // warm the scratch buffers
   for (auto _ : state) {
-    net.step(power, 0.001);
+    net.step(power, util::seconds(0.001));
   }
   report_allocs(state,
-                allocs_per_iteration(1000, [&] { net.step(power, 0.001); }),
+                allocs_per_iteration(1000, [&] { net.step(power, util::seconds(0.001)); }),
                 0.0);
   benchmark::DoNotOptimize(net.temperatures());
 }

@@ -32,10 +32,10 @@ int main() {
   little.opps = platform::OppTable::from_mhz_mv(
       {{300.0, 700.0}, {600.0, 750.0}, {900.0, 800.0}, {1200.0, 900.0}});
   little.ipc = 1.2;
-  little.ceff_f = 1.0e-10;
-  little.idle_power_w = 0.05;
+  little.ceff_f = util::farads(1.0e-10);
+  little.idle_power_w = util::watts(0.05);
   little.leakage_share = 0.25;
-  little.nominal_voltage_v = 0.9;
+  little.nominal_voltage_v = util::volts(0.9);
   little.thermal_node = 0;
 
   platform::ClusterSpec big = little;
@@ -46,25 +46,30 @@ int main() {
       {{600.0, 800.0}, {1200.0, 900.0}, {1800.0, 1000.0},
        {2400.0, 1150.0}});
   big.ipc = 2.5;
-  big.ceff_f = 4.5e-10;
-  big.idle_power_w = 0.10;
+  big.ceff_f = util::farads(4.5e-10);
+  big.idle_power_w = util::watts(0.10);
   big.leakage_share = 0.75;
-  big.nominal_voltage_v = 1.15;
+  big.nominal_voltage_v = util::volts(1.15);
   big.thermal_node = 1;
 
   soc.clusters = {little, big};
 
   // --- 2. Describe the thermal network -------------------------------------
   thermal::ThermalNetworkSpec net;
-  net.t_ambient_k = 298.15;
-  net.nodes = {{"efficiency", 0.3, 0.01},
-               {"performance", 0.4, 0.01},
-               {"case", 6.0, 0.13}};
-  net.links = {{0, 1, 0.8}, {0, 2, 0.5}, {1, 2, 0.5}};
+  net.t_ambient_k = util::kelvin(298.15);
+  net.nodes = {{"efficiency", util::joules_per_kelvin(0.3),
+                util::watts_per_kelvin(0.01)},
+               {"performance", util::joules_per_kelvin(0.4),
+                util::watts_per_kelvin(0.01)},
+               {"case", util::joules_per_kelvin(6.0),
+                util::watts_per_kelvin(0.13)}};
+  net.links = {{0, 1, util::watts_per_kelvin(0.8)},
+               {0, 2, util::watts_per_kelvin(0.5)},
+               {1, 2, util::watts_per_kelvin(0.5)}};
 
   // --- 3. Calibrate the stability analyzer against the board ---------------
   stability::CalibrationTargets targets;
-  targets.t_ambient_k = net.t_ambient_k;
+  targets.t_ambient_k = net.t_ambient_k.value();
   targets.p_observed_w = 2.0;
   targets.t_stable_k = 315.0;  // measured: 2 W settles at ~42 degC
   targets.p_critical_w = 12.0;
@@ -72,7 +77,8 @@ int main() {
   const stability::Params params = stability::calibrate(targets, 6.7);
   std::printf("calibrated: G=%.4f W/K A=%.3e W/K^2 theta=%.0f K "
               "(critical power %.1f W)\n",
-              params.g_w_per_k, params.leak_a_w_per_k2, params.leak_theta_k,
+              params.g_w_per_k.value(), params.leak_a_w_per_k2.value(),
+              params.leak_theta_k.value(),
               stability::critical_power(params, 50.0));
 
   // --- 4. Wire the engine with a step-wise governor and a bursty app -------
@@ -82,7 +88,7 @@ int main() {
                      /*board_base_w=*/0.2);
   engine.set_thermal_governor(std::make_unique<governors::StepWiseGovernor>(
       soc, governors::StepWiseGovernor::uniform(
-               soc, util::celsius_to_kelvin(55.0))));
+               soc, util::celsius(55.0))));
 
   workload::AppSpec app;
   app.name = "bursty";
@@ -95,14 +101,15 @@ int main() {
 
   std::printf("after 120 s: max temp %.1f degC, app median %.1f fps, "
               "big cluster at %.0f MHz\n",
-              util::kelvin_to_celsius(engine.network().max_temperature()),
+              util::kelvin_to_celsius(
+                  engine.network().max_temperature().value()),
               engine.app(0).median_fps(),
-              util::hz_to_mhz(engine.soc().frequency_hz(1)));
+              util::hz_to_mhz(engine.soc().frequency_hz(1).value()));
   std::printf("big-cluster residency:");
   const std::vector<double> frac = engine.trace().residency_fraction(1);
   for (std::size_t i = 0; i < frac.size(); ++i) {
     std::printf(" %.0fMHz=%.0f%%",
-                util::hz_to_mhz(soc.clusters[1].opps.at(i).freq_hz),
+                util::hz_to_mhz(soc.clusters[1].opps.at(i).freq_hz.value()),
                 100.0 * frac[i]);
   }
   std::printf("\n");

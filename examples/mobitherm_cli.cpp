@@ -98,14 +98,14 @@ int cmd_apps() {
 
 int cmd_analyze(int argc, char** argv) {
   stability::Params params = stability::odroid_xu3_params();
-  params.t_ambient_k = util::celsius_to_kelvin(
-      arg_double(argc, argv, "--ambient", 25.0));
+  params.t_ambient_k =
+      util::celsius(arg_double(argc, argv, "--ambient", 25.0));
   const double power = arg_double(argc, argv, "--power", 4.0);
   const double limit_c = arg_double(argc, argv, "--limit", 85.0);
   const double limit_k = util::celsius_to_kelvin(limit_c);
 
   std::printf("Odroid-XU3 stability model, ambient %.1f degC\n",
-              util::kelvin_to_celsius(params.t_ambient_k));
+              util::kelvin_to_celsius(params.t_ambient_k.value()));
   std::printf("critical power:          %.3f W\n",
               stability::critical_power(params));
   std::printf("safe budget for %.0f degC: %.3f W\n", limit_c,
@@ -117,8 +117,8 @@ int cmd_analyze(int argc, char** argv) {
     std::printf("  no fixed point: thermal runaway; time from ambient to "
                 "%.0f degC: %.1f s\n",
                 limit_c,
-                stability::time_to_temperature(params, power,
-                                               params.t_ambient_k, limit_k));
+                stability::time_to_temperature(
+                    params, power, params.t_ambient_k.value(), limit_k));
     return 0;
   }
   std::printf("  stable fixed point:   %.1f degC (aux x=%.3f)\n",
@@ -129,7 +129,7 @@ int cmd_analyze(int argc, char** argv) {
   }
   std::printf("  time to fixed point from ambient: %.1f s\n",
               stability::time_to_fixed_point(params, power,
-                                             params.t_ambient_k));
+                                             params.t_ambient_k.value()));
   std::printf("  sustainable at %.0f degC: %s (headroom %+.2f W)\n",
               limit_c,
               r.stable_temp_k <= limit_k ? "yes" : "NO",
@@ -174,7 +174,7 @@ int cmd_simulate(int argc, char** argv) {
   if (policy == "stepwise") {
     engine.set_thermal_governor(std::make_unique<governors::StepWiseGovernor>(
         soc, governors::StepWiseGovernor::uniform(
-                 soc, util::celsius_to_kelvin(85.0))));
+                 soc, util::celsius(85.0))));
   } else if (policy == "ipa") {
     engine.set_thermal_governor(std::make_unique<governors::IpaGovernor>(
         soc, sim::odroid_ipa_config(soc)));

@@ -32,7 +32,8 @@ int main() {
       continue;
     }
     const double eta =
-        stability::time_to_fixed_point(params, power, params.t_ambient_k);
+        stability::time_to_fixed_point(params, power,
+                                       params.t_ambient_k.value());
     std::printf("P = %.1f W: settles at %.1f degC (reached in ~%.0f s)\n",
                 power, util::kelvin_to_celsius(r.stable_temp_k), eta);
   }
@@ -47,12 +48,14 @@ int main() {
 
   std::printf("\nAfter 60 s of 3DMark on the Exynos 5422 model:\n");
   std::printf("  max chip temperature: %.1f degC\n",
-              util::kelvin_to_celsius(engine.network().max_temperature()));
+              util::kelvin_to_celsius(
+                  engine.network().max_temperature().value()));
   std::printf("  total power:          %.2f W\n", engine.total_power_w());
   std::printf("  median frame rate:    %.1f fps\n",
               engine.app(game).median_fps());
   std::printf("  GPU frequency now:    %.0f MHz\n",
-              util::hz_to_mhz(engine.soc().frequency_hz(
-                  engine.soc().spec().gpu())));
+              util::hz_to_mhz(engine.soc()
+                                  .frequency_hz(engine.soc().spec().gpu())
+                                  .value()));
   return 0;
 }

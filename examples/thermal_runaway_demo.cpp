@@ -49,15 +49,16 @@ int main() {
               util::kelvin_to_celsius(r4.unstable_temp_k));
   for (double offset : {-10.0, +10.0}) {
     thermal::LumpedModel model(p);
-    model.set_temperature(r4.unstable_temp_k + offset);
+    model.set_temperature(util::kelvin(r4.unstable_temp_k + offset));
     std::printf("trajectory from %+.0f K of it:",
                 offset);
     for (int i = 0; i < 8; ++i) {
-      model.step(4.0, 60.0);
-      std::printf(" %.0f", util::kelvin_to_celsius(model.temperature_k()));
+      model.step(util::watts(4.0), util::seconds(60.0));
+      std::printf(" %.0f",
+                  util::kelvin_to_celsius(model.temperature_k().value()));
     }
     std::printf("  degC -> %s\n",
-                model.temperature_k() >
+                model.temperature_k().value() >
                         r4.unstable_temp_k + 1.0
                     ? "RUNAWAY"
                     : "converges to the stable fixed point");

@@ -66,7 +66,8 @@ int main(int argc, char** argv) {
   std::printf("  foreground median fps:   %.1f\n",
               engine.app(fg).median_fps());
   std::printf("  max chip temperature:    %.1f degC\n",
-              util::kelvin_to_celsius(engine.network().max_temperature()));
+              util::kelvin_to_celsius(
+                  engine.network().max_temperature().value()));
   std::printf("  estimated skin temp:     %.1f degC\n",
               util::kelvin_to_celsius(engine.skin_temp_k()));
   std::printf("  governor migrations:     %zu\n", migrations);

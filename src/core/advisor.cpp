@@ -15,7 +15,8 @@ namespace {
 /// its top OPP, respecting the thread/core cap.
 double busy_cores_at_top(const platform::ClusterSpec& cluster, double rate,
                          int threads) {
-  const double per_core = cluster.ipc * cluster.opps.highest().freq_hz;
+  const double per_core =
+      cluster.ipc * cluster.opps.highest().freq_hz.value();
   const double cap = per_core * std::min(threads, cluster.num_cores);
   return std::min(rate, cap) / per_core;
 }
@@ -45,17 +46,21 @@ AppAdvice advise(const platform::SocSpec& soc_spec,
           app.target_fps > 0.0
               ? scale * ph.cpu_work_per_frame * fps
               : (ph.cpu_work_per_frame > 0.0
-                     ? scale * big.ipc * big.opps.highest().freq_hz
+                     ? scale * big.ipc * big.opps.highest().freq_hz.value()
                      : 0.0);
       const double gpu_rate = scale * ph.gpu_work_per_frame * fps;
       const double cpu_busy =
           busy_cores_at_top(big, cpu_rate, app.cpu_threads);
       const double gpu_busy = busy_cores_at_top(gpu, gpu_rate, 1);
       const double power =
-          cpu_busy * power_model.dynamic_per_core_at(soc_spec.big(),
-                                                     big.opps.max_index()) +
-          gpu_busy * power_model.dynamic_per_core_at(soc_spec.gpu(),
-                                                     gpu.opps.max_index());
+          cpu_busy * power_model
+                         .dynamic_per_core_at(soc_spec.big(),
+                                              big.opps.max_index())
+                         .value() +
+          gpu_busy * power_model
+                         .dynamic_per_core_at(soc_spec.gpu(),
+                                              gpu.opps.max_index())
+                         .value();
       energy_rate += power * ph.duration_s;
       total_time += ph.duration_s;
     }

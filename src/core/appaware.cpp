@@ -26,7 +26,8 @@ AppAwareGovernor::AppAwareGovernor(AppAwareConfig config,
 
 double AppAwareGovernor::estimate_dynamic_power(double total_power_w,
                                                 double temp_k) const {
-  const double leak = thermal::leakage_power(params_, temp_k);
+  const double leak =
+      thermal::leakage_power(params_, util::kelvin(temp_k)).value();
   return std::max(0.0, total_power_w - leak);
 }
 

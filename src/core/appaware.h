@@ -76,7 +76,9 @@ class AppAwareGovernor {
   const stability::Params& stability_params() const { return params_; }
 
   /// Run one control step. `total_power_w` is the windowed measured total
-  /// power; `temp_k` the current control temperature.
+  /// power; `temp_k` the current control temperature. Raw doubles: the
+  /// engine hands over measured sensor magnitudes at this boundary.
+  /// MOBILINT: raw-units-ok
   AppAwareDecision update(sched::Scheduler& scheduler, double total_power_w,
                           double temp_k);
 
@@ -84,6 +86,7 @@ class AppAwareGovernor {
   const std::vector<sched::Pid>& parked() const { return parked_; }
 
  private:
+  // MOBILINT: raw-units-ok
   double estimate_dynamic_power(double total_power_w, double temp_k) const;
 
   AppAwareConfig config_;

@@ -28,8 +28,9 @@ std::size_t Ondemand::decide(const CpufreqInputs& in,
     }
   }
   // Lowest frequency that would bring utilization to the up-threshold.
-  const double cur_freq = table.at(in.current_index).freq_hz;
-  const double wanted = cur_freq * in.utilization / config_.up_threshold;
+  const util::Hertz cur_freq = table.at(in.current_index).freq_hz;
+  const util::Hertz wanted =
+      cur_freq * in.utilization / config_.up_threshold;
   return table.ceil_index(wanted);
 }
 
@@ -46,17 +47,17 @@ std::size_t Conservative::decide(const CpufreqInputs& in,
 
 std::size_t Interactive::decide(const CpufreqInputs& in,
                                 const platform::OppTable& table) {
-  const double dt = config_.sampling_period_s;
-  if (boost_remaining_s_ > 0.0) {
+  const util::Seconds dt = config_.sampling_period_s;
+  if (boost_remaining_s_ > util::seconds(0.0)) {
     boost_remaining_s_ -= dt;
   }
-  const double f_cur = table.at(in.current_index).freq_hz;
-  const double f_max = table.highest().freq_hz;
+  const util::Hertz f_cur = table.at(in.current_index).freq_hz;
+  const util::Hertz f_max = table.highest().freq_hz;
   const std::size_t hispeed_index =
       table.ceil_index(config_.hispeed_fraction * f_max);
 
   // Lowest OPP whose expected utilization stays at/below the target load.
-  const double wanted = f_cur * in.utilization / config_.target_load;
+  const util::Hertz wanted = f_cur * in.utilization / config_.target_load;
   std::size_t target_index = table.ceil_index(wanted);
 
   std::size_t next = in.current_index;
@@ -64,7 +65,7 @@ std::size_t Interactive::decide(const CpufreqInputs& in,
     if (in.current_index < hispeed_index) {
       // Burst straight to hispeed_freq.
       next = hispeed_index;
-      time_above_hispeed_ = 0.0;
+      time_above_hispeed_ = util::seconds(0.0);
     } else {
       // Already at/above hispeed: raise further only after the delay.
       time_above_hispeed_ += dt;
@@ -73,24 +74,24 @@ std::size_t Interactive::decide(const CpufreqInputs& in,
                  : in.current_index;
     }
   } else {
-    time_above_hispeed_ = 0.0;
+    time_above_hispeed_ = util::seconds(0.0);
     next = target_index;
   }
 
-  if (boost_remaining_s_ > 0.0) {
+  if (boost_remaining_s_ > util::seconds(0.0)) {
     // Touch boost: never fall below hispeed while the boost holds.
     next = std::max(next, hispeed_index);
   }
 
   if (next > in.current_index) {
-    time_since_raise_ = 0.0;
+    time_since_raise_ = util::seconds(0.0);
   } else if (next < in.current_index) {
     // Hold the current speed for min_sample_time before dropping.
     time_since_raise_ += dt;
     if (time_since_raise_ < config_.min_sample_time_s) {
       next = in.current_index;
     } else {
-      time_since_raise_ = 0.0;
+      time_since_raise_ = util::seconds(0.0);
     }
   }
   return std::min(next, table.max_index());
@@ -98,8 +99,8 @@ std::size_t Interactive::decide(const CpufreqInputs& in,
 
 std::size_t Schedutil::decide(const CpufreqInputs& in,
                               const platform::OppTable& table) {
-  const double f_cur = table.at(in.current_index).freq_hz;
-  const double wanted = config_.headroom * f_cur * in.utilization;
+  const util::Hertz f_cur = table.at(in.current_index).freq_hz;
+  const util::Hertz wanted = config_.headroom * f_cur * in.utilization;
   return table.ceil_index(wanted);
 }
 

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "platform/opp.h"
+#include "util/units.h"
 
 namespace mobitherm::governors {
 
@@ -33,8 +34,10 @@ class CpufreqGovernor {
 
   virtual const char* name() const = 0;
 
-  /// Seconds between decisions.
-  virtual double sampling_period_s() const { return 0.02; }
+  /// Time between decisions.
+  virtual util::Seconds sampling_period_s() const {
+    return util::seconds(0.02);
+  }
 
   /// Requested OPP index for the next interval.
   virtual std::size_t decide(const CpufreqInputs& in,
@@ -88,7 +91,7 @@ class Ondemand final : public CpufreqGovernor {
  public:
   struct Config {
     double up_threshold = 0.80;
-    double sampling_period_s = 0.05;
+    util::Seconds sampling_period_s{0.05};
     /// Kernel sampling_down_factor: after jumping to max, hold it for this
     /// many sampling periods before allowing a drop (avoids thrashing on
     /// bursty loads).
@@ -97,7 +100,7 @@ class Ondemand final : public CpufreqGovernor {
   Ondemand();
   explicit Ondemand(Config config) : config_(config) {}
   const char* name() const override { return "ondemand"; }
-  double sampling_period_s() const override {
+  util::Seconds sampling_period_s() const override {
     return config_.sampling_period_s;
   }
   std::size_t decide(const CpufreqInputs& in,
@@ -114,12 +117,12 @@ class Conservative final : public CpufreqGovernor {
   struct Config {
     double up_threshold = 0.80;
     double down_threshold = 0.35;
-    double sampling_period_s = 0.05;
+    util::Seconds sampling_period_s{0.05};
   };
   Conservative();
   explicit Conservative(Config config) : config_(config) {}
   const char* name() const override { return "conservative"; }
-  double sampling_period_s() const override {
+  util::Seconds sampling_period_s() const override {
     return config_.sampling_period_s;
   }
   std::size_t decide(const CpufreqInputs& in,
@@ -140,29 +143,31 @@ class Interactive final : public CpufreqGovernor {
     /// Fraction of f_max used as hispeed_freq.
     double hispeed_fraction = 0.80;
     double target_load = 0.90;
-    double above_hispeed_delay_s = 0.02;
-    double min_sample_time_s = 0.08;
-    double sampling_period_s = 0.02;
+    util::Seconds above_hispeed_delay_s{0.02};
+    util::Seconds min_sample_time_s{0.08};
+    util::Seconds sampling_period_s{0.02};
     /// How long an input event holds the frequency at/above hispeed.
-    double input_boost_duration_s = 0.5;
+    util::Seconds input_boost_duration_s{0.5};
   };
   Interactive();
   explicit Interactive(Config config) : config_(config) {}
   const char* name() const override { return "interactive"; }
-  double sampling_period_s() const override {
+  util::Seconds sampling_period_s() const override {
     return config_.sampling_period_s;
   }
   std::size_t decide(const CpufreqInputs& in,
                      const platform::OppTable& table) override;
-  void notify_input() override { boost_remaining_s_ = config_.input_boost_duration_s; }
+  void notify_input() override {
+    boost_remaining_s_ = config_.input_boost_duration_s;
+  }
 
-  bool boosted() const { return boost_remaining_s_ > 0.0; }
+  bool boosted() const { return boost_remaining_s_ > util::seconds(0.0); }
 
  private:
   Config config_;
-  double time_above_hispeed_ = 0.0;
-  double time_since_raise_ = 0.0;
-  double boost_remaining_s_ = 0.0;
+  util::Seconds time_above_hispeed_{};
+  util::Seconds time_since_raise_{};
+  util::Seconds boost_remaining_s_{};
 };
 
 /// schedutil: f_next = headroom * f_cur * util, snapped up.
@@ -170,12 +175,12 @@ class Schedutil final : public CpufreqGovernor {
  public:
   struct Config {
     double headroom = 1.25;
-    double sampling_period_s = 0.01;
+    util::Seconds sampling_period_s{0.01};
   };
   Schedutil();
   explicit Schedutil(Config config) : config_(config) {}
   const char* name() const override { return "schedutil"; }
-  double sampling_period_s() const override {
+  util::Seconds sampling_period_s() const override {
     return config_.sampling_period_s;
   }
   std::size_t decide(const CpufreqInputs& in,

@@ -16,17 +16,17 @@ HotplugGovernor::HotplugGovernor(const platform::SocSpec& spec,
   if (config_.min_cores < 0 || config_.min_cores > max_cores_) {
     throw util::ConfigError("HotplugGovernor: min_cores out of range");
   }
-  if (config_.polling_period_s <= 0.0) {
+  if (config_.polling_period_s <= util::seconds(0.0)) {
     throw util::ConfigError("HotplugGovernor: period must be positive");
   }
   target_ = max_cores_;
 }
 
-int HotplugGovernor::update(double control_temp_k) {
-  if (control_temp_k > config_.trip_k && target_ > config_.min_cores) {
+int HotplugGovernor::update(util::Kelvin control_temp) {
+  if (control_temp > config_.trip_k && target_ > config_.min_cores) {
     --target_;
     ++offline_events_;
-  } else if (control_temp_k < config_.trip_k - config_.hysteresis_k &&
+  } else if (control_temp < config_.trip_k - config_.hysteresis_k &&
              target_ < max_cores_) {
     ++target_;
   }

@@ -9,6 +9,7 @@
 #include <cstddef>
 
 #include "platform/soc.h"
+#include "util/units.h"
 
 namespace mobitherm::governors {
 
@@ -17,9 +18,9 @@ class HotplugGovernor {
   struct Config {
     /// Cluster whose cores are offlined (typically the big cluster).
     std::size_t cluster = 1;
-    double trip_k = 368.15;  // 95 degC: a last-resort action
-    double hysteresis_k = 5.0;
-    double polling_period_s = 1.0;
+    util::Kelvin trip_k{368.15};  // 95 degC: a last-resort action
+    util::Kelvin hysteresis_k{5.0};
+    util::Seconds polling_period_s{1.0};
     /// Never offline below this many cores.
     int min_cores = 1;
   };
@@ -28,10 +29,12 @@ class HotplugGovernor {
 
   const char* name() const { return "hotplug_emergency"; }
   const Config& config() const { return config_; }
-  double polling_period_s() const { return config_.polling_period_s; }
+  util::Seconds polling_period_s() const {
+    return config_.polling_period_s;
+  }
 
   /// One poll with the control temperature; returns the new core target.
-  int update(double control_temp_k);
+  int update(util::Kelvin control_temp);
 
   /// Cores this policy currently allows online.
   int target_cores() const { return target_; }

@@ -25,8 +25,8 @@ void ThermalGovernor::caps_into(std::size_t num_clusters,
 }
 
 StepWiseGovernor::Config StepWiseGovernor::uniform(
-    const platform::SocSpec& spec, double trip_k, double hysteresis_k,
-    double polling_period_s) {
+    const platform::SocSpec& spec, util::Kelvin trip_k,
+    util::Kelvin hysteresis_k, util::Seconds polling_period_s) {
   Config cfg;
   cfg.polling_period_s = polling_period_s;
   for (std::size_t c = 0; c < spec.clusters.size(); ++c) {
@@ -68,10 +68,10 @@ StepWiseGovernor::StepWiseGovernor(const platform::SocSpec& spec,
 void StepWiseGovernor::update(const ThermalContext& ctx) {
   for (std::size_t z = 0; z < config_.zones.size(); ++z) {
     const Zone& zone = config_.zones[z];
-    double temp = ctx.control_temp_k;
+    util::Kelvin temp = ctx.control_temp_k;
     if (ctx.node_temp_k != nullptr &&
         zone.sensor_node < ctx.node_temp_k->size()) {
-      temp = (*ctx.node_temp_k)[zone.sensor_node];
+      temp = util::kelvin((*ctx.node_temp_k)[zone.sensor_node]);
     }
     if (temp > zone.trip_k) {
       state_[z] = std::min(state_[z] + 1, zone.max_states);
@@ -225,22 +225,23 @@ void IpaGovernor::update(const ThermalContext& ctx) {
       ctx.busy_cores == nullptr || ctx.requested_index == nullptr) {
     throw ConfigError("IpaGovernor: context must carry soc/power/activity");
   }
-  const double err = config_.control_temp_k - ctx.control_temp_k;
+  const util::Kelvin err = config_.control_temp_k - ctx.control_temp_k;
 
   // PID power budget (proportional gains asymmetric as in the kernel).
-  const double k_p = err < 0.0 ? config_.k_po : config_.k_pu;
+  const util::WattPerKelvin k_p =
+      err < util::kelvin(0.0) ? config_.k_po : config_.k_pu;
   integral_ += config_.k_i * err * ctx.dt;
   integral_ = std::clamp(integral_, -config_.integral_cap_w,
                          config_.integral_cap_w);
-  double budget =
+  util::Watt budget =
       config_.sustainable_power_w + k_p * err + integral_;
-  budget = std::max(budget, 0.0);
+  budget = std::max(budget, util::watts(0.0));
   last_budget_w_ = budget;
 
   // Each actor requests the power it would draw at its cpufreq-requested
   // OPP with its current activity.
-  std::vector<double> request(max_index_.size(), 0.0);
-  double total_request = 0.0;
+  std::vector<util::Watt> request(max_index_.size());
+  util::Watt total_request{};
   for (std::size_t a : config_.actors) {
     const double busy = (*ctx.busy_cores)[a];
     const std::size_t want = std::min((*ctx.requested_index)[a],
@@ -255,16 +256,16 @@ void IpaGovernor::update(const ThermalContext& ctx) {
   for (std::size_t c = 0; c < max_index_.size(); ++c) {
     cap_[c] = max_index_[c];
   }
-  if (total_request <= 0.0) {
+  if (total_request <= util::watts(0.0)) {
     return;
   }
   for (std::size_t a : config_.actors) {
-    const double grant = budget * request[a] / total_request;
+    const util::Watt grant = budget * request[a] / total_request;
     const double busy = std::max((*ctx.busy_cores)[a], 1e-3);
-    const double idle = ctx.soc->cluster(a).idle_power_w;
+    const util::Watt idle = ctx.soc->cluster(a).idle_power_w;
     std::size_t cap = 0;
     for (std::size_t i = 0; i <= max_index_[a]; ++i) {
-      const double p =
+      const util::Watt p =
           busy * ctx.power->dynamic_per_core_at(a, i) + idle;
       if (p <= grant) {
         cap = i;

@@ -19,15 +19,16 @@
 
 #include "platform/soc.h"
 #include "power/model.h"
+#include "util/units.h"
 
 namespace mobitherm::governors {
 
 /// Context handed to a thermal governor at each poll.
 struct ThermalContext {
-  double dt = 0.1;
-  /// Control temperature (K) — the sensor the policy is bound to (chip
+  util::Seconds dt{0.1};
+  /// Control temperature — the sensor the policy is bound to (chip
   /// package on the Nexus, max core/GPU sensor on the Odroid).
-  double control_temp_k = 298.15;
+  util::Kelvin control_temp_k{298.15};
   /// Current platform state for budget computations.
   const platform::Soc* soc = nullptr;
   const power::PowerModel* power = nullptr;
@@ -35,7 +36,9 @@ struct ThermalContext {
   const std::vector<double>* busy_cores = nullptr;
   /// OPP indices the cpufreq governors are requesting per cluster.
   const std::vector<std::size_t>* requested_index = nullptr;
-  /// Per-thermal-node sensor readings (K), for zone-based policies.
+  /// Per-thermal-node sensor readings (K), for zone-based policies. Raw
+  /// doubles: this aliases the engine's sensor-view scratch vector.
+  /// MOBILINT: raw-units-ok
   const std::vector<double>* node_temp_k = nullptr;
 };
 
@@ -43,7 +46,9 @@ class ThermalGovernor {
  public:
   virtual ~ThermalGovernor() = default;
   virtual const char* name() const = 0;
-  virtual double polling_period_s() const { return 0.1; }
+  virtual util::Seconds polling_period_s() const {
+    return util::seconds(0.1);
+  }
   virtual void update(const ThermalContext& ctx) = 0;
   /// Highest OPP index cluster `c` may use right now.
   virtual std::size_t cap_index(std::size_t cluster) const = 0;
@@ -83,8 +88,8 @@ class StepWiseGovernor final : public ThermalGovernor {
     /// ThermalContext::node_temp_k is absent, the zone falls back to the
     /// scalar control temperature.
     std::size_t sensor_node = 0;
-    double trip_k = 315.15;
-    double hysteresis_k = 2.0;
+    util::Kelvin trip_k{315.15};
+    util::Kelvin hysteresis_k{2.0};
     std::size_t steps_per_state = 1;
     /// Cap never goes below this OPP index.
     std::size_t floor_index = 0;
@@ -92,20 +97,20 @@ class StepWiseGovernor final : public ThermalGovernor {
   };
 
   struct Config {
-    double polling_period_s = 1.0;
+    util::Seconds polling_period_s{1.0};
     std::vector<Zone> zones;
   };
 
   /// Convenience: one zone per non-memory cluster, all bound to the scalar
   /// control temperature at the same trip point.
-  static Config uniform(const platform::SocSpec& spec, double trip_k,
-                        double hysteresis_k = 2.0,
-                        double polling_period_s = 1.0);
+  static Config uniform(const platform::SocSpec& spec, util::Kelvin trip_k,
+                        util::Kelvin hysteresis_k = util::kelvin(2.0),
+                        util::Seconds polling_period_s = util::seconds(1.0));
 
   StepWiseGovernor(const platform::SocSpec& spec, Config config);
 
   const char* name() const override { return "step_wise"; }
-  double polling_period_s() const override {
+  util::Seconds polling_period_s() const override {
     return config_.polling_period_s;
   }
   void update(const ThermalContext& ctx) override;
@@ -127,9 +132,9 @@ class StepWiseGovernor final : public ThermalGovernor {
 class BangBangGovernor final : public ThermalGovernor {
  public:
   struct Config {
-    double trip_k = 315.15;
-    double hysteresis_k = 3.0;
-    double polling_period_s = 1.0;
+    util::Kelvin trip_k{315.15};
+    util::Kelvin hysteresis_k{3.0};
+    util::Seconds polling_period_s{1.0};
     /// Clusters capped when tripped; empty = all non-memory clusters.
     std::vector<std::size_t> actors;
     /// Cap applied while tripped.
@@ -139,7 +144,7 @@ class BangBangGovernor final : public ThermalGovernor {
   BangBangGovernor(const platform::SocSpec& spec, Config config);
 
   const char* name() const override { return "bang_bang"; }
-  double polling_period_s() const override {
+  util::Seconds polling_period_s() const override {
     return config_.polling_period_s;
   }
   void update(const ThermalContext& ctx) override;
@@ -160,10 +165,10 @@ class BangBangGovernor final : public ThermalGovernor {
 class FairShareGovernor final : public ThermalGovernor {
  public:
   struct Config {
-    double trip_k = 315.15;
+    util::Kelvin trip_k{315.15};
     /// Temperature at which actors are pinned to their lowest OPP.
-    double max_temp_k = 335.15;
-    double polling_period_s = 1.0;
+    util::Kelvin max_temp_k{335.15};
+    util::Seconds polling_period_s{1.0};
     /// Per-cluster weights (0 = not actuated); empty = weight 1 for all
     /// non-memory clusters.
     std::vector<double> weights;
@@ -172,7 +177,7 @@ class FairShareGovernor final : public ThermalGovernor {
   FairShareGovernor(const platform::SocSpec& spec, Config config);
 
   const char* name() const override { return "fair_share"; }
-  double polling_period_s() const override {
+  util::Seconds polling_period_s() const override {
     return config_.polling_period_s;
   }
   void update(const ThermalContext& ctx) override;
@@ -188,13 +193,14 @@ class FairShareGovernor final : public ThermalGovernor {
 class IpaGovernor final : public ThermalGovernor {
  public:
   struct Config {
-    double control_temp_k = 358.15;   // target (e.g. 85 degC on the XU3)
-    double sustainable_power_w = 2.5;
-    double k_po = 0.6;   // proportional gain when over target (W/K)
-    double k_pu = 0.25;  // proportional gain when under target (W/K)
-    double k_i = 0.01;   // integral gain (W/(K s))
-    double integral_cap_w = 1.0;
-    double polling_period_s = 0.1;
+    util::Kelvin control_temp_k{358.15};  // target (85 degC on the XU3)
+    util::Watt sustainable_power_w{2.5};
+    /// Proportional gains, asymmetric as in the kernel.
+    util::WattPerKelvin k_po{0.6};   // when over target
+    util::WattPerKelvin k_pu{0.25};  // when under target
+    util::WattPerKelvinSecond k_i{0.01};  // integral gain
+    util::Watt integral_cap_w{1.0};
+    util::Seconds polling_period_s{0.1};
     /// Clusters IPA actuates (typically big CPU + GPU). Empty = all.
     std::vector<std::size_t> actors;
   };
@@ -202,20 +208,20 @@ class IpaGovernor final : public ThermalGovernor {
   IpaGovernor(const platform::SocSpec& spec, Config config);
 
   const char* name() const override { return "ipa"; }
-  double polling_period_s() const override {
+  util::Seconds polling_period_s() const override {
     return config_.polling_period_s;
   }
   void update(const ThermalContext& ctx) override;
   std::size_t cap_index(std::size_t cluster) const override;
 
-  double last_budget_w() const { return last_budget_w_; }
+  util::Watt last_budget_w() const { return last_budget_w_; }
 
  private:
   Config config_;
   std::vector<std::size_t> cap_;
   std::vector<std::size_t> max_index_;
-  double integral_ = 0.0;
-  double last_budget_w_ = 0.0;
+  util::Watt integral_{};
+  util::Watt last_budget_w_{};
 };
 
 }  // namespace mobitherm::governors

@@ -41,12 +41,13 @@ Vector Cholesky::solve(const Vector& b) const {
   return x;
 }
 
+// MOBILINT: hot-path
 void Cholesky::solve_into(const Vector& b, Vector& x) const {
   const std::size_t n = l_.rows();
   if (b.size() != n) {
     throw NumericError("Cholesky::solve: dimension mismatch");
   }
-  x.resize(n);
+  x.resize(n);  // no-op once x is warm; MOBILINT: alloc-ok
   // L y = b, with y written into x. Position i is read from b before it is
   // overwritten, so b and x may alias.
   for (std::size_t i = 0; i < n; ++i) {

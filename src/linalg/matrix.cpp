@@ -199,10 +199,11 @@ double dot(const Vector& a, const Vector& b) {
 
 double norm2(const Vector& v) { return std::sqrt(dot(v, v)); }
 
+// MOBILINT: hot-path
 void gemv(const Matrix& a, const Vector& x, Vector& y) {
   MOBITHERM_ASSERT(a.cols() == x.size());
   MOBITHERM_ASSERT(&x != &y);
-  y.resize(a.rows());
+  y.resize(a.rows());  // no-op once y is warm; MOBILINT: alloc-ok
   for (std::size_t i = 0; i < a.rows(); ++i) {
     double acc = 0.0;
     for (std::size_t j = 0; j < a.cols(); ++j) {
@@ -212,6 +213,7 @@ void gemv(const Matrix& a, const Vector& x, Vector& y) {
   }
 }
 
+// MOBILINT: hot-path
 void axpy(double alpha, const Vector& x, Vector& y) {
   MOBITHERM_ASSERT(x.size() == y.size());
   for (std::size_t i = 0; i < x.size(); ++i) {
@@ -219,6 +221,7 @@ void axpy(double alpha, const Vector& x, Vector& y) {
   }
 }
 
+// MOBILINT: hot-path
 void scal(double s, Vector& x) {
   for (double& v : x) {
     v *= s;

@@ -42,7 +42,7 @@ PlatformDescription load_platform(const std::string& path) {
     throw ConfigError("load_platform: cannot open " + path);
   }
   PlatformDescription desc;
-  desc.network.t_ambient_k = 298.15;
+  desc.network.t_ambient_k = util::kelvin(298.15);
 
   // OPPs are collected per cluster and attached when the cluster closes.
   std::vector<std::pair<double, double>> pending_opps;
@@ -82,12 +82,19 @@ PlatformDescription load_platform(const std::string& path) {
     } else if (keyword == "cluster") {
       flush_cluster(line_no);
       std::string kind;
+      // Parse raw magnitudes, then enter the typed domain explicitly.
+      double ceff_f = 0.0;
+      double idle_power_w = 0.0;
+      double nominal_voltage_v = 0.0;
       if (!(row >> current.name >> kind >> current.num_cores >>
-            current.ipc >> current.ceff_f >> current.idle_power_w >>
-            current.leakage_share >> current.nominal_voltage_v >>
+            current.ipc >> ceff_f >> idle_power_w >>
+            current.leakage_share >> nominal_voltage_v >>
             current.thermal_node)) {
         fail(line_no, "cluster needs 9 fields");
       }
+      current.ceff_f = util::farads(ceff_f);
+      current.idle_power_w = util::watts(idle_power_w);
+      current.nominal_voltage_v = util::volts(nominal_voltage_v);
       current.kind = parse_resource_kind(kind);
       have_cluster = true;
     } else if (keyword == "opp") {
@@ -106,19 +113,24 @@ PlatformDescription load_platform(const std::string& path) {
       if (!(row >> sub >> celsius) || sub != "ambient_c") {
         fail(line_no, "expected: thermal ambient_c <celsius>");
       }
-      desc.network.t_ambient_k = util::celsius_to_kelvin(celsius);
+      desc.network.t_ambient_k = util::celsius(celsius);
     } else if (keyword == "node") {
       thermal::ThermalNodeSpec node;
-      if (!(row >> node.name >> node.capacitance_j_per_k >>
-            node.g_ambient_w_per_k)) {
+      double capacitance_j_per_k = 0.0;
+      double g_ambient_w_per_k = 0.0;
+      if (!(row >> node.name >> capacitance_j_per_k >> g_ambient_w_per_k)) {
         fail(line_no, "node needs <name> <C> <g_amb>");
       }
+      node.capacitance_j_per_k = util::joules_per_kelvin(capacitance_j_per_k);
+      node.g_ambient_w_per_k = util::watts_per_kelvin(g_ambient_w_per_k);
       desc.network.nodes.push_back(node);
     } else if (keyword == "link") {
       thermal::ThermalLinkSpec link;
-      if (!(row >> link.a >> link.b >> link.conductance_w_per_k)) {
+      double conductance_w_per_k = 0.0;
+      if (!(row >> link.a >> link.b >> conductance_w_per_k)) {
         fail(line_no, "link needs <a> <b> <g>");
       }
+      link.conductance_w_per_k = util::watts_per_kelvin(conductance_w_per_k);
       desc.network.links.push_back(link);
     } else {
       fail(line_no, "unknown keyword '" + keyword + "'");
@@ -154,25 +166,26 @@ void save_platform(const std::string& path,
   out << "# mobitherm platform description\n";
   out << "soc " << desc.soc.name << "\n\n";
   for (const ClusterSpec& c : desc.soc.clusters) {
+    // Serialization boundary: raw magnitudes on disk, typed in memory.
     out << "cluster " << c.name << " " << to_string(c.kind) << " "
-        << c.num_cores << " " << c.ipc << " " << c.ceff_f << " "
-        << c.idle_power_w << " " << c.leakage_share << " "
-        << c.nominal_voltage_v << " " << c.thermal_node << "\n";
+        << c.num_cores << " " << c.ipc << " " << c.ceff_f.value() << " "
+        << c.idle_power_w.value() << " " << c.leakage_share << " "
+        << c.nominal_voltage_v.value() << " " << c.thermal_node << "\n";
     for (const OperatingPoint& p : c.opps) {
-      out << "opp " << util::hz_to_mhz(p.freq_hz) << " "
-          << p.voltage_v * 1e3 << "\n";
+      out << "opp " << util::hz_to_mhz(p.freq_hz.value()) << " "
+          << p.voltage_v.value() * 1e3 << "\n";
     }
     out << "\n";
   }
   out << "thermal ambient_c "
-      << util::kelvin_to_celsius(desc.network.t_ambient_k) << "\n";
+      << util::to_celsius(desc.network.t_ambient_k).degrees << "\n";
   for (const thermal::ThermalNodeSpec& n : desc.network.nodes) {
-    out << "node " << n.name << " " << n.capacitance_j_per_k << " "
-        << n.g_ambient_w_per_k << "\n";
+    out << "node " << n.name << " " << n.capacitance_j_per_k.value() << " "
+        << n.g_ambient_w_per_k.value() << "\n";
   }
   for (const thermal::ThermalLinkSpec& l : desc.network.links) {
-    out << "link " << l.a << " " << l.b << " " << l.conductance_w_per_k
-        << "\n";
+    out << "link " << l.a << " " << l.b << " "
+        << l.conductance_w_per_k.value() << "\n";
   }
 }
 

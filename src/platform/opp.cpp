@@ -20,10 +20,12 @@ OppTable::OppTable(std::vector<OperatingPoint> points)
               return a.freq_hz < b.freq_hz;
             });
   for (std::size_t i = 0; i < points_.size(); ++i) {
-    if (points_[i].freq_hz <= 0.0 || points_[i].voltage_v <= 0.0) {
+    if (points_[i].freq_hz <= util::hertz(0.0) ||
+        points_[i].voltage_v <= util::volts(0.0)) {
       throw ConfigError("OppTable entries must have positive freq/voltage");
     }
-    if (i > 0 && points_[i].freq_hz - points_[i - 1].freq_hz < 1.0) {
+    if (i > 0 && points_[i].freq_hz - points_[i - 1].freq_hz <
+                     util::hertz(1.0)) {
       throw ConfigError("OppTable entries must have distinct frequencies");
     }
   }
@@ -34,7 +36,7 @@ OppTable OppTable::from_mhz_mv(
   std::vector<OperatingPoint> converted;
   converted.reserve(points.size());
   for (const auto& [mhz, mv] : points) {
-    converted.push_back({util::mhz_to_hz(mhz), mv * 1.0e-3});
+    converted.push_back({util::megahertz(mhz), util::millivolts(mv)});
   }
   return OppTable(std::move(converted));
 }
@@ -46,10 +48,10 @@ const OperatingPoint& OppTable::at(std::size_t index) const {
   return points_[index];
 }
 
-std::size_t OppTable::floor_index(double freq_hz) const {
+std::size_t OppTable::floor_index(util::Hertz freq) const {
   std::size_t best = 0;
   for (std::size_t i = 0; i < points_.size(); ++i) {
-    if (points_[i].freq_hz <= freq_hz) {
+    if (points_[i].freq_hz <= freq) {
       best = i;
     } else {
       break;
@@ -58,18 +60,18 @@ std::size_t OppTable::floor_index(double freq_hz) const {
   return best;
 }
 
-std::size_t OppTable::ceil_index(double freq_hz) const {
+std::size_t OppTable::ceil_index(util::Hertz freq) const {
   for (std::size_t i = 0; i < points_.size(); ++i) {
-    if (points_[i].freq_hz >= freq_hz) {
+    if (points_[i].freq_hz >= freq) {
       return i;
     }
   }
   return max_index();
 }
 
-std::size_t OppTable::index_of(double freq_hz) const {
+std::size_t OppTable::index_of(util::Hertz freq) const {
   for (std::size_t i = 0; i < points_.size(); ++i) {
-    if (std::abs(points_[i].freq_hz - freq_hz) < 1.0) {
+    if (std::abs((points_[i].freq_hz - freq).value()) < 1.0) {
       return i;
     }
   }

@@ -2,18 +2,22 @@
 //
 // Governors never set raw frequencies; they pick OPP indices, exactly like
 // the Linux cpufreq/devfreq frameworks the paper's experiments exercise.
+// Frequencies and voltages are dimensioned (util::Hertz / util::Volt);
+// raw MHz/mV enter only through the explicit from_mhz_mv edge constructor.
 #pragma once
 
 #include <cstddef>
 #include <utility>
 #include <vector>
 
+#include "util/units.h"
+
 namespace mobitherm::platform {
 
 /// One DVFS operating point.
 struct OperatingPoint {
-  double freq_hz = 0.0;
-  double voltage_v = 0.0;
+  util::Hertz freq_hz{};
+  util::Volt voltage_v{};
 };
 
 /// Immutable, ascending-frequency table of operating points.
@@ -37,16 +41,16 @@ class OppTable {
   const OperatingPoint& highest() const { return points_.back(); }
   std::size_t max_index() const { return points_.size() - 1; }
 
-  /// Index of the highest OPP with frequency <= freq_hz; 0 if freq_hz is
+  /// Index of the highest OPP with frequency <= freq; 0 if freq is
   /// below the lowest OPP.
-  std::size_t floor_index(double freq_hz) const;
+  std::size_t floor_index(util::Hertz freq) const;
 
-  /// Index of the lowest OPP with frequency >= freq_hz; max_index() if
-  /// freq_hz is above the highest OPP.
-  std::size_t ceil_index(double freq_hz) const;
+  /// Index of the lowest OPP with frequency >= freq; max_index() if
+  /// freq is above the highest OPP.
+  std::size_t ceil_index(util::Hertz freq) const;
 
-  /// Exact index of `freq_hz` (within 1 Hz); throws ConfigError if absent.
-  std::size_t index_of(double freq_hz) const;
+  /// Exact index of `freq` (within 1 Hz); throws ConfigError if absent.
+  std::size_t index_of(util::Hertz freq) const;
 
   auto begin() const { return points_.begin(); }
   auto end() const { return points_.end(); }

@@ -1,5 +1,7 @@
 #include "platform/presets.h"
 
+#include "util/units.h"
+
 namespace mobitherm::platform {
 
 SocSpec snapdragon810() {
@@ -22,10 +24,10 @@ SocSpec snapdragon810() {
                                        {1478.4, 1100.0},
                                        {1555.2, 1125.0}});
   little.ipc = 1.0;
-  little.ceff_f = 1.35e-10;
-  little.idle_power_w = 0.08;
+  little.ceff_f = util::farads(1.35e-10);
+  little.idle_power_w = util::watts(0.08);
   little.leakage_share = 0.12;
-  little.nominal_voltage_v = 1.125;
+  little.nominal_voltage_v = util::volts(1.125);
   little.thermal_node = kNodeLittle;
 
   ClusterSpec big;
@@ -47,10 +49,10 @@ SocSpec snapdragon810() {
                                     {1824.0, 1163.0},
                                     {1958.4, 1200.0}});
   big.ipc = 2.0;
-  big.ceff_f = 4.96e-10;
-  big.idle_power_w = 0.12;
+  big.ceff_f = util::farads(4.96e-10);
+  big.idle_power_w = util::watts(0.12);
   big.leakage_share = 0.40;
-  big.nominal_voltage_v = 1.20;
+  big.nominal_voltage_v = util::volts(1.20);
   big.thermal_node = kNodeBig;
 
   ClusterSpec gpu;
@@ -64,10 +66,10 @@ SocSpec snapdragon810() {
                                     {510.0, 975.0},
                                     {600.0, 1013.0}});
   gpu.ipc = 1.0;
-  gpu.ceff_f = 3.90e-9;
-  gpu.idle_power_w = 0.05;
+  gpu.ceff_f = util::farads(3.90e-9);
+  gpu.idle_power_w = util::watts(0.05);
   gpu.leakage_share = 0.35;
-  gpu.nominal_voltage_v = 1.013;
+  gpu.nominal_voltage_v = util::volts(1.013);
   gpu.thermal_node = kNodeGpu;
 
   ClusterSpec mem;
@@ -76,10 +78,10 @@ SocSpec snapdragon810() {
   mem.num_cores = 1;
   mem.opps = OppTable::from_mhz_mv({{1555.0, 1100.0}});
   mem.ipc = 1.0;
-  mem.ceff_f = 2.0e-10;
-  mem.idle_power_w = 0.12;
+  mem.ceff_f = util::farads(2.0e-10);
+  mem.idle_power_w = util::watts(0.12);
   mem.leakage_share = 0.13;
-  mem.nominal_voltage_v = 1.10;
+  mem.nominal_voltage_v = util::volts(1.10);
   mem.thermal_node = kNodeMemory;
 
   soc.clusters = {little, big, gpu, mem};
@@ -90,6 +92,8 @@ SocSpec exynos5422() {
   SocSpec soc;
   soc.name = "exynos5422";
 
+  // Datasheet OPP ladders are published in MHz/mV; from_mhz_mv is the
+  // sanctioned conversion edge. MOBILINT: raw-units-ok
   auto linear_ladder = [](double lo_mhz, double hi_mhz, double step_mhz,
                           double lo_mv, double hi_mv) {
     std::vector<std::pair<double, double>> pts;
@@ -110,10 +114,10 @@ SocSpec exynos5422() {
   little.num_cores = 4;
   little.opps = linear_ladder(200.0, 1400.0, 100.0, 900.0, 1150.0);
   little.ipc = 1.0;
-  little.ceff_f = 8.1e-11;
-  little.idle_power_w = 0.06;
+  little.ceff_f = util::farads(8.1e-11);
+  little.idle_power_w = util::watts(0.06);
   little.leakage_share = 0.10;
-  little.nominal_voltage_v = 1.15;
+  little.nominal_voltage_v = util::volts(1.15);
   little.thermal_node = kNodeLittle;
 
   ClusterSpec big;
@@ -122,10 +126,10 @@ SocSpec exynos5422() {
   big.num_cores = 4;
   big.opps = linear_ladder(200.0, 2000.0, 100.0, 912.5, 1250.0);
   big.ipc = 2.0;
-  big.ceff_f = 4.16e-10;
-  big.idle_power_w = 0.10;
+  big.ceff_f = util::farads(4.16e-10);
+  big.idle_power_w = util::watts(0.10);
   big.leakage_share = 0.45;
-  big.nominal_voltage_v = 1.25;
+  big.nominal_voltage_v = util::volts(1.25);
   big.thermal_node = kNodeBig;
 
   ClusterSpec gpu;
@@ -140,10 +144,10 @@ SocSpec exynos5422() {
                                     {543.0, 1012.0},
                                     {600.0, 1050.0}});
   gpu.ipc = 1.0;
-  gpu.ceff_f = 2.36e-9;
-  gpu.idle_power_w = 0.04;
+  gpu.ceff_f = util::farads(2.36e-9);
+  gpu.idle_power_w = util::watts(0.04);
   gpu.leakage_share = 0.33;
-  gpu.nominal_voltage_v = 1.05;
+  gpu.nominal_voltage_v = util::volts(1.05);
   gpu.thermal_node = kNodeGpu;
 
   ClusterSpec mem;
@@ -152,10 +156,10 @@ SocSpec exynos5422() {
   mem.num_cores = 1;
   mem.opps = OppTable::from_mhz_mv({{933.0, 1200.0}});
   mem.ipc = 1.0;
-  mem.ceff_f = 2.3e-10;
-  mem.idle_power_w = 0.10;
+  mem.ceff_f = util::farads(2.3e-10);
+  mem.idle_power_w = util::watts(0.10);
   mem.leakage_share = 0.12;
-  mem.nominal_voltage_v = 1.20;
+  mem.nominal_voltage_v = util::volts(1.20);
   mem.thermal_node = kNodeMemory;
 
   soc.clusters = {little, big, gpu, mem};

@@ -94,12 +94,12 @@ void Soc::set_online_cores(std::size_t c, int cores) {
   states_[c].online_cores = cores;
 }
 
-double Soc::frequency_hz(std::size_t c) const {
+util::Hertz Soc::frequency_hz(std::size_t c) const {
   check_cluster(c);
   return spec_.clusters[c].opps.at(states_[c].opp_index).freq_hz;
 }
 
-double Soc::voltage_v(std::size_t c) const {
+util::Volt Soc::voltage_v(std::size_t c) const {
   check_cluster(c);
   return spec_.clusters[c].opps.at(states_[c].opp_index).voltage_v;
 }
@@ -111,7 +111,9 @@ double Soc::capacity(std::size_t c) const {
 
 double Soc::per_core_rate(std::size_t c) const {
   check_cluster(c);
-  return spec_.clusters[c].ipc * frequency_hz(c);
+  // Abstract work units/s: ipc (work/cycle) x cycles/s. Work units are not
+  // an SI dimension, so this is a sanctioned .value() boundary.
+  return spec_.clusters[c].ipc * frequency_hz(c).value();
 }
 
 void Soc::check_cluster(std::size_t c) const {

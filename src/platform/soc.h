@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "platform/opp.h"
+#include "util/units.h"
 
 namespace mobitherm::platform {
 
@@ -30,12 +31,13 @@ struct ClusterSpec {
   /// (ipc * freq) seconds on one core of this cluster.
   double ipc = 1.0;
 
-  /// Effective switched capacitance (farads): dynamic power of one fully
-  /// busy core is ceff * V^2 * f.
-  double ceff_f = 0.0;
+  /// Effective switched capacitance: dynamic power of one fully busy core
+  /// is ceff * V^2 * f (Farad * Volt^2 * Hertz = Watt, checked at compile
+  /// time).
+  util::Farad ceff_f{};
 
-  /// Power drawn by the cluster when idle at any OPP (W).
-  double idle_power_w = 0.0;
+  /// Power drawn by the cluster when idle at any OPP.
+  util::Watt idle_power_w{};
 
   /// Share of the SoC leakage coefficient attributed to this cluster;
   /// shares across clusters should sum to ~1.
@@ -43,7 +45,7 @@ struct ClusterSpec {
 
   /// Voltage at which the leakage share was characterized; leakage scales
   /// linearly with V / nominal_voltage_v.
-  double nominal_voltage_v = 1.0;
+  util::Volt nominal_voltage_v{1.0};
 
   /// Index of the thermal-network node this cluster heats.
   std::size_t thermal_node = 0;
@@ -90,8 +92,8 @@ class Soc {
   /// Set the number of online cores in [0, num_cores].
   void set_online_cores(std::size_t c, int cores);
 
-  double frequency_hz(std::size_t c) const;
-  double voltage_v(std::size_t c) const;
+  util::Hertz frequency_hz(std::size_t c) const;
+  util::Volt voltage_v(std::size_t c) const;
 
   /// Total work units/s the cluster can retire at its current OPP
   /// (ipc * freq * online_cores).

@@ -12,7 +12,9 @@
 namespace mobitherm::power {
 
 struct BatteryParams {
-  /// Rated capacity (mAh); Nexus 6P ships 3450 mAh.
+  /// Rated capacity (mAh); Nexus 6P ships 3450 mAh. Battery capacity is
+  /// quoted in vendor units on every datasheet, so the model keeps them.
+  /// MOBILINT: raw-units-ok
   double capacity_mah = 3450.0;
   /// Internal (ohmic) resistance.
   double internal_r_ohm = 0.12;
@@ -28,7 +30,8 @@ class Battery {
 
   /// Draw `load_w` watts for `dt` seconds (coulomb counting at the
   /// terminal voltage). SoC clamps at 0; an empty battery absorbs no
-  /// further charge.
+  /// further charge. Raw doubles: fed from the DAQ's measured samples.
+  /// MOBILINT: raw-units-ok
   void drain(double dt, double load_w);
 
   /// State of charge in [0, 1].
@@ -38,12 +41,14 @@ class Battery {
   double ocv_v() const;
 
   /// Terminal voltage under `load_w` (OCV minus IR drop). Clamped at 0.
+  /// MOBILINT: raw-units-ok
   double terminal_v(double load_w) const;
 
   /// Remaining energy if discharged at low rate (J).
   double energy_remaining_j() const;
 
   /// Hours of runtime left at a constant `load_w`; infinity at zero load.
+  /// MOBILINT: raw-units-ok
   double projected_runtime_s(double load_w) const;
 
   bool empty() const { return soc_ <= 0.0; }

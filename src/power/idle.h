@@ -29,11 +29,13 @@ class CpuIdleModel {
   explicit CpuIdleModel(std::vector<IdleState> states);
 
   /// Deepest state whose target residency fits the expected idle interval.
+  /// MOBILINT: raw-units-ok
   const IdleState& select(double expected_idle_s) const;
 
   /// Idle-power multiplier for a cluster at `utilization` whose idle gaps
   /// are roughly (1 - utilization) * period_s long: busy time burns the
   /// full floor, idle time burns the selected state's fraction.
+  /// MOBILINT: raw-units-ok
   double idle_power_fraction(double utilization, double period_s) const;
 
   const std::vector<IdleState>& states() const { return states_; }

@@ -9,12 +9,13 @@ namespace mobitherm::power {
 using util::ConfigError;
 
 PowerModel::PowerModel(const platform::SocSpec& spec, LeakageParams leakage,
-                       double board_base_w)
+                       util::Watt board_base_w)
     : spec_(spec), leakage_(leakage), board_base_w_(board_base_w) {
-  if (leakage_.theta_k <= 0.0 || leakage_.a_w_per_k2 < 0.0) {
+  if (leakage_.theta_k <= util::kelvin(0.0) ||
+      leakage_.a_w_per_k2 < util::watts_per_kelvin2(0.0)) {
     throw ConfigError("PowerModel: invalid leakage parameters");
   }
-  if (board_base_w_ < 0.0) {
+  if (board_base_w_ < util::watts(0.0)) {
     throw ConfigError("PowerModel: negative board base power");
   }
 }
@@ -29,8 +30,8 @@ ClusterPower PowerModel::cluster_power(const platform::Soc& soc,
     throw ConfigError("PowerModel: busy_cores out of [0, online] for " +
                       cs.name);
   }
-  const double v = soc.voltage_v(c);
-  const double f = soc.frequency_hz(c);
+  const util::Volt v = soc.voltage_v(c);
+  const util::Hertz f = soc.frequency_hz(c);
 
   if (activity.idle_power_scale < 0.0 || activity.idle_power_scale > 1.0) {
     throw ConfigError("PowerModel: idle_power_scale out of [0, 1] for " +
@@ -40,14 +41,16 @@ ClusterPower PowerModel::cluster_power(const platform::Soc& soc,
   p.dynamic_w = activity.busy_cores * cs.ceff_f * v * v * f;
   p.idle_w = st.online_cores > 0
                  ? cs.idle_power_w * activity.idle_power_scale
-                 : 0.0;
-  const double t = activity.temp_k;
+                 : util::watts(0.0);
+  const util::Kelvin t = activity.temp_k;
   p.leakage_w = cs.leakage_share * leakage_.a_w_per_k2 * t * t *
-                std::exp(-leakage_.theta_k / t) * (v / cs.nominal_voltage_v);
+                std::exp(-leakage_.theta_k / t) *
+                (v / cs.nominal_voltage_v);
   return p;
 }
 
-double PowerModel::dynamic_per_core_at(std::size_t c, std::size_t opp) const {
+util::Watt PowerModel::dynamic_per_core_at(std::size_t c,
+                                           std::size_t opp) const {
   if (c >= spec_.clusters.size()) {
     throw ConfigError("PowerModel: cluster index out of range");
   }
@@ -56,21 +59,21 @@ double PowerModel::dynamic_per_core_at(std::size_t c, std::size_t opp) const {
   return cs.ceff_f * pt.voltage_v * pt.voltage_v * pt.freq_hz;
 }
 
-double PowerModel::leakage_at(std::size_t c, std::size_t opp,
-                              double temp_k) const {
+util::Watt PowerModel::leakage_at(std::size_t c, std::size_t opp,
+                                  util::Kelvin temp) const {
   if (c >= spec_.clusters.size()) {
     throw ConfigError("PowerModel: cluster index out of range");
   }
   const platform::ClusterSpec& cs = spec_.clusters[c];
   const platform::OperatingPoint& pt = cs.opps.at(opp);
-  return cs.leakage_share * leakage_.a_w_per_k2 * temp_k * temp_k *
-         std::exp(-leakage_.theta_k / temp_k) *
+  return cs.leakage_share * leakage_.a_w_per_k2 * temp * temp *
+         std::exp(-leakage_.theta_k / temp) *
          (pt.voltage_v / cs.nominal_voltage_v);
 }
 
-double PowerModel::soc_leakage_nominal(double temp_k) const {
-  return leakage_.a_w_per_k2 * temp_k * temp_k *
-         std::exp(-leakage_.theta_k / temp_k);
+util::Watt PowerModel::soc_leakage_nominal(util::Kelvin temp) const {
+  return leakage_.a_w_per_k2 * temp * temp *
+         std::exp(-leakage_.theta_k / temp);
 }
 
 }  // namespace mobitherm::power

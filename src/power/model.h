@@ -16,24 +16,25 @@
 #include <vector>
 
 #include "platform/soc.h"
+#include "util/units.h"
 
 namespace mobitherm::power {
 
 /// SoC-level leakage parameters (see file comment).
 struct LeakageParams {
-  /// Leakage temperature constant theta = q*Vth/(eta*k), in kelvin.
-  double theta_k = 1857.8;
-  /// SoC leakage coefficient A in W/K^2 at nominal voltage; distributed
-  /// over clusters by ClusterSpec::leakage_share.
-  double a_w_per_k2 = 1.5736e-3;
+  /// Leakage temperature constant theta = q*Vth/(eta*k).
+  util::Kelvin theta_k{1857.8};
+  /// SoC leakage coefficient A at nominal voltage; distributed over
+  /// clusters by ClusterSpec::leakage_share.
+  util::WattPerKelvin2 a_w_per_k2{1.5736e-3};
 };
 
 /// Per-cluster inputs for one power evaluation.
 struct ClusterActivity {
   /// Busy cores, fractional, in [0, online_cores].
   double busy_cores = 0.0;
-  /// Absolute temperature of the cluster's thermal node (K).
-  double temp_k = 300.0;
+  /// Absolute temperature of the cluster's thermal node.
+  util::Kelvin temp_k{300.0};
   /// Multiplier on the idle floor, from the cpuidle model (1 = no C-state
   /// savings).
   double idle_power_scale = 1.0;
@@ -41,10 +42,10 @@ struct ClusterActivity {
 
 /// Breakdown of one cluster's power.
 struct ClusterPower {
-  double dynamic_w = 0.0;
-  double idle_w = 0.0;
-  double leakage_w = 0.0;
-  double total() const { return dynamic_w + idle_w + leakage_w; }
+  util::Watt dynamic_w{};
+  util::Watt idle_w{};
+  util::Watt leakage_w{};
+  util::Watt total() const { return dynamic_w + idle_w + leakage_w; }
 };
 
 /// Evaluates the SoC power model against a platform::Soc's current DVFS
@@ -54,13 +55,13 @@ struct ClusterPower {
 class PowerModel {
  public:
   PowerModel(const platform::SocSpec& spec, LeakageParams leakage,
-             double board_base_w = 0.0);
+             util::Watt board_base_w = {});
 
   const LeakageParams& leakage_params() const { return leakage_; }
 
   /// Constant platform power (regulators, display path, ...) attributed to
   /// the board node; not part of any measured rail.
-  double board_base_w() const { return board_base_w_; }
+  util::Watt board_base_w() const { return board_base_w_; }
 
   /// Power of cluster `c` at the OPP/online state in `soc` under the given
   /// activity.
@@ -70,15 +71,16 @@ class PowerModel {
   /// Dynamic power of a fully busy core of cluster `c` at OPP `opp`.
   /// Used by the IPA governor to translate power budgets into frequency
   /// caps.
-  double dynamic_per_core_at(std::size_t c, std::size_t opp) const;
+  util::Watt dynamic_per_core_at(std::size_t c, std::size_t opp) const;
 
-  /// Leakage power of cluster `c` at temperature `temp_k` and OPP `opp`.
-  double leakage_at(std::size_t c, std::size_t opp, double temp_k) const;
+  /// Leakage power of cluster `c` at temperature `temp` and OPP `opp`.
+  util::Watt leakage_at(std::size_t c, std::size_t opp,
+                        util::Kelvin temp) const;
 
-  /// SoC leakage at temperature `temp_k` with every cluster at nominal
+  /// SoC leakage at temperature `temp` with every cluster at nominal
   /// voltage: A * T^2 * exp(-theta/T). This is the lumped form the
   /// stability analyzer uses.
-  double soc_leakage_nominal(double temp_k) const;
+  util::Watt soc_leakage_nominal(util::Kelvin temp) const;
 
   std::size_t num_clusters() const { return spec_.clusters.size(); }
   const platform::SocSpec& spec() const { return spec_; }
@@ -86,7 +88,7 @@ class PowerModel {
  private:
   platform::SocSpec spec_;
   LeakageParams leakage_;
-  double board_base_w_;
+  util::Watt board_base_w_;
 };
 
 }  // namespace mobitherm::power

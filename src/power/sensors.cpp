@@ -10,7 +10,7 @@ using util::ConfigError;
 
 RailSensor::RailSensor(Config config)
     : config_(std::move(config)), rng_(config_.seed) {
-  if (config_.period_s <= 0.0) {
+  if (config_.period_s <= util::seconds(0.0)) {
     throw ConfigError("RailSensor: period must be positive");
   }
 }
@@ -19,30 +19,32 @@ void RailSensor::feed(double dt, double watts) {
   if (dt <= 0.0) {
     return;
   }
+  const double period_s = config_.period_s.value();
   accum_time_ += dt;
   accum_energy_ += dt * watts;
-  while (accum_time_ >= config_.period_s) {
+  while (accum_time_ >= period_s) {
     // Latch the average true power over the elapsed period, plus noise.
     double sample = accum_energy_ / accum_time_;
-    if (config_.noise_stddev_w > 0.0) {
-      sample += rng_.normal(0.0, config_.noise_stddev_w);
+    if (config_.noise_stddev_w > util::watts(0.0)) {
+      sample += rng_.normal(0.0, config_.noise_stddev_w.value());
     }
-    if (config_.lsb_w > 0.0) {
-      sample = std::round(sample / config_.lsb_w) * config_.lsb_w;
+    if (config_.lsb_w > util::watts(0.0)) {
+      sample = std::round(sample / config_.lsb_w.value()) *
+               config_.lsb_w.value();
     }
     sample = std::max(0.0, sample);
     last_sample_w_ = sample;
     has_sample_ = true;
-    window_.push(config_.period_s, sample);
-    sampled_energy_j_ += sample * config_.period_s;
-    accum_time_ -= config_.period_s;
+    window_.push(period_s, sample);
+    sampled_energy_j_ += sample * period_s;
+    accum_time_ -= period_s;
     accum_energy_ = watts * accum_time_;
   }
 }
 
 DaqSimulator::DaqSimulator(Config config)
     : config_(std::move(config)), rng_(config_.seed) {
-  if (config_.sample_rate_hz <= 0.0) {
+  if (config_.sample_rate_hz <= util::hertz(0.0)) {
     throw ConfigError("DaqSimulator: sample rate must be positive");
   }
   if (config_.trace_decimation <= 0) {
@@ -54,12 +56,12 @@ void DaqSimulator::feed(double dt, double watts) {
   if (dt <= 0.0) {
     return;
   }
-  const double period = 1.0 / config_.sample_rate_hz;
+  const double period = (1.0 / config_.sample_rate_hz).value();
   const double end = now_ + dt;
   while (next_sample_at_ <= end) {
     double sample = watts;
-    if (config_.noise_stddev_w > 0.0) {
-      sample += rng_.normal(0.0, config_.noise_stddev_w);
+    if (config_.noise_stddev_w > util::watts(0.0)) {
+      sample += rng_.normal(0.0, config_.noise_stddev_w.value());
     }
     sample = std::max(0.0, sample);
     last_sample_w_ = sample;

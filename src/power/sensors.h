@@ -12,6 +12,7 @@
 
 #include "util/rng.h"
 #include "util/sliding_window.h"
+#include "util/units.h"
 
 namespace mobitherm::power {
 
@@ -22,16 +23,17 @@ class RailSensor {
  public:
   struct Config {
     std::string name = "rail";
-    double period_s = 0.1;       // INA231 default refresh
-    double noise_stddev_w = 0.0; // Gaussian noise on each sample
-    double lsb_w = 0.0;          // quantization step; 0 = none
+    util::Seconds period_s{0.1};    // INA231 default refresh
+    util::Watt noise_stddev_w{};    // Gaussian noise on each sample
+    util::Watt lsb_w{};             // quantization step; 0 = none
     std::uint64_t seed = 1;
   };
 
   explicit RailSensor(Config config);
 
   /// Advance time by dt with true power `watts`; samples are latched on
-  /// period boundaries.
+  /// period boundaries. Raw doubles: sensor-sampling boundary fed from the
+  /// per-tick power accounting. MOBILINT: raw-units-ok
   void feed(double dt, double watts);
 
   /// Most recent latched sample (0 until the first period elapses).
@@ -63,8 +65,8 @@ class RailSensor {
 class DaqSimulator {
  public:
   struct Config {
-    double sample_rate_hz = 1000.0;
-    double noise_stddev_w = 0.01;
+    util::Hertz sample_rate_hz{1000.0};
+    util::Watt noise_stddev_w{0.01};
     /// Keep every Nth sample in the stored trace (1 = keep all).
     int trace_decimation = 100;
     std::uint64_t seed = 2;

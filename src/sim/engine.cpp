@@ -31,7 +31,7 @@ Engine::Engine(platform::SocSpec soc_spec,
                EngineConfig config)
     : config_(config),
       soc_(soc_spec),
-      power_model_(soc_spec, leakage, board_base_w),
+      power_model_(soc_spec, leakage, util::watts(board_base_w)),
       network_(std::move(net_spec)),
       scheduler_(soc_spec, config.window_s),
       trace_(soc_spec.clusters.size(), opps_per_cluster(soc_spec)),
@@ -77,18 +77,18 @@ Engine::Engine(platform::SocSpec soc_spec,
   for (std::size_t node = 0; node < network_.num_nodes(); ++node) {
     thermal::TemperatureSensor::Config sc;
     sc.name = network_.spec().nodes[node].name;
-    sc.period_s = config_.temp_sensor_period_s;
-    sc.noise_stddev_k = config_.temp_sensor_noise_k;
-    sc.lsb_k = 0.1;
+    sc.period_s = util::seconds(config_.temp_sensor_period_s);
+    sc.noise_stddev_k = util::kelvin(config_.temp_sensor_noise_k);
+    sc.lsb_k = util::kelvin(0.1);
     sc.seed = util::derive_seed(config_.seed, 100 + node);
     node_sensors_.emplace_back(sc);
-    node_sensors_.back().prime(network_.ambient_k());
+    node_sensors_.back().prime(network_.ambient_k().value());
   }
   for (std::size_t c = 0; c < n; ++c) {
     power::RailSensor::Config rc;
     rc.name = soc_.cluster(c).name;
-    rc.period_s = config_.rail_sensor_period_s;
-    rc.noise_stddev_w = config_.rail_sensor_noise_w;
+    rc.period_s = util::seconds(config_.rail_sensor_period_s);
+    rc.noise_stddev_w = util::watts(config_.rail_sensor_noise_w);
     rc.seed = util::derive_seed(config_.seed, 200 + c);
     rails_.emplace_back(rc);
   }
@@ -231,7 +231,7 @@ double Engine::skin_temp_k() const {
   if (!skin_.has_value()) {
     throw ConfigError("Engine: skin estimator not enabled");
   }
-  return skin_->skin_temp_k();
+  return skin_->skin_temp_k().value();
 }
 
 double Engine::conflict_time_s(std::size_t cluster) const {
@@ -420,8 +420,8 @@ void Engine::stage_power(TickContext& ctx) {
   }
 
   std::fill(node_power_.begin(), node_power_.end(), 0.0);
-  ctx.total_power_w = power_model_.board_base_w();
-  node_power_[board_node_] += power_model_.board_base_w();
+  ctx.total_power_w = power_model_.board_base_w().value();
+  node_power_[board_node_] += power_model_.board_base_w().value();
   for (std::size_t c = 0; c < n; ++c) {
     power::ClusterActivity activity;
     const ResourceKind kind = soc_.cluster(c).kind;
@@ -443,11 +443,12 @@ void Engine::stage_power(TickContext& ctx) {
     activity.temp_k = network_.temperature(soc_.cluster(c).thermal_node);
     const power::ClusterPower p =
         power_model_.cluster_power(soc_, c, activity);
-    node_power_[soc_.cluster(c).thermal_node] += p.total();
-    ctx.total_power_w += p.total();
-    scheduler_.attribute_power(c, p.dynamic_w, ctx.dt);
-    rails_[c].feed(ctx.dt, p.total());
-    trace_.add_rail_energy(c, p.total() * ctx.dt);
+    const double total_w = p.total().value();
+    node_power_[soc_.cluster(c).thermal_node] += total_w;
+    ctx.total_power_w += total_w;
+    scheduler_.attribute_power(c, p.dynamic_w.value(), ctx.dt);
+    rails_[c].feed(ctx.dt, total_w);
+    trace_.add_rail_energy(c, total_w * ctx.dt);
   }
   last_total_power_w_ = ctx.total_power_w;
   power_window_.push(ctx.dt, ctx.total_power_w);
@@ -455,24 +456,24 @@ void Engine::stage_power(TickContext& ctx) {
 
 // Thermal step (RC network + skin estimator).
 void Engine::stage_thermal(TickContext& ctx) {
-  network_.step(node_power_, ctx.dt);
+  network_.step(node_power_, util::seconds(ctx.dt));
   if (skin_.has_value()) {
-    skin_->step(network_.temperature(board_node_), ctx.dt);
+    skin_->step(network_.temperature(board_node_), util::seconds(ctx.dt));
   }
   ctx.max_chip_temp_k = 0.0;
   for (std::size_t node = 0; node < network_.num_nodes(); ++node) {
     if (node != board_node_) {
       ctx.max_chip_temp_k =
-          std::max(ctx.max_chip_temp_k, network_.temperature(node));
+          std::max(ctx.max_chip_temp_k, network_.temperature(node).value());
     }
   }
-  ctx.board_temp_k = network_.temperature(board_node_);
+  ctx.board_temp_k = network_.temperature(board_node_).value();
 }
 
 // Sensor refresh at the post-step temperatures.
 void Engine::stage_sensors(TickContext& ctx) {
   for (std::size_t node = 0; node < node_sensors_.size(); ++node) {
-    node_sensors_[node].feed(ctx.dt, network_.temperature(node));
+    node_sensors_[node].feed(ctx.dt, network_.temperature(node).value());
   }
 }
 
@@ -493,7 +494,8 @@ void Engine::stage_governors(TickContext& ctx) {
     CpufreqSlot& slot = cpufreq_[c];
     slot.since_decide_s += dt;
     slot.util_time_integral += scheduler_.governor_utilization(c) * dt;
-    if (slot.since_decide_s + 1e-12 >= slot.gov->sampling_period_s()) {
+    if (slot.since_decide_s + 1e-12 >=
+        slot.gov->sampling_period_s().value()) {
       governors::CpufreqInputs in;
       in.utilization = slot.util_time_integral / slot.since_decide_s;
       in.current_index = soc_.state(c).opp_index;
@@ -512,10 +514,10 @@ void Engine::stage_governors(TickContext& ctx) {
   }
   if (thermal_gov_) {
     thermal_accum_ += dt;
-    if (thermal_accum_ + 1e-12 >= thermal_gov_->polling_period_s()) {
+    if (thermal_accum_ + 1e-12 >= thermal_gov_->polling_period_s().value()) {
       governors::ThermalContext tctx;
-      tctx.dt = thermal_accum_;
-      tctx.control_temp_k = control_temp_k();
+      tctx.dt = util::seconds(thermal_accum_);
+      tctx.control_temp_k = util::kelvin(control_temp_k());
       tctx.soc = &soc_;
       tctx.power = &power_model_;
       tctx.busy_cores = &last_busy_cores_;
@@ -553,8 +555,8 @@ void Engine::stage_governors(TickContext& ctx) {
   }
   if (hotplug_) {
     hotplug_accum_ += dt;
-    if (hotplug_accum_ + 1e-12 >= hotplug_->polling_period_s()) {
-      const int cores = hotplug_->update(control_temp_k());
+    if (hotplug_accum_ + 1e-12 >= hotplug_->polling_period_s().value()) {
+      const int cores = hotplug_->update(util::kelvin(control_temp_k()));
       soc_.set_online_cores(hotplug_->config().cluster, cores);
       hotplug_accum_ = 0.0;
 
@@ -603,7 +605,7 @@ void Engine::stage_trace(TickContext& ctx) {
   p.cluster_freq_hz.reserve(soc_.num_clusters());
   p.app_fps.reserve(apps_.size());
   for (std::size_t c = 0; c < soc_.num_clusters(); ++c) {
-    p.cluster_freq_hz.push_back(soc_.frequency_hz(c));
+    p.cluster_freq_hz.push_back(soc_.frequency_hz(c).value());
   }
   for (AppSlot& slot : apps_) {
     p.app_fps.push_back(slot.instance->instantaneous_fps());

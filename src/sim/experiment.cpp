@@ -31,13 +31,13 @@ governors::StepWiseGovernor::Config nexus_stepwise_config() {
   // while games settle near 41-42 degC as in Figs. 1/3/5).
   const platform::SocSpec spec = platform::snapdragon810();
   governors::StepWiseGovernor::Config cfg;
-  cfg.polling_period_s = 1.0;
+  cfg.polling_period_s = util::seconds(1.0);
   using Zone = governors::StepWiseGovernor::Zone;
   Zone little;
   little.cluster = spec.little();
   little.sensor_node = spec.clusters[spec.little()].thermal_node;
-  little.trip_k = util::celsius_to_kelvin(39.0);
-  little.hysteresis_k = 1.5;
+  little.trip_k = util::celsius(39.0);
+  little.hysteresis_k = util::kelvin(1.5);
   little.steps_per_state = 2;
   Zone big = little;
   big.cluster = spec.big();
@@ -45,8 +45,8 @@ governors::StepWiseGovernor::Config nexus_stepwise_config() {
   Zone gpu;
   gpu.cluster = spec.gpu();
   gpu.sensor_node = spec.clusters[spec.gpu()].thermal_node;
-  gpu.trip_k = util::celsius_to_kelvin(41.0);
-  gpu.hysteresis_k = 1.5;
+  gpu.trip_k = util::celsius(41.0);
+  gpu.hysteresis_k = util::kelvin(1.5);
   gpu.steps_per_state = 1;
   cfg.zones = {little, big, gpu};
   return cfg;
@@ -100,10 +100,10 @@ governors::IpaGovernor::Config odroid_ipa_config(const SocSpec& spec) {
   // 90-100 degC range, which is why Fig. 8's default-policy curve rises
   // toward ~95 degC before settling.
   governors::IpaGovernor::Config cfg;
-  cfg.control_temp_k = util::celsius_to_kelvin(95.0);
-  cfg.sustainable_power_w = 2.4;
-  cfg.k_pu = 0.50;
-  cfg.k_po = 0.85;
+  cfg.control_temp_k = util::celsius(95.0);
+  cfg.sustainable_power_w = util::watts(2.4);
+  cfg.k_pu = util::watts_per_kelvin(0.50);
+  cfg.k_po = util::watts_per_kelvin(0.85);
   cfg.actors = {spec.big(), spec.gpu()};
   return cfg;
 }

@@ -67,14 +67,14 @@ RunMetrics summarize_run(const Engine& engine,
     m.mean_power_w = engine.daq()->mean_power_w();
   } else if (trace.duration_s() > 0.0) {
     m.mean_power_w = trace.total_rail_energy_j() / trace.duration_s() +
-                     engine.power_model().board_base_w();
+                     engine.power_model().board_base_w().value();
   }
 
   for (std::size_t c = 0; c < spec.clusters.size(); ++c) {
     m.residency.push_back(trace.residency_fraction(c));
     std::vector<double> freqs;
     for (const platform::OperatingPoint& p : spec.clusters[c].opps) {
-      freqs.push_back(util::hz_to_mhz(p.freq_hz));
+      freqs.push_back(util::hz_to_mhz(p.freq_hz.value()));
     }
     m.freqs_mhz.push_back(std::move(freqs));
     m.mean_rail_w.push_back(trace.mean_rail_power_w(c));

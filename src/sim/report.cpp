@@ -67,7 +67,7 @@ RunReport make_report(const Engine& engine, double temp_limit_c) {
     double weighted = 0.0;
     double total = 0.0;
     for (std::size_t i = 0; i < res.size(); ++i) {
-      weighted += res[i] * spec.clusters[c].opps.at(i).freq_hz;
+      weighted += res[i] * spec.clusters[c].opps.at(i).freq_hz.value();
       total += res[i];
     }
     cr.mean_freq_mhz =

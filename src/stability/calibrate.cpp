@@ -113,11 +113,11 @@ Params calibrate(const CalibrationTargets& targets, double c_j_per_k,
   const Reduced r = reduce(targets, theta);
 
   Params p;
-  p.g_w_per_k = r.g;
-  p.leak_a_w_per_k2 = r.a;
-  p.leak_theta_k = theta;
-  p.t_ambient_k = targets.t_ambient_k;
-  p.c_j_per_k = c_j_per_k;
+  p.g_w_per_k = util::watts_per_kelvin(r.g);
+  p.leak_a_w_per_k2 = util::watts_per_kelvin2(r.a);
+  p.leak_theta_k = util::kelvin(theta);
+  p.t_ambient_k = util::kelvin(targets.t_ambient_k);
+  p.c_j_per_k = util::joules_per_kelvin(c_j_per_k);
   return p;
 }
 

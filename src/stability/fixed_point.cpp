@@ -45,38 +45,45 @@ const char* to_string(StabilityClass cls) {
   return "?";
 }
 
+// The analysis runs in the dimensionless auxiliary domain, so the typed
+// LumpedParams are unwrapped to raw magnitudes here (sanctioned .value()
+// boundary); the expressions below are unchanged.
 double fixed_point_function(const Params& p, double p_dyn_w, double x) {
-  const double theta = p.leak_theta_k;
-  return (p.g_w_per_k / theta) * x -
-         ((p.g_w_per_k * p.t_ambient_k + p_dyn_w) / (theta * theta)) * x * x -
-         p.leak_a_w_per_k2 * std::exp(-x);
+  const double theta = p.leak_theta_k.value();
+  const double g = p.g_w_per_k.value();
+  return (g / theta) * x -
+         ((g * p.t_ambient_k.value() + p_dyn_w) / (theta * theta)) * x * x -
+         p.leak_a_w_per_k2.value() * std::exp(-x);
 }
 
 double fixed_point_derivative(const Params& p, double p_dyn_w, double x) {
-  const double theta = p.leak_theta_k;
-  return p.g_w_per_k / theta -
-         2.0 * ((p.g_w_per_k * p.t_ambient_k + p_dyn_w) / (theta * theta)) *
+  const double theta = p.leak_theta_k.value();
+  const double g = p.g_w_per_k.value();
+  return g / theta -
+         2.0 * ((g * p.t_ambient_k.value() + p_dyn_w) / (theta * theta)) *
              x +
-         p.leak_a_w_per_k2 * std::exp(-x);
+         p.leak_a_w_per_k2.value() * std::exp(-x);
 }
 
 double auxiliary_of_temperature(const Params& p, double t_k) {
   if (t_k <= 0.0) {
     throw NumericError("auxiliary_of_temperature: non-positive temperature");
   }
-  return p.leak_theta_k / t_k;
+  return p.leak_theta_k.value() / t_k;
 }
 
 double temperature_of_auxiliary(const Params& p, double x) {
   if (x <= 0.0) {
     throw NumericError("temperature_of_auxiliary: non-positive auxiliary");
   }
-  return p.leak_theta_k / x;
+  return p.leak_theta_k.value() / x;
 }
 
 FixedPointResult analyze(const Params& p, double p_dyn_w,
                          double critical_tol) {
-  if (p.g_w_per_k <= 0.0 || p.leak_theta_k <= 0.0 || p.t_ambient_k <= 0.0) {
+  if (p.g_w_per_k <= util::watts_per_kelvin(0.0) ||
+      p.leak_theta_k <= util::kelvin(0.0) ||
+      p.t_ambient_k <= util::kelvin(0.0)) {
     throw NumericError("stability::analyze: invalid parameters");
   }
   if (p_dyn_w < 0.0) {
@@ -87,11 +94,11 @@ FixedPointResult analyze(const Params& p, double p_dyn_w,
 
   // Leakage-free special case: f(x) = x (G/theta - c x) has the trivial
   // root x = 0 (T -> infinity) and the classic T = T_amb + P/G point.
-  if (p.leak_a_w_per_k2 == 0.0) {
+  if (p.leak_a_w_per_k2 == util::watts_per_kelvin2(0.0)) {
     r.cls = StabilityClass::kStable;
     r.num_fixed_points = 1;
-    r.stable_x = p.g_w_per_k * p.leak_theta_k /
-                 (p.g_w_per_k * p.t_ambient_k + p_dyn_w);
+    r.stable_x = p.g_w_per_k.value() * p.leak_theta_k.value() /
+                 (p.g_w_per_k.value() * p.t_ambient_k.value() + p_dyn_w);
     r.stable_temp_k = temperature_of_auxiliary(p, r.stable_x);
     r.unstable_x = kNan;
     r.unstable_temp_k = kNan;
@@ -117,8 +124,8 @@ FixedPointResult analyze(const Params& p, double p_dyn_w,
   r.peak_value = fixed_point_function(p, p_dyn_w, r.peak_x);
 
   const double scale =
-      std::max({std::abs(p.leak_a_w_per_k2), p.g_w_per_k / p.leak_theta_k,
-                1e-12});
+      std::max({std::abs(p.leak_a_w_per_k2.value()),
+                p.g_w_per_k.value() / p.leak_theta_k.value(), 1e-12});
   if (r.peak_value < -critical_tol * scale) {
     r.cls = StabilityClass::kUnstable;
     r.num_fixed_points = 0;

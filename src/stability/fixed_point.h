@@ -58,6 +58,11 @@ struct FixedPointResult {
   double peak_value = 0.0;
 };
 
+// This module's API stays in the raw auxiliary/analysis domain: x is
+// dimensionless and powers/temperatures are plain SI magnitudes (watts,
+// kelvin) so they can be swept, bisected and plotted directly.
+// MOBILINT: raw-units-ok
+
 /// The fixed-point function f(x) at dynamic power `p_dyn_w`.
 double fixed_point_function(const Params& p, double p_dyn_w, double x);
 

@@ -22,11 +22,11 @@ Params nexus6p_params() {
   // the phone chassis spreads heat better (G ~ 0.18 W/K) and leaks ~0.42 W
   // at a 47 degC package temperature.
   Params p;
-  p.g_w_per_k = 0.18;
-  p.c_j_per_k = 8.1;
-  p.t_ambient_k = 298.15;
-  p.leak_theta_k = 2000.0;
-  p.leak_a_w_per_k2 = 2.125e-3;
+  p.g_w_per_k = util::watts_per_kelvin(0.18);
+  p.c_j_per_k = util::joules_per_kelvin(8.1);
+  p.t_ambient_k = util::kelvin(298.15);
+  p.leak_theta_k = util::kelvin(2000.0);
+  p.leak_a_w_per_k2 = util::watts_per_kelvin2(2.125e-3);
   return p;
 }
 

@@ -9,15 +9,16 @@
 namespace mobitherm::stability {
 
 double safe_power(const Params& p, double temp_limit_k, double tol_w) {
-  if (temp_limit_k <= p.t_ambient_k) {
+  if (temp_limit_k <= p.t_ambient_k.value()) {
     return 0.0;  // cannot cool below ambient with non-negative power
   }
   // At the stable fixed point: G (T - Tamb) = P + leak(T), and the stable
   // temperature increases monotonically with power, so the budget is the
   // balance power at the limit itself — provided the limit is on the
   // stable branch (below the critical temperature).
-  const double balance = p.g_w_per_k * (temp_limit_k - p.t_ambient_k) -
-                         thermal::leakage_power(p, temp_limit_k);
+  const double balance =
+      p.g_w_per_k.value() * (temp_limit_k - p.t_ambient_k.value()) -
+      thermal::leakage_power(p, util::kelvin(temp_limit_k)).value();
   if (balance <= 0.0) {
     return 0.0;  // leakage alone exceeds the removable heat at the limit
   }

@@ -10,9 +10,9 @@ namespace mobitherm::stability {
 double temperature_after(const Params& p, double p_dyn_w, double t0_k,
                          double dt) {
   thermal::LumpedModel model(p);
-  model.set_temperature(t0_k);
-  model.step(p_dyn_w, dt);
-  return model.temperature_k();
+  model.set_temperature(util::kelvin(t0_k));
+  model.step(util::watts(p_dyn_w), util::seconds(dt));
+  return model.temperature_k().value();
 }
 
 double time_to_temperature(const Params& p, double p_dyn_w, double t0_k,
@@ -21,7 +21,9 @@ double time_to_temperature(const Params& p, double p_dyn_w, double t0_k,
     throw util::NumericError("time_to_temperature: non-positive start");
   }
   const double initial_rate =
-      thermal::temperature_derivative(p, t0_k, p_dyn_w);
+      thermal::temperature_derivative(p, util::kelvin(t0_k),
+                                      util::watts(p_dyn_w))
+          .value();
   const bool heating = t_target_k >= t0_k;
   // Already there, or moving away from the target from the start.
   if (std::abs(t_target_k - t0_k) < 1e-12) {
@@ -34,14 +36,14 @@ double time_to_temperature(const Params& p, double p_dyn_w, double t0_k,
   }
 
   thermal::LumpedModel model(p);
-  model.set_temperature(t0_k);
-  const double tau = p.c_j_per_k / p.g_w_per_k;
+  model.set_temperature(util::kelvin(t0_k));
+  const double tau = (p.c_j_per_k / p.g_w_per_k).value();
   const double step = std::min(0.02 * tau, horizon_s);
   double elapsed = 0.0;
   double prev_t = t0_k;
   while (elapsed < horizon_s) {
-    model.step(p_dyn_w, step);
-    const double cur_t = model.temperature_k();
+    model.step(util::watts(p_dyn_w), util::seconds(step));
+    const double cur_t = model.temperature_k().value();
     const bool crossed =
         heating ? (cur_t >= t_target_k) : (cur_t <= t_target_k);
     if (crossed) {

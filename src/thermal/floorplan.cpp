@@ -81,7 +81,9 @@ ThermalNetworkSpec network_from_floorplan(const std::vector<Block>& blocks,
     const double area = b.w_mm * b.h_mm;
     // Blocks dump their heat through the stack (modelled via the board
     // node); direct block-to-air conduction is negligible.
-    spec.nodes.push_back({b.name, params.c_per_mm2 * area, 0.0});
+    spec.nodes.push_back({b.name,
+                          util::joules_per_kelvin(params.c_per_mm2 * area),
+                          util::watts_per_kelvin(0.0)});
   }
   spec.nodes.push_back({params.board_name,
                         params.board_capacitance_j_per_k,
@@ -101,13 +103,16 @@ ThermalNetworkSpec network_from_floorplan(const std::vector<Block>& blocks,
                         (blocks[j].y_mm + 0.5 * blocks[j].h_mm);
       const double distance = std::sqrt(dx * dx + dy * dy);
       spec.links.push_back(
-          {i, j, params.k_lateral_w_per_k * edge / distance});
+          {i, j,
+           util::watts_per_kelvin(params.k_lateral_w_per_k * edge /
+                                  distance)});
     }
   }
   // Vertical coupling into the spreader/board.
   for (std::size_t i = 0; i < blocks.size(); ++i) {
     const double area = blocks[i].w_mm * blocks[i].h_mm;
-    spec.links.push_back({i, board, params.g_vertical_per_mm2 * area});
+    spec.links.push_back(
+        {i, board, util::watts_per_kelvin(params.g_vertical_per_mm2 * area)});
   }
   return spec;
 }

@@ -27,18 +27,20 @@ struct Block {
 
 struct FloorplanParams {
   /// Heat capacity per die area (J/(K mm^2)): silicon + package stack.
+  /// Per-area density, not a plain SI quantity. MOBILINT: raw-units-ok
   double c_per_mm2 = 0.016;
   /// Lateral conductance scale (W/K per mm of shared edge per 1/mm
   /// distance): g = k_lateral * shared_edge / center_distance.
+  /// Geometry-scaled coefficient. MOBILINT: raw-units-ok
   double k_lateral_w_per_k = 0.15;
   /// Vertical conductance into the spreader/board per block area
-  /// (W/(K mm^2)).
+  /// (W/(K mm^2)). Per-area density. MOBILINT: raw-units-ok
   double g_vertical_per_mm2 = 0.004;
   /// Spreader/board node: capacitance and conductance to ambient.
-  double board_capacitance_j_per_k = 4.5;
-  double board_g_ambient_w_per_k = 0.06;
+  util::JoulePerKelvin board_capacitance_j_per_k{4.5};
+  util::WattPerKelvin board_g_ambient_w_per_k{0.06};
   std::string board_name = "board";
-  double t_ambient_k = 298.15;
+  util::Kelvin t_ambient_k{298.15};
 };
 
 /// Overlap length of two 1-D intervals [a0,a1), [b0,b1).

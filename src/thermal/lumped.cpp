@@ -7,54 +7,61 @@
 
 namespace mobitherm::thermal {
 
-double leakage_power(const LumpedParams& p, double t_k) {
-  return p.leak_a_w_per_k2 * t_k * t_k * std::exp(-p.leak_theta_k / t_k);
+util::Watt leakage_power(const LumpedParams& p, util::Kelvin t) {
+  return p.leak_a_w_per_k2 * t * t * std::exp(-p.leak_theta_k / t);
 }
 
-double temperature_derivative(const LumpedParams& p, double t_k,
-                              double p_dyn_w) {
-  return (-p.g_w_per_k * (t_k - p.t_ambient_k) + p_dyn_w +
-          leakage_power(p, t_k)) /
+util::KelvinPerSecond temperature_derivative(const LumpedParams& p,
+                                             util::Kelvin t,
+                                             util::Watt p_dyn) {
+  return (-p.g_w_per_k * (t - p.t_ambient_k) + p_dyn +
+          leakage_power(p, t)) /
          p.c_j_per_k;
 }
 
 LumpedModel::LumpedModel(LumpedParams params)
-    : params_(params), temp_k_(params.t_ambient_k) {
-  if (params_.g_w_per_k <= 0.0 || params_.c_j_per_k <= 0.0 ||
-      params_.t_ambient_k <= 0.0 || params_.leak_theta_k <= 0.0 ||
-      params_.leak_a_w_per_k2 < 0.0) {
+    : params_(params), temp_k_(params.t_ambient_k.value()) {
+  if (params_.g_w_per_k <= util::watts_per_kelvin(0.0) ||
+      params_.c_j_per_k <= util::joules_per_kelvin(0.0) ||
+      params_.t_ambient_k <= util::kelvin(0.0) ||
+      params_.leak_theta_k <= util::kelvin(0.0) ||
+      params_.leak_a_w_per_k2 < util::watts_per_kelvin2(0.0)) {
     throw util::ConfigError("LumpedModel: invalid parameters");
   }
 }
 
-void LumpedModel::step(double p_dyn_w, double dt) {
+// MOBILINT: hot-path
+void LumpedModel::step(util::Watt p_dyn, util::Seconds dt_q) {
+  const double dt = dt_q.value();
   if (dt <= 0.0) {
     return;
   }
+  // Integrate on raw doubles (same arithmetic order as always — the typed
+  // wrapper must not perturb trajectories); re-enter the typed domain at
+  // each derivative evaluation.
+  auto deriv = [this, p_dyn](double t_k) {
+    return temperature_derivative(params_, util::kelvin(t_k), p_dyn).value();
+  };
   // Substep below a fraction of the linear time constant; the leakage term
   // only steepens near runaway, where the substep shrinks further via the
   // derivative magnitude.
-  const double tau = params_.c_j_per_k / params_.g_w_per_k;
+  const double tau = (params_.c_j_per_k / params_.g_w_per_k).value();
   double remaining = dt;
   while (remaining > 0.0) {
     double h = std::min(remaining, 0.1 * tau);
-    const double rate = std::abs(temperature_derivative(params_, temp_k_,
-                                                        p_dyn_w));
+    const double rate = std::abs(deriv(temp_k_));
     if (rate > 0.0) {
       h = std::min(h, 2.0 / rate);  // limit per-substep change to ~2 K
     }
     h = std::max(h, 1e-6);
     h = std::min(h, remaining);
-    const double k1 = temperature_derivative(params_, temp_k_, p_dyn_w);
-    const double k2 =
-        temperature_derivative(params_, temp_k_ + 0.5 * h * k1, p_dyn_w);
-    const double k3 =
-        temperature_derivative(params_, temp_k_ + 0.5 * h * k2, p_dyn_w);
-    const double k4 =
-        temperature_derivative(params_, temp_k_ + h * k3, p_dyn_w);
+    const double k1 = deriv(temp_k_);
+    const double k2 = deriv(temp_k_ + 0.5 * h * k1);
+    const double k3 = deriv(temp_k_ + 0.5 * h * k2);
+    const double k4 = deriv(temp_k_ + h * k3);
     temp_k_ += h / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
-    if (temp_k_ >= kMaxTemperatureK) {
-      temp_k_ = kMaxTemperatureK;
+    if (temp_k_ >= kMaxTemperature.value()) {
+      temp_k_ = kMaxTemperature.value();
       return;
     }
     remaining -= h;

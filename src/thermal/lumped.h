@@ -5,25 +5,33 @@
 // This is the model whose fixed points the stability module analyzes
 // (Sec. IV-A of the paper / ref. [2]); the simulator uses the multi-node
 // ThermalNetwork, and the analyzer reduces it to this lumped form.
+//
+// Every parameter and API value is dimensioned: the auxiliary-temperature
+// analysis is inversely proportional to *absolute* temperature, so a
+// Celsius slipping in here would silently move the fixed points — the
+// compiler now rejects it.
 #pragma once
+
+#include "util/units.h"
 
 namespace mobitherm::thermal {
 
 /// Parameters of the lumped power-temperature dynamics.
 struct LumpedParams {
-  double g_w_per_k = 0.07;       // conductance to ambient
-  double c_j_per_k = 6.0;        // heat capacitance
-  double t_ambient_k = 298.15;   // ambient temperature
-  double leak_a_w_per_k2 = 1.5736e-3;  // leakage coefficient A
-  double leak_theta_k = 1857.8;        // leakage temperature constant theta
+  util::WattPerKelvin g_w_per_k{0.07};   // conductance to ambient
+  util::JoulePerKelvin c_j_per_k{6.0};   // heat capacitance
+  util::Kelvin t_ambient_k{298.15};      // ambient temperature
+  util::WattPerKelvin2 leak_a_w_per_k2{1.5736e-3};  // leakage coefficient A
+  util::Kelvin leak_theta_k{1857.8};     // leakage temperature constant
 };
 
-/// Leakage power A T^2 e^{-theta/T} at temperature `t_k`.
-double leakage_power(const LumpedParams& p, double t_k);
+/// Leakage power A T^2 e^{-theta/T} at temperature `t`.
+util::Watt leakage_power(const LumpedParams& p, util::Kelvin t);
 
-/// Net heat flow dT/dt at temperature `t_k` with dynamic power `p_dyn_w`.
-double temperature_derivative(const LumpedParams& p, double t_k,
-                              double p_dyn_w);
+/// Net heating rate dT/dt at temperature `t` with dynamic power `p_dyn`.
+util::KelvinPerSecond temperature_derivative(const LumpedParams& p,
+                                             util::Kelvin t,
+                                             util::Watt p_dyn);
 
 /// Integrable lumped model (adaptive RK4).
 class LumpedModel {
@@ -31,15 +39,15 @@ class LumpedModel {
   explicit LumpedModel(LumpedParams params);
 
   const LumpedParams& params() const { return params_; }
-  double temperature_k() const { return temp_k_; }
-  void set_temperature(double t_k) { temp_k_ = t_k; }
+  util::Kelvin temperature_k() const { return util::kelvin(temp_k_); }
+  void set_temperature(util::Kelvin t) { temp_k_ = t.value(); }
 
   /// Advance by dt with constant dynamic power. During thermal runaway the
-  /// temperature saturates at kMaxTemperatureK instead of overflowing (the
+  /// temperature saturates at kMaxTemperature instead of overflowing (the
   /// physical device would have failed long before).
-  void step(double p_dyn_w, double dt);
+  void step(util::Watt p_dyn, util::Seconds dt);
 
-  static constexpr double kMaxTemperatureK = 2000.0;
+  static constexpr util::Kelvin kMaxTemperature{2000.0};
 
  private:
   LumpedParams params_;

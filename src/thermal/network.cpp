@@ -24,18 +24,18 @@ ThermalNetwork::ThermalNetwork(ThermalNetworkSpec spec, StepMethod method)
   if (spec_.nodes.empty()) {
     throw ConfigError("ThermalNetwork: no nodes");
   }
-  double total_g_amb = 0.0;
+  util::WattPerKelvin total_g_amb{};
   for (const ThermalNodeSpec& n : spec_.nodes) {
-    if (n.capacitance_j_per_k <= 0.0) {
+    if (n.capacitance_j_per_k <= util::joules_per_kelvin(0.0)) {
       throw ConfigError("ThermalNetwork: node " + n.name +
                         " needs positive capacitance");
     }
-    if (n.g_ambient_w_per_k < 0.0) {
+    if (n.g_ambient_w_per_k < util::watts_per_kelvin(0.0)) {
       throw ConfigError("ThermalNetwork: negative ambient conductance");
     }
     total_g_amb += n.g_ambient_w_per_k;
   }
-  if (total_g_amb <= 0.0) {
+  if (total_g_amb <= util::watts_per_kelvin(0.0)) {
     throw ConfigError(
         "ThermalNetwork: at least one node must couple to ambient");
   }
@@ -44,7 +44,7 @@ ThermalNetwork::ThermalNetwork(ThermalNetworkSpec spec, StepMethod method)
         l.a == l.b) {
       throw ConfigError("ThermalNetwork: invalid link endpoints");
     }
-    if (l.conductance_w_per_k <= 0.0) {
+    if (l.conductance_w_per_k <= util::watts_per_kelvin(0.0)) {
       throw ConfigError("ThermalNetwork: link conductance must be positive");
     }
   }
@@ -57,16 +57,20 @@ void ThermalNetwork::build_matrices() {
   g_total_ = Matrix(n, n);
   inv_c_.assign(n, 0.0);
   amb_inject_.assign(n, 0.0);
+  // Raw-double linalg boundary: the typed spec feeds the matrices via
+  // .value(), and dimensional consistency is re-established at the typed
+  // query methods below.
   for (std::size_t i = 0; i < n; ++i) {
-    g_total_(i, i) = spec_.nodes[i].g_ambient_w_per_k;
-    inv_c_[i] = 1.0 / spec_.nodes[i].capacitance_j_per_k;
-    amb_inject_[i] = spec_.nodes[i].g_ambient_w_per_k * spec_.t_ambient_k;
+    g_total_(i, i) = spec_.nodes[i].g_ambient_w_per_k.value();
+    inv_c_[i] = 1.0 / spec_.nodes[i].capacitance_j_per_k.value();
+    amb_inject_[i] =
+        (spec_.nodes[i].g_ambient_w_per_k * spec_.t_ambient_k).value();
   }
   for (const ThermalLinkSpec& l : spec_.links) {
-    g_total_(l.a, l.a) += l.conductance_w_per_k;
-    g_total_(l.b, l.b) += l.conductance_w_per_k;
-    g_total_(l.a, l.b) -= l.conductance_w_per_k;
-    g_total_(l.b, l.a) -= l.conductance_w_per_k;
+    g_total_(l.a, l.a) += l.conductance_w_per_k.value();
+    g_total_(l.b, l.b) += l.conductance_w_per_k.value();
+    g_total_(l.a, l.b) -= l.conductance_w_per_k.value();
+    g_total_(l.b, l.a) -= l.conductance_w_per_k.value();
   }
   // The spec is immutable from here on, so factor G once for every
   // steady-state and exact-propagator solve.
@@ -81,19 +85,19 @@ void ThermalNetwork::build_matrices() {
   rk_stage_.assign(n, 0.0);
 }
 
-double ThermalNetwork::temperature(std::size_t node) const {
+util::Kelvin ThermalNetwork::temperature(std::size_t node) const {
   if (node >= temp_.size()) {
     throw ConfigError("ThermalNetwork: node index out of range");
   }
-  return temp_[node];
+  return util::kelvin(temp_[node]);
 }
 
-double ThermalNetwork::max_temperature() const {
-  return *std::max_element(temp_.begin(), temp_.end());
+util::Kelvin ThermalNetwork::max_temperature() const {
+  return util::kelvin(*std::max_element(temp_.begin(), temp_.end()));
 }
 
 void ThermalNetwork::reset() {
-  temp_.assign(spec_.nodes.size(), spec_.t_ambient_k);
+  temp_.assign(spec_.nodes.size(), spec_.t_ambient_k.value());
 }
 
 void ThermalNetwork::set_temperatures(const Vector& temps) {
@@ -103,22 +107,23 @@ void ThermalNetwork::set_temperatures(const Vector& temps) {
   temp_ = temps;
 }
 
-void ThermalNetwork::step(const Vector& power_w, double dt) {
+void ThermalNetwork::step(const Vector& power_w, util::Seconds dt) {
   if (power_w.size() != spec_.nodes.size()) {
     throw ConfigError("ThermalNetwork: power vector size mismatch");
   }
-  if (dt <= 0.0) {
+  if (dt <= util::seconds(0.0)) {
     return;
   }
   if (method_ == StepMethod::kExact) {
-    step_exact(power_w, dt);
+    step_exact(power_w, dt.value());
   } else {
-    step_rk4(power_w, dt);
+    step_rk4(power_w, dt.value());
   }
 }
 
 // Allocation-free derivative: out = C^{-1} (P + amb - G T). Same
 // accumulation order as the old value-semantics formulation.
+// MOBILINT: hot-path
 void ThermalNetwork::derivative_into(const Vector& temps,
                                      const Vector& power_w,
                                      Vector& out) const {
@@ -128,6 +133,7 @@ void ThermalNetwork::derivative_into(const Vector& temps,
   }
 }
 
+// MOBILINT: hot-path
 void ThermalNetwork::step_rk4(const Vector& power_w, double dt) {
   // Substep so that dt_sub stays below half the fastest time constant.
   double fastest = 1e300;
@@ -195,6 +201,9 @@ void ThermalNetwork::prepare_exact(double dt) {
   cached_dt_ = dt;
 }
 
+// Warm path is allocation-free; prepare_exact only rebuilds Phi/Psi on a
+// dt cache miss (cold by design).
+// MOBILINT: hot-path
 void ThermalNetwork::step_exact(const Vector& power_w, double dt) {
   prepare_exact(dt);
   // For constant P over the step: T(t+dt) = Phi T + Psi (P + amb), the
@@ -229,6 +238,7 @@ Vector ThermalNetwork::steady_state(const Vector& power_w) const {
   return out;
 }
 
+// MOBILINT: hot-path
 void ThermalNetwork::steady_state_into(const Vector& power_w,
                                        Vector& out) const {
   if (power_w.size() != spec_.nodes.size()) {
@@ -239,43 +249,43 @@ void ThermalNetwork::steady_state_into(const Vector& power_w,
   g_chol_->solve_into(out, out);
 }
 
-double ThermalNetwork::link_flow_w(std::size_t link) const {
+util::Watt ThermalNetwork::link_flow_w(std::size_t link) const {
   if (link >= spec_.links.size()) {
     throw ConfigError("ThermalNetwork: link index out of range");
   }
   const ThermalLinkSpec& l = spec_.links[link];
-  return l.conductance_w_per_k * (temp_[l.a] - temp_[l.b]);
+  return l.conductance_w_per_k * util::kelvin(temp_[l.a] - temp_[l.b]);
 }
 
-double ThermalNetwork::ambient_flow_w(std::size_t node) const {
+util::Watt ThermalNetwork::ambient_flow_w(std::size_t node) const {
   if (node >= spec_.nodes.size()) {
     throw ConfigError("ThermalNetwork: node index out of range");
   }
   return spec_.nodes[node].g_ambient_w_per_k *
-         (temp_[node] - spec_.t_ambient_k);
+         (util::kelvin(temp_[node]) - spec_.t_ambient_k);
 }
 
-double ThermalNetwork::total_ambient_conductance() const {
-  double g = 0.0;
+util::WattPerKelvin ThermalNetwork::total_ambient_conductance() const {
+  util::WattPerKelvin g{};
   for (const ThermalNodeSpec& n : spec_.nodes) {
     g += n.g_ambient_w_per_k;
   }
   return g;
 }
 
-double ThermalNetwork::total_capacitance() const {
-  double c = 0.0;
+util::JoulePerKelvin ThermalNetwork::total_capacitance() const {
+  util::JoulePerKelvin c{};
   for (const ThermalNodeSpec& n : spec_.nodes) {
     c += n.capacitance_j_per_k;
   }
   return c;
 }
 
-double ThermalNetwork::slowest_time_constant() const {
+util::Seconds ThermalNetwork::slowest_time_constant() const {
   // The spec (and hence G, C) is immutable after construction, so the
   // eigendecomposition is computed at most once.
   if (tau_cache_ > 0.0) {
-    return tau_cache_;
+    return util::seconds(tau_cache_);
   }
   // C^{-1} G is similar to the symmetric S = C^{-1/2} G C^{-1/2}; its
   // eigenvalues are the reciprocal time constants.
@@ -293,7 +303,7 @@ double ThermalNetwork::slowest_time_constant() const {
         "ThermalNetwork: system matrix is not positive definite");
   }
   tau_cache_ = 1.0 / lambda_min;
-  return tau_cache_;
+  return util::seconds(tau_cache_);
 }
 
 }  // namespace mobitherm::thermal

@@ -27,25 +27,26 @@
 
 #include "linalg/cholesky.h"
 #include "linalg/matrix.h"
+#include "util/units.h"
 
 namespace mobitherm::thermal {
 
 struct ThermalNodeSpec {
   std::string name;
-  double capacitance_j_per_k = 1.0;
-  double g_ambient_w_per_k = 0.0;
+  util::JoulePerKelvin capacitance_j_per_k{1.0};
+  util::WattPerKelvin g_ambient_w_per_k{};
 };
 
 struct ThermalLinkSpec {
   std::size_t a = 0;
   std::size_t b = 0;
-  double conductance_w_per_k = 0.0;
+  util::WattPerKelvin conductance_w_per_k{};
 };
 
 struct ThermalNetworkSpec {
   std::vector<ThermalNodeSpec> nodes;
   std::vector<ThermalLinkSpec> links;
-  double t_ambient_k = 298.15;
+  util::Kelvin t_ambient_k{298.15};
 };
 
 enum class StepMethod { kRk4, kExact };
@@ -58,18 +59,18 @@ class ThermalNetwork {
   std::size_t num_nodes() const { return spec_.nodes.size(); }
   const ThermalNetworkSpec& spec() const { return spec_; }
 
-  /// Current node temperatures (K).
+  /// Current node temperatures (K; raw-double linalg boundary).
   const linalg::Vector& temperatures() const { return temp_; }
-  double temperature(std::size_t node) const;
-  double max_temperature() const;
+  util::Kelvin temperature(std::size_t node) const;
+  util::Kelvin max_temperature() const;
 
   /// Reset all nodes to ambient (or to the given vector).
   void reset();
   void set_temperatures(const linalg::Vector& temps);
 
-  /// Advance by dt seconds with node power injection `power_w` (held
-  /// constant over the step).
-  void step(const linalg::Vector& power_w, double dt);
+  /// Advance by dt with node power injection `power_w` (held constant
+  /// over the step; entries in watts — the linalg boundary is raw).
+  void step(const linalg::Vector& power_w, util::Seconds dt);
 
   /// Steady-state temperatures for constant power (solves G_total T = P +
   /// g_amb T_amb) against the factorization cached at construction.
@@ -93,24 +94,23 @@ class ThermalNetwork {
   const linalg::Vector& ambient_injection() const { return amb_inject_; }
 
   /// Heat flow through link `link` at the current temperatures, positive
-  /// from node `a` to node `b` (W).
-  double link_flow_w(std::size_t link) const;
+  /// from node `a` to node `b`.
+  util::Watt link_flow_w(std::size_t link) const;
 
-  /// Heat flow from `node` into the ambient at the current temperatures
-  /// (W).
-  double ambient_flow_w(std::size_t node) const;
+  /// Heat flow from `node` into the ambient at the current temperatures.
+  util::Watt ambient_flow_w(std::size_t node) const;
 
-  /// Total conductance to ambient (W/K); the lumped-model G equivalent.
-  double total_ambient_conductance() const;
+  /// Total conductance to ambient; the lumped-model G equivalent.
+  util::WattPerKelvin total_ambient_conductance() const;
 
-  /// Sum of node capacitances (J/K); the lumped-model C equivalent.
-  double total_capacitance() const;
+  /// Sum of node capacitances; the lumped-model C equivalent.
+  util::JoulePerKelvin total_capacitance() const;
 
-  /// Slowest time constant of the network (s), from the smallest eigenvalue
+  /// Slowest time constant of the network, from the smallest eigenvalue
   /// of C^{-1} G_total.
-  double slowest_time_constant() const;
+  util::Seconds slowest_time_constant() const;
 
-  double ambient_k() const { return spec_.t_ambient_k; }
+  util::Kelvin ambient_k() const { return spec_.t_ambient_k; }
 
  private:
   void build_matrices();

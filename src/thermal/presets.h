@@ -15,22 +15,24 @@
 namespace mobitherm::thermal {
 
 /// Nexus 6P (phone form factor, no active cooling).
-ThermalNetworkSpec nexus6p_network(double t_ambient_k = 298.15);
+ThermalNetworkSpec nexus6p_network(util::Kelvin t_ambient = util::kelvin(298.15));
 
 /// Odroid-XU3 with the fan disabled (as in Sec. IV-C: "we disable the fan
 /// on the board since it is not feasible for mobile platforms").
-ThermalNetworkSpec odroidxu3_network(double t_ambient_k = 298.15);
+ThermalNetworkSpec odroidxu3_network(
+    util::Kelvin t_ambient = util::kelvin(298.15));
 
 /// Odroid-XU3 with the stock fan running: forced convection multiplies
 /// the board's ambient conductance, which is why the board never throttles
 /// in its shipping configuration.
-ThermalNetworkSpec odroidxu3_network_with_fan(double t_ambient_k = 298.15,
-                                              double fan_factor = 5.0);
+ThermalNetworkSpec odroidxu3_network_with_fan(
+    util::Kelvin t_ambient = util::kelvin(298.15), double fan_factor = 5.0);
 
 /// Reduce a network to the lumped form used by the stability analyzer:
 /// G = total ambient conductance, C = total capacitance, plus the given
 /// leakage coefficients.
 LumpedParams lumped_equivalent(const ThermalNetworkSpec& spec,
-                               double leak_a_w_per_k2, double leak_theta_k);
+                               util::WattPerKelvin2 leak_a,
+                               util::Kelvin leak_theta);
 
 }  // namespace mobitherm::thermal

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "util/rng.h"
+#include "util/units.h"
 
 namespace mobitherm::thermal {
 
@@ -14,22 +15,25 @@ class TemperatureSensor {
  public:
   struct Config {
     std::string name = "tmu";
-    double period_s = 0.1;      // TMU refresh interval
-    double noise_stddev_k = 0.0;
-    double lsb_k = 0.0;         // quantization step; XU3 TMUs report 1 degC
+    util::Seconds period_s{0.1};   // TMU refresh interval
+    util::Kelvin noise_stddev_k{};
+    util::Kelvin lsb_k{};  // quantization step; XU3 TMUs report 1 degC
     std::uint64_t seed = 3;
   };
 
   explicit TemperatureSensor(Config config);
 
-  /// Advance time by dt with true temperature `t_k`.
+  /// Advance time by dt with true temperature `t_k`. Raw doubles: this is
+  /// the sensor-sampling boundary fed straight from the node-temperature
+  /// vector. MOBILINT: raw-units-ok
   void feed(double dt, double t_k);
 
   /// Most recent latched reading; before the first sample, returns the
-  /// initial value passed to prime().
+  /// initial value passed to prime(). MOBILINT: raw-units-ok
   double last_k() const { return last_k_; }
 
   /// Seed the pre-first-sample reading (typically ambient).
+  /// MOBILINT: raw-units-ok
   void prime(double t_k) { last_k_ = t_k; }
 
   const std::string& name() const { return config_.name; }

@@ -7,26 +7,28 @@
 namespace mobitherm::thermal {
 
 SkinEstimator::SkinEstimator(SkinModelParams params)
-    : params_(params), skin_k_(params.t_ambient_k) {
+    : params_(params), skin_k_(params.t_ambient_k.value()) {
   if (params_.alpha < 0.0 || params_.alpha > 1.0) {
     throw util::ConfigError("SkinEstimator: alpha must be in [0, 1]");
   }
-  if (params_.tau_s <= 0.0 || params_.t_ambient_k <= 0.0) {
+  if (params_.tau_s <= util::seconds(0.0) ||
+      params_.t_ambient_k <= util::kelvin(0.0)) {
     throw util::ConfigError("SkinEstimator: invalid parameters");
   }
 }
 
-void SkinEstimator::step(double board_temp_k, double dt) {
-  if (dt <= 0.0) {
+// MOBILINT: hot-path
+void SkinEstimator::step(util::Kelvin board_temp, util::Seconds dt) {
+  if (dt <= util::seconds(0.0)) {
     return;
   }
-  const double target = steady_skin_k(board_temp_k);
+  const double target = steady_skin_k(board_temp).value();
   // Exact first-order response over the step (board held constant).
-  skin_k_ = target + (skin_k_ - target) * std::exp(-dt / params_.tau_s);
+  skin_k_ = target + (skin_k_ - target) * std::exp(-(dt / params_.tau_s));
 }
 
-double SkinEstimator::steady_skin_k(double board_temp_k) const {
-  return params_.alpha * board_temp_k +
+util::Kelvin SkinEstimator::steady_skin_k(util::Kelvin board_temp) const {
+  return params_.alpha * board_temp +
          (1.0 - params_.alpha) * params_.t_ambient_k;
 }
 

@@ -11,14 +11,16 @@
 //     tau * dT_skin/dt = alpha*T_board + (1-alpha)*T_amb - T_skin.
 #pragma once
 
+#include "util/units.h"
+
 namespace mobitherm::thermal {
 
 struct SkinModelParams {
   /// Weight of the board/case temperature in the steady-state blend.
   double alpha = 0.70;
-  /// Skin time constant (s); plastic/glass backs are slow.
-  double tau_s = 45.0;
-  double t_ambient_k = 298.15;
+  /// Skin time constant; plastic/glass backs are slow.
+  util::Seconds tau_s{45.0};
+  util::Kelvin t_ambient_k{298.15};
 };
 
 class SkinEstimator {
@@ -28,13 +30,13 @@ class SkinEstimator {
   const SkinModelParams& params() const { return params_; }
 
   /// Advance the estimate by dt with the current board temperature.
-  void step(double board_temp_k, double dt);
+  void step(util::Kelvin board_temp, util::Seconds dt);
 
-  double skin_temp_k() const { return skin_k_; }
-  void reset(double t_k) { skin_k_ = t_k; }
+  util::Kelvin skin_temp_k() const { return util::kelvin(skin_k_); }
+  void reset(util::Kelvin t) { skin_k_ = t.value(); }
 
   /// Where the skin would settle if the board held this temperature.
-  double steady_skin_k(double board_temp_k) const;
+  util::Kelvin steady_skin_k(util::Kelvin board_temp) const;
 
  private:
   SkinModelParams params_;

@@ -112,7 +112,9 @@ TEST(Advisor, BatchAppUsesFullCoreDemand) {
   // One saturated big core at the top OPP.
   EXPECT_NEAR(a.app_power_w,
               f.pm.dynamic_per_core_at(
-                  f.spec.big(), f.spec.clusters[f.spec.big()].opps.max_index()),
+                      f.spec.big(),
+                      f.spec.clusters[f.spec.big()].opps.max_index())
+                  .value(),
               1e-9);
 }
 

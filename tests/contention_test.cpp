@@ -23,10 +23,10 @@ power::LeakageParams odroid_leakage() {
 TEST(Fan, MultipliesBoardConductance) {
   const thermal::ThermalNetworkSpec off = thermal::odroidxu3_network();
   const thermal::ThermalNetworkSpec on =
-      thermal::odroidxu3_network_with_fan(298.15, 5.0);
-  EXPECT_NEAR(on.nodes.back().g_ambient_w_per_k,
-              5.0 * off.nodes.back().g_ambient_w_per_k, 1e-12);
-  EXPECT_THROW(thermal::odroidxu3_network_with_fan(298.15, 0.5),
+      thermal::odroidxu3_network_with_fan(util::kelvin(298.15), 5.0);
+  EXPECT_NEAR(on.nodes.back().g_ambient_w_per_k.value(),
+              5.0 * off.nodes.back().g_ambient_w_per_k.value(), 1e-12);
+  EXPECT_THROW(thermal::odroidxu3_network_with_fan(util::kelvin(298.15), 0.5),
                util::ConfigError);
 }
 
@@ -41,7 +41,8 @@ TEST(Fan, KeepsTheBoardCoolUnderFullLoad) {
     engine.add_app(workload::threedmark());
     engine.add_app(workload::bml());
     engine.run(150.0);
-    return util::kelvin_to_celsius(engine.network().max_temperature());
+    return util::kelvin_to_celsius(
+        engine.network().max_temperature().value());
   };
   const double fanless = run_with(thermal::odroidxu3_network());
   const double fanned = run_with(thermal::odroidxu3_network_with_fan());

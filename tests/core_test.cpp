@@ -73,7 +73,7 @@ TEST(AppAware, NoActionWhenCool) {
   // governor's dynamic-power estimate lands exactly on the calibration
   // point (2 W -> fixed point ~65 degC, below the limit).
   const double measured =
-      2.0 + thermal::leakage_power(f.params, celsius_to_kelvin(50.0));
+      2.0 + thermal::leakage_power(f.params, util::celsius(50.0)).value();
   const AppAwareDecision d =
       gov.update(f.sched, measured, celsius_to_kelvin(50.0));
   EXPECT_FALSE(d.violation_predicted);
@@ -153,7 +153,7 @@ TEST(AppAware, LeakageSubtractedFromMeasuredPower) {
   const AppAwareDecision d =
       gov.update(f.sched, 3.0, celsius_to_kelvin(80.0));
   const double leak =
-      thermal::leakage_power(f.params, celsius_to_kelvin(80.0));
+      thermal::leakage_power(f.params, util::celsius(80.0)).value();
   EXPECT_NEAR(d.p_dyn_estimate_w, 3.0 - leak, 1e-9);
   EXPECT_GT(leak, 0.0);
 }

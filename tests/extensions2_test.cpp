@@ -25,15 +25,15 @@ using util::celsius_to_kelvin;
 
 governors::ThermalContext ctx_at(double temp_c) {
   governors::ThermalContext ctx;
-  ctx.control_temp_k = celsius_to_kelvin(temp_c);
+  ctx.control_temp_k = util::celsius(temp_c);
   return ctx;
 }
 
 TEST(BangBang, TwoPositionBehaviour) {
   const platform::SocSpec spec = platform::exynos5422();
   governors::BangBangGovernor::Config cfg;
-  cfg.trip_k = celsius_to_kelvin(85.0);
-  cfg.hysteresis_k = 5.0;
+  cfg.trip_k = util::celsius(85.0);
+  cfg.hysteresis_k = util::kelvin(5.0);
   cfg.floor_index = 2;
   governors::BangBangGovernor gov(spec, cfg);
   const std::size_t big = spec.big();
@@ -75,8 +75,8 @@ TEST(BangBang, ValidatesActors) {
 TEST(FairShare, CapScalesWithDepthIntoBand) {
   const platform::SocSpec spec = platform::exynos5422();
   governors::FairShareGovernor::Config cfg;
-  cfg.trip_k = celsius_to_kelvin(80.0);
-  cfg.max_temp_k = celsius_to_kelvin(100.0);
+  cfg.trip_k = util::celsius(80.0);
+  cfg.max_temp_k = util::celsius(100.0);
   governors::FairShareGovernor gov(spec, cfg);
   const std::size_t big = spec.big();
   const std::size_t top = spec.clusters[big].opps.max_index();
@@ -94,8 +94,8 @@ TEST(FairShare, CapScalesWithDepthIntoBand) {
 TEST(FairShare, WeightsBiasTheThrottling) {
   const platform::SocSpec spec = platform::exynos5422();
   governors::FairShareGovernor::Config cfg;
-  cfg.trip_k = celsius_to_kelvin(80.0);
-  cfg.max_temp_k = celsius_to_kelvin(100.0);
+  cfg.trip_k = util::celsius(80.0);
+  cfg.max_temp_k = util::celsius(100.0);
   cfg.weights.assign(spec.clusters.size(), 0.0);
   cfg.weights[spec.big()] = 2.0;   // throttled twice as hard
   cfg.weights[spec.gpu()] = 1.0;
@@ -119,7 +119,7 @@ TEST(FairShare, ValidatesConfig) {
   bad.max_temp_k = bad.trip_k;  // empty band
   EXPECT_THROW(governors::FairShareGovernor gov(spec, bad), ConfigError);
   governors::FairShareGovernor::Config wrong;
-  wrong.max_temp_k = wrong.trip_k + 10.0;
+  wrong.max_temp_k = wrong.trip_k + util::kelvin(10.0);
   wrong.weights = {1.0};
   EXPECT_THROW(governors::FairShareGovernor gov2(spec, wrong), ConfigError);
 }
@@ -128,19 +128,24 @@ TEST(FairShare, ValidatesConfig) {
 
 TEST(NetworkFlows, LinkAndAmbientFlowsBalanceAtSteadyState) {
   thermal::ThermalNetworkSpec spec;
-  spec.t_ambient_k = 300.0;
-  spec.nodes = {{"chip", 0.5, 0.01}, {"board", 5.0, 0.1}};
-  spec.links = {{0, 1, 0.5}};
+  spec.t_ambient_k = util::kelvin(300.0);
+  spec.nodes = {{"chip", util::joules_per_kelvin(0.5),
+                 util::watts_per_kelvin(0.01)},
+                {"board", util::joules_per_kelvin(5.0),
+                 util::watts_per_kelvin(0.1)}};
+  spec.links = {{0, 1, util::watts_per_kelvin(0.5)}};
   thermal::ThermalNetwork net(spec);
   const linalg::Vector power = {2.0, 0.0};
   net.set_temperatures(net.steady_state(power));
 
   // Chip balance: injection == link flow + ambient flow.
-  EXPECT_NEAR(net.link_flow_w(0) + net.ambient_flow_w(0), 2.0, 1e-9);
+  EXPECT_NEAR((net.link_flow_w(0) + net.ambient_flow_w(0)).value(), 2.0,
+              1e-9);
   // Board balance: link inflow == board ambient outflow.
-  EXPECT_NEAR(net.link_flow_w(0), net.ambient_flow_w(1), 1e-9);
+  EXPECT_NEAR(net.link_flow_w(0).value(), net.ambient_flow_w(1).value(),
+              1e-9);
   // Flow direction: chip -> board (chip is hotter).
-  EXPECT_GT(net.link_flow_w(0), 0.0);
+  EXPECT_GT(net.link_flow_w(0).value(), 0.0);
   EXPECT_THROW(net.link_flow_w(1), ConfigError);
   EXPECT_THROW(net.ambient_flow_w(2), ConfigError);
 }
@@ -201,10 +206,10 @@ TEST(AppLifecycle, SuspendingTheHogCoolsTheSystem) {
                      odroid_leakage(), 0.25);
   const std::size_t hog = engine.add_app(workload::bml());
   engine.run(150.0);  // approach the loaded steady state (~50 degC)
-  const double hot = engine.network().max_temperature();
+  const double hot = engine.network().max_temperature().value();
   engine.suspend_app(hog);
   engine.run(60.0);
-  EXPECT_LT(engine.network().max_temperature(), hot - 2.0);
+  EXPECT_LT(engine.network().max_temperature().value(), hot - 2.0);
 }
 
 // --- bang_bang end-to-end --------------------------------------------------------------
@@ -215,16 +220,18 @@ TEST(BangBang, EngineOscillatesAroundTrip) {
                      0.25);
   engine.set_initial_temperature(celsius_to_kelvin(60.0));
   governors::BangBangGovernor::Config cfg;
-  cfg.trip_k = celsius_to_kelvin(70.0);
-  cfg.hysteresis_k = 3.0;
-  cfg.polling_period_s = 0.5;
+  cfg.trip_k = util::celsius(70.0);
+  cfg.hysteresis_k = util::kelvin(3.0);
+  cfg.polling_period_s = util::seconds(0.5);
   engine.set_thermal_governor(
       std::make_unique<governors::BangBangGovernor>(spec, cfg));
   engine.add_app(workload::threedmark());
   engine.run(120.0);
   // The temperature hovers near the trip band instead of running away.
-  EXPECT_LT(engine.network().max_temperature(), celsius_to_kelvin(76.0));
-  EXPECT_GT(engine.network().max_temperature(), celsius_to_kelvin(62.0));
+  EXPECT_LT(engine.network().max_temperature().value(),
+            celsius_to_kelvin(76.0));
+  EXPECT_GT(engine.network().max_temperature().value(),
+            celsius_to_kelvin(62.0));
   // Bang-bang causes repeated full-throttle episodes (contradictions).
   EXPECT_GE(engine.conflict_episodes(spec.gpu()), 2u);
 }

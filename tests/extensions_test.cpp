@@ -60,8 +60,8 @@ TEST(SafePower, CappedByCriticalPower) {
 
 TEST(SafePower, ZeroAtOrBelowAmbient) {
   const stability::Params p = stability::odroid_xu3_params();
-  EXPECT_DOUBLE_EQ(stability::safe_power(p, p.t_ambient_k), 0.0);
-  EXPECT_DOUBLE_EQ(stability::safe_power(p, p.t_ambient_k - 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(stability::safe_power(p, p.t_ambient_k.value()), 0.0);
+  EXPECT_DOUBLE_EQ(stability::safe_power(p, p.t_ambient_k.value() - 10.0), 0.0);
 }
 
 TEST(SafePower, HeadroomSigns) {
@@ -94,31 +94,33 @@ TEST(Skin, ValidatesParams) {
   bad.alpha = 1.5;
   EXPECT_THROW(thermal::SkinEstimator est(bad), ConfigError);
   thermal::SkinModelParams bad2;
-  bad2.tau_s = 0.0;
+  bad2.tau_s = util::seconds(0.0);
   EXPECT_THROW(thermal::SkinEstimator est2(bad2), ConfigError);
 }
 
 TEST(Skin, SteadyStateIsBlend) {
   thermal::SkinModelParams p;
   p.alpha = 0.7;
-  p.t_ambient_k = 298.15;
+  p.t_ambient_k = util::kelvin(298.15);
   thermal::SkinEstimator est(p);
-  const double board = 330.0;
-  EXPECT_NEAR(est.steady_skin_k(board), 0.7 * 330.0 + 0.3 * 298.15, 1e-12);
+  const util::Kelvin board = util::kelvin(330.0);
+  EXPECT_NEAR(est.steady_skin_k(board).value(), 0.7 * 330.0 + 0.3 * 298.15,
+              1e-12);
   // Long exposure converges there.
-  est.step(board, 1000.0);
-  EXPECT_NEAR(est.skin_temp_k(), est.steady_skin_k(board), 1e-6);
+  est.step(board, util::seconds(1000.0));
+  EXPECT_NEAR(est.skin_temp_k().value(), est.steady_skin_k(board).value(),
+              1e-6);
 }
 
 TEST(Skin, FirstOrderLag) {
   thermal::SkinModelParams p;
-  p.tau_s = 45.0;
+  p.tau_s = util::seconds(45.0);
   thermal::SkinEstimator est(p);
-  const double board = 340.0;
-  est.step(board, 45.0);  // one time constant: ~63% of the way
-  const double target = est.steady_skin_k(board);
-  const double progress =
-      (est.skin_temp_k() - p.t_ambient_k) / (target - p.t_ambient_k);
+  const util::Kelvin board = util::kelvin(340.0);
+  est.step(board, util::seconds(45.0));  // one time constant: ~63% of the way
+  const double target = est.steady_skin_k(board).value();
+  const double progress = (est.skin_temp_k().value() - p.t_ambient_k.value()) /
+                          (target - p.t_ambient_k.value());
   EXPECT_NEAR(progress, 1.0 - std::exp(-1.0), 1e-9);
 }
 
@@ -126,8 +128,8 @@ TEST(Skin, SkinLagsBoard) {
   // Skin warms much more slowly than the chip; the paper's UX argument
   // rests on the surface being the slow, user-facing node.
   thermal::SkinEstimator est(thermal::SkinModelParams{});
-  est.step(350.0, 5.0);
-  EXPECT_LT(est.skin_temp_k(), 310.0);
+  est.step(util::kelvin(350.0), util::seconds(5.0));
+  EXPECT_LT(est.skin_temp_k().value(), 310.0);
 }
 
 // --- governors::HotplugGovernor ----------------------------------------------------
@@ -147,23 +149,23 @@ TEST(Hotplug, OfflinesAboveTripOnlinesBelow) {
   const platform::SocSpec spec = platform::exynos5422();
   governors::HotplugGovernor::Config cfg;
   cfg.cluster = spec.big();
-  cfg.trip_k = celsius_to_kelvin(95.0);
-  cfg.hysteresis_k = 5.0;
+  cfg.trip_k = util::celsius(95.0);
+  cfg.hysteresis_k = util::kelvin(5.0);
   cfg.min_cores = 1;
   governors::HotplugGovernor gov(spec, cfg);
   EXPECT_EQ(gov.target_cores(), 4);
 
-  const double hot = celsius_to_kelvin(100.0);
+  const util::Kelvin hot = util::celsius(100.0);
   EXPECT_EQ(gov.update(hot), 3);
   EXPECT_EQ(gov.update(hot), 2);
   EXPECT_EQ(gov.update(hot), 1);
   EXPECT_EQ(gov.update(hot), 1);  // respects min_cores
   EXPECT_EQ(gov.offline_events(), 3u);
 
-  const double band = celsius_to_kelvin(92.0);  // inside hysteresis
+  const util::Kelvin band = util::celsius(92.0);  // inside hysteresis
   EXPECT_EQ(gov.update(band), 1);
 
-  const double cool = celsius_to_kelvin(80.0);
+  const util::Kelvin cool = util::celsius(80.0);
   EXPECT_EQ(gov.update(cool), 2);
   EXPECT_EQ(gov.update(cool), 3);
   EXPECT_EQ(gov.update(cool), 4);
@@ -179,8 +181,8 @@ TEST(Hotplug, EngineWiringReducesCapacity) {
                      0.25);
   governors::HotplugGovernor::Config cfg;
   cfg.cluster = spec.big();
-  cfg.trip_k = 0.0;  // always hot: offline one core per poll
-  cfg.polling_period_s = 0.5;
+  cfg.trip_k = util::kelvin(0.0);  // always hot: offline one core per poll
+  cfg.polling_period_s = util::seconds(0.5);
   cfg.min_cores = 1;
   engine.set_hotplug_governor(
       std::make_unique<governors::HotplugGovernor>(spec, cfg));
@@ -284,8 +286,9 @@ TEST(ShedUntilSafe, MigratesMultipleVictimsInOnePeriod) {
 
   // 5.5 W dynamic, budget ~3.3 W: must shed ~2.2 W -> victims a and b.
   const core::AppAwareDecision d =
-      gov.update(sched, 5.5 + thermal::leakage_power(
-                                  params, celsius_to_kelvin(80.0)),
+      gov.update(sched,
+                 5.5 + thermal::leakage_power(params, util::celsius(80.0))
+                           .value(),
                  celsius_to_kelvin(80.0));
   EXPECT_TRUE(d.violation_predicted);
   ASSERT_EQ(d.all_migrated.size(), 2u);
@@ -309,7 +312,8 @@ TEST(EngineExtensions, SkinEstimatorTracksBoardSlowly) {
   engine.run(30.0);
   const std::size_t board = engine.network().num_nodes() - 1;
   EXPECT_GT(engine.skin_temp_k(), 298.15 + 1.0);
-  EXPECT_LT(engine.skin_temp_k(), engine.network().temperature(board));
+  EXPECT_LT(engine.skin_temp_k(),
+            engine.network().temperature(board).value());
 }
 
 TEST(EngineExtensions, ConflictAccountingCountsThermalClamps) {
@@ -325,10 +329,10 @@ TEST(EngineExtensions, ConflictAccountingCountsThermalClamps) {
   governors::StepWiseGovernor::Zone z;
   z.cluster = spec.big();
   z.sensor_node = spec.clusters[spec.big()].thermal_node;
-  z.trip_k = 0.0;
+  z.trip_k = util::kelvin(0.0);
   z.steps_per_state = 4;
   cfg.zones = {z};
-  cfg.polling_period_s = 0.1;
+  cfg.polling_period_s = util::seconds(0.1);
   engine.set_thermal_governor(
       std::make_unique<governors::StepWiseGovernor>(spec, cfg));
   engine.add_app(workload::bml());

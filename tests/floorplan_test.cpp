@@ -54,11 +54,11 @@ TEST(Floorplan, GeneratesValidNetwork) {
   EXPECT_EQ(spec.nodes.back().name, "board");
   // Must construct (grounded, SPD) and behave.
   thermal::ThermalNetwork net(spec);
-  EXPECT_GT(net.slowest_time_constant(), 5.0);
+  EXPECT_GT(net.slowest_time_constant().value(), 5.0);
   const linalg::Vector ss =
       net.steady_state({0.2, 2.0, 1.5, 0.3, 0.25});
   for (double t : ss) {
-    EXPECT_GT(t, spec.t_ambient_k);
+    EXPECT_GT(t, spec.t_ambient_k.value());
     EXPECT_LT(t, 500.0);
   }
 }
@@ -68,9 +68,10 @@ TEST(Floorplan, CapacitanceScalesWithArea) {
   const auto spec = thermal::network_from_floorplan(
       {{"small", 0.0, 0.0, 1.0, 1.0}, {"large", 1.0, 0.0, 4.0, 1.0}},
       params);
-  EXPECT_NEAR(spec.nodes[0].capacitance_j_per_k, params.c_per_mm2, 1e-12);
-  EXPECT_NEAR(spec.nodes[1].capacitance_j_per_k, 4.0 * params.c_per_mm2,
+  EXPECT_NEAR(spec.nodes[0].capacitance_j_per_k.value(), params.c_per_mm2,
               1e-12);
+  EXPECT_NEAR(spec.nodes[1].capacitance_j_per_k.value(),
+              4.0 * params.c_per_mm2, 1e-12);
 }
 
 TEST(Floorplan, AdjacentBlocksRunCloserInTemperature) {
@@ -104,14 +105,15 @@ TEST(Floorplan, WorksAsEngineSubstrate) {
   // hand-tuned preset.
   const stability::Params p = stability::odroid_xu3_params();
   thermal::FloorplanParams fp;
-  fp.board_g_ambient_w_per_k = 0.0778;  // match the preset's lumped G
+  fp.board_g_ambient_w_per_k =
+      util::watts_per_kelvin(0.0778);  // match the preset's lumped G
   sim::Engine engine(
       platform::exynos5422(),
       thermal::network_from_floorplan(thermal::exynos5422_floorplan(), fp),
       power::LeakageParams{p.leak_theta_k, p.leak_a_w_per_k2}, 0.25);
   engine.add_app(workload::threedmark());
   engine.run(20.0);
-  EXPECT_GT(engine.network().max_temperature(), 310.0);
+  EXPECT_GT(engine.network().max_temperature().value(), 310.0);
   EXPECT_GT(engine.app(0).median_fps(), 40.0);
 }
 
@@ -194,8 +196,8 @@ TEST(InputBoost, EngineInjectionRaisesCpuFrequency) {
   engine.run(5.0);
   const std::size_t big = engine.soc().spec().big();
   const double hispeed =
-      0.8 * engine.soc().cluster(big).opps.highest().freq_hz;
-  EXPECT_GE(engine.soc().frequency_hz(big), hispeed * 0.99);
+      0.8 * engine.soc().cluster(big).opps.highest().freq_hz.value();
+  EXPECT_GE(engine.soc().frequency_hz(big).value(), hispeed * 0.99);
 }
 
 TEST(InputBoost, NoInputMeansIdleFrequency) {

@@ -100,8 +100,8 @@ TEST(Interactive, BurstsToHispeedOnLoad) {
 
 TEST(Interactive, RaisesToMaxAfterDelay) {
   Interactive::Config cfg;
-  cfg.above_hispeed_delay_s = 0.02;
-  cfg.sampling_period_s = 0.02;
+  cfg.above_hispeed_delay_s = util::seconds(0.02);
+  cfg.sampling_period_s = util::seconds(0.02);
   Interactive gov(cfg);
   EXPECT_EQ(gov.decide(in(0.95, 0), ladder()), 3u);   // burst
   // At hispeed, still loaded: after the delay it may go to max.
@@ -110,8 +110,8 @@ TEST(Interactive, RaisesToMaxAfterDelay) {
 
 TEST(Interactive, HoldsBeforeDropping) {
   Interactive::Config cfg;
-  cfg.min_sample_time_s = 0.08;
-  cfg.sampling_period_s = 0.02;
+  cfg.min_sample_time_s = util::seconds(0.08);
+  cfg.sampling_period_s = util::seconds(0.02);
   Interactive gov(cfg);
   // Load vanishes at 800 MHz: must hold for min_sample_time (4 samples).
   EXPECT_EQ(gov.decide(in(0.05, 3), ladder()), 3u);
@@ -160,7 +160,7 @@ TEST(Factory, MakesAllKnownNames) {
 TEST(NoThrottle, NeverCaps) {
   NoThrottle gov;
   ThermalContext ctx;
-  ctx.control_temp_k = 500.0;
+  ctx.control_temp_k = util::kelvin(500.0);
   gov.update(ctx);
   EXPECT_GE(gov.cap_index(0), 1000u);
 }
@@ -173,8 +173,8 @@ StepWiseGovernor::Config one_zone(const SocSpec& spec, std::size_t cluster,
   StepWiseGovernor::Zone z;
   z.cluster = cluster;
   z.sensor_node = spec.clusters[cluster].thermal_node;
-  z.trip_k = util::celsius_to_kelvin(trip_c);
-  z.hysteresis_k = 2.0;
+  z.trip_k = util::celsius(trip_c);
+  z.hysteresis_k = util::kelvin(2.0);
   z.steps_per_state = steps;
   cfg.zones = {z};
   return cfg;
@@ -201,19 +201,19 @@ TEST(StepWise, ThrottlesWhileHotReleasesWhenCool) {
   const std::size_t top = spec.clusters[gpu].opps.max_index();
 
   ThermalContext ctx;
-  ctx.control_temp_k = util::celsius_to_kelvin(45.0);
+  ctx.control_temp_k = util::celsius(45.0);
   gov.update(ctx);
   EXPECT_EQ(gov.cap_index(gpu), top - 1);
   gov.update(ctx);
   EXPECT_EQ(gov.cap_index(gpu), top - 2);
 
   // Inside the hysteresis band: hold.
-  ctx.control_temp_k = util::celsius_to_kelvin(39.0);
+  ctx.control_temp_k = util::celsius(39.0);
   gov.update(ctx);
   EXPECT_EQ(gov.cap_index(gpu), top - 2);
 
   // Below trip - hysteresis: release one step per poll.
-  ctx.control_temp_k = util::celsius_to_kelvin(37.0);
+  ctx.control_temp_k = util::celsius(37.0);
   gov.update(ctx);
   EXPECT_EQ(gov.cap_index(gpu), top - 1);
   gov.update(ctx);
@@ -229,7 +229,7 @@ TEST(StepWise, FloorLimitsDepth) {
   cfg.zones[0].floor_index = 2;
   StepWiseGovernor gov(spec, cfg);
   ThermalContext ctx;
-  ctx.control_temp_k = util::celsius_to_kelvin(60.0);
+  ctx.control_temp_k = util::celsius(60.0);
   for (int i = 0; i < 20; ++i) {
     gov.update(ctx);
   }
@@ -244,7 +244,7 @@ TEST(StepWise, ZonesActIndependentlyOnTheirSensors) {
   StepWiseGovernor::Zone gz;
   gz.cluster = gpu;
   gz.sensor_node = spec.clusters[gpu].thermal_node;
-  gz.trip_k = util::celsius_to_kelvin(45.0);
+  gz.trip_k = util::celsius(45.0);
   cfg.zones.push_back(gz);
   StepWiseGovernor gov(spec, cfg);
 
@@ -266,7 +266,7 @@ TEST(StepWise, FallsBackToControlTempWithoutNodeTemps) {
   const SocSpec spec = platform::snapdragon810();
   StepWiseGovernor gov(spec, one_zone(spec, spec.gpu(), 40.0));
   ThermalContext ctx;
-  ctx.control_temp_k = util::celsius_to_kelvin(50.0);
+  ctx.control_temp_k = util::celsius(50.0);
   gov.update(ctx);
   EXPECT_EQ(gov.zone_state(0), 1u);
 }
@@ -274,7 +274,7 @@ TEST(StepWise, FallsBackToControlTempWithoutNodeTemps) {
 TEST(StepWise, UniformHelperCoversNonMemoryClusters) {
   const SocSpec spec = platform::exynos5422();
   const auto cfg =
-      StepWiseGovernor::uniform(spec, util::celsius_to_kelvin(80.0));
+      StepWiseGovernor::uniform(spec, util::celsius(80.0));
   EXPECT_EQ(cfg.zones.size(), 3u);  // little, big, gpu (not memory)
   StepWiseGovernor gov(spec, cfg);
   EXPECT_EQ(gov.cap_index(spec.big()), spec.clusters[spec.big()].opps.max_index());
@@ -302,8 +302,8 @@ struct IpaFixture {
 
   ThermalContext ctx(double temp_c) {
     ThermalContext c;
-    c.dt = 0.1;
-    c.control_temp_k = util::celsius_to_kelvin(temp_c);
+    c.dt = util::seconds(0.1);
+    c.control_temp_k = util::celsius(temp_c);
     c.soc = &soc;
     c.power = &pm;
     c.busy_cores = &busy;
@@ -313,8 +313,8 @@ struct IpaFixture {
 
   IpaGovernor::Config config() {
     IpaGovernor::Config cfg;
-    cfg.control_temp_k = util::celsius_to_kelvin(85.0);
-    cfg.sustainable_power_w = 2.0;
+    cfg.control_temp_k = util::celsius(85.0);
+    cfg.sustainable_power_w = util::watts(2.0);
     cfg.actors = {spec.big(), spec.gpu()};
     return cfg;
   }
@@ -349,7 +349,7 @@ TEST(Ipa, CapsWhenOverTarget) {
             f.spec.clusters[f.spec.big()].opps.max_index());
   EXPECT_LT(gov.cap_index(f.spec.gpu()),
             f.spec.clusters[f.spec.gpu()].opps.max_index());
-  EXPECT_LT(gov.last_budget_w(), 2.0);
+  EXPECT_LT(gov.last_budget_w().value(), 2.0);
 }
 
 TEST(Ipa, DeeperOverTargetMeansDeeperCaps) {
@@ -374,14 +374,14 @@ TEST(Ipa, BudgetNeverNegative) {
   IpaFixture f;
   IpaGovernor gov(f.spec, f.config());
   gov.update(f.ctx(200.0));
-  EXPECT_GE(gov.last_budget_w(), 0.0);
+  EXPECT_GE(gov.last_budget_w().value(), 0.0);
 }
 
 TEST(Ipa, IntegralIsClamped) {
   IpaFixture f;
   IpaGovernor::Config cfg = f.config();
-  cfg.k_i = 10.0;
-  cfg.integral_cap_w = 0.5;
+  cfg.k_i = util::watts_per_kelvin_second(10.0);
+  cfg.integral_cap_w = util::watts(0.5);
   IpaGovernor gov(f.spec, cfg);
   for (int i = 0; i < 100; ++i) {
     gov.update(f.ctx(45.0));  // persistent headroom: integral saturates
@@ -389,7 +389,8 @@ TEST(Ipa, IntegralIsClamped) {
   // Budget = sustainable + k_pu*err + integral(<= cap).
   const double err = util::celsius_to_kelvin(85.0) -
                      util::celsius_to_kelvin(45.0);
-  EXPECT_LE(gov.last_budget_w(), 2.0 + cfg.k_pu * err + 0.5 + 1e-9);
+  EXPECT_LE(gov.last_budget_w().value(),
+            2.0 + cfg.k_pu.value() * err + 0.5 + 1e-9);
 }
 
 }  // namespace

@@ -146,7 +146,7 @@ TEST(HotPathExactStepper, MatchesAffineMapWithToleranceZero) {
   thermal::ThermalNetwork ref(thermal::odroidxu3_network(),
                               thermal::StepMethod::kExact);
   const Vector power = {0.2, 2.0, 1.5, 0.3, 0.25};
-  ref.step(power, 0.001);  // prepare Phi/Psi on the reference
+  ref.step(power, util::seconds(0.001));  // prepare Phi/Psi on the reference
   const Matrix& phi = ref.exact_phi();
   const Matrix& psi = ref.exact_psi();
 
@@ -155,7 +155,7 @@ TEST(HotPathExactStepper, MatchesAffineMapWithToleranceZero) {
   Vector expected = net.temperatures();
   for (int t = 0; t < 200; ++t) {
     expected = phi * expected + psi * (power + ref.ambient_injection());
-    net.step(power, 0.001);
+    net.step(power, util::seconds(0.001));
     for (std::size_t i = 0; i < expected.size(); ++i) {
       ASSERT_EQ(expected[i], net.temperatures()[i]) << "tick " << t;
     }
@@ -168,7 +168,7 @@ TEST(HotPathExactStepper, MatchesPreRewriteFormulation) {
   thermal::ThermalNetwork net(thermal::odroidxu3_network(),
                               thermal::StepMethod::kExact);
   const Vector power = {0.2, 2.0, 1.5, 0.3, 0.25};
-  net.step(power, 0.001);
+  net.step(power, util::seconds(0.001));
 
   const std::size_t n = net.num_nodes();
   Matrix g(n, n);
@@ -176,13 +176,13 @@ TEST(HotPathExactStepper, MatchesPreRewriteFormulation) {
     // Rebuild G_total from the spec exactly as build_matrices() does.
     const thermal::ThermalNetworkSpec spec = thermal::odroidxu3_network();
     for (std::size_t i = 0; i < n; ++i) {
-      g(i, i) = spec.nodes[i].g_ambient_w_per_k;
+      g(i, i) = spec.nodes[i].g_ambient_w_per_k.value();
     }
     for (const thermal::ThermalLinkSpec& l : spec.links) {
-      g(l.a, l.a) += l.conductance_w_per_k;
-      g(l.b, l.b) += l.conductance_w_per_k;
-      g(l.a, l.b) -= l.conductance_w_per_k;
-      g(l.b, l.a) -= l.conductance_w_per_k;
+      g(l.a, l.a) += l.conductance_w_per_k.value();
+      g(l.b, l.b) += l.conductance_w_per_k.value();
+      g(l.a, l.b) -= l.conductance_w_per_k.value();
+      g(l.b, l.a) -= l.conductance_w_per_k.value();
     }
   }
   const Matrix g_inverse = linalg::inverse(g);
@@ -194,7 +194,7 @@ TEST(HotPathExactStepper, MatchesPreRewriteFormulation) {
   for (int t = 0; t < 500; ++t) {
     const Vector t_ss = g_inverse * (power + probe.ambient_injection());
     old_t = t_ss + phi * (old_t - t_ss);
-    probe.step(power, 0.001);
+    probe.step(power, util::seconds(0.001));
     for (std::size_t i = 0; i < n; ++i) {
       ASSERT_NEAR(old_t[i], probe.temperatures()[i], 1e-9)
           << "tick " << t << " node " << i;
@@ -217,13 +217,13 @@ TEST_P(SolverConvergence, ExactRk4AndSteadyStateAgree) {
 
   // March both integrators far past the slowest time constant: the
   // transient decays by e^-25, leaving only integrator bias.
-  const double tau = exact.slowest_time_constant();
+  const double tau = exact.slowest_time_constant().value();
   const double horizon = 25.0 * tau;
   const double dt = 0.05;
   const int ticks = static_cast<int>(horizon / dt) + 1;
   for (int t = 0; t < ticks; ++t) {
-    exact.step(power, dt);
-    rk4.step(power, dt);
+    exact.step(power, util::seconds(dt));
+    rk4.step(power, util::seconds(dt));
   }
   for (std::size_t i = 0; i < power.size(); ++i) {
     EXPECT_NEAR(exact.temperatures()[i], ss[i], 1e-6) << "node " << i;
@@ -258,10 +258,10 @@ TEST(HotPathAllocations, WarmExactStepIsAllocationFree) {
   thermal::ThermalNetwork net(thermal::odroidxu3_network(),
                               thermal::StepMethod::kExact);
   const Vector power = {0.2, 2.0, 1.5, 0.3, 0.25};
-  net.step(power, 0.001);  // warm the propagator cache
+  net.step(power, util::seconds(0.001));  // warm the propagator cache
   const std::size_t before = alloc_count();
   for (int t = 0; t < 1000; ++t) {
-    net.step(power, 0.001);
+    net.step(power, util::seconds(0.001));
   }
   EXPECT_EQ(alloc_count() - before, 0u);
 }
@@ -270,10 +270,10 @@ TEST(HotPathAllocations, WarmRk4StepIsAllocationFree) {
   thermal::ThermalNetwork net(thermal::odroidxu3_network(),
                               thermal::StepMethod::kRk4);
   const Vector power = {0.2, 2.0, 1.5, 0.3, 0.25};
-  net.step(power, 0.001);
+  net.step(power, util::seconds(0.001));
   const std::size_t before = alloc_count();
   for (int t = 0; t < 1000; ++t) {
-    net.step(power, 0.001);
+    net.step(power, util::seconds(0.001));
   }
   EXPECT_EQ(alloc_count() - before, 0u);
 }

@@ -42,20 +42,22 @@ TEST(ConfigIo, RoundTripsPresets) {
     EXPECT_EQ(a.name, b.name);
     EXPECT_EQ(a.kind, b.kind);
     EXPECT_EQ(a.num_cores, b.num_cores);
-    EXPECT_NEAR(a.ceff_f, b.ceff_f, 1e-9 * b.ceff_f);
+    EXPECT_NEAR(a.ceff_f.value(), b.ceff_f.value(), 1e-9 * b.ceff_f.value());
     EXPECT_NEAR(a.leakage_share, b.leakage_share, 1e-9);
     ASSERT_EQ(a.opps.size(), b.opps.size());
     for (std::size_t i = 0; i < a.opps.size(); ++i) {
-      EXPECT_NEAR(a.opps.at(i).freq_hz, b.opps.at(i).freq_hz, 1.0);
-      EXPECT_NEAR(a.opps.at(i).voltage_v, b.opps.at(i).voltage_v, 1e-9);
+      EXPECT_NEAR(a.opps.at(i).freq_hz.value(), b.opps.at(i).freq_hz.value(),
+                  1.0);
+      EXPECT_NEAR(a.opps.at(i).voltage_v.value(),
+                  b.opps.at(i).voltage_v.value(), 1e-9);
     }
   }
   ASSERT_EQ(loaded.network.nodes.size(), original.network.nodes.size());
-  EXPECT_NEAR(loaded.network.t_ambient_k, original.network.t_ambient_k,
-              1e-9);
+  EXPECT_NEAR(loaded.network.t_ambient_k.value(),
+              original.network.t_ambient_k.value(), 1e-9);
   ASSERT_EQ(loaded.network.links.size(), original.network.links.size());
-  EXPECT_NEAR(loaded.network.links[0].conductance_w_per_k,
-              original.network.links[0].conductance_w_per_k, 1e-9);
+  EXPECT_NEAR(loaded.network.links[0].conductance_w_per_k.value(),
+              original.network.links[0].conductance_w_per_k.value(), 1e-9);
   std::remove(path.c_str());
 }
 
@@ -79,7 +81,7 @@ TEST(ConfigIo, ParsesHandWrittenFileWithComments) {
   ASSERT_EQ(d.soc.clusters.size(), 1u);
   EXPECT_EQ(d.soc.clusters[0].kind, platform::ResourceKind::kCpuBig);
   EXPECT_EQ(d.soc.clusters[0].opps.size(), 2u);
-  EXPECT_NEAR(d.network.t_ambient_k, 298.15, 1e-9);
+  EXPECT_NEAR(d.network.t_ambient_k.value(), 298.15, 1e-9);
   EXPECT_EQ(d.network.nodes.size(), 2u);
   std::remove(path.c_str());
 }

@@ -1,0 +1,32 @@
+// Fixture: every rule class appears below, either genuinely clean or
+// carrying its sanctioned exemption annotation. mobilint must report
+// nothing for this file.
+// LINT-EXPECT: clean
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+// A hot-path function that really is allocation-free.
+// MOBILINT: hot-path
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    s += a[i] * b[i];
+  }
+  return s;
+}
+
+// Cold-start growth is deliberate; the warm path never reallocates.
+// MOBILINT: hot-path
+void warm_up(std::vector<double>& scratch, std::size_t n) {
+  if (scratch.size() < n) {
+    scratch.resize(n);  // MOBILINT: alloc-ok
+  }
+}
+
+// Host-side tooling cache; iteration order is never observed by the sim.
+std::unordered_map<int, double> host_cache;  // MOBILINT: nondet-ok
+
+// Datasheet ladders are quoted in MHz; this is the conversion edge.
+// MOBILINT: raw-units-ok
+double mhz_to_hz(double freq_mhz) { return freq_mhz * 1.0e6; }

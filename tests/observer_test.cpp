@@ -47,10 +47,10 @@ void add_hot_stepwise(Engine& engine) {
   governors::StepWiseGovernor::Zone z;
   z.cluster = spec.big();
   z.sensor_node = spec.clusters[spec.big()].thermal_node;
-  z.trip_k = 0.0;  // always above trip
+  z.trip_k = util::kelvin(0.0);  // always above trip
   z.steps_per_state = 4;
   cfg.zones = {z};
-  cfg.polling_period_s = 0.1;
+  cfg.polling_period_s = util::seconds(0.1);
   engine.set_thermal_governor(
       std::make_unique<governors::StepWiseGovernor>(spec, cfg));
 }
@@ -122,7 +122,7 @@ std::string trace_bytes(const Engine& engine, const std::string& tag) {
   engine.trace().write_timeseries_csv(ts, clusters, {"app"});
   std::vector<double> freqs;
   for (const platform::OperatingPoint& p : engine.soc().cluster(0).opps) {
-    freqs.push_back(p.freq_hz);
+    freqs.push_back(p.freq_hz.value());
   }
   engine.trace().write_residency_csv(rs, 0, freqs);
   const std::string bytes = slurp(ts) + "\x1e" + slurp(rs);
@@ -191,7 +191,7 @@ TEST(ObserverBus, GovernorDecisionEventsFire) {
       acfg, stability::odroid_xu3_params()));
   governors::HotplugGovernor::Config hcfg;
   hcfg.cluster = spec.big();
-  hcfg.polling_period_s = 0.5;
+  hcfg.polling_period_s = util::seconds(0.5);
   engine->set_hotplug_governor(
       std::make_unique<governors::HotplugGovernor>(spec, hcfg));
 

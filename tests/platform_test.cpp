@@ -24,42 +24,42 @@ OppTable three_point_table() {
 TEST(OppTable, SortsByFrequency) {
   const OppTable t = OppTable::from_mhz_mv(
       {{900.0, 1100.0}, {300.0, 900.0}, {600.0, 1000.0}});
-  EXPECT_DOUBLE_EQ(t.at(0).freq_hz, util::mhz_to_hz(300.0));
-  EXPECT_DOUBLE_EQ(t.at(2).freq_hz, util::mhz_to_hz(900.0));
-  EXPECT_DOUBLE_EQ(t.lowest().voltage_v, 0.9);
-  EXPECT_DOUBLE_EQ(t.highest().voltage_v, 1.1);
+  EXPECT_DOUBLE_EQ(t.at(0).freq_hz.value(), util::mhz_to_hz(300.0));
+  EXPECT_DOUBLE_EQ(t.at(2).freq_hz.value(), util::mhz_to_hz(900.0));
+  EXPECT_DOUBLE_EQ(t.lowest().voltage_v.value(), 0.9);
+  EXPECT_DOUBLE_EQ(t.highest().voltage_v.value(), 1.1);
 }
 
 TEST(OppTable, RejectsBadEntries) {
   EXPECT_THROW(OppTable(std::vector<OperatingPoint>{}), ConfigError);
-  EXPECT_THROW(OppTable({OperatingPoint{0.0, 1.0}}), ConfigError);
-  EXPECT_THROW(OppTable({OperatingPoint{1e6, 0.0}}), ConfigError);
-  EXPECT_THROW(OppTable({OperatingPoint{1e6, 1.0}, OperatingPoint{1e6, 1.1}}),
+  EXPECT_THROW(OppTable({OperatingPoint{util::hertz(0.0), util::volts(1.0)}}), ConfigError);
+  EXPECT_THROW(OppTable({OperatingPoint{util::hertz(1e6), util::volts(0.0)}}), ConfigError);
+  EXPECT_THROW(OppTable({OperatingPoint{util::hertz(1e6), util::volts(1.0)}, OperatingPoint{util::hertz(1e6), util::volts(1.1)}}),
                ConfigError);
 }
 
 TEST(OppTable, FloorIndex) {
   const OppTable t = three_point_table();
-  EXPECT_EQ(t.floor_index(util::mhz_to_hz(100.0)), 0u);
-  EXPECT_EQ(t.floor_index(util::mhz_to_hz(300.0)), 0u);
-  EXPECT_EQ(t.floor_index(util::mhz_to_hz(599.0)), 0u);
-  EXPECT_EQ(t.floor_index(util::mhz_to_hz(600.0)), 1u);
-  EXPECT_EQ(t.floor_index(util::mhz_to_hz(2000.0)), 2u);
+  EXPECT_EQ(t.floor_index(util::megahertz(100.0)), 0u);
+  EXPECT_EQ(t.floor_index(util::megahertz(300.0)), 0u);
+  EXPECT_EQ(t.floor_index(util::megahertz(599.0)), 0u);
+  EXPECT_EQ(t.floor_index(util::megahertz(600.0)), 1u);
+  EXPECT_EQ(t.floor_index(util::megahertz(2000.0)), 2u);
 }
 
 TEST(OppTable, CeilIndex) {
   const OppTable t = three_point_table();
-  EXPECT_EQ(t.ceil_index(0.0), 0u);
-  EXPECT_EQ(t.ceil_index(util::mhz_to_hz(301.0)), 1u);
-  EXPECT_EQ(t.ceil_index(util::mhz_to_hz(600.0)), 1u);
-  EXPECT_EQ(t.ceil_index(util::mhz_to_hz(601.0)), 2u);
-  EXPECT_EQ(t.ceil_index(util::mhz_to_hz(5000.0)), 2u);
+  EXPECT_EQ(t.ceil_index(util::hertz(0.0)), 0u);
+  EXPECT_EQ(t.ceil_index(util::megahertz(301.0)), 1u);
+  EXPECT_EQ(t.ceil_index(util::megahertz(600.0)), 1u);
+  EXPECT_EQ(t.ceil_index(util::megahertz(601.0)), 2u);
+  EXPECT_EQ(t.ceil_index(util::megahertz(5000.0)), 2u);
 }
 
 TEST(OppTable, IndexOfExactAndMissing) {
   const OppTable t = three_point_table();
-  EXPECT_EQ(t.index_of(util::mhz_to_hz(600.0)), 1u);
-  EXPECT_THROW(t.index_of(util::mhz_to_hz(601.0)), ConfigError);
+  EXPECT_EQ(t.index_of(util::megahertz(600.0)), 1u);
+  EXPECT_THROW(t.index_of(util::megahertz(601.0)), ConfigError);
 }
 
 TEST(OppTable, OutOfRangeAt) {
@@ -91,7 +91,7 @@ TEST(Soc, SetOppAndFrequency) {
   Soc soc(snapdragon810());
   const std::size_t gpu = soc.spec().gpu();
   soc.set_opp(gpu, 2);
-  EXPECT_DOUBLE_EQ(soc.frequency_hz(gpu), util::mhz_to_hz(390.0));
+  EXPECT_DOUBLE_EQ(soc.frequency_hz(gpu).value(), util::mhz_to_hz(390.0));
   EXPECT_THROW(soc.set_opp(gpu, 99), ConfigError);
 }
 
@@ -126,7 +126,7 @@ TEST(Presets, Snapdragon810GpuLadderMatchesPaper) {
   ASSERT_EQ(gpu.size(), 6u);
   const double expected[] = {180.0, 305.0, 390.0, 450.0, 510.0, 600.0};
   for (std::size_t i = 0; i < 6; ++i) {
-    EXPECT_DOUBLE_EQ(gpu.at(i).freq_hz, util::mhz_to_hz(expected[i]));
+    EXPECT_DOUBLE_EQ(gpu.at(i).freq_hz.value(), util::mhz_to_hz(expected[i]));
   }
 }
 
@@ -134,20 +134,20 @@ TEST(Presets, Snapdragon810BigLadderContains384And960) {
   // Sec. III-B discusses the 384 MHz and 960 MHz big-core points.
   const SocSpec spec = snapdragon810();
   const OppTable& big = spec.clusters[spec.big()].opps;
-  EXPECT_NO_THROW(big.index_of(util::mhz_to_hz(384.0)));
-  EXPECT_NO_THROW(big.index_of(util::mhz_to_hz(960.0)));
-  EXPECT_DOUBLE_EQ(big.highest().freq_hz, util::mhz_to_hz(1958.4));
+  EXPECT_NO_THROW(big.index_of(util::megahertz(384.0)));
+  EXPECT_NO_THROW(big.index_of(util::megahertz(960.0)));
+  EXPECT_DOUBLE_EQ(big.highest().freq_hz.value(), util::mhz_to_hz(1958.4));
 }
 
 TEST(Presets, Exynos5422Shape) {
   const SocSpec spec = exynos5422();
   EXPECT_EQ(spec.clusters[spec.big()].num_cores, 4);    // 4x A15
   EXPECT_EQ(spec.clusters[spec.little()].num_cores, 4); // 4x A7
-  EXPECT_DOUBLE_EQ(spec.clusters[spec.big()].opps.highest().freq_hz,
+  EXPECT_DOUBLE_EQ(spec.clusters[spec.big()].opps.highest().freq_hz.value(),
                    util::mhz_to_hz(2000.0));
-  EXPECT_DOUBLE_EQ(spec.clusters[spec.little()].opps.highest().freq_hz,
+  EXPECT_DOUBLE_EQ(spec.clusters[spec.little()].opps.highest().freq_hz.value(),
                    util::mhz_to_hz(1400.0));
-  EXPECT_DOUBLE_EQ(spec.clusters[spec.gpu()].opps.highest().freq_hz,
+  EXPECT_DOUBLE_EQ(spec.clusters[spec.gpu()].opps.highest().freq_hz.value(),
                    util::mhz_to_hz(600.0));
 }
 
@@ -155,7 +155,8 @@ TEST(Presets, VoltagesMonotoneInFrequency) {
   for (const SocSpec& spec : {snapdragon810(), exynos5422()}) {
     for (const ClusterSpec& c : spec.clusters) {
       for (std::size_t i = 1; i < c.opps.size(); ++i) {
-        EXPECT_GE(c.opps.at(i).voltage_v, c.opps.at(i - 1).voltage_v)
+        EXPECT_GE(c.opps.at(i).voltage_v.value(),
+                  c.opps.at(i - 1).voltage_v.value())
             << spec.name << "/" << c.name << " opp " << i;
       }
     }

@@ -17,14 +17,14 @@ using platform::Soc;
 using platform::SocSpec;
 using util::ConfigError;
 
-LeakageParams test_leakage() { return LeakageParams{1600.0, 1.0e-3}; }
+LeakageParams test_leakage() { return LeakageParams{util::kelvin(1600.0), util::watts_per_kelvin2(1.0e-3)}; }
 
 // --- PowerModel ---------------------------------------------------------------
 
 TEST(PowerModel, RejectsBadParams) {
   const SocSpec spec = platform::exynos5422();
-  EXPECT_THROW(PowerModel(spec, LeakageParams{-1.0, 1e-3}), ConfigError);
-  EXPECT_THROW(PowerModel(spec, test_leakage(), -0.5), ConfigError);
+  EXPECT_THROW(PowerModel(spec, LeakageParams{util::kelvin(-1.0), util::watts_per_kelvin2(1e-3)}), ConfigError);
+  EXPECT_THROW(PowerModel(spec, test_leakage(), util::watts(-0.5)), ConfigError);
 }
 
 TEST(PowerModel, DynamicPowerFollowsCV2F) {
@@ -36,33 +36,33 @@ TEST(PowerModel, DynamicPowerFollowsCV2F) {
 
   ClusterActivity act;
   act.busy_cores = 1.0;
-  act.temp_k = 300.0;
+  act.temp_k = util::kelvin(300.0);
   const ClusterPower one = pm.cluster_power(soc, big, act);
   act.busy_cores = 2.0;
   const ClusterPower two = pm.cluster_power(soc, big, act);
-  EXPECT_NEAR(two.dynamic_w, 2.0 * one.dynamic_w, 1e-12);
+  EXPECT_NEAR(two.dynamic_w.value(), 2.0 * one.dynamic_w.value(), 1e-12);
 
   // Hand value: ceff * V^2 * f at the top OPP.
   const platform::ClusterSpec& cs = spec.clusters[big];
-  const double expected = cs.ceff_f * 1.25 * 1.25 * 2.0e9;
-  EXPECT_NEAR(one.dynamic_w, expected, 1e-9);
+  const double expected = cs.ceff_f.value() * 1.25 * 1.25 * 2.0e9;
+  EXPECT_NEAR(one.dynamic_w.value(), expected, 1e-9);
 }
 
 TEST(PowerModel, DynamicPowerDropsWithFrequency) {
   const SocSpec spec = platform::exynos5422();
   const PowerModel pm(spec, test_leakage());
   const std::size_t gpu = spec.gpu();
-  const double high = pm.dynamic_per_core_at(gpu, 6);
-  const double low = pm.dynamic_per_core_at(gpu, 0);
+  const double high = pm.dynamic_per_core_at(gpu, 6).value();
+  const double low = pm.dynamic_per_core_at(gpu, 0).value();
   EXPECT_GT(high, 3.0 * low);
 }
 
 TEST(PowerModel, LeakageGrowsSuperlinearlyWithTemperature) {
   const SocSpec spec = platform::exynos5422();
   const PowerModel pm(spec, test_leakage());
-  const double cold = pm.soc_leakage_nominal(300.0);
-  const double warm = pm.soc_leakage_nominal(350.0);
-  const double hot = pm.soc_leakage_nominal(400.0);
+  const double cold = pm.soc_leakage_nominal(util::kelvin(300.0)).value();
+  const double warm = pm.soc_leakage_nominal(util::kelvin(350.0)).value();
+  const double hot = pm.soc_leakage_nominal(util::kelvin(400.0)).value();
   EXPECT_GT(warm, cold);
   EXPECT_GT(hot - warm, warm - cold);  // convex in T over this range
   // Matches the closed form A T^2 exp(-theta/T).
@@ -80,23 +80,26 @@ TEST(PowerModel, ClusterLeakageSplitsByShare) {
     soc.set_opp(c, spec.clusters[c].opps.max_index());
     ClusterActivity act;
     act.busy_cores = 0.0;
-    act.temp_k = 350.0;
-    total += pm.cluster_power(soc, c, act).leakage_w;
+    act.temp_k = util::kelvin(350.0);
+    total += pm.cluster_power(soc, c, act).leakage_w.value();
   }
   // Shares sum to 1 and top-OPP voltage == nominal, so the cluster sum
   // equals the SoC-level closed form.
-  EXPECT_NEAR(total, pm.soc_leakage_nominal(350.0), 1e-9);
+  EXPECT_NEAR(total, pm.soc_leakage_nominal(util::kelvin(350.0)).value(), 1e-9);
 }
 
 TEST(PowerModel, LeakageScalesWithVoltage) {
   const SocSpec spec = platform::exynos5422();
   const PowerModel pm(spec, test_leakage());
   const std::size_t big = spec.big();
-  const double at_min = pm.leakage_at(big, 0, 350.0);
+  const double at_min = pm.leakage_at(big, 0, util::kelvin(350.0)).value();
   const double at_max =
-      pm.leakage_at(big, spec.clusters[big].opps.max_index(), 350.0);
+      pm.leakage_at(big, spec.clusters[big].opps.max_index(),
+                    util::kelvin(350.0))
+          .value();
   const double v_ratio = spec.clusters[big].opps.at(0).voltage_v /
                          spec.clusters[big].opps.highest().voltage_v;
+
   EXPECT_NEAR(at_min / at_max, v_ratio, 1e-9);
 }
 
@@ -106,7 +109,7 @@ TEST(PowerModel, RejectsBusyBeyondOnline) {
   Soc soc(spec);
   ClusterActivity act;
   act.busy_cores = 5.0;  // only 4 cores
-  act.temp_k = 300.0;
+  act.temp_k = util::kelvin(300.0);
   EXPECT_THROW(pm.cluster_power(soc, spec.big(), act), ConfigError);
 }
 
@@ -116,19 +119,20 @@ TEST(PowerModel, IdleClusterDrawsIdleFloorPlusLeakage) {
   Soc soc(spec);
   ClusterActivity act;
   act.busy_cores = 0.0;
-  act.temp_k = 320.0;
+  act.temp_k = util::kelvin(320.0);
   const ClusterPower p = pm.cluster_power(soc, spec.big(), act);
-  EXPECT_DOUBLE_EQ(p.dynamic_w, 0.0);
-  EXPECT_DOUBLE_EQ(p.idle_w, spec.clusters[spec.big()].idle_power_w);
-  EXPECT_GT(p.leakage_w, 0.0);
-  EXPECT_NEAR(p.total(), p.idle_w + p.leakage_w, 1e-12);
+  EXPECT_DOUBLE_EQ(p.dynamic_w.value(), 0.0);
+  EXPECT_DOUBLE_EQ(p.idle_w.value(),
+                   spec.clusters[spec.big()].idle_power_w.value());
+  EXPECT_GT(p.leakage_w.value(), 0.0);
+  EXPECT_NEAR(p.total().value(), (p.idle_w + p.leakage_w).value(), 1e-12);
 }
 
 // --- RailSensor -----------------------------------------------------------------
 
 TEST(RailSensor, LatchesOncePerPeriod) {
   RailSensor::Config cfg;
-  cfg.period_s = 0.1;
+  cfg.period_s = util::seconds(0.1);
   RailSensor sensor(cfg);
   EXPECT_DOUBLE_EQ(sensor.last_sample_w(), 0.0);
   sensor.feed(0.05, 2.0);
@@ -139,7 +143,7 @@ TEST(RailSensor, LatchesOncePerPeriod) {
 
 TEST(RailSensor, SampleIsPeriodAverage) {
   RailSensor::Config cfg;
-  cfg.period_s = 0.1;
+  cfg.period_s = util::seconds(0.1);
   RailSensor sensor(cfg);
   sensor.feed(0.05, 1.0);
   sensor.feed(0.05, 3.0);
@@ -148,8 +152,8 @@ TEST(RailSensor, SampleIsPeriodAverage) {
 
 TEST(RailSensor, QuantizationApplies) {
   RailSensor::Config cfg;
-  cfg.period_s = 0.1;
-  cfg.lsb_w = 0.25;
+  cfg.period_s = util::seconds(0.1);
+  cfg.lsb_w = util::watts(0.25);
   RailSensor sensor(cfg);
   sensor.feed(0.1, 1.13);
   EXPECT_DOUBLE_EQ(sensor.last_sample_w(), 1.25);
@@ -157,8 +161,8 @@ TEST(RailSensor, QuantizationApplies) {
 
 TEST(RailSensor, NoiseIsDeterministicPerSeed) {
   RailSensor::Config cfg;
-  cfg.period_s = 0.01;
-  cfg.noise_stddev_w = 0.1;
+  cfg.period_s = util::seconds(0.01);
+  cfg.noise_stddev_w = util::watts(0.1);
   cfg.seed = 5;
   RailSensor a(cfg);
   RailSensor b(cfg);
@@ -171,7 +175,7 @@ TEST(RailSensor, NoiseIsDeterministicPerSeed) {
 
 TEST(RailSensor, WindowedTracksRecentPower) {
   RailSensor::Config cfg;
-  cfg.period_s = 0.1;
+  cfg.period_s = util::seconds(0.1);
   RailSensor sensor(cfg);
   for (int i = 0; i < 20; ++i) {
     sensor.feed(0.1, 1.0);
@@ -184,7 +188,7 @@ TEST(RailSensor, WindowedTracksRecentPower) {
 
 TEST(RailSensor, RejectsBadPeriod) {
   RailSensor::Config cfg;
-  cfg.period_s = 0.0;
+  cfg.period_s = util::seconds(0.0);
   EXPECT_THROW(RailSensor sensor(cfg), ConfigError);
 }
 
@@ -192,8 +196,8 @@ TEST(RailSensor, RejectsBadPeriod) {
 
 TEST(Daq, SamplesAtConfiguredRate) {
   DaqSimulator::Config cfg;
-  cfg.sample_rate_hz = 1000.0;
-  cfg.noise_stddev_w = 0.0;
+  cfg.sample_rate_hz = util::hertz(1000.0);
+  cfg.noise_stddev_w = util::watts(0.0);
   DaqSimulator daq(cfg);
   daq.feed(1.0, 2.5);
   // ~1000 samples in 1 s (first at t=0).
@@ -203,7 +207,7 @@ TEST(Daq, SamplesAtConfiguredRate) {
 
 TEST(Daq, TraceIsDecimated) {
   DaqSimulator::Config cfg;
-  cfg.sample_rate_hz = 1000.0;
+  cfg.sample_rate_hz = util::hertz(1000.0);
   cfg.trace_decimation = 100;
   DaqSimulator daq(cfg);
   daq.feed(1.0, 1.0);
@@ -212,7 +216,7 @@ TEST(Daq, TraceIsDecimated) {
 
 TEST(Daq, NoiseAffectsSamplesButNotDeterminism) {
   DaqSimulator::Config cfg;
-  cfg.noise_stddev_w = 0.05;
+  cfg.noise_stddev_w = util::watts(0.05);
   cfg.seed = 11;
   DaqSimulator a(cfg);
   DaqSimulator b(cfg);
@@ -224,7 +228,7 @@ TEST(Daq, NoiseAffectsSamplesButNotDeterminism) {
 
 TEST(Daq, RejectsBadConfig) {
   DaqSimulator::Config cfg;
-  cfg.sample_rate_hz = 0.0;
+  cfg.sample_rate_hz = util::hertz(0.0);
   EXPECT_THROW(DaqSimulator daq(cfg), ConfigError);
   DaqSimulator::Config cfg2;
   cfg2.trace_decimation = 0;

@@ -33,24 +33,29 @@ namespace {
 thermal::ThermalNetworkSpec random_network(util::Xorshift64Star& rng,
                                            std::size_t nodes) {
   thermal::ThermalNetworkSpec spec;
-  spec.t_ambient_k = rng.uniform(280.0, 310.0);
+  spec.t_ambient_k = util::kelvin(rng.uniform(280.0, 310.0));
   for (std::size_t i = 0; i < nodes; ++i) {
-    spec.nodes.push_back({"n" + std::to_string(i),
-                          rng.uniform(0.1, 5.0),
-                          rng.uniform() < 0.5 ? rng.uniform(0.001, 0.1)
-                                              : 0.0});
+    spec.nodes.push_back(
+        {"n" + std::to_string(i),
+         util::joules_per_kelvin(rng.uniform(0.1, 5.0)),
+         util::watts_per_kelvin(rng.uniform() < 0.5
+                                    ? rng.uniform(0.001, 0.1)
+                                    : 0.0)});
   }
   // Ensure at least one ground.
-  spec.nodes.back().g_ambient_w_per_k = rng.uniform(0.02, 0.2);
+  spec.nodes.back().g_ambient_w_per_k =
+      util::watts_per_kelvin(rng.uniform(0.02, 0.2));
   // Spanning chain keeps the network connected; extra random links.
   for (std::size_t i = 1; i < nodes; ++i) {
-    spec.links.push_back({i - 1, i, rng.uniform(0.05, 1.0)});
+    spec.links.push_back(
+        {i - 1, i, util::watts_per_kelvin(rng.uniform(0.05, 1.0))});
   }
   for (std::size_t extra = 0; extra < nodes; ++extra) {
     const std::size_t a = rng.below(nodes);
     const std::size_t b = rng.below(nodes);
     if (a != b) {
-      spec.links.push_back({a, b, rng.uniform(0.05, 1.0)});
+      spec.links.push_back(
+          {a, b, util::watts_per_kelvin(rng.uniform(0.05, 1.0))});
     }
   }
   return spec;
@@ -74,13 +79,14 @@ TEST_P(RandomNetwork, ConvergesToSteadyStateAndConservesHeat) {
 
   // All steady temperatures above ambient (positive injection).
   for (double t : ss) {
-    EXPECT_GE(t, spec.t_ambient_k - 1e-9);
+    EXPECT_GE(t, spec.t_ambient_k.value() - 1e-9);
   }
 
   // Global heat balance: ambient outflow equals total injection.
   double outflow = 0.0;
   for (std::size_t i = 0; i < nodes; ++i) {
-    outflow += spec.nodes[i].g_ambient_w_per_k * (ss[i] - spec.t_ambient_k);
+    outflow += spec.nodes[i].g_ambient_w_per_k.value() *
+               (ss[i] - spec.t_ambient_k.value());
   }
   EXPECT_NEAR(outflow, total_power, 1e-6 * (1.0 + total_power));
 
@@ -105,8 +111,8 @@ TEST_P(RandomNetwork, ExactAndRk4AgreeOnRandomTopologies) {
     power[i] = rng.uniform(0.0, 1.5);
   }
   for (int i = 0; i < 100; ++i) {
-    exact.step(power, 0.1);
-    rk4.step(power, 0.1);
+    exact.step(power, util::seconds(0.1));
+    rk4.step(power, util::seconds(0.1));
   }
   for (std::size_t i = 0; i < nodes; ++i) {
     EXPECT_NEAR(exact.temperatures()[i], rk4.temperatures()[i], 1e-3);
@@ -196,11 +202,11 @@ TEST_P(RandomCalibration, RoundTripsFeasibleTargets) {
   // Build targets from a *known* model so they are feasible by
   // construction: pick parameters, then measure the quantities.
   stability::Params truth;
-  truth.t_ambient_k = rng.uniform(288.0, 308.0);
-  truth.g_w_per_k = rng.uniform(0.03, 0.3);
-  truth.leak_theta_k = rng.uniform(1200.0, 3000.0);
-  truth.leak_a_w_per_k2 = rng.uniform(5e-4, 5e-3);
-  truth.c_j_per_k = rng.uniform(2.0, 10.0);
+  truth.t_ambient_k = util::kelvin(rng.uniform(288.0, 308.0));
+  truth.g_w_per_k = util::watts_per_kelvin(rng.uniform(0.03, 0.3));
+  truth.leak_theta_k = util::kelvin(rng.uniform(1200.0, 3000.0));
+  truth.leak_a_w_per_k2 = util::watts_per_kelvin2(rng.uniform(5e-4, 5e-3));
+  truth.c_j_per_k = util::joules_per_kelvin(rng.uniform(2.0, 10.0));
 
   const double p_crit = stability::critical_power(truth, 1000.0);
   if (p_crit < 0.5) {
@@ -209,7 +215,7 @@ TEST_P(RandomCalibration, RoundTripsFeasibleTargets) {
   const double p_obs = rng.uniform(0.2, 0.7) * p_crit;
 
   stability::CalibrationTargets targets;
-  targets.t_ambient_k = truth.t_ambient_k;
+  targets.t_ambient_k = truth.t_ambient_k.value();
   targets.p_observed_w = p_obs;
   targets.t_stable_k = stability::stable_temperature(truth, p_obs);
   targets.p_critical_w = p_crit;
@@ -220,7 +226,7 @@ TEST_P(RandomCalibration, RoundTripsFeasibleTargets) {
   // sets share the same steady point and runaway boundary — so the
   // meaningful round-trip property is that the calibrated model
   // reproduces every *observable*, not the hidden parameters.
-  const stability::Params fit = stability::calibrate(targets, truth.c_j_per_k);
+  const stability::Params fit = stability::calibrate(targets, truth.c_j_per_k.value());
   EXPECT_NEAR(stability::stable_temperature(fit, p_obs), targets.t_stable_k,
               0.1);
   EXPECT_NEAR(stability::critical_power(fit, 1000.0), p_crit,
@@ -238,11 +244,11 @@ class RandomStability : public ::testing::TestWithParam<int> {};
 TEST_P(RandomStability, AnalyzerAgreesWithOdeIntegration) {
   util::Xorshift64Star rng(7000 + GetParam());
   stability::Params p;
-  p.t_ambient_k = rng.uniform(288.0, 308.0);
-  p.g_w_per_k = rng.uniform(0.05, 0.25);
-  p.leak_theta_k = rng.uniform(1400.0, 2600.0);
-  p.leak_a_w_per_k2 = rng.uniform(5e-4, 4e-3);
-  p.c_j_per_k = rng.uniform(2.0, 8.0);
+  p.t_ambient_k = util::kelvin(rng.uniform(288.0, 308.0));
+  p.g_w_per_k = util::watts_per_kelvin(rng.uniform(0.05, 0.25));
+  p.leak_theta_k = util::kelvin(rng.uniform(1400.0, 2600.0));
+  p.leak_a_w_per_k2 = util::watts_per_kelvin2(rng.uniform(5e-4, 4e-3));
+  p.c_j_per_k = util::joules_per_kelvin(rng.uniform(2.0, 8.0));
 
   const double p_crit = stability::critical_power(p, 1000.0);
   if (p_crit < 0.5) {
@@ -255,7 +261,8 @@ TEST_P(RandomStability, AnalyzerAgreesWithOdeIntegration) {
   // Integrate the ODE from ambient: it must land on the analyzer's stable
   // fixed point.
   const double settled = stability::temperature_after(
-      p, power, p.t_ambient_k, 100.0 * p.c_j_per_k / p.g_w_per_k);
+      p, power, p.t_ambient_k.value(),
+      (100.0 * p.c_j_per_k / p.g_w_per_k).value());
   EXPECT_NEAR(settled, r.stable_temp_k, 0.05);
 }
 

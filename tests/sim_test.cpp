@@ -39,7 +39,7 @@ TEST(Engine, ValidatesConfig) {
 
 TEST(Engine, StartsAtAmbientAndMaxOpp) {
   auto engine = make_engine();
-  EXPECT_NEAR(engine->network().temperature(0), 298.15, 1e-9);
+  EXPECT_NEAR(engine->network().temperature(0).value(), 298.15, 1e-9);
   for (std::size_t c = 0; c < engine->soc().num_clusters(); ++c) {
     EXPECT_EQ(engine->soc().state(c).opp_index,
               engine->soc().cluster(c).opps.max_index());
@@ -50,15 +50,15 @@ TEST(Engine, IdleSystemStaysNearAmbient) {
   auto engine = make_engine();
   engine->run(20.0);
   // Idle + board power only: a couple of kelvin above ambient at most.
-  EXPECT_LT(engine->network().max_temperature(), 298.15 + 15.0);
-  EXPECT_GT(engine->network().max_temperature(), 298.15);
+  EXPECT_LT(engine->network().max_temperature().value(), 298.15 + 15.0);
+  EXPECT_GT(engine->network().max_temperature().value(), 298.15);
 }
 
 TEST(Engine, LoadHeatsTheSoc) {
   auto engine = make_engine();
   engine->add_app(workload::threedmark());
   engine->run(30.0);
-  EXPECT_GT(engine->network().max_temperature(),
+  EXPECT_GT(engine->network().max_temperature().value(),
             celsius_to_kelvin(40.0));
   EXPECT_GT(engine->total_power_w(), 2.0);
 }
@@ -66,7 +66,8 @@ TEST(Engine, LoadHeatsTheSoc) {
 TEST(Engine, SetInitialTemperaturePrimesEverything) {
   auto engine = make_engine();
   engine->set_initial_temperature(celsius_to_kelvin(50.0));
-  EXPECT_NEAR(engine->network().temperature(0), celsius_to_kelvin(50.0),
+  EXPECT_NEAR(engine->network().temperature(0).value(),
+              celsius_to_kelvin(50.0),
               1e-9);
   EXPECT_NEAR(engine->control_temp_k(), celsius_to_kelvin(50.0), 1e-9);
 }
@@ -149,7 +150,8 @@ TEST(Engine, InteractiveRampsUpUnderLoad) {
   const std::size_t big = engine->soc().spec().big();
   engine->add_app(workload::bml());  // saturates one big core
   engine->run(2.0);
-  EXPECT_GT(engine->soc().frequency_hz(big), util::mhz_to_hz(1500.0));
+  EXPECT_GT(engine->soc().frequency_hz(big).value(),
+            util::mhz_to_hz(1500.0));
 }
 
 TEST(Engine, ThermalGovernorCapsDvfs) {
@@ -160,10 +162,10 @@ TEST(Engine, ThermalGovernorCapsDvfs) {
   governors::StepWiseGovernor::Zone z;
   z.cluster = spec.big();
   z.sensor_node = spec.clusters[spec.big()].thermal_node;
-  z.trip_k = 0.0;  // always above trip
+  z.trip_k = util::kelvin(0.0);  // always above trip
   z.steps_per_state = 4;
   cfg.zones = {z};
-  cfg.polling_period_s = 0.1;
+  cfg.polling_period_s = util::seconds(0.1);
   engine->set_thermal_governor(
       std::make_unique<governors::StepWiseGovernor>(spec, cfg));
   engine->add_app(workload::bml());
@@ -208,8 +210,8 @@ TEST(Engine, DeterministicAcrossRuns) {
   b->add_app(workload::threedmark());
   a->run(5.0);
   b->run(5.0);
-  EXPECT_DOUBLE_EQ(a->network().max_temperature(),
-                   b->network().max_temperature());
+  EXPECT_DOUBLE_EQ(a->network().max_temperature().value(),
+                   b->network().max_temperature().value());
   EXPECT_DOUBLE_EQ(a->total_power_w(), b->total_power_w());
   EXPECT_DOUBLE_EQ(a->app(0).total_frames(), b->app(0).total_frames());
 }

@@ -25,7 +25,7 @@ TEST(FixedPoint, AuxiliaryTemperatureIsInverse) {
   const Params p = odroid();
   const double t = 350.0;
   const double x = auxiliary_of_temperature(p, t);
-  EXPECT_NEAR(x, p.leak_theta_k / t, 1e-12);
+  EXPECT_NEAR(x, p.leak_theta_k.value() / t, 1e-12);
   EXPECT_NEAR(temperature_of_auxiliary(p, x), t, 1e-9);
   // Higher auxiliary temperature corresponds to lower actual temperature.
   EXPECT_GT(auxiliary_of_temperature(p, 300.0),
@@ -155,18 +155,19 @@ TEST(Analyze, UnstableTempDecreasesWithPower) {
 
 TEST(Analyze, ZeroLeakageDegeneratesToLinearModel) {
   Params p = odroid();
-  p.leak_a_w_per_k2 = 0.0;
+  p.leak_a_w_per_k2 = util::watts_per_kelvin2(0.0);
   const FixedPointResult r = analyze(p, 3.0);
   EXPECT_EQ(r.cls, StabilityClass::kStable);
   EXPECT_EQ(r.num_fixed_points, 1);
-  EXPECT_NEAR(r.stable_temp_k, p.t_ambient_k + 3.0 / p.g_w_per_k, 1e-6);
+  EXPECT_NEAR(r.stable_temp_k,
+              p.t_ambient_k.value() + 3.0 / p.g_w_per_k.value(), 1e-6);
   EXPECT_TRUE(std::isnan(r.unstable_temp_k));
 }
 
 TEST(Analyze, ValidatesInputs) {
   Params p = odroid();
   EXPECT_THROW(analyze(p, -1.0), NumericError);
-  p.g_w_per_k = 0.0;
+  p.g_w_per_k = util::watts_per_kelvin(0.0);
   EXPECT_THROW(analyze(p, 1.0), NumericError);
 }
 
@@ -174,9 +175,13 @@ TEST(Analyze, FixedPointBalancesHeatEquation) {
   // The analysis roots must be equilibria of the lumped ODE.
   const Params p = odroid();
   const FixedPointResult r = analyze(p, 3.0);
-  EXPECT_NEAR(thermal::temperature_derivative(p, r.stable_temp_k, 3.0), 0.0,
-              1e-9);
-  EXPECT_NEAR(thermal::temperature_derivative(p, r.unstable_temp_k, 3.0),
+  EXPECT_NEAR(thermal::temperature_derivative(p, util::kelvin(r.stable_temp_k),
+                                              util::watts(3.0))
+                  .value(),
+              0.0, 1e-9);
+  EXPECT_NEAR(thermal::temperature_derivative(p, util::kelvin(r.unstable_temp_k),
+                                              util::watts(3.0))
+                  .value(),
               0.0, 1e-9);
 }
 
@@ -204,7 +209,7 @@ TEST(StableTemperature, ThrowsAboveCritical) {
 
 TEST(Trajectory, TemperatureAfterApproachesFixedPoint) {
   const Params p = odroid();
-  const double t_end = temperature_after(p, 2.0, p.t_ambient_k, 3000.0);
+  const double t_end = temperature_after(p, 2.0, p.t_ambient_k.value(), 3000.0);
   EXPECT_NEAR(t_end, stable_temperature(p, 2.0), 0.01);
 }
 
@@ -319,8 +324,8 @@ TEST(Calibrate, InfeasibleTargetsThrowWithDiagnostics) {
 
 TEST(Presets, OdroidParamsMatchFig7) {
   const Params p = odroid();
-  EXPECT_GT(p.g_w_per_k, 0.0);
-  EXPECT_GT(p.leak_a_w_per_k2, 0.0);
+  EXPECT_GT(p.g_w_per_k.value(), 0.0);
+  EXPECT_GT(p.leak_a_w_per_k2.value(), 0.0);
   // Fig. 7's auxiliary-temperature axis spans ~2..6 for these parameters.
   const FixedPointResult r = analyze(p, 2.0);
   EXPECT_GT(r.stable_x, 2.0);
@@ -328,7 +333,8 @@ TEST(Presets, OdroidParamsMatchFig7) {
 }
 
 TEST(Presets, NexusSpreadsHeatBetterThanOdroid) {
-  EXPECT_GT(nexus6p_params().g_w_per_k, 2.0 * odroid().g_w_per_k);
+  EXPECT_GT(nexus6p_params().g_w_per_k.value(),
+            2.0 * odroid().g_w_per_k.value());
   // And correspondingly tolerates more power before runaway.
   EXPECT_GT(critical_power(nexus6p_params(), 100.0),
             critical_power(odroid()));

@@ -15,19 +15,27 @@ namespace {
 
 using util::ConfigError;
 
+ThermalNodeSpec node(const char* name, double c, double g) {
+  return {name, util::joules_per_kelvin(c), util::watts_per_kelvin(g)};
+}
+
+ThermalLinkSpec link(std::size_t a, std::size_t b, double g) {
+  return {a, b, util::watts_per_kelvin(g)};
+}
+
 ThermalNetworkSpec single_node(double c = 2.0, double g = 0.1,
                                double t_amb = 300.0) {
   ThermalNetworkSpec spec;
-  spec.t_ambient_k = t_amb;
-  spec.nodes = {{"node", c, g}};
+  spec.t_ambient_k = util::kelvin(t_amb);
+  spec.nodes = {node("node", c, g)};
   return spec;
 }
 
 ThermalNetworkSpec two_node() {
   ThermalNetworkSpec spec;
-  spec.t_ambient_k = 300.0;
-  spec.nodes = {{"chip", 0.5, 0.01}, {"board", 5.0, 0.1}};
-  spec.links = {{0, 1, 0.5}};
+  spec.t_ambient_k = util::kelvin(300.0);
+  spec.nodes = {node("chip", 0.5, 0.01), node("board", 5.0, 0.1)};
+  spec.links = {link(0, 1, 0.5)};
   return spec;
 }
 
@@ -38,34 +46,34 @@ TEST(Network, RejectsEmptyAndUngrounded) {
   EXPECT_THROW(ThermalNetwork net(empty), ConfigError);
 
   ThermalNetworkSpec floating;
-  floating.nodes = {{"a", 1.0, 0.0}, {"b", 1.0, 0.0}};
-  floating.links = {{0, 1, 0.5}};
+  floating.nodes = {node("a", 1.0, 0.0), node("b", 1.0, 0.0)};
+  floating.links = {link(0, 1, 0.5)};
   EXPECT_THROW(ThermalNetwork net(floating), ConfigError);
 }
 
 TEST(Network, RejectsBadNodesAndLinks) {
   ThermalNetworkSpec bad_cap;
-  bad_cap.nodes = {{"a", 0.0, 0.1}};
+  bad_cap.nodes = {node("a", 0.0, 0.1)};
   EXPECT_THROW(ThermalNetwork net(bad_cap), ConfigError);
 
   ThermalNetworkSpec bad_link = two_node();
-  bad_link.links.push_back({0, 5, 0.1});
+  bad_link.links.push_back(link(0, 5, 0.1));
   EXPECT_THROW(ThermalNetwork net(bad_link), ConfigError);
 
   ThermalNetworkSpec self_link = two_node();
-  self_link.links.push_back({1, 1, 0.1});
+  self_link.links.push_back(link(1, 1, 0.1));
   EXPECT_THROW(ThermalNetwork net(self_link), ConfigError);
 
   ThermalNetworkSpec neg_link = two_node();
-  neg_link.links.push_back({0, 1, -0.1});
+  neg_link.links.push_back(link(0, 1, -0.1));
   EXPECT_THROW(ThermalNetwork net(neg_link), ConfigError);
 }
 
 TEST(Network, StartsAtAmbient) {
   ThermalNetwork net(two_node());
-  EXPECT_DOUBLE_EQ(net.temperature(0), 300.0);
-  EXPECT_DOUBLE_EQ(net.temperature(1), 300.0);
-  EXPECT_THROW(net.temperature(2), ConfigError);
+  EXPECT_DOUBLE_EQ(net.temperature(0).value(), 300.0);
+  EXPECT_DOUBLE_EQ(net.temperature(1).value(), 300.0);
+  EXPECT_THROW(net.temperature(2).value(), ConfigError);
 }
 
 // --- single-node analytic comparison --------------------------------------------
@@ -82,11 +90,11 @@ TEST_P(SingleNodeAnalytic, MatchesClosedFormExponential) {
     const double t_ss = 300.0 + power / 0.1;
     double elapsed = 0.0;
     for (int i = 0; i < 200; ++i) {
-      net.step({power}, dt);
+      net.step({power}, util::seconds(dt));
       elapsed += dt;
     }
     const double expected = t_ss + (300.0 - t_ss) * std::exp(-elapsed / tau);
-    EXPECT_NEAR(net.temperature(0), expected, 1e-6)
+    EXPECT_NEAR(net.temperature(0).value(), expected, 1e-6)
         << "method=" << static_cast<int>(method) << " P=" << power
         << " dt=" << dt;
   }
@@ -103,20 +111,20 @@ TEST(Network, ExactAndRk4Agree) {
   ThermalNetwork rk4(two_node(), StepMethod::kRk4);
   const linalg::Vector p = {1.5, 0.2};
   for (int i = 0; i < 500; ++i) {
-    exact.step(p, 0.05);
-    rk4.step(p, 0.05);
+    exact.step(p, util::seconds(0.05));
+    rk4.step(p, util::seconds(0.05));
   }
-  EXPECT_NEAR(exact.temperature(0), rk4.temperature(0), 1e-4);
-  EXPECT_NEAR(exact.temperature(1), rk4.temperature(1), 1e-4);
+  EXPECT_NEAR(exact.temperature(0).value(), rk4.temperature(0).value(), 1e-4);
+  EXPECT_NEAR(exact.temperature(1).value(), rk4.temperature(1).value(), 1e-4);
 }
 
 TEST(Network, ExactIsStableAtHugeSteps) {
   // Stiff step far beyond the fastest time constant must not blow up.
   ThermalNetwork net(two_node(), StepMethod::kExact);
-  net.step({2.0, 0.0}, 1000.0);
+  net.step({2.0, 0.0}, util::seconds(1000.0));
   const linalg::Vector ss = net.steady_state({2.0, 0.0});
-  EXPECT_NEAR(net.temperature(0), ss[0], 1e-6);
-  EXPECT_NEAR(net.temperature(1), ss[1], 1e-6);
+  EXPECT_NEAR(net.temperature(0).value(), ss[0], 1e-6);
+  EXPECT_NEAR(net.temperature(1).value(), ss[1], 1e-6);
 }
 
 TEST(Network, SteadyStateSatisfiesBalance) {
@@ -134,117 +142,119 @@ TEST(Network, ConvergesToSteadyStateFromAnywhere) {
   net.set_temperatures({380.0, 290.0});
   const linalg::Vector p = {1.0, 0.5};
   for (int i = 0; i < 20000; ++i) {
-    net.step(p, 0.1);
+    net.step(p, util::seconds(0.1));
   }
   const linalg::Vector ss = net.steady_state(p);
-  EXPECT_NEAR(net.temperature(0), ss[0], 1e-6);
-  EXPECT_NEAR(net.temperature(1), ss[1], 1e-6);
+  EXPECT_NEAR(net.temperature(0).value(), ss[0], 1e-6);
+  EXPECT_NEAR(net.temperature(1).value(), ss[1], 1e-6);
 }
 
 TEST(Network, HeatFlowsFromHotToCold) {
   ThermalNetwork net(two_node());
   net.set_temperatures({350.0, 300.0});
-  const double before = net.temperature(1);
-  net.step({0.0, 0.0}, 0.5);
-  EXPECT_GT(net.temperature(1), before);   // board warms
-  EXPECT_LT(net.temperature(0), 350.0);    // chip cools
+  const double before = net.temperature(1).value();
+  net.step({0.0, 0.0}, util::seconds(0.5));
+  EXPECT_GT(net.temperature(1).value(), before);   // board warms
+  EXPECT_LT(net.temperature(0).value(), 350.0);    // chip cools
 }
 
 TEST(Network, MonotoneHeatingUnderConstantPower) {
   ThermalNetwork net(two_node());
-  double prev = net.temperature(0);
+  double prev = net.temperature(0).value();
   for (int i = 0; i < 100; ++i) {
-    net.step({2.0, 0.0}, 0.1);
-    EXPECT_GE(net.temperature(0), prev - 1e-12);
-    prev = net.temperature(0);
+    net.step({2.0, 0.0}, util::seconds(0.1));
+    EXPECT_GE(net.temperature(0).value(), prev - 1e-12);
+    prev = net.temperature(0).value();
   }
 }
 
 TEST(Network, LumpedAggregatesAndTimeConstant) {
   const ThermalNetworkSpec spec = two_node();
   ThermalNetwork net(spec);
-  EXPECT_NEAR(net.total_ambient_conductance(), 0.11, 1e-12);
-  EXPECT_NEAR(net.total_capacitance(), 5.5, 1e-12);
+  EXPECT_NEAR(net.total_ambient_conductance().value(), 0.11, 1e-12);
+  EXPECT_NEAR(net.total_capacitance().value(), 5.5, 1e-12);
   // Slowest time constant bounded below by C_total / G_total order.
-  const double tau = net.slowest_time_constant();
+  const double tau = net.slowest_time_constant().value();
   EXPECT_GT(tau, 10.0);
   EXPECT_LT(tau, 200.0);
 }
 
 TEST(Network, PowerVectorSizeValidated) {
   ThermalNetwork net(two_node());
-  EXPECT_THROW(net.step({1.0}, 0.1), ConfigError);
+  EXPECT_THROW(net.step({1.0}, util::seconds(0.1)), ConfigError);
   EXPECT_THROW(net.steady_state({1.0}), ConfigError);
   EXPECT_THROW(net.set_temperatures({1.0}), ConfigError);
 }
 
 TEST(Network, ResetReturnsToAmbient) {
   ThermalNetwork net(two_node());
-  net.step({5.0, 0.0}, 10.0);
+  net.step({5.0, 0.0}, util::seconds(10.0));
   net.reset();
-  EXPECT_DOUBLE_EQ(net.temperature(0), 300.0);
+  EXPECT_DOUBLE_EQ(net.temperature(0).value(), 300.0);
 }
 
 // --- lumped model -----------------------------------------------------------------
 
 TEST(Lumped, LeakagePowerClosedForm) {
   LumpedParams p;
-  p.leak_a_w_per_k2 = 1e-3;
-  p.leak_theta_k = 1500.0;
-  EXPECT_NEAR(leakage_power(p, 350.0),
+  p.leak_a_w_per_k2 = util::watts_per_kelvin2(1e-3);
+  p.leak_theta_k = util::kelvin(1500.0);
+  EXPECT_NEAR(leakage_power(p, util::kelvin(350.0)).value(),
               1e-3 * 350.0 * 350.0 * std::exp(-1500.0 / 350.0), 1e-12);
 }
 
 TEST(Lumped, RejectsInvalidParams) {
   LumpedParams p;
-  p.g_w_per_k = 0.0;
+  p.g_w_per_k = util::watts_per_kelvin(0.0);
   EXPECT_THROW(LumpedModel m(p), ConfigError);
 }
 
 TEST(Lumped, ConvergesToFixedPointBalance) {
   LumpedParams p;  // defaults are the Odroid-class parameters
   LumpedModel m(p);
-  m.step(2.0, 2000.0);
-  const double t = m.temperature_k();
+  m.step(util::watts(2.0), util::seconds(2000.0));
+  const double t = m.temperature_k().value();
   // At the fixed point: G (T - Tamb) == P + leak(T).
-  EXPECT_NEAR(p.g_w_per_k * (t - p.t_ambient_k),
-              2.0 + leakage_power(p, t), 1e-6);
+  EXPECT_NEAR(p.g_w_per_k.value() * (t - p.t_ambient_k.value()),
+              2.0 + leakage_power(p, util::kelvin(t)).value(), 1e-6);
 }
 
 TEST(Lumped, NoLeakageMatchesLinearSteadyState) {
   LumpedParams p;
-  p.leak_a_w_per_k2 = 0.0;
+  p.leak_a_w_per_k2 = util::watts_per_kelvin2(0.0);
   LumpedModel m(p);
-  m.step(3.5, 5000.0);
-  EXPECT_NEAR(m.temperature_k(), p.t_ambient_k + 3.5 / p.g_w_per_k, 1e-6);
+  m.step(util::watts(3.5), util::seconds(5000.0));
+  EXPECT_NEAR(m.temperature_k().value(),
+              p.t_ambient_k.value() + 3.5 / p.g_w_per_k.value(), 1e-6);
 }
 
 TEST(Lumped, RunawayAboveCriticalPower) {
   LumpedParams p;  // critical power ~5.5 W for these defaults
   LumpedModel m(p);
-  m.step(8.0, 600.0);
-  EXPECT_GT(m.temperature_k(), 500.0);  // diverging hot
+  m.step(util::watts(8.0), util::seconds(600.0));
+  EXPECT_GT(m.temperature_k().value(), 500.0);  // diverging hot
 }
 
 TEST(Lumped, MatchesNetworkLumpedEquivalentWithoutLeakage) {
   const ThermalNetworkSpec spec = odroidxu3_network();
-  LumpedParams lp = lumped_equivalent(spec, 0.0, 1600.0);
+  LumpedParams lp = lumped_equivalent(spec, util::watts_per_kelvin2(0.0),
+                                        util::kelvin(1600.0));
   ThermalNetwork net(spec);
   LumpedModel lumped(lp);
   // Same total power: the lumped steady state approximates the
   // capacitance-weighted network steady state.
-  lumped.step(3.0, 10000.0);
+  lumped.step(util::watts(3.0), util::seconds(10000.0));
   linalg::Vector p(spec.nodes.size(), 0.0);
   p.back() = 3.0;  // all power into the board node
   const linalg::Vector ss = net.steady_state(p);
-  EXPECT_NEAR(lumped.temperature_k(), ss.back(), 2.0);
+  EXPECT_NEAR(lumped.temperature_k().value(), ss.back(), 2.0);
 }
 
 // --- sensors ---------------------------------------------------------------------
 
 TEST(TempSensor, PrimedValueBeforeFirstSample) {
   TemperatureSensor::Config cfg;
-  cfg.period_s = 1.0;
+  cfg.period_s = util::seconds(1.0);
   TemperatureSensor s(cfg);
   s.prime(310.0);
   EXPECT_DOUBLE_EQ(s.last_k(), 310.0);
@@ -256,8 +266,8 @@ TEST(TempSensor, PrimedValueBeforeFirstSample) {
 
 TEST(TempSensor, QuantizationRoundsToLsb) {
   TemperatureSensor::Config cfg;
-  cfg.period_s = 0.1;
-  cfg.lsb_k = 1.0;
+  cfg.period_s = util::seconds(0.1);
+  cfg.lsb_k = util::kelvin(1.0);
   TemperatureSensor s(cfg);
   s.feed(0.1, 333.4);
   EXPECT_DOUBLE_EQ(s.last_k(), 333.0);
@@ -267,8 +277,8 @@ TEST(TempSensor, QuantizationRoundsToLsb) {
 
 TEST(TempSensor, DeterministicNoise) {
   TemperatureSensor::Config cfg;
-  cfg.period_s = 0.01;
-  cfg.noise_stddev_k = 0.5;
+  cfg.period_s = util::seconds(0.01);
+  cfg.noise_stddev_k = util::kelvin(0.5);
   cfg.seed = 21;
   TemperatureSensor a(cfg);
   TemperatureSensor b(cfg);
@@ -281,7 +291,7 @@ TEST(TempSensor, DeterministicNoise) {
 
 TEST(TempSensor, RejectsBadPeriod) {
   TemperatureSensor::Config cfg;
-  cfg.period_s = -0.1;
+  cfg.period_s = util::seconds(-0.1);
   EXPECT_THROW(TemperatureSensor s(cfg), ConfigError);
 }
 
@@ -293,35 +303,37 @@ TEST(ThermalPresets, NodeConventionFiveNodes) {
     EXPECT_EQ(spec.nodes.size(), 5u);
     EXPECT_EQ(spec.nodes.back().name, "board");
     ThermalNetwork net(spec);  // must construct: grounded, SPD
-    EXPECT_GT(net.slowest_time_constant(), 10.0);
+    EXPECT_GT(net.slowest_time_constant().value(), 10.0);
   }
 }
 
 TEST(ThermalPresets, PhoneSpreadsHeatBetterThanBoard) {
   ThermalNetwork phone(nexus6p_network());
   ThermalNetwork board(odroidxu3_network());
-  EXPECT_GT(phone.total_ambient_conductance(),
-            board.total_ambient_conductance());
+  EXPECT_GT(phone.total_ambient_conductance().value(),
+            board.total_ambient_conductance().value());
 }
 
 TEST(ThermalPresets, BoardHasLargestCapacitance) {
   for (const ThermalNetworkSpec& spec :
        {nexus6p_network(), odroidxu3_network()}) {
     for (std::size_t i = 0; i + 1 < spec.nodes.size(); ++i) {
-      EXPECT_LT(spec.nodes[i].capacitance_j_per_k,
-                spec.nodes.back().capacitance_j_per_k);
+      EXPECT_LT(spec.nodes[i].capacitance_j_per_k.value(),
+                spec.nodes.back().capacitance_j_per_k.value());
     }
   }
 }
 
 TEST(ThermalPresets, LumpedEquivalentSumsNetwork) {
   const ThermalNetworkSpec spec = odroidxu3_network();
-  const LumpedParams lp = lumped_equivalent(spec, 2e-3, 1700.0);
+  const LumpedParams lp = lumped_equivalent(spec, util::watts_per_kelvin2(2e-3),
+                                              util::kelvin(1700.0));
   ThermalNetwork net(spec);
-  EXPECT_NEAR(lp.g_w_per_k, net.total_ambient_conductance(), 1e-12);
-  EXPECT_NEAR(lp.c_j_per_k, net.total_capacitance(), 1e-12);
-  EXPECT_DOUBLE_EQ(lp.leak_a_w_per_k2, 2e-3);
-  EXPECT_DOUBLE_EQ(lp.leak_theta_k, 1700.0);
+  EXPECT_NEAR(lp.g_w_per_k.value(), net.total_ambient_conductance().value(),
+              1e-12);
+  EXPECT_NEAR(lp.c_j_per_k.value(), net.total_capacitance().value(), 1e-12);
+  EXPECT_DOUBLE_EQ(lp.leak_a_w_per_k2.value(), 2e-3);
+  EXPECT_DOUBLE_EQ(lp.leak_theta_k.value(), 1700.0);
 }
 
 }  // namespace

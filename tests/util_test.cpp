@@ -38,7 +38,7 @@ TEST(Units, TimeAndPower) {
 
 TEST(Units, LeakageThetaMatchesPhysics) {
   // theta = Vth / (eta * k); Vth=0.2 V, eta=1.25 -> ~1856 K.
-  const double theta = leakage_theta(0.2, 1.25);
+  const double theta = leakage_theta(0.2, 1.25).value();
   EXPECT_NEAR(theta, 0.2 / (1.25 * 8.617333262e-5), 1e-9);
   EXPECT_GT(theta, 1800.0);
   EXPECT_LT(theta, 1900.0);
