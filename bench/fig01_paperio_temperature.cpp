@@ -2,11 +2,10 @@
 // default thermal governor (paper: unthrottled run reaches ~50 degC; the
 // governor holds the package near its trip point).
 #include "nexus_figure.h"
-#include "workload/presets.h"
 
 int main() {
   mobitherm::bench::temperature_figure(
-      "Figure 1", mobitherm::workload::paperio(),
+      "Figure 1", "paperio",
       /*paper_peak_without_c=*/50.0, /*paper_peak_with_c=*/42.0);
   return 0;
 }

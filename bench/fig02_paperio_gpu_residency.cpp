@@ -2,11 +2,10 @@
 // 510/600 MHz share collapses to zero under throttling while 390 MHz grows
 // from 15% to 67%.
 #include "nexus_figure.h"
-#include "workload/presets.h"
 
 int main() {
   mobitherm::bench::residency_figure("Figure 2",
-                                     mobitherm::workload::paperio(),
+                                     "paperio",
                                      /*gpu_cluster=*/true, "GPU");
   return 0;
 }

@@ -2,11 +2,10 @@
 // unthrottled run exceeds 50 degC after ~50 s; throttling keeps the
 // maximum temperature near 40 degC).
 #include "nexus_figure.h"
-#include "workload/presets.h"
 
 int main() {
   mobitherm::bench::temperature_figure(
-      "Figure 3", mobitherm::workload::stickman_hook(),
+      "Figure 3", "stickman_hook",
       /*paper_peak_without_c=*/50.0, /*paper_peak_with_c=*/40.0);
   return 0;
 }

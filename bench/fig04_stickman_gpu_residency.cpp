@@ -2,11 +2,10 @@
 // Paper: 450/510 MHz drop to ~zero; 180 MHz grows 12% -> 31% and 305 MHz
 // 0% -> 9%.
 #include "nexus_figure.h"
-#include "workload/presets.h"
 
 int main() {
   mobitherm::bench::residency_figure("Figure 4",
-                                     mobitherm::workload::stickman_hook(),
+                                     "stickman_hook",
                                      /*gpu_cluster=*/true, "GPU");
   return 0;
 }

@@ -2,11 +2,10 @@
 // runs track each other for ~80 s, after which the unthrottled run keeps
 // heating while the governor holds ~38-40 degC).
 #include "nexus_figure.h"
-#include "workload/presets.h"
 
 int main() {
   mobitherm::bench::temperature_figure(
-      "Figure 5", mobitherm::workload::amazon(),
+      "Figure 5", "amazon",
       /*paper_peak_without_c=*/41.0, /*paper_peak_with_c=*/39.0);
   return 0;
 }

@@ -2,11 +2,10 @@
 // 960 MHz share drops 32% -> 23% under throttling while 384 MHz grows
 // 25% -> 37% (Amazon is CPU-bound, so the CPU zone does the throttling).
 #include "nexus_figure.h"
-#include "workload/presets.h"
 
 int main() {
   mobitherm::bench::residency_figure("Figure 6",
-                                     mobitherm::workload::amazon(),
+                                     "amazon",
                                      /*gpu_cluster=*/false, "big-core");
   return 0;
 }

@@ -13,7 +13,7 @@ int main() {
   using namespace mobitherm;
   bench::header("Figure 8", "Odroid-XU3 max temperature, 3DMark scenarios");
 
-  const bench::OdroidTriple t = bench::run_triple(workload::threedmark());
+  const bench::OdroidTriple t = bench::run_triple("threedmark");
 
   std::vector<std::vector<double>> rows;
   const auto& a = t.alone.max_temp_trace_c;

@@ -33,7 +33,7 @@ int main() {
   using namespace mobitherm;
   bench::header("Figure 9", "Odroid-XU3 rail power distribution, 3DMark");
 
-  const bench::OdroidTriple t = bench::run_triple(workload::threedmark());
+  const bench::OdroidTriple t = bench::run_triple("threedmark");
   pie("(a) 3DMark alone", t.alone);
   pie("(b) 3DMark + BML, default policy", t.with_bml);
   pie("(c) 3DMark + BML, proposed controller", t.proposed);

@@ -1,0 +1,161 @@
+// Microbenchmarks for the simulation service layer, plus the cache-hit
+// invariant the issue tracker pins: a repeated identical request must be
+// served from the result cache byte-identically and at least 10x faster
+// than the cold simulation. The invariant is asserted in main() before the
+// benchmarks run, so a broken cache fails the bench-smoke job loudly
+// instead of just shifting numbers.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "service/scenario_registry.h"
+#include "service/server.h"
+#include "service/service.h"
+
+namespace {
+
+using namespace mobitherm;
+
+service::ServiceConfig quick_config() {
+  service::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 64;
+  cfg.cache_capacity = 8;
+  return cfg;
+}
+
+// A short Nexus run: long enough that a cold simulation dwarfs the cache
+// bookkeeping, short enough to keep the bench quick.
+service::SimRequest quick_request(std::uint64_t seed) {
+  service::SimRequest req;
+  req.scenario = "nexus";
+  req.app = "paperio";
+  req.duration_s = 10.0;
+  req.seed = seed;
+  return req;
+}
+
+/// Submit + wait; returns the job id. Aborts the process on rejection so a
+/// misconfigured bench cannot silently measure nothing.
+std::uint64_t submit_and_wait(service::SimService& service,
+                              const service::SimRequest& req) {
+  const service::SubmitOutcome out = service.submit(req);
+  if (!out.accepted || !service.wait(out.id, 600.0)) {
+    std::fprintf(stderr, "micro_service: submit failed: %s\n",
+                 out.reject_reason.c_str());
+    std::abort();
+  }
+  return out.id;
+}
+
+void BM_ServiceColdMiss(benchmark::State& state) {
+  service::SimService service(service::ScenarioRegistry::standard(),
+                              quick_config());
+  std::uint64_t seed = 1000;  // fresh seed per iteration: every run misses
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(submit_and_wait(service, quick_request(seed++)));
+  }
+}
+BENCHMARK(BM_ServiceColdMiss)->Unit(benchmark::kMillisecond);
+
+void BM_ServiceCacheHit(benchmark::State& state) {
+  service::SimService service(service::ScenarioRegistry::standard(),
+                              quick_config());
+  const service::SimRequest req = quick_request(42);
+  submit_and_wait(service, req);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(submit_and_wait(service, req));
+  }
+}
+BENCHMARK(BM_ServiceCacheHit)->Unit(benchmark::kMicrosecond);
+
+void BM_CanonicalKey(benchmark::State& state) {
+  const service::ScenarioRegistry& registry = service::standard_registry();
+  const service::SimRequest req = quick_request(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.canonical_key(req));
+  }
+}
+BENCHMARK(BM_CanonicalKey);
+
+void BM_ServerStatsOp(benchmark::State& state) {
+  service::SimService service(service::ScenarioRegistry::standard(),
+                              quick_config());
+  service::SimServer server(service);
+  const std::string line = "{\"op\":\"stats\"}";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.handle_line(line));
+  }
+}
+BENCHMARK(BM_ServerStatsOp);
+
+/// The pinned invariant: second identical submit is a cache hit, its
+/// payload is byte-identical, and it resolves >= 10x faster than the cold
+/// run. Returns true on success.
+bool check_cache_speedup() {
+  using clock = std::chrono::steady_clock;
+  service::SimService service(service::ScenarioRegistry::standard(),
+                              quick_config());
+  const service::SimRequest req = quick_request(42);
+
+  const auto t0 = clock::now();
+  const std::uint64_t cold_id = submit_and_wait(service, req);
+  const auto t1 = clock::now();
+  const service::SubmitOutcome hit = service.submit(req);
+  if (!hit.accepted || !service.wait(hit.id, 600.0)) {
+    std::fprintf(stderr, "micro_service: cache-hit submit failed\n");
+    return false;
+  }
+  const auto t2 = clock::now();
+
+  if (!hit.cached) {
+    std::fprintf(stderr,
+                 "micro_service: repeated submit was not served from "
+                 "cache\n");
+    return false;
+  }
+  const auto cold = service.result(cold_id);
+  const auto warm = service.result(hit.id);
+  if (!cold || !warm || cold->payload != warm->payload) {
+    std::fprintf(stderr,
+                 "micro_service: cached payload is not byte-identical\n");
+    return false;
+  }
+  const double cold_s = std::chrono::duration<double>(t1 - t0).count();
+  const double hit_s = std::chrono::duration<double>(t2 - t1).count();
+  const double speedup = hit_s > 0.0 ? cold_s / hit_s : 1e9;
+  std::printf("cache-hit speedup: %.0fx (cold %.3f s, hit %.6f s)\n",
+              speedup, cold_s, hit_s);
+  if (speedup < 10.0) {
+    std::fprintf(stderr,
+                 "micro_service: cache-hit speedup %.1fx < required 10x\n",
+                 speedup);
+    return false;
+  }
+  const service::ServiceStats stats = service.stats();
+  if (stats.cache.hits != 1) {
+    std::fprintf(stderr, "micro_service: expected 1 cache hit, got %zu\n",
+                 stats.cache.hits);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!check_cache_speedup()) {
+    return 1;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,15 +1,20 @@
 // Shared scaffolding for the Nexus 6P figures (Figs. 1-6): each figure is
 // one app run twice (throttling disabled / enabled), reported either as a
 // temperature trace or as a frequency-residency histogram.
+//
+// Apps are named by their registry keys ("paperio", "stickman_hook", ...):
+// the service-layer ScenarioRegistry is the single source of truth for the
+// paper's workload wiring, and every pair here is exactly the engine the
+// `nexus` scenario would build for the same request.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "service/scenario_registry.h"
 #include "sim/batch.h"
 #include "sim/experiment.h"
-#include "workload/app.h"
 
 namespace mobitherm::bench {
 
@@ -20,27 +25,32 @@ struct NexusPair {
 
 /// The two runs are independent engines, so they fan across the batch
 /// pool (worker count bounded by the hardware).
-inline NexusPair run_pair(const workload::AppSpec& app,
+inline NexusPair run_pair(const std::string& app,
                           double duration_s = 140.0) {
+  const service::ScenarioRegistry& registry = service::standard_registry();
   NexusPair pair;
   sim::NexusResult* out[2] = {&pair.without_throttling,
                               &pair.with_throttling};
   sim::parallel_for_index(2, 2, [&](std::size_t i) {
-    sim::NexusRun run;
-    run.app = app;
-    run.duration_s = duration_s;
-    run.throttling = i == 1;
-    *out[i] = sim::run_nexus_app(run);
+    service::SimRequest req;
+    req.scenario = "nexus";
+    req.app = app;
+    req.policy = i == 1 ? "throttled" : "unthrottled";
+    req.duration_s = duration_s;
+    std::unique_ptr<sim::Engine> engine = registry.make_engine(req);
+    engine->run(duration_s);
+    *out[i] = sim::nexus_result_from(*engine);
   });
   return pair;
 }
 
 /// Figs. 1/3/5: package-temperature trace with and without throttling.
 inline void temperature_figure(const std::string& figure,
-                               const workload::AppSpec& app,
+                               const std::string& app,
                                double paper_peak_without_c,
                                double paper_peak_with_c) {
-  header(figure, "temperature profile for " + app.name +
+  const std::string display = service::workload_by_name(app).name;
+  header(figure, "temperature profile for " + display +
                      " (with vs. without throttling)");
   const NexusPair pair = run_pair(app);
 
@@ -64,9 +74,10 @@ inline void temperature_figure(const std::string& figure,
 
 /// Figs. 2/4/6: frequency-residency histograms for one cluster.
 inline void residency_figure(const std::string& figure,
-                             const workload::AppSpec& app, bool gpu_cluster,
+                             const std::string& app, bool gpu_cluster,
                              const std::string& cluster_label) {
-  header(figure, cluster_label + " frequency residency for " + app.name);
+  const std::string display = service::workload_by_name(app).name;
+  header(figure, cluster_label + " frequency residency for " + display);
   const NexusPair pair = run_pair(app);
 
   const auto& freqs = gpu_cluster ? pair.without_throttling.gpu_freqs_mhz

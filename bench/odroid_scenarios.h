@@ -1,11 +1,18 @@
 // Shared scaffolding for the Odroid-XU3 experiments (Fig. 8 / Fig. 9 /
-// Table II): 3DMark alone, 3DMark + BML under the default kernel policy,
-// and 3DMark + BML under the proposed application-aware governor.
+// Table II): the foreground benchmark alone, foreground + BML under the
+// default kernel policy, and foreground + BML under the proposed
+// application-aware governor.
+//
+// The foreground app is named by its registry key ("threedmark",
+// "nenamark"): every engine here is exactly what the service-layer
+// `odroid` scenario would build for the same request.
 #pragma once
 
+#include <string>
+
+#include "service/scenario_registry.h"
 #include "sim/batch.h"
 #include "sim/experiment.h"
-#include "workload/presets.h"
 
 namespace mobitherm::bench {
 
@@ -17,20 +24,29 @@ struct OdroidTriple {
 
 /// The three policy scenarios are independent engines, so they fan across
 /// the batch pool (worker count bounded by the hardware).
-inline OdroidTriple run_triple(const workload::AppSpec& foreground,
+/// `app_levels`/`app_phase_s` parameterize the apps that accept them
+/// (nenamark levels, threedmark phase length); negative = preset default.
+inline OdroidTriple run_triple(const std::string& foreground,
                                double duration_s = 250.0,
-                               double initial_temp_c = 50.0) {
+                               double initial_temp_c = 50.0,
+                               int app_levels = -1,
+                               double app_phase_s = -1.0) {
+  const service::ScenarioRegistry& registry = service::standard_registry();
   OdroidTriple t;
   sim::OdroidResult* out[3] = {&t.alone, &t.with_bml, &t.proposed};
   sim::parallel_for_index(3, 3, [&](std::size_t i) {
-    sim::OdroidRun run;
-    run.foreground = foreground;
-    run.duration_s = duration_s;
-    run.initial_temp_c = initial_temp_c;
-    run.with_bml = i > 0;
-    run.policy = i == 2 ? sim::ThermalPolicy::kProposed
-                        : sim::ThermalPolicy::kDefault;
-    *out[i] = sim::run_odroid(run);
+    service::SimRequest req;
+    req.scenario = "odroid";
+    req.app = foreground;
+    req.with_bml = i > 0;
+    req.policy = i == 2 ? "proposed" : "default";
+    req.duration_s = duration_s;
+    req.initial_temp_c = initial_temp_c;
+    req.app_levels = app_levels;
+    req.app_phase_s = app_phase_s;
+    std::unique_ptr<sim::Engine> engine = registry.make_engine(req);
+    engine->run(duration_s);
+    *out[i] = sim::odroid_result_from(*engine, req.with_bml);
   });
   return t;
 }

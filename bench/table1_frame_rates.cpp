@@ -28,7 +28,7 @@ int main() {
   bench::header("Table I",
                 "median frame rate with/without throttling, five apps");
 
-  const std::vector<workload::AppSpec> apps = workload::nexus_apps();
+  const std::vector<std::string>& apps = service::nexus_app_names();
   const std::vector<PaperRow> paper = {
       {35.0, 23.0}, {59.0, 40.0}, {35.0, 28.0}, {42.0, 38.0}, {35.0, 24.0}};
 
@@ -45,8 +45,9 @@ int main() {
     const double paper_red =
         100.0 * (1.0 - paper[i].with_fps / paper[i].without_fps);
     const double meas_red = 100.0 * (1.0 - on / off);
+    const std::string display = service::workload_by_name(apps[i]).name;
     std::printf("%-15s | %10.0f %10.1f | %10.0f %10.1f | %8.0f%% %8.1f%%\n",
-                apps[i].name.c_str(), paper[i].without_fps, off,
+                display.c_str(), paper[i].without_fps, off,
                 paper[i].with_fps, on, paper_red, meas_red);
   }
   std::printf("\nShape check: games lose ~1/3 of their frame rate, the\n"

@@ -8,21 +8,23 @@
 
 #include "bench_util.h"
 #include "odroid_scenarios.h"
+#include "workload/presets.h"
 
 int main() {
   using namespace mobitherm;
   bench::header("Table II",
                 "foreground performance under the three control scenarios");
 
-  const bench::OdroidTriple mark = bench::run_triple(workload::threedmark());
+  const bench::OdroidTriple mark = bench::run_triple("threedmark");
 
   // Nenamark: six escalating levels, 20 s each; the score interpolates the
   // level at which the fps crosses the 30 fps threshold. The run starts
   // warm (78 degC) — on the real board prior benchmark runs and the
   // background task have already heated the SoC before the critical
   // levels execute, which is when the default policy's throttling bites.
-  const workload::AppSpec nena = workload::nenamark(6, 20.0);
-  const bench::OdroidTriple nrun = bench::run_triple(nena, 6 * 20.0, 78.0);
+  const bench::OdroidTriple nrun =
+      bench::run_triple("nenamark", 6 * 20.0, 78.0, /*app_levels=*/6,
+                        /*app_phase_s=*/20.0);
   const double n_alone = workload::nenamark_score(nrun.alone.phase_fps);
   const double n_bml = workload::nenamark_score(nrun.with_bml.phase_fps);
   const double n_prop = workload::nenamark_score(nrun.proposed.phase_fps);

@@ -1,0 +1,80 @@
+// mobitherm_serve: the NDJSON simulation service on stdin/stdout.
+//
+// One JSON request per line, one JSON response per line:
+//
+//   $ printf '%s\n' \
+//       '{"op":"submit","scenario":"nexus","app":"paperio","duration_s":5}' \
+//       '{"op":"wait","job":1}' '{"op":"result","job":1}' '{"op":"stats"}' \
+//       | ./mobitherm_serve
+//
+// Flags:
+//   --workers N          worker threads (default 1)
+//   --queue N            queue capacity (default 16)
+//   --cache N            result-cache entries (default 64; 0 disables)
+//   --deadline SECONDS   default per-job wall-clock deadline (0 = none)
+//
+// scripts/serve_client.py wraps this binary for interactive use and for
+// the CI cache smoke test.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "service/scenario_registry.h"
+#include "service/server.h"
+#include "service/service.h"
+
+namespace {
+
+bool parse_flag(int argc, char** argv, int* i, const char* name,
+                double* value) {
+  if (std::string(argv[*i]) != name) {
+    return false;
+  }
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "mobitherm_serve: %s needs a value\n", name);
+    std::exit(2);
+  }
+  char* end = nullptr;
+  *value = std::strtod(argv[*i + 1], &end);
+  if (end == argv[*i + 1] || *end != '\0' || *value < 0) {
+    std::fprintf(stderr, "mobitherm_serve: bad value for %s: %s\n", name,
+                 argv[*i + 1]);
+    std::exit(2);
+  }
+  *i += 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mobitherm::service;
+
+  ServiceConfig config;
+  double workers = 1;
+  double queue = 16;
+  double cache = 64;
+  double deadline = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (parse_flag(argc, argv, &i, "--workers", &workers) ||
+        parse_flag(argc, argv, &i, "--queue", &queue) ||
+        parse_flag(argc, argv, &i, "--cache", &cache) ||
+        parse_flag(argc, argv, &i, "--deadline", &deadline)) {
+      continue;
+    }
+    std::fprintf(stderr,
+                 "usage: mobitherm_serve [--workers N] [--queue N] "
+                 "[--cache N] [--deadline SECONDS]\n");
+    return 2;
+  }
+  config.workers = workers < 1 ? 1 : static_cast<unsigned>(workers);
+  config.queue_capacity = static_cast<std::size_t>(queue);
+  config.cache_capacity = static_cast<std::size_t>(cache);
+  config.default_deadline_s = deadline;
+
+  SimService service(ScenarioRegistry::standard(), config);
+  SimServer server(service);
+  server.serve(std::cin, std::cout);
+  return 0;
+}

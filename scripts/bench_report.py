@@ -29,11 +29,12 @@ import datetime
 import glob
 import json
 import os
+import re
 import subprocess
 import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DEFAULT_BINARIES = ["micro_thermal", "micro_stability"]
+DEFAULT_BINARIES = ["micro_thermal", "micro_stability", "micro_service"]
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
@@ -97,7 +98,13 @@ def run_suite(build_dir, binaries, min_time, label):
 
 
 def newest_committed_baseline(exclude=None):
-    candidates = sorted(glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json")))
+    # Only plain dated snapshots (BENCH_YYYY-MM-DD.json) are baselines;
+    # suffixed files like BENCH_..._before.json are one-off diff artifacts
+    # and would otherwise win the lexicographic sort ('_' > '.').
+    candidates = sorted(
+        c for c in glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json"))
+        if re.fullmatch(r"BENCH_\d{4}-\d{2}-\d{2}\.json", os.path.basename(c))
+    )
     if exclude is not None:
         candidates = [c for c in candidates if os.path.abspath(c) != os.path.abspath(exclude)]
     return candidates[-1] if candidates else None

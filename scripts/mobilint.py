@@ -10,10 +10,14 @@ reproducibility depends on:
                    declarations). The physics inner loop is allocation-free
                    by design; see DESIGN.md and bench/micro_thermal.cpp.
 
-  nondeterminism   src/sim and src/thermal must not use nondeterminism
-                   sources (rand/srand, std::random_device, wall-clock
-                   time, std::unordered_map/set whose iteration order is
-                   unspecified). Reproducible traces are a tier-1 test.
+  nondeterminism   src/sim, src/thermal and src/service must not use
+                   nondeterminism sources (rand/srand, std::random_device,
+                   wall-clock time, std::unordered_map/set whose iteration
+                   order is unspecified). Reproducible traces are a tier-1
+                   test, and the service result cache relies on runs being
+                   pure functions of the canonical request. The service
+                   layer's wall-clock boundaries (deadlines, wait
+                   timeouts) carry `MOBILINT: nondet-ok` annotations.
 
   raw-units-param  Public headers in the typed domains (src/thermal,
                    src/power, src/governors, src/platform, src/core) must
@@ -292,7 +296,7 @@ def rules_for(path, root):
     rules = []
     if rel.startswith("src/"):
         rules.append("hot-path-alloc")
-    if rel.startswith(("src/sim/", "src/thermal/")):
+    if rel.startswith(("src/sim/", "src/thermal/", "src/service/")):
         rules.append("nondeterminism")
     if path.suffix == ".h" and rel.startswith(
         ("src/thermal/", "src/power/", "src/governors/", "src/platform/",

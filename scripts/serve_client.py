@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Thin client for the mobitherm_serve NDJSON service.
+
+Spawns the server binary and speaks the line protocol over its
+stdin/stdout. Two modes:
+
+  # one-shot: submit a request, wait, print the result JSON
+  python3 scripts/serve_client.py --binary build/examples/mobitherm_serve \
+      --submit '{"scenario":"nexus","app":"paperio","duration_s":5}'
+
+  # CI smoke: submit the same request twice and assert the second is a
+  # cache hit whose result payload is byte-identical to the first
+  python3 scripts/serve_client.py --binary build/examples/mobitherm_serve \
+      --smoke
+
+Only the python3 standard library is used.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+RESULT_MARKER = '"result":'
+
+
+class ServeClient:
+    """One server process, line-oriented request/response."""
+
+    def __init__(self, binary, extra_args=None):
+        cmd = [binary] + (extra_args or [])
+        self.proc = subprocess.Popen(
+            cmd,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+            bufsize=1,
+        )
+
+    def request_raw(self, line):
+        """Send one request line, return the raw response line."""
+        self.proc.stdin.write(line + "\n")
+        self.proc.stdin.flush()
+        response = self.proc.stdout.readline()
+        if not response:
+            raise RuntimeError("server closed its stdout")
+        return response.rstrip("\n")
+
+    def request(self, obj):
+        return json.loads(self.request_raw(json.dumps(obj)))
+
+    def close(self):
+        try:
+            self.proc.stdin.write('{"op":"shutdown"}\n')
+            self.proc.stdin.flush()
+            self.proc.stdin.close()
+        except (BrokenPipeError, ValueError):
+            pass
+        self.proc.wait(timeout=30)
+
+
+def extract_payload(raw_result_line):
+    """The verbatim result payload from a raw `result` response line.
+
+    The server splices the cached payload into the response unchanged, so
+    byte-comparing this substring across responses is exactly the
+    cache-identity guarantee the service makes.
+    """
+    idx = raw_result_line.index(RESULT_MARKER)
+    # Everything from the marker to the response's closing brace.
+    return raw_result_line[idx + len(RESULT_MARKER):-1]
+
+
+def submit_and_fetch(client, request, timeout_s):
+    submit = dict(request)
+    submit["op"] = "submit"
+    response = client.request(submit)
+    if not response.get("ok"):
+        raise RuntimeError("submit rejected: %s" % response.get("error"))
+    job = response["job"]
+    wait = client.request({"op": "wait", "job": job, "timeout_s": timeout_s})
+    if not wait.get("done") or wait.get("state") != "done":
+        raise RuntimeError("job %s finished as %s" % (job, wait.get("state")))
+    raw = client.request_raw(json.dumps({"op": "result", "job": job}))
+    return response, raw
+
+
+def run_smoke(client, timeout_s):
+    request = {"scenario": "nexus", "app": "paperio", "duration_s": 5}
+
+    first, first_raw = submit_and_fetch(client, request, timeout_s)
+    if first.get("cached"):
+        raise SystemExit("smoke: first submit unexpectedly hit the cache")
+    second, second_raw = submit_and_fetch(client, request, timeout_s)
+    if not second.get("cached"):
+        raise SystemExit("smoke: second submit was not served from cache")
+
+    if extract_payload(first_raw) != extract_payload(second_raw):
+        raise SystemExit("smoke: cached payload is not byte-identical")
+
+    stats = client.request({"op": "stats"})
+    if stats["cache"]["hits"] < 1:
+        raise SystemExit("smoke: stats reports no cache hit")
+    if stats["completed"] != 2:
+        raise SystemExit(
+            "smoke: expected 2 completed jobs, got %s" % stats["completed"]
+        )
+
+    print("smoke OK: second submit cache-hit, payload byte-identical,")
+    print(
+        "  stats: hits=%d misses=%d size=%d"
+        % (
+            stats["cache"]["hits"],
+            stats["cache"]["misses"],
+            stats["cache"]["size"],
+        )
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--binary",
+        default="build/examples/mobitherm_serve",
+        help="path to the mobitherm_serve binary",
+    )
+    parser.add_argument(
+        "--submit",
+        metavar="JSON",
+        help="submit this request object, wait, and print the result",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the cache-identity smoke test (used by CI)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=600.0, help="per-job wait seconds"
+    )
+    args = parser.parse_args()
+
+    if not args.smoke and not args.submit:
+        parser.error("one of --smoke or --submit is required")
+
+    client = ServeClient(args.binary)
+    try:
+        if args.smoke:
+            run_smoke(client, args.timeout)
+        else:
+            _, raw = submit_and_fetch(
+                client, json.loads(args.submit), args.timeout
+            )
+            print(raw)
+    finally:
+        client.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

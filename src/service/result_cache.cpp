@@ -1,0 +1,156 @@
+#include "service/result_cache.h"
+
+#include <utility>
+
+#include "service/json.h"
+
+namespace mobitherm::service {
+
+namespace {
+
+json::Value number_array(const std::vector<double>& values) {
+  json::Value arr = json::Value::array();
+  for (const double v : values) {
+    arr.push(json::Value::number(v));
+  }
+  return arr;
+}
+
+json::Value number_matrix(const std::vector<std::vector<double>>& rows) {
+  json::Value arr = json::Value::array();
+  for (const auto& row : rows) {
+    arr.push(number_array(row));
+  }
+  return arr;
+}
+
+json::Value string_array(const std::vector<std::string>& values) {
+  json::Value arr = json::Value::array();
+  for (const std::string& s : values) {
+    arr.push(json::Value::string(s));
+  }
+  return arr;
+}
+
+json::Value pair_series(
+    const std::vector<std::pair<double, double>>& series) {
+  json::Value arr = json::Value::array();
+  for (const auto& [t, v] : series) {
+    json::Value point = json::Value::array();
+    point.push(json::Value::number(t));
+    point.push(json::Value::number(v));
+    arr.push(std::move(point));
+  }
+  return arr;
+}
+
+}  // namespace
+
+std::string serialize_result(const sim::RunMetrics& metrics,
+                             const sim::RunReport& report) {
+  json::Value m = json::Value::object();
+  m.set("peak_temp_c", json::Value::number(metrics.peak_temp_c));
+  m.set("final_temp_c", json::Value::number(metrics.final_temp_c));
+  m.set("mean_power_w", json::Value::number(metrics.mean_power_w));
+  m.set("temp_trace_c", pair_series(metrics.temp_trace_c));
+  m.set("residency", number_matrix(metrics.residency));
+  m.set("freqs_mhz", number_matrix(metrics.freqs_mhz));
+  m.set("mean_rail_w", number_array(metrics.mean_rail_w));
+  m.set("rail_names", string_array(metrics.rail_names));
+  m.set("median_fps", number_array(metrics.median_fps));
+  m.set("phase_fps", number_matrix(metrics.phase_fps));
+
+  json::Value rep = json::Value::object();
+  rep.set("duration_s", json::Value::number(report.duration_s));
+  rep.set("peak_temp_c", json::Value::number(report.peak_temp_c));
+  rep.set("mean_temp_c", json::Value::number(report.mean_temp_c));
+  rep.set("time_above_limit_s",
+          json::Value::number(report.time_above_limit_s));
+  rep.set("temp_limit_c", json::Value::number(report.temp_limit_c));
+  rep.set("total_energy_j", json::Value::number(report.total_energy_j));
+  json::Value apps = json::Value::array();
+  for (const sim::AppReport& app : report.apps) {
+    json::Value a = json::Value::object();
+    a.set("name", json::Value::string(app.name));
+    a.set("median_fps", json::Value::number(app.median_fps));
+    a.set("p10_fps", json::Value::number(app.p10_fps));
+    a.set("p90_fps", json::Value::number(app.p90_fps));
+    a.set("mean_fps", json::Value::number(app.mean_fps));
+    a.set("energy_j", json::Value::number(app.energy_j));
+    a.set("mj_per_frame", json::Value::number(app.mj_per_frame));
+    apps.push(std::move(a));
+  }
+  rep.set("apps", std::move(apps));
+  json::Value clusters = json::Value::array();
+  for (const sim::ClusterReport& cluster : report.clusters) {
+    json::Value c = json::Value::object();
+    c.set("name", json::Value::string(cluster.name));
+    c.set("mean_power_w", json::Value::number(cluster.mean_power_w));
+    c.set("energy_j", json::Value::number(cluster.energy_j));
+    c.set("mean_freq_mhz", json::Value::number(cluster.mean_freq_mhz));
+    c.set("dvfs_transitions",
+          json::Value::number(
+              static_cast<double>(cluster.dvfs_transitions)));
+    c.set("conflict_time_s", json::Value::number(cluster.conflict_time_s));
+    clusters.push(std::move(c));
+  }
+  rep.set("clusters", std::move(clusters));
+
+  json::Value root = json::Value::object();
+  root.set("metrics", std::move(m));
+  root.set("report", std::move(rep));
+  return root.dump();
+}
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
+  counters_.capacity = capacity;
+}
+
+std::shared_ptr<const JobResult> ResultCache::lookup(
+    std::uint64_t key, const std::string& canonical) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++counters_.misses;
+    return nullptr;
+  }
+  if (it->second->canonical != canonical) {
+    ++counters_.collisions;
+    ++counters_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++counters_.hits;
+  return it->second->result;
+}
+
+void ResultCache::insert(std::uint64_t key, const std::string& canonical,
+                         std::shared_ptr<const JobResult> result) {
+  if (capacity_ == 0 || !result) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->canonical = canonical;
+    it->second->result = std::move(result);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+  lru_.push_front(Node{key, canonical, std::move(result)});
+  index_[key] = lru_.begin();
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats out = counters_;
+  out.size = lru_.size();
+  return out;
+}
+
+}  // namespace mobitherm::service

@@ -1,0 +1,83 @@
+// Deterministic, content-addressed result cache.
+//
+// Every simulation run is bit-deterministic in its canonical request (PR
+// 1-3 guarantee identical traces for identical seeds, serial or parallel),
+// which turns memoization into the biggest throughput lever the service
+// has: a repeated request is a hash lookup instead of a multi-second
+// simulation, and the cached payload is *byte-identical* to what a fresh
+// run would serialize. The cache is a bounded LRU keyed by the FNV-1a hash
+// of the canonical request string; the full string is stored alongside each
+// entry and compared on lookup, so a 64-bit hash collision degrades to a
+// miss instead of serving the wrong run. Thread-safe; counters feed the
+// service `stats` op.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "sim/metrics.h"
+#include "sim/report.h"
+
+namespace mobitherm::service {
+
+/// A completed run: its summaries plus the canonical serialized payload
+/// (service/json.h) that the NDJSON `result` op embeds verbatim.
+struct JobResult {
+  sim::RunMetrics metrics;
+  sim::RunReport report;
+  std::string payload;
+};
+
+/// Serialize metrics + report into the canonical result payload. Field
+/// order and number formatting are fixed, so equal inputs give equal bytes.
+std::string serialize_result(const sim::RunMetrics& metrics,
+                             const sim::RunReport& report);
+
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;
+  /// Lookups whose hash matched but whose canonical string did not.
+  std::size_t collisions = 0;
+  std::size_t size = 0;
+  std::size_t capacity = 0;
+};
+
+class ResultCache {
+ public:
+  /// `capacity` bounds the number of retained results; 0 disables caching
+  /// (every lookup misses, inserts are dropped).
+  explicit ResultCache(std::size_t capacity);
+
+  /// Returns the cached result for (key, canonical) and marks it most
+  /// recently used; nullptr on miss.
+  std::shared_ptr<const JobResult> lookup(std::uint64_t key,
+                                          const std::string& canonical);
+
+  /// Insert a result, evicting the least recently used entry when full.
+  /// Re-inserting an existing key refreshes its value and recency.
+  void insert(std::uint64_t key, const std::string& canonical,
+              std::shared_ptr<const JobResult> result);
+
+  CacheStats stats() const;
+
+ private:
+  struct Node {
+    std::uint64_t key;
+    std::string canonical;
+    std::shared_ptr<const JobResult> result;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  /// MRU at the front, LRU at the back.
+  std::list<Node> lru_;
+  std::map<std::uint64_t, std::list<Node>::iterator> index_;
+  CacheStats counters_;
+};
+
+}  // namespace mobitherm::service

@@ -1,0 +1,249 @@
+#include "service/scenario_registry.h"
+
+#include <algorithm>
+
+#include "service/json.h"
+#include "sim/experiment.h"
+#include "util/error.h"
+#include "workload/presets.h"
+
+namespace mobitherm::service {
+
+using util::ConfigError;
+
+std::uint64_t fnv1a64(const std::string& text) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+workload::AppSpec workload_by_name(const std::string& name, int levels,
+                                   double phase_s) {
+  if (name == "paperio") {
+    return workload::paperio();
+  }
+  if (name == "stickman_hook") {
+    return workload::stickman_hook();
+  }
+  if (name == "amazon") {
+    return workload::amazon();
+  }
+  if (name == "hangouts") {
+    return workload::hangouts();
+  }
+  if (name == "facebook") {
+    return workload::facebook();
+  }
+  if (name == "youtube") {
+    return workload::youtube();
+  }
+  if (name == "navigation") {
+    return workload::navigation();
+  }
+  if (name == "threedmark") {
+    return phase_s > 0.0 ? workload::threedmark(phase_s)
+                         : workload::threedmark();
+  }
+  if (name == "nenamark") {
+    if (levels > 0 && phase_s > 0.0) {
+      return workload::nenamark(levels, phase_s);
+    }
+    if (levels > 0) {
+      return workload::nenamark(levels);
+    }
+    return workload::nenamark();
+  }
+  if (name == "bml") {
+    return workload::bml();
+  }
+  throw ConfigError("service: unknown workload '" + name + "'");
+}
+
+bool workload_is_parameterized(const std::string& name) {
+  return name == "threedmark" || name == "nenamark";
+}
+
+const std::vector<std::string>& nexus_app_names() {
+  static const std::vector<std::string> names = {
+      "paperio", "stickman_hook", "amazon", "hangouts", "facebook"};
+  return names;
+}
+
+void ScenarioRegistry::add(Entry entry) {
+  if (entry.name.empty()) {
+    throw ConfigError("ScenarioRegistry: entry name must be non-empty");
+  }
+  if (!entry.factory) {
+    throw ConfigError("ScenarioRegistry: entry '" + entry.name +
+                      "' has no factory");
+  }
+  entries_[entry.name] = std::move(entry);
+}
+
+bool ScenarioRegistry::has(const std::string& name) const {
+  return entries_.count(name) != 0;
+}
+
+const ScenarioRegistry::Entry& ScenarioRegistry::at(
+    const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw ConfigError("ScenarioRegistry: unknown scenario '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    out.push_back(name);
+  }
+  return out;  // std::map iterates sorted
+}
+
+SimRequest ScenarioRegistry::resolve(const SimRequest& request) const {
+  const Entry& entry = at(request.scenario);
+  SimRequest r = request;
+  if (r.app.empty()) {
+    r.app = entry.default_app;
+  }
+  if (r.policy.empty()) {
+    r.policy = entry.default_policy;
+  }
+  if (r.duration_s < 0.0) {
+    r.duration_s = entry.default_duration_s;
+  }
+  if (r.initial_temp_c == SimRequest::kUnsetTemp) {
+    r.initial_temp_c = entry.default_initial_temp_c;
+  }
+  if (!entry.policies.empty() &&
+      std::find(entry.policies.begin(), entry.policies.end(), r.policy) ==
+          entry.policies.end()) {
+    throw ConfigError("service: scenario '" + entry.name +
+                      "' does not accept policy '" + r.policy + "'");
+  }
+  // Validates the app name; result discarded.
+  workload_by_name(r.app);
+  if (!workload_is_parameterized(r.app)) {
+    r.app_levels = -1;
+    r.app_phase_s = -1.0;
+  }
+  if (r.duration_s <= 0.0) {
+    throw ConfigError("service: request duration must be positive");
+  }
+  return r;
+}
+
+std::string ScenarioRegistry::canonical_key(const SimRequest& request) const {
+  const SimRequest r = resolve(request);
+  const Entry& entry = at(r.scenario);
+  std::string key;
+  key.reserve(160);
+  key += "v=";
+  key += kSimCodeVersion;
+  key += ";scenario=";
+  key += r.scenario;
+  key += ";platform=";
+  key += entry.platform;
+  key += ";app=";
+  key += r.app;
+  key += ";policy=";
+  key += r.policy;
+  key += ";bml=";
+  key += r.with_bml ? '1' : '0';
+  key += ";levels=";
+  key += std::to_string(r.app_levels);
+  key += ";phase_s=";
+  key += json::format_number(r.app_phase_s);
+  key += ";duration_s=";
+  key += json::format_number(r.duration_s);
+  key += ";initial_temp_c=";
+  key += json::format_number(r.initial_temp_c);
+  key += ";seed=";
+  key += std::to_string(r.seed);
+  return key;
+}
+
+std::uint64_t ScenarioRegistry::request_hash(
+    const SimRequest& request) const {
+  return fnv1a64(canonical_key(request));
+}
+
+std::unique_ptr<sim::Engine> ScenarioRegistry::make_engine(
+    const SimRequest& request) const {
+  const SimRequest r = resolve(request);
+  std::unique_ptr<sim::Engine> engine = at(r.scenario).factory(r);
+  if (!engine) {
+    throw ConfigError("ScenarioRegistry: scenario '" + r.scenario +
+                      "' factory returned a null engine");
+  }
+  return engine;
+}
+
+ScenarioRegistry ScenarioRegistry::standard() {
+  ScenarioRegistry registry;
+
+  Entry nexus;
+  nexus.name = "nexus";
+  nexus.description =
+      "Nexus 6P (Sec. III): one app for 140 s, step_wise throttling on or "
+      "off";
+  nexus.platform = "snapdragon810";
+  nexus.default_duration_s = 140.0;
+  nexus.default_initial_temp_c = 36.0;
+  nexus.default_app = "paperio";
+  nexus.default_policy = "throttled";
+  nexus.policies = {"throttled", "unthrottled"};
+  nexus.factory = [](const SimRequest& r) {
+    sim::NexusRun run;
+    run.app = workload_by_name(r.app, r.app_levels, r.app_phase_s);
+    run.throttling = r.policy == "throttled";
+    run.duration_s = r.duration_s;
+    run.initial_temp_c = r.initial_temp_c;
+    run.seed = r.seed;
+    return sim::make_nexus_engine(run);
+  };
+  registry.add(std::move(nexus));
+
+  Entry odroid;
+  odroid.name = "odroid";
+  odroid.description =
+      "Odroid-XU3 (Sec. IV-C): foreground GPU benchmark, optional BML "
+      "background task, none/default/proposed thermal policy";
+  odroid.platform = "exynos5422";
+  odroid.default_duration_s = 250.0;
+  odroid.default_initial_temp_c = 50.0;
+  odroid.default_app = "threedmark";
+  odroid.default_policy = "default";
+  odroid.policies = {"none", "default", "proposed"};
+  odroid.factory = [](const SimRequest& r) {
+    sim::OdroidRun run;
+    run.foreground = workload_by_name(r.app, r.app_levels, r.app_phase_s);
+    run.with_bml = r.with_bml;
+    if (r.policy == "none") {
+      run.policy = sim::ThermalPolicy::kNone;
+    } else if (r.policy == "proposed") {
+      run.policy = sim::ThermalPolicy::kProposed;
+    } else {
+      run.policy = sim::ThermalPolicy::kDefault;
+    }
+    run.duration_s = r.duration_s;
+    run.initial_temp_c = r.initial_temp_c;
+    run.seed = r.seed;
+    return sim::make_odroid_engine(run);
+  };
+  registry.add(std::move(odroid));
+
+  return registry;
+}
+
+const ScenarioRegistry& standard_registry() {
+  static const ScenarioRegistry registry = ScenarioRegistry::standard();
+  return registry;
+}
+
+}  // namespace mobitherm::service

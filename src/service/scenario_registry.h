@@ -1,0 +1,128 @@
+// Named, parameterized simulation scenarios — the single source of truth
+// for the paper's workload wiring.
+//
+// Every consumer used to hand-wire an Engine per run (benches, examples,
+// tests). The registry names each scenario family once: a request is a
+// small value object {scenario, app, policy, overrides, duration, seed},
+// the registry resolves it against the scenario's defaults into a
+// *canonical* request, and the canonical request deterministically maps to
+// a fully wired Engine. Because every run is bit-deterministic (PR 1-3),
+// the canonical request string is also the service layer's cache key:
+// identical canonical requests produce byte-identical results, so they can
+// be memoized (service/result_cache.h).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "workload/app.h"
+
+namespace mobitherm::service {
+
+/// Tag mixed into every canonical request key. Bump whenever a change
+/// alters simulation semantics (traces/metrics for a fixed request), so a
+/// stale cache can never serve results computed by different code.
+inline constexpr const char* kSimCodeVersion = "mobitherm-sim-v4";
+
+/// A parameterized simulation request. Field semantics are interpreted by
+/// the scenario named in `scenario`; sentinel values (empty strings,
+/// negative numbers) mean "use the scenario default" and are replaced by
+/// ScenarioRegistry::resolve().
+struct SimRequest {
+  std::string scenario;        // registry key: "nexus" | "odroid" | custom
+  std::string app;             // workload preset name ("paperio", ...)
+  std::string policy;          // scenario policy ("throttled", "default"...)
+  bool with_bml = false;       // odroid: add the BML background task
+  double duration_s = -1.0;    // simulated seconds; <0 = scenario default
+  double initial_temp_c = kUnsetTemp;  // device temperature at t=0
+  std::uint64_t seed = 42;
+  /// Workload-shape overrides; only meaningful for parameterized apps
+  /// (threedmark phase length, nenamark levels). resolve() normalizes
+  /// them back to the sentinel for apps that ignore them, keeping the
+  /// canonical key honest.
+  int app_levels = -1;
+  double app_phase_s = -1.0;
+
+  static constexpr double kUnsetTemp = -1.0e9;
+};
+
+/// FNV-1a 64-bit hash of a canonical request string.
+std::uint64_t fnv1a64(const std::string& text);
+
+/// Look up a workload preset by registry name ("paperio", "threedmark",
+/// ...). `levels`/`phase_s` parameterize the apps that accept them and are
+/// ignored (when negative) otherwise. Throws util::ConfigError on unknown
+/// names.
+workload::AppSpec workload_by_name(const std::string& name, int levels = -1,
+                                   double phase_s = -1.0);
+
+/// True if the named workload takes the levels/phase_s overrides.
+bool workload_is_parameterized(const std::string& name);
+
+/// Registry workload names for the five Table I apps, paper order.
+const std::vector<std::string>& nexus_app_names();
+
+class ScenarioRegistry {
+ public:
+  struct Entry {
+    std::string name;
+    std::string description;
+    /// Platform the scenario wires ("snapdragon810", "exynos5422", ...);
+    /// informational and part of the canonical key documentation.
+    std::string platform;
+    double default_duration_s = 0.0;
+    double default_initial_temp_c = 0.0;
+    std::string default_app;
+    std::string default_policy;
+    /// Allowed policy strings, for validation and the `scenarios` op.
+    std::vector<std::string> policies;
+    /// Build a fully wired engine from a *resolved* request. Must be
+    /// pure: identical requests yield engines that produce bit-identical
+    /// runs. Called concurrently by the service worker pool.
+    std::function<std::unique_ptr<sim::Engine>(const SimRequest&)> factory;
+  };
+
+  /// Register (or replace) a scenario entry. Throws on empty name or
+  /// missing factory.
+  void add(Entry entry);
+
+  bool has(const std::string& name) const;
+  const Entry& at(const std::string& name) const;  // throws on unknown
+  std::vector<std::string> names() const;          // sorted
+  std::size_t size() const { return entries_.size(); }
+
+  /// Fill scenario defaults into every sentinel field, validate the app
+  /// and policy names, and normalize inapplicable overrides. The result
+  /// is the canonical request: resolve(resolve(r)) == resolve(r). Throws
+  /// util::ConfigError on unknown scenario/app/policy.
+  SimRequest resolve(const SimRequest& request) const;
+
+  /// Canonical key string of a request (resolves first). Two requests
+  /// have equal keys iff the registry treats them identically; the key
+  /// embeds kSimCodeVersion so cached results never outlive the code
+  /// that computed them.
+  std::string canonical_key(const SimRequest& request) const;
+
+  /// FNV-1a hash of canonical_key(); the result-cache key.
+  std::uint64_t request_hash(const SimRequest& request) const;
+
+  /// Resolve and build the engine for `request`.
+  std::unique_ptr<sim::Engine> make_engine(const SimRequest& request) const;
+
+  /// The paper's scenario families: "nexus" (Sec. III, Snapdragon 810)
+  /// and "odroid" (Sec. IV-C, Exynos 5422).
+  static ScenarioRegistry standard();
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+/// Shared immutable standard registry (constructed on first use).
+const ScenarioRegistry& standard_registry();
+
+}  // namespace mobitherm::service

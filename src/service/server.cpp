@@ -1,0 +1,320 @@
+#include "service/server.h"
+
+#include <cmath>
+#include <cstdint>
+#include <exception>
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace mobitherm::service {
+
+namespace {
+
+std::string error_response(const std::string& op, const std::string& what) {
+  json::Value out = json::Value::object();
+  out.set("ok", json::Value::boolean(false));
+  if (!op.empty()) {
+    out.set("op", json::Value::string(op));
+  }
+  out.set("error", json::Value::string(what));
+  return out.dump();
+}
+
+/// Reads an optional member, enforcing its type. Returns false when the
+/// member is absent; throws json::ParseError on a type mismatch.
+bool read_number(const json::Value& request, const std::string& key,
+                 double* value) {
+  const json::Value* v = request.find(key);
+  if (v == nullptr || v->is_null()) {
+    return false;
+  }
+  *value = v->as_number();
+  return true;
+}
+
+bool read_bool(const json::Value& request, const std::string& key,
+               bool* value) {
+  const json::Value* v = request.find(key);
+  if (v == nullptr || v->is_null()) {
+    return false;
+  }
+  *value = v->as_bool();
+  return true;
+}
+
+bool read_string(const json::Value& request, const std::string& key,
+                 std::string* value) {
+  const json::Value* v = request.find(key);
+  if (v == nullptr || v->is_null()) {
+    return false;
+  }
+  *value = v->as_string();
+  return true;
+}
+
+/// The "job" member, validated as a nonnegative integer id.
+std::uint64_t job_id(const json::Value& request) {
+  const json::Value* v = request.find("job");
+  if (v == nullptr) {
+    throw json::ParseError("missing required field: job");
+  }
+  const double n = v->as_number();
+  if (n < 0 || n != std::floor(n)) {
+    throw json::ParseError("job must be a nonnegative integer");
+  }
+  return static_cast<std::uint64_t>(n);
+}
+
+json::Value status_value(const JobStatus& s) {
+  json::Value out = json::Value::object();
+  out.set("job", json::Value::number(static_cast<double>(s.id)));
+  out.set("state", json::Value::string(to_string(s.state)));
+  out.set("from_cache", json::Value::boolean(s.from_cache));
+  if (!s.error.empty()) {
+    out.set("error", json::Value::string(s.error));
+  }
+  out.set("canonical", json::Value::string(s.canonical));
+  return out;
+}
+
+}  // namespace
+
+std::string SimServer::handle_line(const std::string& line) {
+  json::Value request;
+  try {
+    request = json::Value::parse(line);
+  } catch (const std::exception& e) {
+    return error_response("", std::string("parse error: ") + e.what());
+  }
+  if (!request.is_object()) {
+    return error_response("", "request must be a JSON object");
+  }
+  std::string op;
+  if (!read_string(request, "op", &op)) {
+    return error_response("", "missing required field: op");
+  }
+  try {
+    if (op == "submit") {
+      return handle_submit(request);
+    }
+    if (op == "status") {
+      return handle_status(request);
+    }
+    if (op == "result") {
+      return handle_result(request);
+    }
+    if (op == "cancel") {
+      return handle_cancel(request);
+    }
+    if (op == "wait") {
+      return handle_wait(request);
+    }
+    if (op == "stats") {
+      return handle_stats();
+    }
+    if (op == "scenarios") {
+      return handle_scenarios();
+    }
+    if (op == "shutdown") {
+      shutdown_requested_ = true;
+      json::Value out = json::Value::object();
+      out.set("ok", json::Value::boolean(true));
+      out.set("op", json::Value::string("shutdown"));
+      return out.dump();
+    }
+    return error_response(op, "unknown op: " + op);
+  } catch (const std::exception& e) {
+    return error_response(op, e.what());
+  }
+}
+
+std::string SimServer::handle_submit(const json::Value& request) {
+  SimRequest req;
+  if (!read_string(request, "scenario", &req.scenario)) {
+    return error_response("submit", "missing required field: scenario");
+  }
+  read_string(request, "app", &req.app);
+  read_string(request, "policy", &req.policy);
+  read_bool(request, "with_bml", &req.with_bml);
+  read_number(request, "duration_s", &req.duration_s);
+  read_number(request, "initial_temp_c", &req.initial_temp_c);
+  double seed = 0.0;
+  if (read_number(request, "seed", &seed)) {
+    if (seed < 0 || seed != std::floor(seed)) {
+      return error_response("submit", "seed must be a nonnegative integer");
+    }
+    req.seed = static_cast<std::uint64_t>(seed);
+  }
+  double levels = 0.0;
+  if (read_number(request, "app_levels", &levels)) {
+    req.app_levels = static_cast<int>(levels);
+  }
+  read_number(request, "app_phase_s", &req.app_phase_s);
+  double deadline_s = -1.0;
+  read_number(request, "deadline_s", &deadline_s);
+
+  const SubmitOutcome outcome = service_.submit(req, deadline_s);
+  json::Value out = json::Value::object();
+  out.set("ok", json::Value::boolean(outcome.accepted));
+  out.set("op", json::Value::string("submit"));
+  if (outcome.accepted) {
+    out.set("job", json::Value::number(static_cast<double>(outcome.id)));
+    out.set("cached", json::Value::boolean(outcome.cached));
+  } else {
+    out.set("error", json::Value::string(outcome.reject_reason));
+  }
+  return out.dump();
+}
+
+std::string SimServer::handle_status(const json::Value& request) {
+  const std::uint64_t id = job_id(request);
+  const auto status = service_.status(id);
+  if (!status) {
+    return error_response("status", "unknown job: " + std::to_string(id));
+  }
+  json::Value out = json::Value::object();
+  out.set("ok", json::Value::boolean(true));
+  out.set("op", json::Value::string("status"));
+  for (const auto& [key, value] : status_value(*status).members()) {
+    out.set(key, value);
+  }
+  return out.dump();
+}
+
+std::string SimServer::handle_result(const json::Value& request) {
+  const std::uint64_t id = job_id(request);
+  const auto status = service_.status(id);
+  if (!status) {
+    return error_response("result", "unknown job: " + std::to_string(id));
+  }
+  if (status->state != JobState::kDone) {
+    json::Value out = json::Value::object();
+    out.set("ok", json::Value::boolean(false));
+    out.set("op", json::Value::string("result"));
+    out.set("job", json::Value::number(static_cast<double>(id)));
+    out.set("state", json::Value::string(to_string(status->state)));
+    out.set("error",
+            json::Value::string(std::string("job is ") +
+                                to_string(status->state) + ", not done"));
+    return out.dump();
+  }
+  const std::shared_ptr<const JobResult> result = service_.result(id);
+  if (!result) {
+    return error_response("result",
+                          "result missing for job " + std::to_string(id));
+  }
+  // The stored payload is spliced in verbatim (not re-serialized), so a
+  // cache hit's response bytes match the original run's exactly.
+  std::string out = "{\"ok\":true,\"op\":\"result\",\"job\":";
+  out += std::to_string(id);
+  out += ",\"state\":\"done\",\"from_cache\":";
+  out += status->from_cache ? "true" : "false";
+  out += ",\"result\":";
+  out += result->payload;
+  out += "}";
+  return out;
+}
+
+std::string SimServer::handle_cancel(const json::Value& request) {
+  const std::uint64_t id = job_id(request);
+  const bool cancelled = service_.cancel(id);
+  json::Value out = json::Value::object();
+  out.set("ok", json::Value::boolean(true));
+  out.set("op", json::Value::string("cancel"));
+  out.set("job", json::Value::number(static_cast<double>(id)));
+  out.set("cancelled", json::Value::boolean(cancelled));
+  return out.dump();
+}
+
+std::string SimServer::handle_wait(const json::Value& request) {
+  const std::uint64_t id = job_id(request);
+  double timeout_s = 60.0;
+  read_number(request, "timeout_s", &timeout_s);
+  const bool done = service_.wait(id, timeout_s);
+  const auto status = service_.status(id);
+  if (!status) {
+    return error_response("wait", "unknown job: " + std::to_string(id));
+  }
+  json::Value out = json::Value::object();
+  out.set("ok", json::Value::boolean(true));
+  out.set("op", json::Value::string("wait"));
+  out.set("job", json::Value::number(static_cast<double>(id)));
+  out.set("done", json::Value::boolean(done));
+  out.set("state", json::Value::string(to_string(status->state)));
+  return out.dump();
+}
+
+std::string SimServer::handle_stats() {
+  const ServiceStats s = service_.stats();
+  json::Value out = json::Value::object();
+  out.set("ok", json::Value::boolean(true));
+  out.set("op", json::Value::string("stats"));
+  out.set("submitted", json::Value::number(static_cast<double>(s.submitted)));
+  out.set("rejected", json::Value::number(static_cast<double>(s.rejected)));
+  out.set("completed", json::Value::number(static_cast<double>(s.completed)));
+  out.set("failed", json::Value::number(static_cast<double>(s.failed)));
+  out.set("cancelled", json::Value::number(static_cast<double>(s.cancelled)));
+  out.set("expired", json::Value::number(static_cast<double>(s.expired)));
+  out.set("queued", json::Value::number(static_cast<double>(s.queued)));
+  out.set("running", json::Value::number(static_cast<double>(s.running)));
+  out.set("workers", json::Value::number(static_cast<double>(s.workers)));
+  out.set("queue_capacity",
+          json::Value::number(static_cast<double>(s.queue_capacity)));
+  json::Value cache = json::Value::object();
+  cache.set("hits", json::Value::number(static_cast<double>(s.cache.hits)));
+  cache.set("misses",
+            json::Value::number(static_cast<double>(s.cache.misses)));
+  cache.set("evictions",
+            json::Value::number(static_cast<double>(s.cache.evictions)));
+  cache.set("collisions",
+            json::Value::number(static_cast<double>(s.cache.collisions)));
+  cache.set("size", json::Value::number(static_cast<double>(s.cache.size)));
+  cache.set("capacity",
+            json::Value::number(static_cast<double>(s.cache.capacity)));
+  out.set("cache", cache);
+  return out.dump();
+}
+
+std::string SimServer::handle_scenarios() {
+  const ScenarioRegistry& registry = service_.registry();
+  json::Value out = json::Value::object();
+  out.set("ok", json::Value::boolean(true));
+  out.set("op", json::Value::string("scenarios"));
+  json::Value list = json::Value::array();
+  for (const std::string& name : registry.names()) {
+    const ScenarioRegistry::Entry& entry = registry.at(name);
+    json::Value e = json::Value::object();
+    e.set("name", json::Value::string(entry.name));
+    e.set("description", json::Value::string(entry.description));
+    e.set("platform", json::Value::string(entry.platform));
+    e.set("default_duration_s",
+          json::Value::number(entry.default_duration_s));
+    e.set("default_initial_temp_c",
+          json::Value::number(entry.default_initial_temp_c));
+    e.set("default_app", json::Value::string(entry.default_app));
+    e.set("default_policy", json::Value::string(entry.default_policy));
+    json::Value policies = json::Value::array();
+    for (const std::string& p : entry.policies) {
+      policies.push(json::Value::string(p));
+    }
+    e.set("policies", policies);
+    list.push(e);
+  }
+  out.set("scenarios", list);
+  return out.dump();
+}
+
+void SimServer::serve(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (!shutdown_requested_ && std::getline(in, line)) {
+    if (line.empty() ||
+        line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;
+    }
+    out << handle_line(line) << "\n";
+    out.flush();
+  }
+}
+
+}  // namespace mobitherm::service

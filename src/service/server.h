@@ -1,0 +1,63 @@
+// NDJSON request/response front end for SimService.
+//
+// One request per line, one response per line, both compact JSON objects.
+// The protocol is deliberately flat so `echo '{"op":...}' | mobitherm_serve`
+// works from a shell, and cached `result` responses embed the stored
+// payload *verbatim* — a cache hit is byte-identical to the response the
+// original run produced.
+//
+// Ops (request fields beyond "op" in parentheses):
+//   submit    (scenario, app?, policy?, with_bml?, duration_s?,
+//              initial_temp_c?, seed?, app_levels?, app_phase_s?,
+//              deadline_s?)            -> {ok, job, cached}
+//   status    (job)                    -> {ok, job, state, from_cache, ...}
+//   result    (job)                    -> {ok, job, state, result:{...}}
+//   cancel    (job)                    -> {ok, job, cancelled}
+//   wait      (job, timeout_s?)        -> {ok, job, done, state}
+//   stats     ()                       -> {ok, service + cache counters}
+//   scenarios ()                       -> {ok, scenarios:[...]}
+//   shutdown  ()                       -> {ok} and the serve loop exits
+//
+// Every response carries "ok" and echoes "op"; failures use
+// {"ok":false,"error":"..."} and never terminate the loop (only EOF or
+// `shutdown` do).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "service/json.h"
+#include "service/service.h"
+
+namespace mobitherm::service {
+
+class SimServer {
+ public:
+  explicit SimServer(SimService& service) : service_(service) {}
+
+  /// Handle one request line, returning the response line (no trailing
+  /// newline). Never throws: malformed input yields an ok:false response.
+  std::string handle_line(const std::string& line);
+
+  /// True once a `shutdown` request has been handled.
+  bool shutdown_requested() const { return shutdown_requested_; }
+
+  /// Read NDJSON requests from `in` until EOF or `shutdown`, writing one
+  /// response line per request to `out` (flushed per line). Blank lines
+  /// are ignored.
+  void serve(std::istream& in, std::ostream& out);
+
+ private:
+  std::string handle_submit(const json::Value& request);
+  std::string handle_status(const json::Value& request);
+  std::string handle_result(const json::Value& request);
+  std::string handle_cancel(const json::Value& request);
+  std::string handle_wait(const json::Value& request);
+  std::string handle_stats();
+  std::string handle_scenarios();
+
+  SimService& service_;
+  bool shutdown_requested_ = false;
+};
+
+}  // namespace mobitherm::service

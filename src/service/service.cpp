@@ -1,0 +1,362 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "sim/report.h"
+#include "util/error.h"
+
+namespace mobitherm::service {
+
+namespace {
+
+// Simulated seconds per engine slice. Slicing does not change results
+// (run(1.0) twice == run(2.0), tick for tick); it only bounds how long a
+// running job can overshoot its deadline.
+constexpr double kSliceSimSeconds = 1.0;
+
+std::chrono::steady_clock::duration to_duration(double seconds) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+    case JobState::kExpired:
+      return "expired";
+  }
+  return "unknown";
+}
+
+bool is_terminal(JobState state) {
+  return state != JobState::kQueued && state != JobState::kRunning;
+}
+
+SimService::SimService(ScenarioRegistry registry, ServiceConfig config)
+    : registry_(std::move(registry)),
+      config_(config),
+      cache_(config.cache_capacity) {
+  if (config_.workers == 0) {
+    throw util::ConfigError("SimService: workers must be positive");
+  }
+  workers_.reserve(config_.workers);
+  for (unsigned w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SimService::~SimService() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+    for (auto& [id, job] : jobs_) {
+      (void)id;
+      if (job->state == JobState::kQueued) {
+        finish_locked(job, JobState::kCancelled, "service shutdown");
+      } else if (job->state == JobState::kRunning) {
+        job->stop.store(true, std::memory_order_relaxed);
+      }
+    }
+    queue_.clear();
+  }
+  work_cv_.notify_all();
+  done_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+SubmitOutcome SimService::submit(const SimRequest& request,
+                                 double deadline_s) {
+  SimRequest resolved;
+  std::string canonical;
+  try {
+    resolved = registry_.resolve(request);
+    canonical = registry_.canonical_key(resolved);
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++rejected_;
+    SubmitOutcome out;
+    out.reject_reason = e.what();
+    return out;
+  }
+  const std::uint64_t key = fnv1a64(canonical);
+  std::shared_ptr<const JobResult> cached = cache_.lookup(key, canonical);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shutting_down_) {
+    ++rejected_;
+    SubmitOutcome out;
+    out.reject_reason = "service is shutting down";
+    return out;
+  }
+  if (!cached && queue_.size() >= config_.queue_capacity) {
+    ++rejected_;
+    SubmitOutcome out;
+    out.reject_reason = "queue full (" + std::to_string(queue_.size()) +
+                        " jobs pending, capacity " +
+                        std::to_string(config_.queue_capacity) + ")";
+    return out;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->id = next_id_++;
+  job->resolved = resolved;
+  job->key = key;
+  job->canonical = canonical;
+  jobs_[job->id] = job;
+  ++submitted_;
+
+  SubmitOutcome out;
+  out.accepted = true;
+  out.id = job->id;
+
+  if (cached) {
+    job->from_cache = true;
+    job->result = std::move(cached);
+    finish_locked(job, JobState::kDone, "");
+    out.cached = true;
+    return out;
+  }
+
+  const double effective_deadline =
+      deadline_s < 0.0 ? config_.default_deadline_s : deadline_s;
+  if (effective_deadline > 0.0) {
+    // Wall-clock enters here only: deadlines bound *when* a job may
+    // finish, never what a finished job computes.
+    job->deadline =  // MOBILINT: nondet-ok (admission deadline, not sim state)
+        std::chrono::steady_clock::now() + to_duration(effective_deadline);
+  }
+  queue_.push_back(job);
+  work_cv_.notify_one();
+  return out;
+}
+
+std::optional<JobStatus> SimService::status(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return std::nullopt;
+  }
+  const std::shared_ptr<Job>& job = it->second;
+  expire_if_overdue_locked(job);
+  JobStatus s;
+  s.id = job->id;
+  s.state = job->state;
+  s.from_cache = job->from_cache;
+  s.error = job->error;
+  s.canonical = job->canonical;
+  return s;
+}
+
+std::shared_ptr<const JobResult> SimService::result(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second->state != JobState::kDone) {
+    return nullptr;
+  }
+  return it->second->result;
+}
+
+bool SimService::cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return false;
+  }
+  const std::shared_ptr<Job>& job = it->second;
+  if (is_terminal(job->state)) {
+    return false;
+  }
+  if (job->state == JobState::kQueued) {
+    // The worker skips non-queued jobs when it pops them, so the stale
+    // queue entry is harmless.
+    finish_locked(job, JobState::kCancelled, "cancelled while queued");
+    return true;
+  }
+  // Running: the worker observes the token at its next tick and finishes
+  // the job as kCancelled. Best effort — a job that completes before the
+  // next check finishes kDone.
+  job->stop.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+bool SimService::wait(std::uint64_t id, double timeout_s) {
+  const auto wait_deadline =  // MOBILINT: nondet-ok (caller timeout)
+      std::chrono::steady_clock::now() + to_duration(std::max(0.0, timeout_s));
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      return false;
+    }
+    const std::shared_ptr<Job> job = it->second;
+    expire_if_overdue_locked(job);
+    if (is_terminal(job->state)) {
+      return true;
+    }
+    const auto now = std::chrono::steady_clock::now();  // MOBILINT: nondet-ok
+    if (now >= wait_deadline) {
+      return false;
+    }
+    // Bounded wait so queued-job deadlines are noticed promptly even
+    // without completion notifications.
+    auto step = wait_deadline - now;
+    if (job->deadline && *job->deadline > now) {
+      step = std::min(step, *job->deadline - now);
+    }
+    step = std::min(step, to_duration(0.05));
+    done_cv_.wait_for(lock, step);
+  }
+}
+
+ServiceStats SimService::stats() const {
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.submitted = submitted_;
+    s.rejected = rejected_;
+    s.completed = completed_;
+    s.failed = failed_;
+    s.cancelled = cancelled_;
+    s.expired = expired_;
+    s.queued = queue_.size();
+    s.running = running_;
+  }
+  s.workers = config_.workers;
+  s.queue_capacity = config_.queue_capacity;
+  s.cache = cache_.stats();
+  return s;
+}
+
+void SimService::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock,
+                    [this] { return shutting_down_ || !queue_.empty(); });
+      if (shutting_down_) {
+        return;  // queued jobs were already cancelled by the destructor
+      }
+      job = queue_.front();
+      queue_.pop_front();
+      if (job->state != JobState::kQueued) {
+        continue;  // cancelled or lazily expired while queued
+      }
+      if (expire_if_overdue_locked(job)) {
+        continue;
+      }
+      job->state = JobState::kRunning;
+      ++running_;
+    }
+    execute(job);
+  }
+}
+
+void SimService::execute(const std::shared_ptr<Job>& job) {
+  std::shared_ptr<JobResult> result;
+  bool cancelled = false;
+  bool expired = false;
+  std::string error;
+  try {
+    std::unique_ptr<sim::Engine> engine = registry_.make_engine(job->resolved);
+    sim::MetricsObserver tap(config_.metrics);
+    engine->add_observer(&tap);
+    double remaining = job->resolved.duration_s;
+    while (remaining > 0.0) {
+      if (job->stop.load(std::memory_order_relaxed)) {
+        cancelled = true;
+        break;
+      }
+      if (job->deadline &&
+          std::chrono::steady_clock::now() >=  // MOBILINT: nondet-ok
+              *job->deadline) {
+        expired = true;
+        break;
+      }
+      const double slice = std::min(kSliceSimSeconds, remaining);
+      engine->run(slice, &job->stop);
+      remaining -= slice;
+    }
+    if (!expired && job->stop.load(std::memory_order_relaxed)) {
+      cancelled = true;
+    }
+    if (!cancelled && !expired) {
+      result = std::make_shared<JobResult>();
+      result->metrics = tap.metrics(*engine);
+      result->report = sim::make_report(*engine, config_.metrics.temp_limit_c);
+      result->payload = serialize_result(result->metrics, result->report);
+      cache_.insert(job->key, job->canonical, result);
+    }
+  } catch (const std::exception& e) {
+    error = e.what();
+  } catch (...) {
+    error = "unknown error";
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  --running_;
+  if (!error.empty()) {
+    finish_locked(job, JobState::kFailed, error);
+  } else if (cancelled) {
+    finish_locked(job, JobState::kCancelled, "cancelled while running");
+  } else if (expired) {
+    finish_locked(job, JobState::kExpired, "deadline exceeded while running");
+  } else {
+    job->result = result;
+    finish_locked(job, JobState::kDone, "");
+  }
+}
+
+bool SimService::expire_if_overdue_locked(const std::shared_ptr<Job>& job) {
+  if (job->state != JobState::kQueued || !job->deadline) {
+    return false;
+  }
+  if (std::chrono::steady_clock::now() <  // MOBILINT: nondet-ok
+      *job->deadline) {
+    return false;
+  }
+  finish_locked(job, JobState::kExpired, "deadline exceeded while queued");
+  return true;
+}
+
+void SimService::finish_locked(const std::shared_ptr<Job>& job,
+                               JobState state, const std::string& error) {
+  job->state = state;
+  job->error = error;
+  switch (state) {
+    case JobState::kDone:
+      ++completed_;
+      break;
+    case JobState::kFailed:
+      ++failed_;
+      break;
+    case JobState::kCancelled:
+      ++cancelled_;
+      break;
+    case JobState::kExpired:
+      ++expired_;
+      break;
+    case JobState::kQueued:
+    case JobState::kRunning:
+      break;
+  }
+  done_cv_.notify_all();
+}
+
+}  // namespace mobitherm::service

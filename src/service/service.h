@@ -1,0 +1,188 @@
+// SimService: the long-lived request-serving layer over the sim core.
+//
+// Combines the three service pieces into one admission-controlled
+// pipeline:
+//
+//   submit(request)
+//     -> resolve against the ScenarioRegistry (reject unknown requests)
+//     -> cache lookup by canonical-request hash (hit: done immediately,
+//        byte-identical payload, zero simulation work)
+//     -> bounded job queue (full: reject with a reason — backpressure is
+//        explicit, the queue never grows without bound)
+//   worker pool (N threads)
+//     -> builds the engine from the registry, runs it in one-simulated-
+//        second slices, honoring the per-job deadline and the cooperative
+//        cancellation token (checked every tick inside Engine::run)
+//     -> summarizes (RunMetrics + RunReport), serializes the canonical
+//        payload, stores it in the LRU result cache
+//
+// Determinism note: job *results* are pure functions of the canonical
+// request. Queueing order, worker interleaving, deadlines and wall-clock
+// timings are inherently nondeterministic — they affect only *whether/when*
+// a job completes, never what a completed job computes.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/result_cache.h"
+#include "service/scenario_registry.h"
+#include "sim/metrics.h"
+
+namespace mobitherm::service {
+
+struct ServiceConfig {
+  /// Worker threads running simulations.
+  unsigned workers = 1;
+  /// Maximum jobs waiting in the queue (excluding running ones); a submit
+  /// that would exceed it is rejected with a reason.
+  std::size_t queue_capacity = 16;
+  /// Result-cache capacity (entries); 0 disables caching.
+  std::size_t cache_capacity = 64;
+  /// Default per-job deadline (wall seconds from submit); <= 0 = none.
+  double default_deadline_s = 0.0;
+  /// Summary options applied to every job.
+  sim::MetricsOptions metrics;
+};
+
+enum class JobState {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,     // scenario factory / summarization threw
+  kCancelled,  // cancel() or service shutdown
+  kExpired,    // deadline passed while queued or running
+};
+
+const char* to_string(JobState state);
+
+/// True for states a job can never leave.
+bool is_terminal(JobState state);
+
+struct SubmitOutcome {
+  bool accepted = false;
+  std::uint64_t id = 0;      // valid when accepted
+  bool cached = false;       // served from the result cache (already done)
+  std::string reject_reason; // set when !accepted
+};
+
+struct JobStatus {
+  std::uint64_t id = 0;
+  JobState state = JobState::kQueued;
+  bool from_cache = false;
+  std::string error;      // failure/expiry/cancel detail
+  std::string canonical;  // canonical request key
+};
+
+struct ServiceStats {
+  std::size_t submitted = 0;   // accepted submissions (incl. cache hits)
+  std::size_t rejected = 0;    // backpressure or invalid requests
+  std::size_t completed = 0;   // kDone jobs, incl. cache-served ones
+  std::size_t failed = 0;
+  std::size_t cancelled = 0;
+  std::size_t expired = 0;
+  std::size_t queued = 0;      // current depth
+  std::size_t running = 0;     // currently simulating
+  unsigned workers = 0;
+  std::size_t queue_capacity = 0;
+  CacheStats cache;
+};
+
+class SimService {
+ public:
+  explicit SimService(ScenarioRegistry registry, ServiceConfig config = {});
+
+  /// Cancels queued and running jobs, then joins the workers.
+  ~SimService();
+
+  SimService(const SimService&) = delete;
+  SimService& operator=(const SimService&) = delete;
+
+  /// Admit a request. An invalid request (unknown scenario/app/policy) or
+  /// a full queue rejects with a reason; a cache hit completes the job
+  /// immediately. `deadline_s` < 0 uses the config default.
+  SubmitOutcome submit(const SimRequest& request, double deadline_s = -1.0);
+
+  /// Snapshot of a job's state; nullopt for unknown ids. Lazily expires
+  /// queued jobs whose deadline has passed.
+  std::optional<JobStatus> status(std::uint64_t id);
+
+  /// The job's result; nullptr unless the job is kDone.
+  std::shared_ptr<const JobResult> result(std::uint64_t id) const;
+
+  /// Request cancellation. Queued jobs cancel immediately; running jobs
+  /// stop at their next tick. Returns false for unknown or already
+  /// terminal jobs.
+  bool cancel(std::uint64_t id);
+
+  /// Block until the job reaches a terminal state or `timeout_s` elapses.
+  /// Returns true when terminal.
+  bool wait(std::uint64_t id, double timeout_s);
+
+  ServiceStats stats() const;
+
+  const ScenarioRegistry& registry() const { return registry_; }
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    SimRequest resolved;
+    std::uint64_t key = 0;
+    std::string canonical;
+    JobState state = JobState::kQueued;
+    bool from_cache = false;
+    std::string error;
+    std::shared_ptr<const JobResult> result;
+    std::atomic<bool> stop{false};
+    /// Wall-clock deadline; nullopt = none.
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+  };
+
+  void worker_loop();
+  void execute(const std::shared_ptr<Job>& job);
+
+  /// Must hold mutex_. Moves a queued job past its deadline to kExpired
+  /// (the worker skips non-queued jobs on pop); returns true if it
+  /// expired.
+  bool expire_if_overdue_locked(const std::shared_ptr<Job>& job);
+
+  /// Must hold mutex_. Terminal-state bookkeeping + waiter wakeup.
+  void finish_locked(const std::shared_ptr<Job>& job, JobState state,
+                     const std::string& error);
+
+  ScenarioRegistry registry_;
+  ServiceConfig config_;
+  ResultCache cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers: queue / shutdown
+  std::condition_variable done_cv_;  // waiters: job completion
+  std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::uint64_t next_id_ = 1;
+  bool shutting_down_ = false;
+
+  // Counters guarded by mutex_.
+  std::size_t submitted_ = 0;
+  std::size_t rejected_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t failed_ = 0;
+  std::size_t cancelled_ = 0;
+  std::size_t expired_ = 0;
+  std::size_t running_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mobitherm::service

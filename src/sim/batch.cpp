@@ -85,7 +85,9 @@ std::vector<BatchRecord> BatchRunner::run(std::size_t runs,
                                           std::uint64_t base_seed,
                                           double duration_s,
                                           const EngineFactory& factory,
-                                          MetricsOptions metrics) const {
+                                          MetricsOptions metrics,
+                                          const std::atomic<bool>* stop)
+    const {
   if (!factory) {
     throw util::ConfigError("BatchRunner: null engine factory");
   }
@@ -95,6 +97,13 @@ std::vector<BatchRecord> BatchRunner::run(std::size_t runs,
   std::vector<BatchRecord> records(runs);
   parallel_for_index(runs, resolved_threads(), [&](std::size_t i) {
     const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    BatchRecord& rec = records[i];
+    rec.index = i;
+    rec.seed = seed;
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+      rec.completed = false;  // cancelled before this run started
+      return;
+    }
     const auto start = std::chrono::steady_clock::now();
     std::unique_ptr<Engine> engine = factory(i, seed);
     if (!engine) {
@@ -102,10 +111,9 @@ std::vector<BatchRecord> BatchRunner::run(std::size_t runs,
     }
     MetricsObserver tap(metrics);
     engine->add_observer(&tap);
-    engine->run(duration_s);
-    BatchRecord& rec = records[i];
-    rec.index = i;
-    rec.seed = seed;
+    engine->run(duration_s, stop);
+    rec.completed =
+        stop == nullptr || !stop->load(std::memory_order_relaxed);
     rec.metrics = tap.metrics(*engine);
     rec.report = make_report(*engine, metrics.temp_limit_c);
     rec.wall_s = std::chrono::duration<double>(

@@ -294,7 +294,7 @@ void Engine::set_initial_temperature(double t_k) {
   }
 }
 
-void Engine::run(double seconds) {
+void Engine::run(double seconds, const std::atomic<bool>* stop) {
   // Carry fractional ticks across calls so repeated short runs advance
   // exactly as far as one long run (run(0.05) x20 == run(1.0)).
   pending_ticks_ += seconds / config_.tick_s;
@@ -305,6 +305,11 @@ void Engine::run(double seconds) {
   }
   pending_ticks_ -= static_cast<double>(ticks);
   for (long long i = 0; i < ticks; ++i) {
+    // Cooperative cancellation: one relaxed load per tick, no effect on
+    // the simulated state of the ticks that did run.
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+      return;
+    }
     tick();
   }
 }

@@ -20,6 +20,7 @@
 // a run yields a byte-identical Trace with zero, one, or N observers.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -146,7 +147,14 @@ class Engine {
   /// Advance the simulation by `seconds`. Fractional ticks are carried to
   /// the next call, so run(0.05) twenty times advances exactly as far as
   /// run(1.0) once.
-  void run(double seconds);
+  ///
+  /// `stop` is an optional cooperative cancellation token, checked once
+  /// per tick (a single relaxed atomic load; the hot loop stays
+  /// allocation-free). When it becomes true the remaining ticks of this
+  /// call are abandoned: the simulation stays valid and resumable, but an
+  /// aborted run is *partial* — never treat its results as equivalent to
+  /// a completed one.
+  void run(double seconds, const std::atomic<bool>* stop = nullptr);
   double now_s() const { return now_; }
 
   // --- state access -------------------------------------------------------

@@ -74,12 +74,9 @@ std::unique_ptr<Engine> make_nexus_engine(const NexusRun& run) {
   return engine;
 }
 
-NexusResult run_nexus_app(const NexusRun& run) {
-  std::unique_ptr<Engine> engine = make_nexus_engine(run);
-  engine->run(run.duration_s);
-
-  const SocSpec& spec = engine->soc().spec();
-  const RunMetrics m = summarize_run(*engine);
+NexusResult nexus_result_from(Engine& engine) {
+  const SocSpec& spec = engine.soc().spec();
+  const RunMetrics m = summarize_run(engine);
   NexusResult result;
   result.temp_trace_c = m.temp_trace_c;
   result.peak_temp_c = m.peak_temp_c;
@@ -93,6 +90,12 @@ NexusResult run_nexus_app(const NexusRun& run) {
   result.median_fps = m.median_fps[0];
   result.mean_power_w = m.mean_power_w;
   return result;
+}
+
+NexusResult run_nexus_app(const NexusRun& run) {
+  std::unique_ptr<Engine> engine = make_nexus_engine(run);
+  engine->run(run.duration_s);
+  return nexus_result_from(*engine);
 }
 
 governors::IpaGovernor::Config odroid_ipa_config(const SocSpec& spec) {
@@ -150,12 +153,9 @@ std::unique_ptr<Engine> make_odroid_engine(const OdroidRun& run) {
   return engine;
 }
 
-OdroidResult run_odroid(const OdroidRun& run) {
-  std::unique_ptr<Engine> engine = make_odroid_engine(run);
+OdroidResult odroid_result_from(Engine& engine, bool with_bml) {
   const std::size_t fg = 0;
-  engine->run(run.duration_s);
-
-  const RunMetrics m = summarize_run(*engine);
+  const RunMetrics m = summarize_run(engine);
   OdroidResult result;
   result.max_temp_trace_c = m.temp_trace_c;
   result.peak_temp_c = m.peak_temp_c;
@@ -163,17 +163,23 @@ OdroidResult run_odroid(const OdroidRun& run) {
   result.rail_names = m.rail_names;
   result.phase_fps = m.phase_fps[fg];
   result.median_fps = m.median_fps[fg];
-  for (const auto& [t, d] : engine->decisions()) {
+  for (const auto& [t, d] : engine.decisions()) {
     if (d.migrated.has_value()) {
       ++result.migrations;
     }
   }
-  if (run.with_bml) {
-    result.bml_work = engine->scheduler()
-                          .process(engine->app(1).cpu_pid())
+  if (with_bml) {
+    result.bml_work = engine.scheduler()
+                          .process(engine.app(1).cpu_pid())
                           .completed_work();
   }
   return result;
+}
+
+OdroidResult run_odroid(const OdroidRun& run) {
+  std::unique_ptr<Engine> engine = make_odroid_engine(run);
+  engine->run(run.duration_s);
+  return odroid_result_from(*engine, run.with_bml);
 }
 
 }  // namespace mobitherm::sim

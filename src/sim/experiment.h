@@ -58,6 +58,10 @@ governors::StepWiseGovernor::Config nexus_stepwise_config();
 /// app of interest is always app index 0.
 std::unique_ptr<Engine> make_nexus_engine(const NexusRun& run);
 
+/// Summarize an already-run Nexus engine (from make_nexus_engine or the
+/// service registry) into the Sec. III result record.
+NexusResult nexus_result_from(Engine& engine);
+
 NexusResult run_nexus_app(const NexusRun& run);
 
 // --- Odroid-XU3 (Sec. IV-C) ------------------------------------------------
@@ -100,6 +104,11 @@ core::AppAwareConfig odroid_appaware_config(const platform::SocSpec& spec);
 /// foreground app is index 0; the BML background task, when enabled, is
 /// index 1.
 std::unique_ptr<Engine> make_odroid_engine(const OdroidRun& run);
+
+/// Summarize an already-run Odroid engine into the Sec. IV-C result
+/// record. `with_bml` must match how the engine was built (it selects
+/// whether app index 1 exists and its progress is read back).
+OdroidResult odroid_result_from(Engine& engine, bool with_bml);
 
 OdroidResult run_odroid(const OdroidRun& run);
 

@@ -1,0 +1,595 @@
+// Service-layer tests: JSON round trips, scenario-registry resolution and
+// canonical keys, LRU result-cache behavior, job-queue admission control
+// (backpressure, deadlines, cancellation), the NDJSON protocol, and a
+// concurrent stress run for TSan. Plus the regression tests this PR pins:
+// Scenario::fired() resets between runs, and the cooperative stop token
+// threads through Engine::run and BatchRunner.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/json.h"
+#include "service/result_cache.h"
+#include "service/scenario_registry.h"
+#include "service/server.h"
+#include "service/service.h"
+#include "sim/batch.h"
+#include "sim/experiment.h"
+#include "sim/scenario.h"
+#include "util/error.h"
+#include "workload/presets.h"
+
+namespace mobitherm::service {
+namespace {
+
+using util::ConfigError;
+
+// --- json.h ----------------------------------------------------------------
+
+TEST(Json, ParseDumpRoundTrip) {
+  const std::string text =
+      "{\"a\":1,\"b\":[true,null,\"x\"],\"c\":{\"d\":-2.5}}";
+  const json::Value v = json::Value::parse(text);
+  EXPECT_EQ(v.dump(), text);
+}
+
+TEST(Json, NumberFormattingIsCanonical) {
+  EXPECT_EQ(json::format_number(140.0), "140");
+  EXPECT_EQ(json::format_number(-3.0), "-3");
+  EXPECT_EQ(json::format_number(0.1), "0.1");
+  // Same value -> same bytes, independent of how it was computed.
+  EXPECT_EQ(json::format_number(0.1 + 0.2), json::format_number(0.30000000000000004));
+  // Round trip: the printed form parses back to the exact double.
+  const double x = 39.823640379352696;
+  EXPECT_EQ(json::Value::parse(json::format_number(x)).as_number(), x);
+}
+
+TEST(Json, ObjectsKeepInsertionOrder) {
+  json::Value v = json::Value::object();
+  v.set("z", json::Value::number(1));
+  v.set("a", json::Value::number(2));
+  EXPECT_EQ(v.dump(), "{\"z\":1,\"a\":2}");
+}
+
+TEST(Json, MalformedInputThrows) {
+  EXPECT_THROW(json::Value::parse(""), json::ParseError);
+  EXPECT_THROW(json::Value::parse("{\"a\":}"), json::ParseError);
+  EXPECT_THROW(json::Value::parse("{} trailing"), json::ParseError);
+  EXPECT_THROW(json::Value::parse("[1,2,"), json::ParseError);
+}
+
+TEST(Json, StringEscapes) {
+  const json::Value v = json::Value::parse("\"a\\n\\\"b\\u00e9\"");
+  EXPECT_EQ(v.as_string(), "a\n\"b\xc3\xa9");
+}
+
+// --- scenario registry -----------------------------------------------------
+
+TEST(ScenarioRegistry, StandardScenariosAndDefaults) {
+  const ScenarioRegistry& reg = standard_registry();
+  EXPECT_TRUE(reg.has("nexus"));
+  EXPECT_TRUE(reg.has("odroid"));
+  EXPECT_EQ(reg.names(), (std::vector<std::string>{"nexus", "odroid"}));
+
+  SimRequest req;
+  req.scenario = "nexus";
+  const SimRequest r = reg.resolve(req);
+  EXPECT_EQ(r.app, "paperio");
+  EXPECT_EQ(r.policy, "throttled");
+  EXPECT_EQ(r.duration_s, 140.0);
+  EXPECT_EQ(r.initial_temp_c, 36.0);
+  // Resolution is idempotent: canonical requests resolve to themselves.
+  const SimRequest r2 = reg.resolve(r);
+  EXPECT_EQ(reg.canonical_key(r), reg.canonical_key(r2));
+}
+
+TEST(ScenarioRegistry, InvalidRequestsThrow) {
+  const ScenarioRegistry& reg = standard_registry();
+  SimRequest req;
+  req.scenario = "gameboy";
+  EXPECT_THROW(reg.resolve(req), ConfigError);
+  req.scenario = "nexus";
+  req.app = "doom";
+  EXPECT_THROW(reg.resolve(req), ConfigError);
+  req.app = "paperio";
+  req.policy = "proposed";  // odroid policy, not a nexus one
+  EXPECT_THROW(reg.resolve(req), ConfigError);
+  req.policy = "";
+  req.duration_s = 0.0;
+  EXPECT_THROW(reg.resolve(req), ConfigError);
+}
+
+TEST(ScenarioRegistry, CanonicalKeyNormalizesInapplicableOverrides) {
+  const ScenarioRegistry& reg = standard_registry();
+  SimRequest a;
+  a.scenario = "nexus";
+  a.app = "paperio";
+  SimRequest b = a;
+  b.app_levels = 7;  // paperio ignores levels; must not split the key
+  b.app_phase_s = 9.0;
+  EXPECT_EQ(reg.canonical_key(a), reg.canonical_key(b));
+  EXPECT_EQ(reg.request_hash(a), reg.request_hash(b));
+
+  // ...but for a parameterized app the overrides are part of the key.
+  SimRequest nena = a;
+  nena.scenario = "odroid";
+  nena.app = "nenamark";
+  SimRequest nena6 = nena;
+  nena6.app_levels = 6;
+  EXPECT_NE(reg.canonical_key(nena), reg.canonical_key(nena6));
+}
+
+TEST(ScenarioRegistry, KeySeparatesSeedPolicyAndVersion) {
+  const ScenarioRegistry& reg = standard_registry();
+  SimRequest a;
+  a.scenario = "nexus";
+  SimRequest b = a;
+  b.seed = 43;
+  EXPECT_NE(reg.canonical_key(a), reg.canonical_key(b));
+  SimRequest c = a;
+  c.policy = "unthrottled";
+  EXPECT_NE(reg.canonical_key(a), reg.canonical_key(c));
+  EXPECT_NE(reg.canonical_key(a).find(kSimCodeVersion), std::string::npos);
+}
+
+TEST(ScenarioRegistry, NexusAppNamesMatchTableOne) {
+  EXPECT_EQ(nexus_app_names().size(), 5u);
+  for (const std::string& name : nexus_app_names()) {
+    EXPECT_FALSE(workload_by_name(name).name.empty());
+  }
+  EXPECT_THROW(workload_by_name("not_an_app"), ConfigError);
+}
+
+TEST(ScenarioRegistry, FactoryMatchesHandWiredEngine) {
+  // The registry is the same wiring as make_nexus_engine: identical
+  // requests must produce bit-identical runs.
+  const ScenarioRegistry& reg = standard_registry();
+  SimRequest req;
+  req.scenario = "nexus";
+  req.policy = "unthrottled";
+  req.duration_s = 3.0;
+  std::unique_ptr<sim::Engine> from_registry = reg.make_engine(req);
+  from_registry->run(3.0);
+
+  sim::NexusRun run;
+  run.app = workload::paperio();
+  run.throttling = false;
+  run.duration_s = 3.0;
+  std::unique_ptr<sim::Engine> hand = sim::make_nexus_engine(run);
+  hand->run(3.0);
+
+  const sim::NexusResult a = sim::nexus_result_from(*from_registry);
+  const sim::NexusResult b = sim::nexus_result_from(*hand);
+  EXPECT_EQ(a.peak_temp_c, b.peak_temp_c);
+  EXPECT_EQ(a.median_fps, b.median_fps);
+  EXPECT_EQ(a.temp_trace_c, b.temp_trace_c);
+}
+
+// --- result cache ----------------------------------------------------------
+
+std::shared_ptr<JobResult> fake_result(const std::string& payload) {
+  auto r = std::make_shared<JobResult>();
+  r->payload = payload;
+  return r;
+}
+
+TEST(ResultCache, HitIsBitwiseEqualAndCounted) {
+  ResultCache cache(4);
+  cache.insert(1, "key-1", fake_result("payload-1"));
+  const auto hit = cache.lookup(1, "key-1");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->payload, "payload-1");
+  EXPECT_EQ(cache.lookup(2, "key-2"), nullptr);
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.size, 1u);
+  EXPECT_EQ(s.capacity, 4u);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  cache.insert(1, "k1", fake_result("p1"));
+  cache.insert(2, "k2", fake_result("p2"));
+  ASSERT_NE(cache.lookup(1, "k1"), nullptr);  // 1 is now MRU, 2 is LRU
+  cache.insert(3, "k3", fake_result("p3"));   // evicts 2
+  EXPECT_EQ(cache.lookup(2, "k2"), nullptr);
+  EXPECT_NE(cache.lookup(1, "k1"), nullptr);
+  EXPECT_NE(cache.lookup(3, "k3"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().size, 2u);
+}
+
+TEST(ResultCache, HashCollisionDegradesToMiss) {
+  ResultCache cache(4);
+  cache.insert(7, "canonical-a", fake_result("pa"));
+  EXPECT_EQ(cache.lookup(7, "canonical-b"), nullptr);
+  EXPECT_EQ(cache.stats().collisions, 1u);
+}
+
+TEST(ResultCache, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  cache.insert(1, "k1", fake_result("p1"));
+  EXPECT_EQ(cache.lookup(1, "k1"), nullptr);
+  EXPECT_EQ(cache.stats().size, 0u);
+}
+
+TEST(ResultCache, ReinsertRefreshesRecency) {
+  ResultCache cache(2);
+  cache.insert(1, "k1", fake_result("p1"));
+  cache.insert(2, "k2", fake_result("p2"));
+  cache.insert(1, "k1", fake_result("p1-new"));  // 1 becomes MRU
+  cache.insert(3, "k3", fake_result("p3"));      // evicts 2, not 1
+  const auto hit = cache.lookup(1, "k1");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->payload, "p1-new");
+  EXPECT_EQ(cache.lookup(2, "k2"), nullptr);
+}
+
+// --- service ---------------------------------------------------------------
+
+SimRequest short_request(std::uint64_t seed = 42, double duration_s = 2.0) {
+  SimRequest req;
+  req.scenario = "nexus";
+  req.app = "paperio";
+  req.duration_s = duration_s;
+  req.seed = seed;
+  return req;
+}
+
+SimRequest long_request(std::uint64_t seed = 42) {
+  return short_request(seed, 100000.0);
+}
+
+ServiceConfig small_config(unsigned workers = 1,
+                           std::size_t queue_capacity = 2) {
+  ServiceConfig cfg;
+  cfg.workers = workers;
+  cfg.queue_capacity = queue_capacity;
+  cfg.cache_capacity = 8;
+  return cfg;
+}
+
+void wait_until_running(SimService& service, std::uint64_t id) {
+  for (int i = 0; i < 20000; ++i) {
+    const auto s = service.status(id);
+    ASSERT_TRUE(s.has_value());
+    if (s->state == JobState::kRunning || is_terminal(s->state)) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << "job " << id << " never started running";
+}
+
+TEST(SimService, SecondIdenticalSubmitIsServedFromCacheByteIdentical) {
+  SimService service(ScenarioRegistry::standard(), small_config());
+  const SimRequest req = short_request();
+
+  const SubmitOutcome first = service.submit(req);
+  ASSERT_TRUE(first.accepted);
+  EXPECT_FALSE(first.cached);
+  ASSERT_TRUE(service.wait(first.id, 600.0));
+
+  const SubmitOutcome second = service.submit(req);
+  ASSERT_TRUE(second.accepted);
+  EXPECT_TRUE(second.cached);
+  ASSERT_TRUE(service.wait(second.id, 600.0));
+
+  const auto a = service.result(first.id);
+  const auto b = service.result(second.id);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->payload, b->payload);
+  EXPECT_FALSE(a->payload.empty());
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.cache.hits, 1u);
+  EXPECT_EQ(stats.cache.misses, 1u);
+
+  const auto status = service.status(second.id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_TRUE(status->from_cache);
+  EXPECT_EQ(status->state, JobState::kDone);
+}
+
+TEST(SimService, InvalidRequestIsRejectedWithReason) {
+  SimService service(ScenarioRegistry::standard(), small_config());
+  SimRequest req = short_request();
+  req.scenario = "gameboy";
+  const SubmitOutcome out = service.submit(req);
+  EXPECT_FALSE(out.accepted);
+  EXPECT_NE(out.reject_reason.find("gameboy"), std::string::npos);
+  EXPECT_EQ(service.stats().rejected, 1u);
+}
+
+TEST(SimService, FullQueueRejectsWithBackpressureReason) {
+  SimService service(ScenarioRegistry::standard(),
+                     small_config(/*workers=*/1, /*queue_capacity=*/2));
+  const SubmitOutcome running = service.submit(long_request(1));
+  ASSERT_TRUE(running.accepted);
+  wait_until_running(service, running.id);
+
+  const SubmitOutcome q1 = service.submit(long_request(2));
+  const SubmitOutcome q2 = service.submit(long_request(3));
+  ASSERT_TRUE(q1.accepted);
+  ASSERT_TRUE(q2.accepted);
+
+  const SubmitOutcome overflow = service.submit(long_request(4));
+  EXPECT_FALSE(overflow.accepted);
+  EXPECT_NE(overflow.reject_reason.find("queue full"), std::string::npos);
+  EXPECT_EQ(service.stats().rejected, 1u);
+
+  // A cache hit is admitted even when the queue is full: it costs no
+  // simulation work, so backpressure does not apply.
+  const SimRequest small = short_request(7, 2.0);
+  const SubmitOutcome warm = service.submit(small);
+  EXPECT_FALSE(warm.accepted);  // queue full, not yet cached
+
+  EXPECT_TRUE(service.cancel(running.id));
+  EXPECT_TRUE(service.cancel(q1.id));
+  EXPECT_TRUE(service.cancel(q2.id));
+  EXPECT_TRUE(service.wait(running.id, 600.0));
+}
+
+TEST(SimService, QueuedJobPastDeadlineExpires) {
+  SimService service(ScenarioRegistry::standard(), small_config());
+  const SubmitOutcome running = service.submit(long_request(1));
+  ASSERT_TRUE(running.accepted);
+  wait_until_running(service, running.id);
+
+  const SubmitOutcome queued =
+      service.submit(long_request(2), /*deadline_s=*/0.05);
+  ASSERT_TRUE(queued.accepted);
+  ASSERT_TRUE(service.wait(queued.id, 600.0));
+  const auto s = service.status(queued.id);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->state, JobState::kExpired);
+  EXPECT_NE(s->error.find("deadline"), std::string::npos);
+  EXPECT_EQ(service.stats().expired, 1u);
+
+  EXPECT_TRUE(service.cancel(running.id));
+  EXPECT_TRUE(service.wait(running.id, 600.0));
+}
+
+TEST(SimService, RunningJobPastDeadlineExpires) {
+  SimService service(ScenarioRegistry::standard(), small_config());
+  const SubmitOutcome out =
+      service.submit(long_request(1), /*deadline_s=*/0.1);
+  ASSERT_TRUE(out.accepted);
+  ASSERT_TRUE(service.wait(out.id, 600.0));
+  const auto s = service.status(out.id);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->state, JobState::kExpired);
+  EXPECT_EQ(service.result(out.id), nullptr);
+}
+
+TEST(SimService, CancelMidRunStopsTheJob) {
+  SimService service(ScenarioRegistry::standard(), small_config());
+  const SubmitOutcome out = service.submit(long_request(1));
+  ASSERT_TRUE(out.accepted);
+  wait_until_running(service, out.id);
+  EXPECT_TRUE(service.cancel(out.id));
+  ASSERT_TRUE(service.wait(out.id, 600.0));
+  const auto s = service.status(out.id);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->state, JobState::kCancelled);
+  // Cancelling a terminal job is a no-op that reports false.
+  EXPECT_FALSE(service.cancel(out.id));
+  EXPECT_EQ(service.stats().cancelled, 1u);
+}
+
+TEST(SimService, WaitTimesOutOnRunningJobAndUnknownIdIsFalse) {
+  SimService service(ScenarioRegistry::standard(), small_config());
+  EXPECT_FALSE(service.wait(999, 0.01));
+  const SubmitOutcome out = service.submit(long_request(1));
+  ASSERT_TRUE(out.accepted);
+  EXPECT_FALSE(service.wait(out.id, 0.05));
+  EXPECT_TRUE(service.cancel(out.id));
+  EXPECT_TRUE(service.wait(out.id, 600.0));
+}
+
+TEST(SimService, DestructorCancelsOutstandingJobs) {
+  // Shutdown with a running job and a queued job must not hang.
+  SimService service(ScenarioRegistry::standard(),
+                     small_config(/*workers=*/1, /*queue_capacity=*/4));
+  ASSERT_TRUE(service.submit(long_request(1)).accepted);
+  ASSERT_TRUE(service.submit(long_request(2)).accepted);
+}
+
+TEST(SimService, ConcurrentSubmitPollCancelIsRaceFree) {
+  // Exercised under TSan in CI: several client threads hammer one service.
+  SimService service(ScenarioRegistry::standard(),
+                     small_config(/*workers=*/2, /*queue_capacity=*/64));
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 6;
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&service, &accepted, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        // A small seed pool so some submissions hit the cache while
+        // others race to compute the same request. (Runs must cover at
+        // least one simulated second or fps summarization fails.)
+        const SubmitOutcome out = service.submit(
+            short_request(static_cast<std::uint64_t>(i % 3), 2.0));
+        if (!out.accepted) {
+          continue;
+        }
+        accepted.fetch_add(1);
+        service.status(out.id);
+        if ((c + i) % 5 == 0) {
+          service.cancel(out.id);
+        }
+        service.wait(out.id, 600.0);
+        service.result(out.id);
+        service.stats();
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::size_t>(accepted.load()));
+  EXPECT_EQ(stats.completed + stats.cancelled + stats.failed +
+                stats.expired,
+            stats.submitted);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.running, 0u);
+}
+
+// --- NDJSON server ---------------------------------------------------------
+
+TEST(SimServer, ProtocolErrorsAreStructured) {
+  SimService service(ScenarioRegistry::standard(), small_config());
+  SimServer server(service);
+  EXPECT_NE(server.handle_line("not json").find("\"ok\":false"),
+            std::string::npos);
+  EXPECT_NE(server.handle_line("{\"op\":\"warp\"}").find("unknown op"),
+            std::string::npos);
+  EXPECT_NE(server.handle_line("{}").find("missing required field: op"),
+            std::string::npos);
+  EXPECT_NE(
+      server.handle_line("{\"op\":\"submit\"}").find("scenario"),
+      std::string::npos);
+  EXPECT_NE(server.handle_line("{\"op\":\"status\",\"job\":123}")
+                .find("unknown job"),
+            std::string::npos);
+  EXPECT_FALSE(server.shutdown_requested());
+}
+
+TEST(SimServer, SubmitWaitResultFlowAndCacheHitBytes) {
+  SimService service(ScenarioRegistry::standard(), small_config());
+  SimServer server(service);
+  const std::string submit =
+      "{\"op\":\"submit\",\"scenario\":\"nexus\",\"app\":\"paperio\","
+      "\"duration_s\":2}";
+
+  const std::string first = server.handle_line(submit);
+  EXPECT_NE(first.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(first.find("\"cached\":false"), std::string::npos);
+  server.handle_line("{\"op\":\"wait\",\"job\":1,\"timeout_s\":600}");
+  const std::string result1 =
+      server.handle_line("{\"op\":\"result\",\"job\":1}");
+  ASSERT_NE(result1.find("\"result\":{"), std::string::npos);
+
+  const std::string second = server.handle_line(submit);
+  EXPECT_NE(second.find("\"cached\":true"), std::string::npos);
+  const std::string result2 =
+      server.handle_line("{\"op\":\"result\",\"job\":2}");
+
+  // The payload after "result": must be byte-identical across the cold
+  // run and the cache hit.
+  const std::string marker = "\"result\":";
+  const std::string payload1 = result1.substr(result1.find(marker));
+  const std::string payload2 = result2.substr(result2.find(marker));
+  EXPECT_EQ(payload1, payload2);
+  EXPECT_NE(result2.find("\"from_cache\":true"), std::string::npos);
+
+  const std::string stats = server.handle_line("{\"op\":\"stats\"}");
+  const json::Value parsed = json::Value::parse(stats);
+  EXPECT_EQ(parsed.find("cache")->find("hits")->as_number(), 1.0);
+
+  const std::string scenarios = server.handle_line("{\"op\":\"scenarios\"}");
+  EXPECT_NE(scenarios.find("\"nexus\""), std::string::npos);
+  EXPECT_NE(scenarios.find("\"odroid\""), std::string::npos);
+
+  EXPECT_NE(server.handle_line("{\"op\":\"shutdown\"}")
+                .find("\"ok\":true"),
+            std::string::npos);
+  EXPECT_TRUE(server.shutdown_requested());
+}
+
+TEST(SimServer, ResultOnUnfinishedJobReportsState) {
+  SimService service(ScenarioRegistry::standard(), small_config());
+  SimServer server(service);
+  server.handle_line(
+      "{\"op\":\"submit\",\"scenario\":\"nexus\",\"duration_s\":100000}");
+  const std::string res = server.handle_line("{\"op\":\"result\",\"job\":1}");
+  EXPECT_NE(res.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(res.find("not done"), std::string::npos);
+  server.handle_line("{\"op\":\"cancel\",\"job\":1}");
+}
+
+// --- regression: Scenario::fired resets between runs -----------------------
+
+TEST(Scenario, FiredEventsResetBetweenRuns) {
+  const ScenarioRegistry& reg = standard_registry();
+  SimRequest req;
+  req.scenario = "nexus";
+  req.duration_s = 2.0;
+
+  sim::Scenario scenario;
+  int calls = 0;
+  scenario.at(1.0, "poke", [&calls](sim::Engine&) { ++calls; });
+
+  std::unique_ptr<sim::Engine> first = reg.make_engine(req);
+  scenario.run(*first, 2.0);
+  ASSERT_EQ(scenario.fired().size(), 1u);
+
+  // A second run on a fresh engine must not accumulate stale entries.
+  std::unique_ptr<sim::Engine> second = reg.make_engine(req);
+  scenario.run(*second, 2.0);
+  EXPECT_EQ(scenario.fired().size(), 1u);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(scenario.fired()[0].second, "poke");
+}
+
+// --- cooperative stop token ------------------------------------------------
+
+TEST(EngineStopToken, PreSetTokenPreventsAnyTick) {
+  std::unique_ptr<sim::Engine> engine =
+      standard_registry().make_engine(short_request());
+  std::atomic<bool> stop{true};
+  const double before = engine->now_s();
+  engine->run(5.0, &stop);
+  EXPECT_EQ(engine->now_s(), before);
+}
+
+TEST(EngineStopToken, MidRunStopEndsEarly) {
+  std::unique_ptr<sim::Engine> engine =
+      standard_registry().make_engine(long_request());
+  std::atomic<bool> stop{false};
+  std::thread stopper([&stop] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    stop.store(true, std::memory_order_relaxed);
+  });
+  engine->run(100000.0, &stop);
+  stopper.join();
+  EXPECT_LT(engine->now_s(), 100000.0);
+  EXPECT_GT(engine->now_s(), 0.0);
+}
+
+TEST(BatchRunnerStopToken, PreSetTokenSkipsRuns) {
+  sim::BatchOptions options;
+  options.threads = 2;
+  const sim::BatchRunner runner(options);
+  std::atomic<bool> stop{true};
+  const auto records = runner.run(
+      3, 1, 1.0,
+      [](std::size_t, std::uint64_t seed) {
+        sim::NexusRun run;
+        run.app = workload::paperio();
+        run.seed = seed;
+        return sim::make_nexus_engine(run);
+      },
+      sim::MetricsOptions{}, &stop);
+  ASSERT_EQ(records.size(), 3u);
+  for (const sim::BatchRecord& rec : records) {
+    EXPECT_FALSE(rec.completed);
+  }
+}
+
+}  // namespace
+}  // namespace mobitherm::service
