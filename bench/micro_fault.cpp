@@ -1,0 +1,143 @@
+// Microbenchmarks for the fault-injection layer, plus the cost invariant
+// the issue tracker pins: a *disabled* FaultPlan probe must be a single
+// branch — no locks, no journal traffic and, above all, zero heap
+// allocations. The invariant is asserted in main() before the benchmarks
+// run, so an accidentally heavyweight probe fails the bench-smoke job
+// loudly instead of just shifting numbers.
+#define MOBITHERM_BENCH_COUNT_ALLOCS
+#include "bench_util.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "service/result_cache.h"
+#include "service/server.h"
+#include "service/service.h"
+#include "util/fault.h"
+
+namespace {
+
+using namespace mobitherm;
+using util::FaultPlan;
+using util::FaultPlanConfig;
+using util::FaultSite;
+
+FaultPlan armed_plan(std::uint64_t seed) {
+  FaultPlanConfig config;
+  config.seed = seed;
+  for (int i = 0; i < util::kNumFaultSites; ++i) {
+    config.probability[i] = 0.5;
+  }
+  return FaultPlan(config);
+}
+
+std::shared_ptr<service::JobResult> canned_result(std::size_t bytes) {
+  auto result = std::make_shared<service::JobResult>();
+  result->payload.assign(bytes, 'x');
+  return result;
+}
+
+void BM_DisabledProbe(benchmark::State& state) {
+  FaultPlan plan;  // default: disabled
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        plan.fires(FaultSite::kWorkerCrashBeforeSlice, key++));
+  }
+}
+BENCHMARK(BM_DisabledProbe);
+
+void BM_ArmedDecision(benchmark::State& state) {
+  const FaultPlan plan = armed_plan(7);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        plan.should_inject(FaultSite::kWorkerCrashBeforeSlice, key++));
+  }
+}
+BENCHMARK(BM_ArmedDecision);
+
+void BM_ArmedProbeWithJournal(benchmark::State& state) {
+  FaultPlan plan = armed_plan(7);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        plan.fires(FaultSite::kWorkerCrashBeforeSlice, key++));
+  }
+}
+BENCHMARK(BM_ArmedProbeWithJournal);
+
+/// Checksummed insert + lookup round trip (the cost the checksum adds to
+/// every cache transaction, without injection).
+void BM_CacheChecksumRoundTrip(benchmark::State& state) {
+  service::ResultCache cache(/*capacity=*/64);
+  const auto result = canned_result(16 * 1024);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    cache.insert(key, "canonical", result);
+    benchmark::DoNotOptimize(cache.lookup(key, "canonical"));
+    ++key;
+  }
+}
+BENCHMARK(BM_CacheChecksumRoundTrip)->Unit(benchmark::kMicrosecond);
+
+/// The server's structured-error path (parse failure -> error object).
+void BM_ServerErrorPath(benchmark::State& state) {
+  service::SimService service(service::ScenarioRegistry::standard(), {});
+  service::SimServer server(service);
+  const std::string line = "{\"op\":\"warp\"}";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.handle_line(line));
+  }
+}
+BENCHMARK(BM_ServerErrorPath);
+
+/// The pinned invariant: with a disabled plan, a probe on every site
+/// allocates nothing (and with no plan attached the cache adds only the
+/// checksum, never a lock or journal entry).
+bool check_disabled_probe_is_free() {
+  FaultPlan plan;
+  // Warm up anything lazy before counting.
+  for (int i = 0; i < util::kNumFaultSites; ++i) {
+    plan.fires(static_cast<FaultSite>(i), 1);
+  }
+  const bench::AllocationScope scope;
+  bool fired = false;
+  for (std::uint64_t key = 0; key < 10000; ++key) {
+    for (int i = 0; i < util::kNumFaultSites; ++i) {
+      fired |= plan.fires(static_cast<FaultSite>(i), key);
+    }
+  }
+  if (fired) {
+    std::fprintf(stderr, "micro_fault: disabled plan fired a site\n");
+    return false;
+  }
+  if (scope.count() != 0) {
+    std::fprintf(stderr,
+                 "micro_fault: disabled probes allocated %zu times "
+                 "(must be 0)\n",
+                 scope.count());
+    return false;
+  }
+  std::printf("disabled-probe allocations: 0 over 60000 probes\n");
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!check_disabled_probe_is_free()) {
+    return 1;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,17 +12,25 @@
 //   --queue N            queue capacity (default 16)
 //   --cache N            result-cache entries (default 64; 0 disables)
 //   --deadline SECONDS   default per-job wall-clock deadline (0 = none)
+//   --retries N          execution attempts per job (default 3)
+//   --fault SPEC         arm deterministic fault injection, e.g.
+//                        "seed=7,crash_before=0.2,corrupt=0.5,latency_s=0.01"
+//                        (sites: admission, crash_before, crash_after,
+//                        corrupt, latency, malformed; see util/fault.h)
 //
-// scripts/serve_client.py wraps this binary for interactive use and for
-// the CI cache smoke test.
+// scripts/serve_client.py wraps this binary for interactive use, the CI
+// cache smoke test (--smoke) and the fault-injection smoke test
+// (--fault-smoke).
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <iostream>
 #include <string>
 
 #include "service/scenario_registry.h"
 #include "service/server.h"
 #include "service/service.h"
+#include "util/fault.h"
 
 namespace {
 
@@ -46,6 +54,20 @@ bool parse_flag(int argc, char** argv, int* i, const char* name,
   return true;
 }
 
+bool parse_string_flag(int argc, char** argv, int* i, const char* name,
+                       std::string* value) {
+  if (std::string(argv[*i]) != name) {
+    return false;
+  }
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "mobitherm_serve: %s needs a value\n", name);
+    std::exit(2);
+  }
+  *value = argv[*i + 1];
+  *i += 1;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -56,25 +78,46 @@ int main(int argc, char** argv) {
   double queue = 16;
   double cache = 64;
   double deadline = 0;
+  double retries = 3;
+  std::string fault_spec;
   for (int i = 1; i < argc; ++i) {
     if (parse_flag(argc, argv, &i, "--workers", &workers) ||
         parse_flag(argc, argv, &i, "--queue", &queue) ||
         parse_flag(argc, argv, &i, "--cache", &cache) ||
-        parse_flag(argc, argv, &i, "--deadline", &deadline)) {
+        parse_flag(argc, argv, &i, "--deadline", &deadline) ||
+        parse_flag(argc, argv, &i, "--retries", &retries) ||
+        parse_string_flag(argc, argv, &i, "--fault", &fault_spec)) {
       continue;
     }
     std::fprintf(stderr,
                  "usage: mobitherm_serve [--workers N] [--queue N] "
-                 "[--cache N] [--deadline SECONDS]\n");
+                 "[--cache N] [--deadline SECONDS] [--retries N] "
+                 "[--fault SPEC]\n");
     return 2;
   }
   config.workers = workers < 1 ? 1 : static_cast<unsigned>(workers);
   config.queue_capacity = static_cast<std::size_t>(queue);
   config.cache_capacity = static_cast<std::size_t>(cache);
   config.default_deadline_s = deadline;
+  config.max_attempts = retries < 1 ? 1 : static_cast<int>(retries);
+
+  mobitherm::util::FaultPlanConfig fault_config;
+  if (!fault_spec.empty()) {
+    try {
+      fault_config = mobitherm::util::FaultPlan::parse_config(fault_spec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "mobitherm_serve: bad --fault spec: %s\n",
+                   e.what());
+      return 2;
+    }
+  }
+  mobitherm::util::FaultPlan faults(fault_config);
+  if (!fault_spec.empty()) {
+    config.faults = &faults;
+  }
 
   SimService service(ScenarioRegistry::standard(), config);
-  SimServer server(service);
+  SimServer server(service, config.faults);
   server.serve(std::cin, std::cout);
   return 0;
 }

@@ -34,7 +34,12 @@ import subprocess
 import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DEFAULT_BINARIES = ["micro_thermal", "micro_stability", "micro_service"]
+DEFAULT_BINARIES = [
+    "micro_thermal",
+    "micro_stability",
+    "micro_service",
+    "micro_fault",
+]
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 

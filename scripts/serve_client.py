@@ -2,7 +2,7 @@
 """Thin client for the mobitherm_serve NDJSON service.
 
 Spawns the server binary and speaks the line protocol over its
-stdin/stdout. Two modes:
+stdin/stdout. Three modes:
 
   # one-shot: submit a request, wait, print the result JSON
   python3 scripts/serve_client.py --binary build/examples/mobitherm_serve \
@@ -12,6 +12,20 @@ stdin/stdout. Two modes:
   # cache hit whose result payload is byte-identical to the first
   python3 scripts/serve_client.py --binary build/examples/mobitherm_serve \
       --smoke
+
+  # CI fault smoke: restart the server with deterministic fault injection
+  # armed (--fault), hammer it with submits (including duplicates), and
+  # assert every job reaches a terminal state with a structured error,
+  # while the server keeps serving
+  python3 scripts/serve_client.py --binary build/examples/mobitherm_serve \
+      --fault-smoke
+
+Responses may carry a structured error object ({"code": ..., "message":
+...}); the client renders both that and the legacy string form. When the
+server's kMalformedResponse fault truncates a response line, request()
+re-sends the request a bounded number of times — the ops the client uses
+are safe to repeat (submit dedups through the result cache; status, wait,
+result and stats are reads).
 
 Only the python3 standard library is used.
 """
@@ -23,11 +37,36 @@ import sys
 
 RESULT_MARKER = '"result":'
 
+# Armed by --fault-smoke. Every probability is deterministic in the seed,
+# so this CI job sees the same injected schedule on every run.
+FAULT_SMOKE_SPEC = (
+    "seed=7,admission=0.1,crash_before=0.3,crash_after=0.1,"
+    "corrupt=0.3,malformed=0.2"
+)
+
+TERMINAL_STATES = {"done", "failed", "cancelled", "expired"}
+
+
+def error_text(response):
+    """Render a response's error — structured object or legacy string."""
+    err = response.get("error")
+    if isinstance(err, dict):
+        return "%s: %s" % (err.get("code", "?"), err.get("message", ""))
+    return str(err)
+
+
+def structured_error(response):
+    """The error object of a failed response, or None if malformed."""
+    err = response.get("error")
+    if isinstance(err, dict) and err.get("code"):
+        return err
+    return None
+
 
 class ServeClient:
     """One server process, line-oriented request/response."""
 
-    def __init__(self, binary, extra_args=None):
+    def __init__(self, binary, extra_args=None, max_retries=4):
         cmd = [binary] + (extra_args or [])
         self.proc = subprocess.Popen(
             cmd,
@@ -36,6 +75,8 @@ class ServeClient:
             text=True,
             bufsize=1,
         )
+        self.max_retries = max_retries
+        self.resends = 0  # responses that had to be re-requested
 
     def request_raw(self, line):
         """Send one request line, return the raw response line."""
@@ -47,7 +88,21 @@ class ServeClient:
         return response.rstrip("\n")
 
     def request(self, obj):
-        return json.loads(self.request_raw(json.dumps(obj)))
+        """Send a request; re-send (bounded) when the response line does
+        not parse — the injected kMalformedResponse fault truncates lines
+        mid-byte, and a real client must survive that."""
+        line = json.dumps(obj)
+        last_raw = ""
+        for _ in range(self.max_retries + 1):
+            last_raw = self.request_raw(line)
+            try:
+                return json.loads(last_raw)
+            except json.JSONDecodeError:
+                self.resends += 1
+        raise RuntimeError(
+            "no parseable response after %d attempts; last: %r"
+            % (self.max_retries + 1, last_raw[:120])
+        )
 
     def close(self):
         try:
@@ -76,7 +131,7 @@ def submit_and_fetch(client, request, timeout_s):
     submit["op"] = "submit"
     response = client.request(submit)
     if not response.get("ok"):
-        raise RuntimeError("submit rejected: %s" % response.get("error"))
+        raise RuntimeError("submit rejected: %s" % error_text(response))
     job = response["job"]
     wait = client.request({"op": "wait", "job": job, "timeout_s": timeout_s})
     if not wait.get("done") or wait.get("state") != "done":
@@ -117,6 +172,102 @@ def run_smoke(client, timeout_s):
     )
 
 
+def run_fault_smoke(binary, timeout_s):
+    """Drive a fault-armed server and assert it degrades, never breaks:
+    every accepted job terminates, every rejection and failure carries a
+    structured error, no job slot leaks, and the server answers to the
+    end."""
+    client = ServeClient(
+        binary,
+        extra_args=["--retries", "4", "--fault", FAULT_SMOKE_SPEC],
+    )
+    try:
+        jobs = []
+        rejected = 0
+        # Duplicate seeds exercise the result cache under corruption; the
+        # short duration keeps each simulated job quick.
+        for seed in (1, 2, 3, 1, 2, 4, 1, 3):
+            response = client.request(
+                {
+                    "op": "submit",
+                    "scenario": "nexus",
+                    "app": "paperio",
+                    "duration_s": 2,
+                    "seed": seed,
+                }
+            )
+            if response.get("ok"):
+                jobs.append(response["job"])
+                continue
+            rejected += 1
+            if structured_error(response) is None:
+                raise SystemExit(
+                    "fault-smoke: rejection without a structured error: %r"
+                    % response
+                )
+        if not jobs:
+            raise SystemExit("fault-smoke: every submit was rejected")
+
+        done = failed = 0
+        for job in jobs:
+            wait = client.request(
+                {"op": "wait", "job": job, "timeout_s": timeout_s}
+            )
+            state = wait.get("state")
+            if state not in TERMINAL_STATES:
+                raise SystemExit(
+                    "fault-smoke: job %s stuck in state %r" % (job, state)
+                )
+            status = client.request({"op": "status", "job": job})
+            if state == "done":
+                done += 1
+                result = client.request({"op": "result", "job": job})
+                if not result.get("ok"):
+                    raise SystemExit(
+                        "fault-smoke: done job %s has no result: %s"
+                        % (job, error_text(result))
+                    )
+            else:
+                failed += 1
+                if structured_error(status) is None:
+                    raise SystemExit(
+                        "fault-smoke: job %s ended %s without a structured "
+                        "error: %r" % (job, state, status)
+                    )
+
+        # The server is still healthy: stats answers, nothing queued or
+        # running, and the counters account for every submission.
+        stats = client.request({"op": "stats"})
+        if stats.get("queued") or stats.get("running"):
+            raise SystemExit(
+                "fault-smoke: leaked job slots (queued=%s running=%s)"
+                % (stats.get("queued"), stats.get("running"))
+            )
+        # Re-sent submits (after truncated responses) are extra accepted
+        # submissions the client never tracked, so this is a lower bound.
+        if stats.get("submitted", 0) < len(jobs):
+            raise SystemExit(
+                "fault-smoke: stats.submitted=%s but %s jobs accepted"
+                % (stats.get("submitted"), len(jobs))
+            )
+        print(
+            "fault-smoke OK: %d done, %d failed-gracefully, %d rejected;"
+            % (done, failed, rejected)
+        )
+        print(
+            "  retries=%s faults_injected=%s stale_served=%s "
+            "client_resends=%d"
+            % (
+                stats.get("retries"),
+                stats.get("faults_injected"),
+                stats.get("stale_served"),
+                client.resends,
+            )
+        )
+    finally:
+        client.close()
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -135,12 +286,21 @@ def main():
         help="run the cache-identity smoke test (used by CI)",
     )
     parser.add_argument(
+        "--fault-smoke",
+        action="store_true",
+        help="run the fault-injection smoke test (used by CI)",
+    )
+    parser.add_argument(
         "--timeout", type=float, default=600.0, help="per-job wait seconds"
     )
     args = parser.parse_args()
 
-    if not args.smoke and not args.submit:
-        parser.error("one of --smoke or --submit is required")
+    if not args.smoke and not args.fault_smoke and not args.submit:
+        parser.error("one of --smoke, --fault-smoke or --submit is required")
+
+    if args.fault_smoke:
+        run_fault_smoke(args.binary, args.timeout)
+        return 0
 
     client = ServeClient(args.binary)
     try:

@@ -219,6 +219,22 @@ class Parser {
   }
 
  private:
+  /// Bounds container nesting for the lifetime of one parse_object/array
+  /// frame (each frame is a real stack frame — see kMaxParseDepth).
+  class DepthGuard {
+   public:
+    explicit DepthGuard(Parser* parser) : parser_(parser) {
+      if (++parser_->depth_ > kMaxParseDepth) {
+        parser_->fail("nesting deeper than " +
+                      std::to_string(kMaxParseDepth) + " levels");
+      }
+    }
+    ~DepthGuard() { --parser_->depth_; }
+
+   private:
+    Parser* parser_;
+  };
+
   [[noreturn]] void fail(const std::string& what) const {
     throw ParseError("json: " + what + " at offset " +
                      std::to_string(pos_));
@@ -287,6 +303,7 @@ class Parser {
 
   Value parse_object() {
     expect('{');
+    const DepthGuard guard(this);
     Value obj = Value::object();
     skip_ws();
     if (peek() == '}') {
@@ -296,6 +313,11 @@ class Parser {
     for (;;) {
       skip_ws();
       std::string key = parse_string();
+      if (obj.find(key) != nullptr) {
+        // Last-wins would let `{"op":"stats","op":"shutdown"}` smuggle a
+        // second request past validation; ambiguous input is an error.
+        fail("duplicate object key '" + key + "'");
+      }
       skip_ws();
       expect(':');
       obj.set(key, parse_value());
@@ -315,6 +337,7 @@ class Parser {
 
   Value parse_array() {
     expect('[');
+    const DepthGuard guard(this);
     Value arr = Value::array();
     skip_ws();
     if (peek() == ']') {
@@ -436,6 +459,9 @@ class Parser {
       fail("invalid number");
     }
     const std::string token = text_.substr(start, pos_ - start);
+    if (!is_strict_number(token)) {
+      fail("invalid number '" + token + "'");
+    }
     char* end = nullptr;
     const double v = std::strtod(token.c_str(), &end);
     if (end == nullptr || *end != '\0') {
@@ -444,8 +470,53 @@ class Parser {
     return Value::number(v);
   }
 
+  /// RFC 8259 number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+  /// — strtod alone is laxer (it takes "+1", "1.", ".5", "01").
+  static bool is_strict_number(const std::string& t) {
+    std::size_t i = 0;
+    const auto digit = [&](std::size_t k) {
+      return k < t.size() && std::isdigit(static_cast<unsigned char>(t[k]));
+    };
+    if (i < t.size() && t[i] == '-') {
+      ++i;
+    }
+    if (!digit(i)) {
+      return false;
+    }
+    if (t[i] == '0') {
+      ++i;
+    } else {
+      while (digit(i)) {
+        ++i;
+      }
+    }
+    if (i < t.size() && t[i] == '.') {
+      ++i;
+      if (!digit(i)) {
+        return false;
+      }
+      while (digit(i)) {
+        ++i;
+      }
+    }
+    if (i < t.size() && (t[i] == 'e' || t[i] == 'E')) {
+      ++i;
+      if (i < t.size() && (t[i] == '+' || t[i] == '-')) {
+        ++i;
+      }
+      if (!digit(i)) {
+        return false;
+      }
+      while (digit(i)) {
+        ++i;
+      }
+    }
+    return i == t.size();
+  }
+
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

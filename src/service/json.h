@@ -24,6 +24,12 @@ class ParseError : public std::runtime_error {
   explicit ParseError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Maximum container nesting the parser accepts. The recursive-descent
+/// parser uses one stack frame per level, so hostile deeply-nested input
+/// must be rejected before it can exhaust the stack; 64 levels is far
+/// beyond anything the flat service protocol needs.
+inline constexpr int kMaxParseDepth = 64;
+
 /// Canonical number rendering: integral values in [-2^53, 2^53] print as
 /// integers; everything else uses the shortest precision that round-trips.
 std::string format_number(double value);

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "service/json.h"
+#include "service/scenario_registry.h"
 
 namespace mobitherm::service {
 
@@ -102,7 +103,8 @@ std::string serialize_result(const sim::RunMetrics& metrics,
   return root.dump();
 }
 
-ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
+ResultCache::ResultCache(std::size_t capacity, util::FaultPlan* faults)
+    : capacity_(capacity), faults_(faults) {
   counters_.capacity = capacity;
 }
 
@@ -119,8 +121,39 @@ std::shared_ptr<const JobResult> ResultCache::lookup(
     ++counters_.misses;
     return nullptr;
   }
+  // Verification hashes the whole payload, so it runs only when a fault
+  // plan could have damaged the stored copy; without one, entries are
+  // immutable after insert and the hit path stays O(1).
+  if (faults_ != nullptr &&
+      fnv1a64(it->second->result->payload) != it->second->checksum) {
+    // Storage corruption: drop the entry so it is recomputed, never
+    // served. The stale store keeps only checksum-clean entries.
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++counters_.corruptions;
+    ++counters_.misses;
+    return nullptr;
+  }
   lru_.splice(lru_.begin(), lru_, it->second);
   ++counters_.hits;
+  return it->second->result;
+}
+
+std::shared_ptr<const JobResult> ResultCache::lookup_stale(
+    std::uint64_t key, const std::string& canonical) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = stale_index_.find(key);
+  if (it == stale_index_.end() || it->second->canonical != canonical) {
+    return nullptr;
+  }
+  if (faults_ != nullptr &&
+      fnv1a64(it->second->result->payload) != it->second->checksum) {
+    stale_.erase(it->second);
+    stale_index_.erase(it);
+    ++counters_.corruptions;
+    return nullptr;
+  }
+  ++counters_.stale_hits;
   return it->second->result;
 }
 
@@ -130,26 +163,56 @@ void ResultCache::insert(std::uint64_t key, const std::string& canonical,
     return;
   }
   std::lock_guard<std::mutex> lock(mutex_);
+  // The checksum is computed over the payload as handed in; the
+  // kCacheCorruption site then damages the *stored copy*, modeling rot
+  // that happened after the write — exactly what lookup must catch.
+  const std::uint64_t checksum = fnv1a64(result->payload);
+  if (faults_ != nullptr &&
+      faults_->fires(util::FaultSite::kCacheCorruption, key)) {
+    auto damaged = std::make_shared<JobResult>(*result);
+    if (!damaged->payload.empty()) {
+      damaged->payload[key % damaged->payload.size()] ^= 0x20;
+    }
+    result = std::move(damaged);
+  }
   const auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->canonical = canonical;
     it->second->result = std::move(result);
+    it->second->checksum = checksum;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
   if (lru_.size() >= capacity_) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
-    ++counters_.evictions;
+    evict_to_stale_locked();
   }
-  lru_.push_front(Node{key, canonical, std::move(result)});
+  lru_.push_front(Node{key, canonical, std::move(result), checksum});
   index_[key] = lru_.begin();
+}
+
+void ResultCache::evict_to_stale_locked() {
+  Node victim = std::move(lru_.back());
+  index_.erase(victim.key);
+  lru_.pop_back();
+  ++counters_.evictions;
+  const auto it = stale_index_.find(victim.key);
+  if (it != stale_index_.end()) {
+    stale_.erase(it->second);
+    stale_index_.erase(it);
+  }
+  if (stale_.size() >= capacity_) {
+    stale_index_.erase(stale_.back().key);
+    stale_.pop_back();
+  }
+  stale_.push_front(std::move(victim));
+  stale_index_[stale_.front().key] = stale_.begin();
 }
 
 CacheStats ResultCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   CacheStats out = counters_;
   out.size = lru_.size();
+  out.stale_size = stale_.size();
   return out;
 }
 

@@ -10,6 +10,18 @@
 // entry and compared on lookup, so a 64-bit hash collision degrades to a
 // miss instead of serving the wrong run. Thread-safe; counters feed the
 // service `stats` op.
+//
+// Integrity and degradation:
+//  * every entry stores an FNV-1a checksum of its payload. When a fault
+//    plan is attached (the only in-process writer that can damage a
+//    stored copy, via the kCacheCorruption site), the checksum is
+//    verified on lookup and a corrupted payload is dropped and counted,
+//    never served. Without a plan, entries are immutable after insert, so
+//    the hit path skips the O(payload) hash and stays O(1);
+//  * entries evicted from the primary LRU move to a same-sized *stale*
+//    side-store. lookup_stale() serves them (marked, checksummed) so the
+//    service can answer `stale: true` instead of failing outright when the
+//    pool is saturated or a job exhausts its retries.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +33,7 @@
 
 #include "sim/metrics.h"
 #include "sim/report.h"
+#include "util/fault.h"
 
 namespace mobitherm::service {
 
@@ -43,23 +56,38 @@ struct CacheStats {
   std::size_t evictions = 0;
   /// Lookups whose hash matched but whose canonical string did not.
   std::size_t collisions = 0;
+  /// Entries whose payload failed its checksum on lookup (dropped).
+  std::size_t corruptions = 0;
+  /// lookup_stale() calls that served an evicted entry.
+  std::size_t stale_hits = 0;
   std::size_t size = 0;
+  std::size_t stale_size = 0;
   std::size_t capacity = 0;
 };
 
 class ResultCache {
  public:
   /// `capacity` bounds the number of retained results; 0 disables caching
-  /// (every lookup misses, inserts are dropped).
-  explicit ResultCache(std::size_t capacity);
+  /// (every lookup misses, inserts are dropped). `faults` optionally arms
+  /// the kCacheCorruption injection site (nullptr = no injection).
+  explicit ResultCache(std::size_t capacity,
+                       util::FaultPlan* faults = nullptr);
 
   /// Returns the cached result for (key, canonical) and marks it most
-  /// recently used; nullptr on miss.
+  /// recently used; nullptr on miss. A checksum mismatch drops the entry
+  /// and misses.
   std::shared_ptr<const JobResult> lookup(std::uint64_t key,
                                           const std::string& canonical);
 
-  /// Insert a result, evicting the least recently used entry when full.
-  /// Re-inserting an existing key refreshes its value and recency.
+  /// Returns a previously *evicted* result for (key, canonical), checksum
+  /// verified; nullptr when none is held. The degradation path: callers
+  /// must surface the result as stale.
+  std::shared_ptr<const JobResult> lookup_stale(std::uint64_t key,
+                                                const std::string& canonical);
+
+  /// Insert a result, evicting the least recently used entry (into the
+  /// stale store) when full. Re-inserting an existing key refreshes its
+  /// value and recency.
   void insert(std::uint64_t key, const std::string& canonical,
               std::shared_ptr<const JobResult> result);
 
@@ -70,13 +98,22 @@ class ResultCache {
     std::uint64_t key;
     std::string canonical;
     std::shared_ptr<const JobResult> result;
+    /// FNV-1a of result->payload at insert time.
+    std::uint64_t checksum;
   };
+
+  /// Must hold mutex_. Moves the primary LRU tail into the stale store.
+  void evict_to_stale_locked();
 
   mutable std::mutex mutex_;
   std::size_t capacity_;
+  util::FaultPlan* faults_;
   /// MRU at the front, LRU at the back.
   std::list<Node> lru_;
   std::map<std::uint64_t, std::list<Node>::iterator> index_;
+  /// Evicted entries, newest eviction first; bounded by capacity_.
+  std::list<Node> stale_;
+  std::map<std::uint64_t, std::list<Node>::iterator> stale_index_;
   CacheStats counters_;
 };
 

@@ -6,18 +6,28 @@
 #include <istream>
 #include <ostream>
 #include <string>
+#include <utility>
 
 namespace mobitherm::service {
 
 namespace {
 
-std::string error_response(const std::string& op, const std::string& what) {
+json::Value error_object(const std::string& code,
+                         const std::string& message) {
+  json::Value err = json::Value::object();
+  err.set("code", json::Value::string(code));
+  err.set("message", json::Value::string(message));
+  return err;
+}
+
+std::string error_response(const std::string& op, const std::string& code,
+                           const std::string& message) {
   json::Value out = json::Value::object();
   out.set("ok", json::Value::boolean(false));
   if (!op.empty()) {
     out.set("op", json::Value::string(op));
   }
-  out.set("error", json::Value::string(what));
+  out.set("error", error_object(code, message));
   return out.dump();
 }
 
@@ -66,13 +76,30 @@ std::uint64_t job_id(const json::Value& request) {
   return static_cast<std::uint64_t>(n);
 }
 
+/// Failure detail for a terminal-but-not-done job: the structured error
+/// object plus injection metadata when the failure was injected.
+json::Value job_error_object(const JobStatus& s) {
+  json::Value err = error_object(
+      s.error_code.empty() ? errc::kInternal : s.error_code, s.error);
+  if (!s.fault_site.empty()) {
+    err.set("site", json::Value::string(s.fault_site));
+  }
+  if (s.attempts > 0) {
+    err.set("attempts",
+            json::Value::number(static_cast<double>(s.attempts)));
+  }
+  return err;
+}
+
 json::Value status_value(const JobStatus& s) {
   json::Value out = json::Value::object();
   out.set("job", json::Value::number(static_cast<double>(s.id)));
   out.set("state", json::Value::string(to_string(s.state)));
   out.set("from_cache", json::Value::boolean(s.from_cache));
+  out.set("stale", json::Value::boolean(s.stale));
+  out.set("attempts", json::Value::number(static_cast<double>(s.attempts)));
   if (!s.error.empty()) {
-    out.set("error", json::Value::string(s.error));
+    out.set("error", job_error_object(s));
   }
   out.set("canonical", json::Value::string(s.canonical));
   return out;
@@ -81,58 +108,70 @@ json::Value status_value(const JobStatus& s) {
 }  // namespace
 
 std::string SimServer::handle_line(const std::string& line) {
+  if (line.size() > kMaxLineBytes) {
+    return finish_response(error_response(
+        "", errc::kOversizedLine,
+        "request line exceeds " + std::to_string(kMaxLineBytes) + " bytes"));
+  }
   json::Value request;
   try {
     request = json::Value::parse(line);
   } catch (const std::exception& e) {
-    return error_response("", std::string("parse error: ") + e.what());
+    return finish_response(error_response(
+        "", errc::kParseError, std::string("parse error: ") + e.what()));
   }
   if (!request.is_object()) {
-    return error_response("", "request must be a JSON object");
+    return finish_response(error_response(
+        "", errc::kBadRequest, "request must be a JSON object"));
   }
   std::string op;
-  if (!read_string(request, "op", &op)) {
-    return error_response("", "missing required field: op");
-  }
   try {
+    if (!read_string(request, "op", &op)) {
+      return finish_response(error_response(
+          "", errc::kBadRequest, "missing required field: op"));
+    }
     if (op == "submit") {
-      return handle_submit(request);
+      return finish_response(handle_submit(request));
     }
     if (op == "status") {
-      return handle_status(request);
+      return finish_response(handle_status(request));
     }
     if (op == "result") {
-      return handle_result(request);
+      return finish_response(handle_result(request));
     }
     if (op == "cancel") {
-      return handle_cancel(request);
+      return finish_response(handle_cancel(request));
     }
     if (op == "wait") {
-      return handle_wait(request);
+      return finish_response(handle_wait(request));
     }
     if (op == "stats") {
-      return handle_stats();
+      return finish_response(handle_stats());
     }
     if (op == "scenarios") {
-      return handle_scenarios();
+      return finish_response(handle_scenarios());
     }
     if (op == "shutdown") {
       shutdown_requested_ = true;
       json::Value out = json::Value::object();
       out.set("ok", json::Value::boolean(true));
       out.set("op", json::Value::string("shutdown"));
-      return out.dump();
+      return finish_response(out.dump());
     }
-    return error_response(op, "unknown op: " + op);
+    return finish_response(
+        error_response(op, errc::kUnknownOp, "unknown op: " + op));
+  } catch (const json::ParseError& e) {
+    return finish_response(error_response(op, errc::kBadRequest, e.what()));
   } catch (const std::exception& e) {
-    return error_response(op, e.what());
+    return finish_response(error_response(op, errc::kInternal, e.what()));
   }
 }
 
 std::string SimServer::handle_submit(const json::Value& request) {
   SimRequest req;
   if (!read_string(request, "scenario", &req.scenario)) {
-    return error_response("submit", "missing required field: scenario");
+    return error_response("submit", errc::kBadRequest,
+                          "missing required field: scenario");
   }
   read_string(request, "app", &req.app);
   read_string(request, "policy", &req.policy);
@@ -142,7 +181,8 @@ std::string SimServer::handle_submit(const json::Value& request) {
   double seed = 0.0;
   if (read_number(request, "seed", &seed)) {
     if (seed < 0 || seed != std::floor(seed)) {
-      return error_response("submit", "seed must be a nonnegative integer");
+      return error_response("submit", errc::kBadRequest,
+                            "seed must be a nonnegative integer");
     }
     req.seed = static_cast<std::uint64_t>(seed);
   }
@@ -161,8 +201,12 @@ std::string SimServer::handle_submit(const json::Value& request) {
   if (outcome.accepted) {
     out.set("job", json::Value::number(static_cast<double>(outcome.id)));
     out.set("cached", json::Value::boolean(outcome.cached));
+    out.set("stale", json::Value::boolean(outcome.stale));
   } else {
-    out.set("error", json::Value::string(outcome.reject_reason));
+    out.set("error", error_object(outcome.reject_code.empty()
+                                      ? errc::kInternal
+                                      : outcome.reject_code,
+                                  outcome.reject_reason));
   }
   return out.dump();
 }
@@ -171,7 +215,8 @@ std::string SimServer::handle_status(const json::Value& request) {
   const std::uint64_t id = job_id(request);
   const auto status = service_.status(id);
   if (!status) {
-    return error_response("status", "unknown job: " + std::to_string(id));
+    return error_response("status", errc::kUnknownJob,
+                          "unknown job: " + std::to_string(id));
   }
   json::Value out = json::Value::object();
   out.set("ok", json::Value::boolean(true));
@@ -186,7 +231,8 @@ std::string SimServer::handle_result(const json::Value& request) {
   const std::uint64_t id = job_id(request);
   const auto status = service_.status(id);
   if (!status) {
-    return error_response("result", "unknown job: " + std::to_string(id));
+    return error_response("result", errc::kUnknownJob,
+                          "unknown job: " + std::to_string(id));
   }
   if (status->state != JobState::kDone) {
     json::Value out = json::Value::object();
@@ -194,22 +240,32 @@ std::string SimServer::handle_result(const json::Value& request) {
     out.set("op", json::Value::string("result"));
     out.set("job", json::Value::number(static_cast<double>(id)));
     out.set("state", json::Value::string(to_string(status->state)));
-    out.set("error",
+    json::Value err = job_error_object(*status);
+    err.set("code", json::Value::string(errc::kNotDone));
+    err.set("message",
             json::Value::string(std::string("job is ") +
-                                to_string(status->state) + ", not done"));
+                                to_string(status->state) + ", not done" +
+                                (status->error.empty()
+                                     ? ""
+                                     : " (" + status->error + ")")));
+    out.set("error", std::move(err));
     return out.dump();
   }
   const std::shared_ptr<const JobResult> result = service_.result(id);
   if (!result) {
-    return error_response("result",
+    return error_response("result", errc::kInternal,
                           "result missing for job " + std::to_string(id));
   }
   // The stored payload is spliced in verbatim (not re-serialized), so a
-  // cache hit's response bytes match the original run's exactly.
+  // cache hit's response bytes match the original run's exactly. New
+  // members must stay *before* "result": clients slice the payload out
+  // from that marker.
   std::string out = "{\"ok\":true,\"op\":\"result\",\"job\":";
   out += std::to_string(id);
   out += ",\"state\":\"done\",\"from_cache\":";
   out += status->from_cache ? "true" : "false";
+  out += ",\"stale\":";
+  out += status->stale ? "true" : "false";
   out += ",\"result\":";
   out += result->payload;
   out += "}";
@@ -234,7 +290,8 @@ std::string SimServer::handle_wait(const json::Value& request) {
   const bool done = service_.wait(id, timeout_s);
   const auto status = service_.status(id);
   if (!status) {
-    return error_response("wait", "unknown job: " + std::to_string(id));
+    return error_response("wait", errc::kUnknownJob,
+                          "unknown job: " + std::to_string(id));
   }
   json::Value out = json::Value::object();
   out.set("ok", json::Value::boolean(true));
@@ -256,6 +313,11 @@ std::string SimServer::handle_stats() {
   out.set("failed", json::Value::number(static_cast<double>(s.failed)));
   out.set("cancelled", json::Value::number(static_cast<double>(s.cancelled)));
   out.set("expired", json::Value::number(static_cast<double>(s.expired)));
+  out.set("retries", json::Value::number(static_cast<double>(s.retries)));
+  out.set("stale_served",
+          json::Value::number(static_cast<double>(s.stale_served)));
+  out.set("faults_injected",
+          json::Value::number(static_cast<double>(s.faults_injected)));
   out.set("queued", json::Value::number(static_cast<double>(s.queued)));
   out.set("running", json::Value::number(static_cast<double>(s.running)));
   out.set("workers", json::Value::number(static_cast<double>(s.workers)));
@@ -269,7 +331,13 @@ std::string SimServer::handle_stats() {
             json::Value::number(static_cast<double>(s.cache.evictions)));
   cache.set("collisions",
             json::Value::number(static_cast<double>(s.cache.collisions)));
+  cache.set("corruptions",
+            json::Value::number(static_cast<double>(s.cache.corruptions)));
+  cache.set("stale_hits",
+            json::Value::number(static_cast<double>(s.cache.stale_hits)));
   cache.set("size", json::Value::number(static_cast<double>(s.cache.size)));
+  cache.set("stale_size",
+            json::Value::number(static_cast<double>(s.cache.stale_size)));
   cache.set("capacity",
             json::Value::number(static_cast<double>(s.cache.capacity)));
   out.set("cache", cache);
@@ -303,6 +371,18 @@ std::string SimServer::handle_scenarios() {
   }
   out.set("scenarios", list);
   return out.dump();
+}
+
+std::string SimServer::finish_response(std::string response) {
+  if (faults_ != nullptr &&
+      faults_->fires(
+          util::FaultSite::kMalformedResponse,
+          faults_->next_sequence(util::FaultSite::kMalformedResponse))) {
+    // Drop the second half of the line — the client sees unparseable
+    // JSON (but still a newline-terminated line) and must retry.
+    response.resize(response.size() / 2);
+  }
+  return response;
 }
 
 void SimServer::serve(std::istream& in, std::ostream& out) {

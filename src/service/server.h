@@ -9,7 +9,7 @@
 // Ops (request fields beyond "op" in parentheses):
 //   submit    (scenario, app?, policy?, with_bml?, duration_s?,
 //              initial_temp_c?, seed?, app_levels?, app_phase_s?,
-//              deadline_s?)            -> {ok, job, cached}
+//              deadline_s?)            -> {ok, job, cached, stale}
 //   status    (job)                    -> {ok, job, state, from_cache, ...}
 //   result    (job)                    -> {ok, job, state, result:{...}}
 //   cancel    (job)                    -> {ok, job, cancelled}
@@ -18,22 +18,36 @@
 //   scenarios ()                       -> {ok, scenarios:[...]}
 //   shutdown  ()                       -> {ok} and the serve loop exits
 //
-// Every response carries "ok" and echoes "op"; failures use
-// {"ok":false,"error":"..."} and never terminate the loop (only EOF or
-// `shutdown` do).
+// Every response carries "ok" and echoes "op". Failures are structured:
+//   {"ok":false,"op":...,"error":{"code":"...","message":"..."}}
+// with "site" and "attempts" members added when a job failed under fault
+// injection. No input line terminates the loop (only EOF or `shutdown`
+// do), and no input line may crash the server — the malformed-input corpus
+// test feeds it truncated JSON, wrong types, deep nesting and oversized
+// lines and expects a structured error for every one.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
 #include "service/json.h"
 #include "service/service.h"
+#include "util/fault.h"
 
 namespace mobitherm::service {
 
+/// Upper bound on one request line; longer lines are answered with an
+/// `oversized_line` error without being parsed (bounds parser memory).
+inline constexpr std::size_t kMaxLineBytes = 64 * 1024;
+
 class SimServer {
  public:
-  explicit SimServer(SimService& service) : service_(service) {}
+  /// `faults` optionally arms the kMalformedResponse injection site, which
+  /// truncates responses mid-line to exercise client-side recovery;
+  /// non-owning, nullptr = never injected.
+  explicit SimServer(SimService& service, util::FaultPlan* faults = nullptr)
+      : service_(service), faults_(faults) {}
 
   /// Handle one request line, returning the response line (no trailing
   /// newline). Never throws: malformed input yields an ok:false response.
@@ -56,7 +70,13 @@ class SimServer {
   std::string handle_stats();
   std::string handle_scenarios();
 
+  /// Applies the kMalformedResponse site: with the plan armed and firing,
+  /// the response is truncated mid-line (still one line, no longer valid
+  /// JSON), modeling a connection dropped mid-write.
+  std::string finish_response(std::string response);
+
   SimService& service_;
+  util::FaultPlan* faults_;
   bool shutdown_requested_ = false;
 };
 

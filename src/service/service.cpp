@@ -6,7 +6,10 @@
 #include <utility>
 
 #include "sim/report.h"
+#include "sim/sim_error.h"
 #include "util/error.h"
+#include "util/rng.h"
+#include "util/units.h"
 
 namespace mobitherm::service {
 
@@ -20,6 +23,16 @@ constexpr double kSliceSimSeconds = 1.0;
 std::chrono::steady_clock::duration to_duration(double seconds) {
   return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
       std::chrono::duration<double>(seconds));
+}
+
+/// Decision key for per-slice fault sites: a pure mix of the job's
+/// canonical-request hash, the attempt number and the slice index, so the
+/// injected schedule is independent of worker interleaving.
+std::uint64_t slice_fault_key(std::uint64_t job_key, int attempt,
+                              std::uint64_t slice_index) {
+  return util::derive_seed(
+      util::derive_seed(job_key, static_cast<std::uint64_t>(attempt)),
+      slice_index);
 }
 
 }  // namespace
@@ -49,9 +62,15 @@ bool is_terminal(JobState state) {
 SimService::SimService(ScenarioRegistry registry, ServiceConfig config)
     : registry_(std::move(registry)),
       config_(config),
-      cache_(config.cache_capacity) {
+      cache_(config.cache_capacity, config.faults) {
   if (config_.workers == 0) {
     throw util::ConfigError("SimService: workers must be positive");
+  }
+  if (config_.max_attempts < 1) {
+    throw util::ConfigError("SimService: max_attempts must be >= 1");
+  }
+  if (config_.retry_backoff_s < 0.0 || config_.retry_backoff_max_s < 0.0) {
+    throw util::ConfigError("SimService: retry backoff must be nonnegative");
   }
   workers_.reserve(config_.workers);
   for (unsigned w = 0; w < config_.workers; ++w) {
@@ -67,11 +86,13 @@ SimService::~SimService() {
       (void)id;
       if (job->state == JobState::kQueued) {
         finish_locked(job, JobState::kCancelled, "service shutdown");
+        job->error_code = errc::kShuttingDown;
       } else if (job->state == JobState::kRunning) {
         job->stop.store(true, std::memory_order_relaxed);
       }
     }
     queue_.clear();
+    retries_.clear();
   }
   work_cv_.notify_all();
   done_cv_.notify_all();
@@ -92,6 +113,7 @@ SubmitOutcome SimService::submit(const SimRequest& request,
     ++rejected_;
     SubmitOutcome out;
     out.reject_reason = e.what();
+    out.reject_code = errc::kInvalidRequest;
     return out;
   }
   const std::uint64_t key = fnv1a64(canonical);
@@ -102,15 +124,35 @@ SubmitOutcome SimService::submit(const SimRequest& request,
     ++rejected_;
     SubmitOutcome out;
     out.reject_reason = "service is shutting down";
+    out.reject_code = errc::kShuttingDown;
     return out;
   }
-  if (!cached && queue_.size() >= config_.queue_capacity) {
+  if (!cached && config_.faults != nullptr &&
+      config_.faults->fires(
+          util::FaultSite::kQueueAdmission,
+          config_.faults->next_sequence(util::FaultSite::kQueueAdmission))) {
     ++rejected_;
     SubmitOutcome out;
-    out.reject_reason = "queue full (" + std::to_string(queue_.size()) +
-                        " jobs pending, capacity " +
-                        std::to_string(config_.queue_capacity) + ")";
+    out.reject_reason = "queue admission failed (injected fault)";
+    out.reject_code = errc::kInjectedFault;
     return out;
+  }
+  std::shared_ptr<const JobResult> stale;
+  if (!cached && queue_.size() >= config_.queue_capacity) {
+    // Saturated pool: degrade to a stale hit when we have one, otherwise
+    // reject — explicit backpressure either way.
+    if (config_.serve_stale) {
+      stale = cache_.lookup_stale(key, canonical);
+    }
+    if (!stale) {
+      ++rejected_;
+      SubmitOutcome out;
+      out.reject_reason = "queue full (" + std::to_string(queue_.size()) +
+                          " jobs pending, capacity " +
+                          std::to_string(config_.queue_capacity) + ")";
+      out.reject_code = errc::kQueueFull;
+      return out;
+    }
   }
 
   auto job = std::make_shared<Job>();
@@ -130,6 +172,16 @@ SubmitOutcome SimService::submit(const SimRequest& request,
     job->result = std::move(cached);
     finish_locked(job, JobState::kDone, "");
     out.cached = true;
+    return out;
+  }
+  if (stale) {
+    job->from_cache = true;
+    job->stale = true;
+    job->result = std::move(stale);
+    ++stale_served_;
+    finish_locked(job, JobState::kDone, "");
+    out.cached = true;
+    out.stale = true;
     return out;
   }
 
@@ -158,7 +210,11 @@ std::optional<JobStatus> SimService::status(std::uint64_t id) {
   s.id = job->id;
   s.state = job->state;
   s.from_cache = job->from_cache;
+  s.stale = job->stale;
+  s.attempts = job->attempts;
   s.error = job->error;
+  s.error_code = job->error_code;
+  s.fault_site = job->fault_site;
   s.canonical = job->canonical;
   return s;
 }
@@ -183,9 +239,10 @@ bool SimService::cancel(std::uint64_t id) {
     return false;
   }
   if (job->state == JobState::kQueued) {
-    // The worker skips non-queued jobs when it pops them, so the stale
-    // queue entry is harmless.
+    // The worker skips non-queued jobs when it pops them (from the queue
+    // or the retry multimap), so the stale entry is harmless.
     finish_locked(job, JobState::kCancelled, "cancelled while queued");
+    job->error_code = errc::kCancelled;
     return true;
   }
   // Running: the worker observes the token at its next tick and finishes
@@ -234,50 +291,87 @@ ServiceStats SimService::stats() const {
     s.failed = failed_;
     s.cancelled = cancelled_;
     s.expired = expired_;
-    s.queued = queue_.size();
+    s.retries = retry_count_;
+    s.stale_served = stale_served_;
+    s.queued = queue_.size() + retries_.size();
     s.running = running_;
   }
   s.workers = config_.workers;
   s.queue_capacity = config_.queue_capacity;
+  if (config_.faults != nullptr) {
+    s.faults_injected = config_.faults->total_injected();
+  }
   s.cache = cache_.stats();
   return s;
 }
 
 void SimService::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    std::shared_ptr<Job> job;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock,
-                    [this] { return shutting_down_ || !queue_.empty(); });
+    // Wake for shutdown, queued work, or the earliest due retry.
+    for (;;) {
       if (shutting_down_) {
         return;  // queued jobs were already cancelled by the destructor
       }
+      if (!queue_.empty()) {
+        break;
+      }
+      if (!retries_.empty()) {
+        const auto due = retries_.begin()->first;
+        if (std::chrono::steady_clock::now() >= due) {  // MOBILINT: nondet-ok
+          break;
+        }
+        work_cv_.wait_until(lock, due);
+      } else {
+        work_cv_.wait(lock);
+      }
+    }
+    std::shared_ptr<Job> job;
+    if (!retries_.empty() &&
+        std::chrono::steady_clock::now() >=  // MOBILINT: nondet-ok
+            retries_.begin()->first) {
+      job = retries_.begin()->second;
+      retries_.erase(retries_.begin());
+    } else if (!queue_.empty()) {
       job = queue_.front();
       queue_.pop_front();
-      if (job->state != JobState::kQueued) {
-        continue;  // cancelled or lazily expired while queued
-      }
-      if (expire_if_overdue_locked(job)) {
-        continue;
-      }
-      job->state = JobState::kRunning;
-      ++running_;
+    } else {
+      continue;  // woken for a retry that is not due yet
     }
-    execute(job);
+    if (job->state != JobState::kQueued) {
+      continue;  // cancelled or lazily expired while waiting
+    }
+    if (expire_if_overdue_locked(job)) {
+      continue;
+    }
+    job->state = JobState::kRunning;
+    ++running_;
+    const int attempt = ++job->attempts;
+    lock.unlock();
+    execute(job, attempt);
+    lock.lock();
   }
 }
 
-void SimService::execute(const std::shared_ptr<Job>& job) {
+void SimService::execute(const std::shared_ptr<Job>& job, int attempt) {
   std::shared_ptr<JobResult> result;
   bool cancelled = false;
   bool expired = false;
   std::string error;
+  std::string error_code;
+  std::string fault_site;
+  bool retryable = false;
+  util::FaultPlan* plan = config_.faults;
   try {
     std::unique_ptr<sim::Engine> engine = registry_.make_engine(job->resolved);
+    if (config_.guard_max_temp_c > 0.0) {
+      engine->set_runaway_guard(
+          util::celsius_to_kelvin(config_.guard_max_temp_c));
+    }
     sim::MetricsObserver tap(config_.metrics);
     engine->add_observer(&tap);
     double remaining = job->resolved.duration_s;
+    std::uint64_t slice_index = 0;
     while (remaining > 0.0) {
       if (job->stop.load(std::memory_order_relaxed)) {
         cancelled = true;
@@ -289,12 +383,41 @@ void SimService::execute(const std::shared_ptr<Job>& job) {
         expired = true;
         break;
       }
+      const std::uint64_t fkey = slice_fault_key(job->key, attempt,
+                                                 slice_index);
+      if (plan != nullptr &&
+          plan->fires(util::FaultSite::kWorkerCrashBeforeSlice, fkey)) {
+        throw util::FaultInjected(util::FaultSite::kWorkerCrashBeforeSlice,
+                                  fkey);
+      }
+      if (plan != nullptr &&
+          plan->fires(util::FaultSite::kSliceLatency, fkey)) {
+        // Injected wall-clock stall (deadline fuel for the tests); the
+        // simulated state is untouched.
+        std::this_thread::sleep_for(to_duration(plan->latency_s()));
+      }
       const double slice = std::min(kSliceSimSeconds, remaining);
       engine->run(slice, &job->stop);
       remaining -= slice;
+      if (plan != nullptr &&
+          plan->fires(util::FaultSite::kWorkerCrashAfterSlice, fkey)) {
+        throw util::FaultInjected(util::FaultSite::kWorkerCrashAfterSlice,
+                                  fkey);
+      }
+      ++slice_index;
     }
-    if (!expired && job->stop.load(std::memory_order_relaxed)) {
-      cancelled = true;
+    // The stop token and the deadline must also be honored when they fire
+    // during the final (possibly partial) slice — checking only at the
+    // top of the loop would let a job whose last slice overshot its
+    // deadline complete as if nothing happened.
+    if (!cancelled && !expired) {
+      if (job->stop.load(std::memory_order_relaxed)) {
+        cancelled = true;
+      } else if (job->deadline &&
+                 std::chrono::steady_clock::now() >=  // MOBILINT: nondet-ok
+                     *job->deadline) {
+        expired = true;
+      }
     }
     if (!cancelled && !expired) {
       result = std::make_shared<JobResult>();
@@ -303,24 +426,87 @@ void SimService::execute(const std::shared_ptr<Job>& job) {
       result->payload = serialize_result(result->metrics, result->report);
       cache_.insert(job->key, job->canonical, result);
     }
+  } catch (const util::FaultInjected& e) {
+    error = e.what();
+    error_code = errc::kInjectedFault;
+    fault_site = util::to_string(e.site());
+    retryable = true;  // injected faults model transient worker deaths
+  } catch (const sim::SimError& e) {
+    error = e.what();
+    error_code = e.code() == sim::SimErrorCode::kThermalRunaway
+                     ? errc::kSimRunaway
+                     : errc::kSimNonFinite;
   } catch (const std::exception& e) {
     error = e.what();
+    error_code = errc::kInternal;
   } catch (...) {
     error = "unknown error";
+    error_code = errc::kInternal;
   }
 
   std::lock_guard<std::mutex> lock(mutex_);
   --running_;
-  if (!error.empty()) {
-    finish_locked(job, JobState::kFailed, error);
-  } else if (cancelled) {
-    finish_locked(job, JobState::kCancelled, "cancelled while running");
-  } else if (expired) {
-    finish_locked(job, JobState::kExpired, "deadline exceeded while running");
-  } else {
-    job->result = result;
-    finish_locked(job, JobState::kDone, "");
+  if (error.empty()) {
+    if (cancelled) {
+      finish_locked(job, JobState::kCancelled, "cancelled while running");
+      job->error_code = errc::kCancelled;
+    } else if (expired) {
+      finish_locked(job, JobState::kExpired,
+                    "deadline exceeded while running");
+      job->error_code = errc::kDeadlineRunning;
+    } else {
+      job->result = result;
+      // A success after retried attempts wipes the transient-failure
+      // breadcrumbs; only `attempts` records that the road was bumpy.
+      job->error_code.clear();
+      job->fault_site.clear();
+      finish_locked(job, JobState::kDone, "");
+    }
+    return;
   }
+
+  job->error_code = error_code;
+  job->fault_site = fault_site;
+  if (retryable && attempt < config_.max_attempts && !shutting_down_ &&
+      !job->stop.load(std::memory_order_relaxed)) {
+    ++retry_count_;
+    job->state = JobState::kQueued;
+    job->error = error;  // last failure, visible while backing off
+    const auto due =  // MOBILINT: nondet-ok (backoff timer, not sim state)
+        std::chrono::steady_clock::now() +
+        to_duration(retry_backoff_s(attempt, job->key));
+    retries_.emplace(due, job);
+    work_cv_.notify_one();
+    return;
+  }
+  // Retries exhausted (or the failure is deterministic): degrade to a
+  // stale cached result when we have one, else fail with the code intact.
+  if (config_.serve_stale) {
+    std::shared_ptr<const JobResult> stale =
+        cache_.lookup_stale(job->key, job->canonical);
+    if (stale) {
+      job->result = std::move(stale);
+      job->stale = true;
+      job->from_cache = true;
+      ++stale_served_;
+      finish_locked(job, JobState::kDone, error);
+      return;
+    }
+  }
+  finish_locked(job, JobState::kFailed, error);
+}
+
+double SimService::retry_backoff_s(int attempt, std::uint64_t key) const {
+  double backoff = config_.retry_backoff_s;
+  for (int i = 1; i < attempt; ++i) {
+    backoff *= 2.0;
+  }
+  backoff = std::min(backoff, config_.retry_backoff_max_s);
+  if (config_.faults != nullptr) {
+    backoff *= config_.faults->jitter(
+        util::derive_seed(key, static_cast<std::uint64_t>(attempt)));
+  }
+  return backoff;
 }
 
 bool SimService::expire_if_overdue_locked(const std::shared_ptr<Job>& job) {
@@ -332,6 +518,7 @@ bool SimService::expire_if_overdue_locked(const std::shared_ptr<Job>& job) {
     return false;
   }
   finish_locked(job, JobState::kExpired, "deadline exceeded while queued");
+  job->error_code = errc::kDeadlineQueued;
   return true;
 }
 

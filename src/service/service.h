@@ -7,19 +7,33 @@
 //     -> resolve against the ScenarioRegistry (reject unknown requests)
 //     -> cache lookup by canonical-request hash (hit: done immediately,
 //        byte-identical payload, zero simulation work)
-//     -> bounded job queue (full: reject with a reason — backpressure is
-//        explicit, the queue never grows without bound)
+//     -> bounded job queue (full: serve a stale cached result when one
+//        exists, else reject with a reason — backpressure is explicit,
+//        the queue never grows without bound)
 //   worker pool (N threads)
 //     -> builds the engine from the registry, runs it in one-simulated-
 //        second slices, honoring the per-job deadline and the cooperative
-//        cancellation token (checked every tick inside Engine::run)
+//        cancellation token (checked every tick inside Engine::run, and
+//        again after the final partial slice)
 //     -> summarizes (RunMetrics + RunReport), serializes the canonical
 //        payload, stores it in the LRU result cache
+//
+// Graceful degradation (PR 5): transient failures (the FaultPlan's
+// injected crashes — the stand-in for real worker deaths) are retried with
+// exponential backoff, deterministic jitter and a bounded attempt budget;
+// when retries are exhausted, or the queue is saturated, a previously
+// evicted cache entry is served marked `stale` rather than failing the
+// job. Deterministic failures (sim::SimError numerical guards, config
+// errors) are never retried — a pure function that failed once fails
+// again. Every failure carries a machine-readable code, the fault site and
+// the attempt count.
 //
 // Determinism note: job *results* are pure functions of the canonical
 // request. Queueing order, worker interleaving, deadlines and wall-clock
 // timings are inherently nondeterministic — they affect only *whether/when*
-// a job completes, never what a completed job computes.
+// a job completes, never what a completed job computes. With a seeded
+// FaultPlan, *which* failures are injected is likewise a pure function of
+// (seed, site, request key, attempt), so fault schedules replay exactly.
 #pragma once
 
 #include <atomic>
@@ -38,8 +52,30 @@
 #include "service/result_cache.h"
 #include "service/scenario_registry.h"
 #include "sim/metrics.h"
+#include "util/fault.h"
 
 namespace mobitherm::service {
+
+/// Machine-readable error codes attached to rejections and failed jobs.
+namespace errc {
+inline constexpr const char* kInvalidRequest = "invalid_request";
+inline constexpr const char* kQueueFull = "queue_full";
+inline constexpr const char* kShuttingDown = "shutting_down";
+inline constexpr const char* kInjectedFault = "injected_fault";
+inline constexpr const char* kDeadlineQueued = "deadline_queued";
+inline constexpr const char* kDeadlineRunning = "deadline_running";
+inline constexpr const char* kCancelled = "cancelled";
+inline constexpr const char* kSimRunaway = "sim_runaway";
+inline constexpr const char* kSimNonFinite = "sim_non_finite";
+inline constexpr const char* kInternal = "internal_error";
+// Protocol-level codes used by the NDJSON server.
+inline constexpr const char* kParseError = "parse_error";
+inline constexpr const char* kBadRequest = "bad_request";
+inline constexpr const char* kUnknownOp = "unknown_op";
+inline constexpr const char* kUnknownJob = "unknown_job";
+inline constexpr const char* kNotDone = "not_done";
+inline constexpr const char* kOversizedLine = "oversized_line";
+}  // namespace errc
 
 struct ServiceConfig {
   /// Worker threads running simulations.
@@ -53,6 +89,25 @@ struct ServiceConfig {
   double default_deadline_s = 0.0;
   /// Summary options applied to every job.
   sim::MetricsOptions metrics;
+
+  /// Execution attempts per job (>= 1). Only transient failures
+  /// (util::FaultInjected) consume retries; deterministic failures fail
+  /// on the first attempt.
+  int max_attempts = 3;
+  /// Backoff before attempt k+1 is base * 2^(k-1), capped at max, then
+  /// scaled by the FaultPlan's deterministic jitter in [0.5, 1.5).
+  double retry_backoff_s = 0.05;
+  double retry_backoff_max_s = 2.0;
+  /// Serve checksum-clean *evicted* cache entries, marked stale, when the
+  /// queue is saturated or a job exhausts its retries.
+  bool serve_stale = true;
+  /// Engine runaway guard applied to every job (degC); <= 0 disables.
+  /// Healthy paper scenarios peak far below 150 degC, so the default only
+  /// trips on genuinely divergent dynamics (Sec. IV-A).
+  double guard_max_temp_c = 150.0;
+  /// Deterministic fault injection; non-owning, nullptr = disabled (the
+  /// plan must outlive the service).
+  util::FaultPlan* faults = nullptr;
 };
 
 enum class JobState {
@@ -73,15 +128,22 @@ struct SubmitOutcome {
   bool accepted = false;
   std::uint64_t id = 0;      // valid when accepted
   bool cached = false;       // served from the result cache (already done)
+  bool stale = false;        // served from the stale store (degraded)
   std::string reject_reason; // set when !accepted
+  std::string reject_code;   // errc::* code, set when !accepted
 };
 
 struct JobStatus {
   std::uint64_t id = 0;
   JobState state = JobState::kQueued;
   bool from_cache = false;
-  std::string error;      // failure/expiry/cancel detail
-  std::string canonical;  // canonical request key
+  bool stale = false;        // degraded completion from the stale store
+  int attempts = 0;          // execution attempts consumed so far
+  std::string error;         // failure/expiry/cancel detail
+  std::string error_code;    // errc::* code ("" while healthy)
+  std::string fault_site;    // injection site name when error_code is
+                             // errc::kInjectedFault
+  std::string canonical;     // canonical request key
 };
 
 struct ServiceStats {
@@ -91,10 +153,14 @@ struct ServiceStats {
   std::size_t failed = 0;
   std::size_t cancelled = 0;
   std::size_t expired = 0;
-  std::size_t queued = 0;      // current depth
+  std::size_t retries = 0;       // re-queued attempts after failures
+  std::size_t stale_served = 0;  // degraded completions from stale entries
+  std::size_t queued = 0;      // current depth (incl. backoff waiters)
   std::size_t running = 0;     // currently simulating
   unsigned workers = 0;
   std::size_t queue_capacity = 0;
+  /// Total injections fired by the attached FaultPlan (0 when none).
+  std::uint64_t faults_injected = 0;
   CacheStats cache;
 };
 
@@ -109,8 +175,10 @@ class SimService {
   SimService& operator=(const SimService&) = delete;
 
   /// Admit a request. An invalid request (unknown scenario/app/policy) or
-  /// a full queue rejects with a reason; a cache hit completes the job
-  /// immediately. `deadline_s` < 0 uses the config default.
+  /// a full queue rejects with a reason + code; a cache hit completes the
+  /// job immediately; a full queue with a stale entry available completes
+  /// immediately with `stale` set. `deadline_s` < 0 uses the config
+  /// default.
   SubmitOutcome submit(const SimRequest& request, double deadline_s = -1.0);
 
   /// Snapshot of a job's state; nullopt for unknown ids. Lazily expires
@@ -120,9 +188,9 @@ class SimService {
   /// The job's result; nullptr unless the job is kDone.
   std::shared_ptr<const JobResult> result(std::uint64_t id) const;
 
-  /// Request cancellation. Queued jobs cancel immediately; running jobs
-  /// stop at their next tick. Returns false for unknown or already
-  /// terminal jobs.
+  /// Request cancellation. Queued jobs (including backoff waiters) cancel
+  /// immediately; running jobs stop at their next tick. Returns false for
+  /// unknown or already terminal jobs.
   bool cancel(std::uint64_t id);
 
   /// Block until the job reaches a terminal state or `timeout_s` elapses.
@@ -142,7 +210,11 @@ class SimService {
     std::string canonical;
     JobState state = JobState::kQueued;
     bool from_cache = false;
+    bool stale = false;
+    int attempts = 0;
     std::string error;
+    std::string error_code;
+    std::string fault_site;
     std::shared_ptr<const JobResult> result;
     std::atomic<bool> stop{false};
     /// Wall-clock deadline; nullopt = none.
@@ -150,7 +222,11 @@ class SimService {
   };
 
   void worker_loop();
-  void execute(const std::shared_ptr<Job>& job);
+  void execute(const std::shared_ptr<Job>& job, int attempt);
+
+  /// Backoff before the attempt after `attempt` failed (exponential in
+  /// the attempt number, deterministically jittered per job).
+  double retry_backoff_s(int attempt, std::uint64_t key) const;
 
   /// Must hold mutex_. Moves a queued job past its deadline to kExpired
   /// (the worker skips non-queued jobs on pop); returns true if it
@@ -166,10 +242,14 @@ class SimService {
   ResultCache cache_;
 
   mutable std::mutex mutex_;
-  std::condition_variable work_cv_;  // workers: queue / shutdown
+  std::condition_variable work_cv_;  // workers: queue / retries / shutdown
   std::condition_variable done_cv_;  // waiters: job completion
   std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;
   std::deque<std::shared_ptr<Job>> queue_;
+  /// Jobs waiting out a retry backoff, keyed by their due time.
+  std::multimap<std::chrono::steady_clock::time_point,
+                std::shared_ptr<Job>>
+      retries_;
   std::uint64_t next_id_ = 1;
   bool shutting_down_ = false;
 
@@ -180,6 +260,8 @@ class SimService {
   std::size_t failed_ = 0;
   std::size_t cancelled_ = 0;
   std::size_t expired_ = 0;
+  std::size_t retry_count_ = 0;
+  std::size_t stale_served_ = 0;
   std::size_t running_ = 0;
 
   std::vector<std::thread> workers_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "platform/presets.h"
+#include "sim/sim_error.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -329,6 +330,20 @@ void Engine::tick() {
   stage_governors(ctx);
   stage_dvfs(ctx);
   stage_trace(ctx);
+
+  // Numerical guards on the post-thermal state: a healthy run never trips
+  // them, so completed traces are byte-identical with or without the
+  // checks; an unhealthy run aborts typed instead of emitting garbage.
+  if (!std::isfinite(ctx.max_chip_temp_k) ||
+      !std::isfinite(ctx.board_temp_k)) {
+    throw SimError(SimErrorCode::kNonFiniteTemperature, now_,
+                   ctx.max_chip_temp_k, 0.0);
+  }
+  if (config_.guard_max_temp_k > 0.0 &&
+      ctx.max_chip_temp_k > config_.guard_max_temp_k) {
+    throw SimError(SimErrorCode::kThermalRunaway, now_, ctx.max_chip_temp_k,
+                   config_.guard_max_temp_k);
+  }
 
   TickInfo info;
   info.t_s = now_;

@@ -83,6 +83,16 @@ struct EngineConfig {
   /// Off by default (the paper's workloads are compute/GPU bound).
   bool enable_memory_contention = false;
   double mem_peak_bandwidth_gbps = 13.0;
+
+  /// Runaway guard threshold (K): after every tick the hottest chip node
+  /// is compared against it and the run aborts with a typed sim::SimError
+  /// (SimErrorCode::kThermalRunaway) on the first tick that exceeds it —
+  /// the dynamics have crossed the Sec. IV-A critical power and have no
+  /// stable fixed point, so continuing would only integrate the
+  /// divergence. <= 0 disables the check (the default: divergence studies
+  /// like thermal_runaway_demo intentionally run past it). Non-finite node
+  /// temperatures always abort (kNonFiniteTemperature) regardless.
+  double guard_max_temp_k = 0.0;
 };
 
 class Engine {
@@ -143,6 +153,14 @@ class Engine {
   /// that is already warm when the experiment starts, as in the paper's
   /// traces, whose curves begin well above ambient.
   void set_initial_temperature(double t_k);
+
+  /// Arm (or, with <= 0, disarm) the runaway guard after construction —
+  /// the service layer applies its policy to registry-built engines this
+  /// way. Equivalent to EngineConfig::guard_max_temp_k.
+  void set_runaway_guard(double max_temp_k) {
+    config_.guard_max_temp_k = max_temp_k;
+  }
+  double runaway_guard() const { return config_.guard_max_temp_k; }
 
   /// Advance the simulation by `seconds`. Fractional ticks are carried to
   /// the next call, so run(0.05) twenty times advances exactly as far as

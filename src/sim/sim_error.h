@@ -1,0 +1,78 @@
+// Typed simulation-abort errors for the engine's numerical guards.
+//
+// The paper's Sec. IV-A point is that above the critical power the coupled
+// power-temperature dynamics have no fixed point and the temperature
+// diverges (Fig. 7). A production service must *detect* that — and any
+// non-finite state — per tick and abort with a machine-readable error
+// instead of emitting garbage traces. SimError carries the failure class,
+// the simulated time and the offending temperature so callers (the service
+// layer, tests pinning the guard against stability/fixed_point
+// predictions) can act on it without parsing message strings.
+#pragma once
+
+#include <string>
+
+#include "util/error.h"
+
+namespace mobitherm::sim {
+
+enum class SimErrorCode {
+  /// A thermal-node temperature became NaN or infinite.
+  kNonFiniteTemperature,
+  /// The hottest chip node exceeded the configured runaway guard —
+  /// dynamics past the Sec. IV-A critical power (no stable fixed point).
+  kThermalRunaway,
+};
+
+inline const char* to_string(SimErrorCode code) {
+  switch (code) {
+    case SimErrorCode::kNonFiniteTemperature:
+      return "non_finite_temperature";
+    case SimErrorCode::kThermalRunaway:
+      return "thermal_runaway";
+  }
+  return "unknown";
+}
+
+class SimError : public util::NumericError {
+ public:
+  SimError(SimErrorCode code, double t_s, double temp_k, double limit_k)
+      : util::NumericError(message(code, t_s, temp_k, limit_k)),
+        code_(code),
+        t_s_(t_s),
+        temp_k_(temp_k),
+        limit_k_(limit_k) {}
+
+  SimErrorCode code() const { return code_; }
+  /// Simulated time of the aborted tick (s).
+  double t_s() const { return t_s_; }
+  /// Hottest chip-node temperature at the abort (K).
+  double temp_k() const { return temp_k_; }
+  /// Guard threshold (K); 0 for the non-finite guard.
+  double limit_k() const { return limit_k_; }
+
+ private:
+  static std::string message(SimErrorCode code, double t_s, double temp_k,
+                             double limit_k) {
+    std::string out = "simulation aborted (";
+    out += to_string(code);
+    out += ") at t=";
+    out += std::to_string(t_s);
+    out += " s: chip temperature ";
+    out += std::to_string(temp_k);
+    out += " K";
+    if (code == SimErrorCode::kThermalRunaway) {
+      out += " exceeds the runaway guard ";
+      out += std::to_string(limit_k);
+      out += " K (thermal runaway above the critical power, Sec. IV-A)";
+    }
+    return out;
+  }
+
+  SimErrorCode code_;
+  double t_s_;
+  double temp_k_;
+  double limit_k_;
+};
+
+}  // namespace mobitherm::sim
