@@ -1,0 +1,274 @@
+// Microbenchmarks for the lockstep multi-lane physics path (sim/lockstep.h,
+// ThermalNetwork::step_block), plus the two invariants this PR pins, both
+// asserted in main() before the benchmarks run so the bench-smoke job fails
+// loudly when they regress:
+//
+//   1. Aggregate step throughput: one step_block over a K-lane block must
+//      move >= 4x more lane-steps per second than K scalar step() calls,
+//      for K >= 8 (the SoA payoff the lockstep refactor exists for).
+//   2. Zero allocations on the warm path: a warm step_block never touches
+//      the heap, and a warm fused LockstepRunner tick stays within the
+//      per-engine tick budget (decimated trace points only).
+#define MOBITHERM_BENCH_COUNT_ALLOCS
+#include "bench_util.h"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "sim/engine.h"
+#include "sim/experiment.h"
+#include "sim/lockstep.h"
+#include "thermal/network.h"
+#include "thermal/presets.h"
+#include "workload/presets.h"
+
+namespace {
+
+using namespace mobitherm;
+
+constexpr double kDt = 0.001;
+
+// Allocations per iteration of `f` over a plain loop, away from the
+// benchmark library's own state machinery (same shape as micro_thermal).
+template <typename F>
+double allocs_per_iteration(int iters, F&& f) {
+  const bench::AllocationScope scope;
+  for (int i = 0; i < iters; ++i) {
+    f();
+  }
+  return static_cast<double>(scope.count()) / iters;
+}
+
+// Attach the allocs_per_iter counter; `max_allowed` turns the harness into
+// an assertion.
+void report_allocs(benchmark::State& state, double allocs_per_iter,
+                   double max_allowed) {
+  state.counters["allocs_per_iter"] = benchmark::Counter(allocs_per_iter);
+  if (allocs_per_iter > max_allowed) {
+    state.SkipWithError("hot path exceeded its allocation budget");
+  }
+}
+
+// One scalar reference network per lane (the pre-lockstep shape: every
+// engine steps its own network), states decorrelated across lanes.
+std::vector<std::unique_ptr<thermal::ThermalNetwork>> scalar_lanes(
+    std::size_t k) {
+  std::vector<std::unique_ptr<thermal::ThermalNetwork>> nets;
+  for (std::size_t c = 0; c < k; ++c) {
+    nets.push_back(std::make_unique<thermal::ThermalNetwork>(
+        thermal::odroidxu3_network(), thermal::StepMethod::kExact));
+    linalg::Vector t0(nets[c]->num_nodes());
+    for (std::size_t i = 0; i < t0.size(); ++i) {
+      t0[i] = 300.0 + static_cast<double>(c) + 0.5 * static_cast<double>(i);
+    }
+    nets[c]->set_temperatures(t0);
+  }
+  return nets;
+}
+
+linalg::Matrix lane_power(std::size_t n, std::size_t k) {
+  linalg::Matrix power(n, k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < k; ++c) {
+      power(i, c) = 0.1 + 0.3 * static_cast<double>(c) +
+                    0.05 * static_cast<double>(i);
+    }
+  }
+  return power;
+}
+
+linalg::Matrix lane_temps(std::size_t n, std::size_t k) {
+  linalg::Matrix temps(n, k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < k; ++c) {
+      temps(i, c) = 300.0 + static_cast<double>(c) +
+                    0.5 * static_cast<double>(i);
+    }
+  }
+  return temps;
+}
+
+// --- benchmarks -----------------------------------------------------------
+
+void BM_ScalarStepLoop(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  auto nets = scalar_lanes(k);
+  const linalg::Matrix power = lane_power(nets[0]->num_nodes(), k);
+  std::vector<linalg::Vector> powers(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    powers[c].resize(power.rows());
+    for (std::size_t i = 0; i < power.rows(); ++i) {
+      powers[c][i] = power(i, c);
+    }
+    nets[c]->step(powers[c], util::seconds(kDt));  // warm the propagator
+  }
+  for (auto _ : state) {
+    for (std::size_t c = 0; c < k; ++c) {
+      nets[c]->step(powers[c], util::seconds(kDt));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * k);  // lane-steps
+}
+BENCHMARK(BM_ScalarStepLoop)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_StepBlock(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  thermal::ThermalNetwork net(thermal::odroidxu3_network(),
+                              thermal::StepMethod::kExact);
+  const std::size_t n = net.num_nodes();
+  const linalg::Matrix power = lane_power(n, k);
+  linalg::Matrix temps = lane_temps(n, k);
+  net.step_block(power, temps, util::seconds(kDt));  // warm the scratch
+  for (auto _ : state) {
+    net.step_block(power, temps, util::seconds(kDt));
+  }
+  state.SetItemsProcessed(state.iterations() * k);  // lane-steps
+  report_allocs(state, allocs_per_iteration(1000, [&] {
+                         net.step_block(power, temps, util::seconds(kDt));
+                       }),
+                       0.0);
+  benchmark::DoNotOptimize(temps.row_data(0));
+}
+BENCHMARK(BM_StepBlock)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
+
+// Full engines in lockstep: K Nexus lanes advanced one simulated
+// millisecond (one tick) per iteration, fused physics.
+void BM_LockstepEngineTick(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  std::vector<std::unique_ptr<sim::Engine>> engines;
+  std::vector<sim::LockstepRunner::Lane> lanes;
+  for (std::size_t c = 0; c < k; ++c) {
+    sim::NexusRun run;
+    run.app = workload::paperio();
+    run.seed = 42 + c;
+    engines.push_back(sim::make_nexus_engine(run));
+    lanes.push_back({engines[c].get(), nullptr});
+  }
+  sim::LockstepRunner runner(std::move(lanes));
+  runner.run(2.0);  // warm sliding windows, traces and lane-block scratch
+  for (auto _ : state) {
+    runner.run(kDt);
+  }
+  state.SetItemsProcessed(state.iterations() * k);  // lane-ticks
+  // Same per-engine budget as BM_EngineTick (decimated trace points only).
+  report_allocs(
+      state,
+      allocs_per_iteration(1000, [&] { runner.run(kDt); }),
+      3.0 * static_cast<double>(k));
+}
+BENCHMARK(BM_LockstepEngineTick)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
+
+// --- pinned invariants ----------------------------------------------------
+
+// Best-of-3 wall time: this box is a single shared vCPU, so any one run
+// can absorb scheduler noise; the minimum estimates the undisturbed cost.
+double seconds_of(const std::function<void()>& f) {
+  using clock = std::chrono::steady_clock;
+  double best = 1e9;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = clock::now();
+    f();
+    const double s = std::chrono::duration<double>(clock::now() - t0).count();
+    best = std::min(best, s);
+  }
+  return best;
+}
+
+/// Lane-steps per second moved by K scalar step() calls vs one K-wide
+/// step_block, over the same total lane-step count.
+bool check_block_speedup() {
+  constexpr std::size_t kTotalLaneSteps = 400000;
+  bool ok = true;
+  for (const std::size_t k : {1u, 4u, 8u, 16u}) {
+    auto nets = scalar_lanes(k);
+    const std::size_t n = nets[0]->num_nodes();
+    const linalg::Matrix power = lane_power(n, k);
+    std::vector<linalg::Vector> powers(k);
+    for (std::size_t c = 0; c < k; ++c) {
+      powers[c].resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        powers[c][i] = power(i, c);
+      }
+      nets[c]->step(powers[c], util::seconds(kDt));
+    }
+    const std::size_t reps = kTotalLaneSteps / k;
+    const double scalar_s = seconds_of([&] {
+      for (std::size_t r = 0; r < reps; ++r) {
+        for (std::size_t c = 0; c < k; ++c) {
+          nets[c]->step(powers[c], util::seconds(kDt));
+        }
+      }
+    });
+
+    thermal::ThermalNetwork block_net(thermal::odroidxu3_network(),
+                                      thermal::StepMethod::kExact);
+    linalg::Matrix temps = lane_temps(n, k);
+    block_net.step_block(power, temps, util::seconds(kDt));
+    const double block_s = seconds_of([&] {
+      for (std::size_t r = 0; r < reps; ++r) {
+        block_net.step_block(power, temps, util::seconds(kDt));
+      }
+    });
+    benchmark::DoNotOptimize(temps.row_data(0));
+
+    const double speedup = block_s > 0.0 ? scalar_s / block_s : 1e9;
+    std::printf(
+        "lockstep step throughput K=%-2zu: %.0fx (scalar %.3f s, block "
+        "%.3f s for %zu lane-steps)\n",
+        k, speedup, scalar_s, block_s, reps * k);
+    if (k >= 8 && speedup < 4.0) {
+      std::fprintf(stderr,
+                   "micro_lockstep: aggregate step speedup %.2fx < required "
+                   "4x at K=%zu\n",
+                   speedup, k);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+/// Warm step_block must not allocate at any lane width.
+bool check_zero_alloc_warm_block() {
+  for (const std::size_t k : {1u, 4u, 8u, 16u}) {
+    thermal::ThermalNetwork net(thermal::odroidxu3_network(),
+                                thermal::StepMethod::kExact);
+    const std::size_t n = net.num_nodes();
+    const linalg::Matrix power = lane_power(n, k);
+    linalg::Matrix temps = lane_temps(n, k);
+    net.step_block(power, temps, util::seconds(kDt));  // warm
+    const double allocs = allocs_per_iteration(1000, [&] {
+      net.step_block(power, temps, util::seconds(kDt));
+    });
+    if (allocs > 0.0) {
+      std::fprintf(stderr,
+                   "micro_lockstep: warm step_block allocates (%.3f "
+                   "allocs/step at K=%zu)\n",
+                   allocs, k);
+      return false;
+    }
+  }
+  std::printf("warm step_block: 0 allocations/step at K=1,4,8,16\n");
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!check_block_speedup() || !check_zero_alloc_warm_block()) {
+    return 1;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

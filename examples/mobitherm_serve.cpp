@@ -13,6 +13,8 @@
 //   --cache N            result-cache entries (default 64; 0 disables)
 //   --deadline SECONDS   default per-job wall-clock deadline (0 = none)
 //   --retries N          execution attempts per job (default 3)
+//   --batch-width N      lockstep lanes per wide (multi-seed) job
+//                        (default 0 = auto; 1 forces the scalar path)
 //   --fault SPEC         arm deterministic fault injection, e.g.
 //                        "seed=7,crash_before=0.2,corrupt=0.5,latency_s=0.01"
 //                        (sites: admission, crash_before, crash_after,
@@ -79,6 +81,7 @@ int main(int argc, char** argv) {
   double cache = 64;
   double deadline = 0;
   double retries = 3;
+  double batch_width = 0;
   std::string fault_spec;
   for (int i = 1; i < argc; ++i) {
     if (parse_flag(argc, argv, &i, "--workers", &workers) ||
@@ -86,13 +89,14 @@ int main(int argc, char** argv) {
         parse_flag(argc, argv, &i, "--cache", &cache) ||
         parse_flag(argc, argv, &i, "--deadline", &deadline) ||
         parse_flag(argc, argv, &i, "--retries", &retries) ||
+        parse_flag(argc, argv, &i, "--batch-width", &batch_width) ||
         parse_string_flag(argc, argv, &i, "--fault", &fault_spec)) {
       continue;
     }
     std::fprintf(stderr,
                  "usage: mobitherm_serve [--workers N] [--queue N] "
                  "[--cache N] [--deadline SECONDS] [--retries N] "
-                 "[--fault SPEC]\n");
+                 "[--batch-width N] [--fault SPEC]\n");
     return 2;
   }
   config.workers = workers < 1 ? 1 : static_cast<unsigned>(workers);
@@ -100,6 +104,7 @@ int main(int argc, char** argv) {
   config.cache_capacity = static_cast<std::size_t>(cache);
   config.default_deadline_s = deadline;
   config.max_attempts = retries < 1 ? 1 : static_cast<int>(retries);
+  config.batch_width = static_cast<unsigned>(batch_width);
 
   mobitherm::util::FaultPlanConfig fault_config;
   if (!fault_spec.empty()) {

@@ -39,6 +39,7 @@ DEFAULT_BINARIES = [
     "micro_stability",
     "micro_service",
     "micro_fault",
+    "micro_lockstep",
 ]
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}

@@ -161,7 +161,46 @@ def run_smoke(client, timeout_s):
             "smoke: expected 2 completed jobs, got %s" % stats["completed"]
         )
 
+    # Wide submit: 3 seeds fan out in one admission and run on the
+    # lockstep path (lanes packed into shared queue slots).
+    wide = dict(request)
+    wide.update({"op": "submit", "seed": 7, "seeds": 3})
+    response = client.request(wide)
+    if not response.get("ok"):
+        raise SystemExit("smoke: wide submit rejected: %s"
+                         % error_text(response))
+    lanes = response["jobs"]
+    if len(lanes) != 3 or any(lane.get("cached") for lane in lanes):
+        raise SystemExit("smoke: wide submit should run 3 uncached lanes")
+    for lane in lanes:
+        wait = client.request(
+            {"op": "wait", "job": lane["job"], "timeout_s": timeout_s})
+        if not wait.get("done") or wait.get("state") != "done":
+            raise SystemExit("smoke: wide lane %s finished as %s"
+                             % (lane["job"], wait.get("state")))
+        result = client.request({"op": "result", "job": lane["job"]})
+        if not result.get("ok"):
+            raise SystemExit("smoke: wide lane %s has no result"
+                             % lane["job"])
+
+    stats = client.request({"op": "stats"})
+    if stats["wide_jobs"] < 1:
+        raise SystemExit("smoke: stats reports no wide job")
+    if stats["lockstep_lanes"] < 3:
+        raise SystemExit("smoke: expected >= 3 lockstep lanes, got %s"
+                         % stats["lockstep_lanes"])
+    if stats["batch_width"] < 1:
+        raise SystemExit("smoke: stats is missing the lockstep batch width")
+
+    # The same wide submit again must be served from the cache lane-for-lane.
+    repeat = client.request(wide)
+    if not repeat.get("ok") or not all(
+            lane.get("cached") for lane in repeat["jobs"]):
+        raise SystemExit("smoke: repeated wide submit was not fully cached")
+
     print("smoke OK: second submit cache-hit, payload byte-identical,")
+    print("  wide submit ran %d lockstep lanes (batch width %d), repeat cached"
+          % (stats["lockstep_lanes"], stats["batch_width"]))
     print(
         "  stats: hits=%d misses=%d size=%d"
         % (

@@ -194,6 +194,20 @@ std::string SimServer::handle_submit(const json::Value& request) {
   double deadline_s = -1.0;
   read_number(request, "deadline_s", &deadline_s);
 
+  // Wide submit: "seeds": N fans the request over seeds seed..seed+N-1 in
+  // one admission; cache-missing lanes run on the lockstep path.
+  double seeds = 0.0;
+  if (read_number(request, "seeds", &seeds)) {
+    if (seeds < 1 || seeds != std::floor(seeds)) {
+      return error_response("submit", errc::kBadRequest,
+                            "seeds must be a positive integer");
+    }
+    if (seeds > 1) {
+      return handle_submit_many(req, static_cast<std::size_t>(seeds),
+                                deadline_s);
+    }
+  }
+
   const SubmitOutcome outcome = service_.submit(req, deadline_s);
   json::Value out = json::Value::object();
   out.set("ok", json::Value::boolean(outcome.accepted));
@@ -208,6 +222,39 @@ std::string SimServer::handle_submit(const json::Value& request) {
                                       : outcome.reject_code,
                                   outcome.reject_reason));
   }
+  return out.dump();
+}
+
+std::string SimServer::handle_submit_many(const SimRequest& request,
+                                          std::size_t seeds,
+                                          double deadline_s) {
+  const std::vector<SubmitOutcome> outcomes =
+      service_.submit_many(request, seeds, deadline_s);
+  // ok reflects the batch as a whole; per-lane outcomes carry their own
+  // accept/reject detail in lane (seed) order.
+  bool all_accepted = true;
+  json::Value jobs = json::Value::array();
+  for (const SubmitOutcome& outcome : outcomes) {
+    json::Value lane = json::Value::object();
+    lane.set("accepted", json::Value::boolean(outcome.accepted));
+    if (outcome.accepted) {
+      lane.set("job", json::Value::number(static_cast<double>(outcome.id)));
+      lane.set("cached", json::Value::boolean(outcome.cached));
+      lane.set("stale", json::Value::boolean(outcome.stale));
+    } else {
+      all_accepted = false;
+      lane.set("error", error_object(outcome.reject_code.empty()
+                                         ? errc::kInternal
+                                         : outcome.reject_code,
+                                     outcome.reject_reason));
+    }
+    jobs.push(lane);
+  }
+  json::Value out = json::Value::object();
+  out.set("ok", json::Value::boolean(all_accepted));
+  out.set("op", json::Value::string("submit"));
+  out.set("seeds", json::Value::number(static_cast<double>(seeds)));
+  out.set("jobs", jobs);
   return out.dump();
 }
 
@@ -320,6 +367,12 @@ std::string SimServer::handle_stats() {
           json::Value::number(static_cast<double>(s.faults_injected)));
   out.set("queued", json::Value::number(static_cast<double>(s.queued)));
   out.set("running", json::Value::number(static_cast<double>(s.running)));
+  out.set("wide_jobs",
+          json::Value::number(static_cast<double>(s.wide_jobs)));
+  out.set("lockstep_lanes",
+          json::Value::number(static_cast<double>(s.lockstep_lanes)));
+  out.set("batch_width",
+          json::Value::number(static_cast<double>(s.batch_width)));
   out.set("workers", json::Value::number(static_cast<double>(s.workers)));
   out.set("queue_capacity",
           json::Value::number(static_cast<double>(s.queue_capacity)));

@@ -8,8 +8,13 @@
 //
 // Ops (request fields beyond "op" in parentheses):
 //   submit    (scenario, app?, policy?, with_bml?, duration_s?,
-//              initial_temp_c?, seed?, app_levels?, app_phase_s?,
+//              initial_temp_c?, seed?, seeds?, app_levels?, app_phase_s?,
 //              deadline_s?)            -> {ok, job, cached, stale}
+//             With "seeds": N (N >= 2) the submit is *wide*: lanes
+//             seed..seed+N-1 are admitted in one call (lockstep execution
+//             for cache misses) and the response is
+//             {ok, seeds, jobs:[{accepted, job|error, cached, stale}...]}
+//             in lane order; "ok" is true iff every lane was accepted.
 //   status    (job)                    -> {ok, job, state, from_cache, ...}
 //   result    (job)                    -> {ok, job, state, result:{...}}
 //   cancel    (job)                    -> {ok, job, cancelled}
@@ -63,6 +68,8 @@ class SimServer {
 
  private:
   std::string handle_submit(const json::Value& request);
+  std::string handle_submit_many(const SimRequest& request,
+                                 std::size_t seeds, double deadline_s);
   std::string handle_status(const json::Value& request);
   std::string handle_result(const json::Value& request);
   std::string handle_cancel(const json::Value& request);

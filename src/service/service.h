@@ -28,6 +28,14 @@
 // again. Every failure carries a machine-readable code, the fault site and
 // the attempt count.
 //
+// Wide jobs (this PR): submit_many() admits a fan of seeds in one call.
+// Cache-missing lanes are packed into lockstep groups that a single worker
+// executes through sim::LockstepRunner — K engines stepped together with
+// the thermal physics fused into one SoA block step. Per-lane cache keys
+// and payloads are byte-identical to scalar execution; a lane that faults
+// is retried alone on the scalar path, so the degradation machinery below
+// applies per lane, not per group.
+//
 // Determinism note: job *results* are pure functions of the canonical
 // request. Queueing order, worker interleaving, deadlines and wall-clock
 // timings are inherently nondeterministic — they affect only *whether/when*
@@ -108,6 +116,14 @@ struct ServiceConfig {
   /// Deterministic fault injection; non-owning, nullptr = disabled (the
   /// plan must outlive the service).
   util::FaultPlan* faults = nullptr;
+
+  /// Lanes per lockstep group for wide (multi-seed) jobs: submit_many()
+  /// packs up to this many cache-missing seeds into one queue slot, and a
+  /// worker executes the group through a sim::LockstepRunner (fused
+  /// thermal stepping; per-lane results and cache payloads are
+  /// bit-identical to scalar execution). 0 = auto (the sim layer's
+  /// default width); 1 = force the scalar path lane by lane.
+  unsigned batch_width = 0;
 };
 
 enum class JobState {
@@ -157,8 +173,14 @@ struct ServiceStats {
   std::size_t stale_served = 0;  // degraded completions from stale entries
   std::size_t queued = 0;      // current depth (incl. backoff waiters)
   std::size_t running = 0;     // currently simulating
+  /// Wide (multi-lane) groups dispatched to the lockstep path, and the
+  /// total lanes they carried.
+  std::size_t wide_jobs = 0;
+  std::size_t lockstep_lanes = 0;
   unsigned workers = 0;
   std::size_t queue_capacity = 0;
+  /// Resolved lockstep lane width for wide jobs (1 = scalar path).
+  unsigned batch_width = 0;
   /// Total injections fired by the attached FaultPlan (0 when none).
   std::uint64_t faults_injected = 0;
   CacheStats cache;
@@ -180,6 +202,18 @@ class SimService {
   /// immediately with `stale` set. `deadline_s` < 0 uses the config
   /// default.
   SubmitOutcome submit(const SimRequest& request, double deadline_s = -1.0);
+
+  /// Wide (multi-seed) admission: lane k is `request` with seed
+  /// `request.seed + k`, admitted like submit() (cache hits complete
+  /// immediately, per-lane stale/reject under backpressure). Lanes that
+  /// miss the cache are packed into lockstep groups of up to
+  /// ServiceConfig::batch_width lanes, each occupying ONE queue slot, and
+  /// a worker runs the group on the lockstep multi-lane path — cache keys
+  /// and result payloads are byte-identical to `seeds` scalar submits.
+  /// Outcomes come back in lane order.
+  std::vector<SubmitOutcome> submit_many(const SimRequest& request,
+                                         std::size_t seeds,
+                                         double deadline_s = -1.0);
 
   /// Snapshot of a job's state; nullopt for unknown ids. Lazily expires
   /// queued jobs whose deadline has passed.
@@ -221,8 +255,44 @@ class SimService {
     std::optional<std::chrono::steady_clock::time_point> deadline;
   };
 
+  /// One queue slot: a single job (scalar path) or a lockstep group of
+  /// lanes from one submit_many() call (wide path).
+  struct Work {
+    std::vector<std::shared_ptr<Job>> lanes;
+  };
+
+  /// What one execution attempt produced for one job, settled under the
+  /// mutex by settle_locked() (shared by the scalar and wide paths so
+  /// retry / stale-fallback / failure semantics are identical).
+  struct ExecOutcome {
+    std::shared_ptr<JobResult> result;
+    bool cancelled = false;
+    bool expired = false;
+    std::string error;
+    std::string error_code;
+    std::string fault_site;
+    bool retryable = false;
+  };
+
   void worker_loop();
   void execute(const std::shared_ptr<Job>& job, int attempt);
+
+  /// Run a lockstep group (>= 2 lanes, engines per lane, fused physics).
+  /// A lane that faults, trips a guard, cancels or expires retires alone;
+  /// survivors keep stepping. `attempts[k]` is lane k's attempt number.
+  void execute_wide(const std::vector<std::shared_ptr<Job>>& lanes,
+                    const std::vector<int>& attempts);
+
+  /// Map the in-flight exception to an ExecOutcome (call inside catch).
+  static void classify_current_exception(ExecOutcome& out);
+
+  /// Must hold mutex_. Apply one attempt's outcome to the job: success /
+  /// cancel / expiry finish it; a retryable failure re-queues it (as a
+  /// scalar retry) with backoff; otherwise stale-fallback or kFailed.
+  void settle_locked(const std::shared_ptr<Job>& job, int attempt,
+                     ExecOutcome& out);
+
+  unsigned resolved_batch_width() const;
 
   /// Backoff before the attempt after `attempt` failed (exponential in
   /// the attempt number, deterministically jittered per job).
@@ -245,7 +315,7 @@ class SimService {
   std::condition_variable work_cv_;  // workers: queue / retries / shutdown
   std::condition_variable done_cv_;  // waiters: job completion
   std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;
-  std::deque<std::shared_ptr<Job>> queue_;
+  std::deque<Work> queue_;
   /// Jobs waiting out a retry backoff, keyed by their due time.
   std::multimap<std::chrono::steady_clock::time_point,
                 std::shared_ptr<Job>>
@@ -263,6 +333,8 @@ class SimService {
   std::size_t retry_count_ = 0;
   std::size_t stale_served_ = 0;
   std::size_t running_ = 0;
+  std::size_t wide_jobs_ = 0;
+  std::size_t lockstep_lanes_ = 0;
 
   std::vector<std::thread> workers_;
 };

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "sim/lockstep.h"
 #include "util/error.h"
 
 namespace mobitherm::sim {
@@ -81,6 +82,17 @@ unsigned BatchRunner::resolved_threads() const {
   return hw == 0 ? 1 : hw;
 }
 
+unsigned BatchRunner::resolved_lockstep_width() const {
+  return options_.lockstep_width == 0 ? kDefaultLockstepWidth
+                                      : options_.lockstep_width;
+}
+
+// Runs are partitioned into contiguous index groups of lockstep_width; each
+// group executes on one worker through a LockstepRunner, which fuses the
+// lanes' thermal steps when their propagators match bitwise. The per-run
+// results (and the exception surfaced on failure: the lowest failing index
+// wins within a group, like the serial loop) are bit-identical to the
+// scalar path at width 1.
 std::vector<BatchRecord> BatchRunner::run(std::size_t runs,
                                           std::uint64_t base_seed,
                                           double duration_s,
@@ -94,31 +106,62 @@ std::vector<BatchRecord> BatchRunner::run(std::size_t runs,
   if (runs == 0) {
     throw util::ConfigError("BatchRunner: runs must be positive");
   }
+  const std::size_t width = resolved_lockstep_width();
+  const std::size_t groups = (runs + width - 1) / width;
   std::vector<BatchRecord> records(runs);
-  parallel_for_index(runs, resolved_threads(), [&](std::size_t i) {
-    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
-    BatchRecord& rec = records[i];
-    rec.index = i;
-    rec.seed = seed;
+  parallel_for_index(groups, resolved_threads(), [&](std::size_t g) {
+    const std::size_t begin = g * width;
+    const std::size_t end = std::min(runs, begin + width);
+    const std::size_t lanes = end - begin;
+
+    for (std::size_t i = begin; i < end; ++i) {
+      records[i].index = i;
+      records[i].seed = base_seed + static_cast<std::uint64_t>(i);
+    }
     if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
-      rec.completed = false;  // cancelled before this run started
+      for (std::size_t i = begin; i < end; ++i) {
+        records[i].completed = false;  // cancelled before the group started
+      }
       return;
     }
+
     const auto start = std::chrono::steady_clock::now();
-    std::unique_ptr<Engine> engine = factory(i, seed);
-    if (!engine) {
-      throw util::ConfigError("BatchRunner: factory returned null engine");
+    std::vector<std::unique_ptr<Engine>> engines(lanes);
+    std::vector<MetricsObserver> taps;
+    taps.reserve(lanes);  // sized up front: &taps[k] stays stable below
+    std::vector<LockstepRunner::Lane> lane_specs(lanes);
+    for (std::size_t k = 0; k < lanes; ++k) {
+      taps.emplace_back(metrics);
     }
-    MetricsObserver tap(metrics);
-    engine->add_observer(&tap);
-    engine->run(duration_s, stop);
-    rec.completed =
-        stop == nullptr || !stop->load(std::memory_order_relaxed);
-    rec.metrics = tap.metrics(*engine);
-    rec.report = make_report(*engine, metrics.temp_limit_c);
-    rec.wall_s = std::chrono::duration<double>(
-                     std::chrono::steady_clock::now() - start)
-                     .count();
+    for (std::size_t k = 0; k < lanes; ++k) {
+      engines[k] = factory(begin + k, records[begin + k].seed);
+      if (!engines[k]) {
+        throw util::ConfigError("BatchRunner: factory returned null engine");
+      }
+      engines[k]->add_observer(&taps[k]);
+      lane_specs[k].engine = engines[k].get();
+      lane_specs[k].stop = stop;
+    }
+
+    LockstepRunner runner(std::move(lane_specs));
+    runner.run(duration_s);
+    for (std::size_t k = 0; k < lanes; ++k) {
+      // Surface the lowest failing index's exception, matching the order
+      // a serial loop over this group would have failed in.
+      runner.rethrow_lane_error(k);
+    }
+
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    for (std::size_t k = 0; k < lanes; ++k) {
+      BatchRecord& rec = records[begin + k];
+      rec.completed =
+          stop == nullptr || !stop->load(std::memory_order_relaxed);
+      rec.metrics = taps[k].metrics(*engines[k]);
+      rec.report = make_report(*engines[k], metrics.temp_limit_c);
+      rec.wall_s = wall;
+    }
   });
   return records;
 }

@@ -1,0 +1,218 @@
+#include "sim/lockstep.h"
+
+#include <utility>
+
+#include "util/error.h"
+
+namespace mobitherm::sim {
+
+using util::ConfigError;
+
+LockstepRunner::LockstepRunner(std::vector<Lane> lanes)
+    : lanes_(std::move(lanes)) {
+  if (lanes_.empty()) {
+    throw ConfigError("LockstepRunner: need at least one lane");
+  }
+  for (std::size_t k = 0; k < lanes_.size(); ++k) {
+    if (lanes_[k].engine == nullptr) {
+      throw ConfigError("LockstepRunner: null engine in lane");
+    }
+    for (std::size_t j = 0; j < k; ++j) {
+      if (lanes_[j].engine == lanes_[k].engine) {
+        throw ConfigError(
+            "LockstepRunner: the same engine appears in two lanes");
+      }
+    }
+  }
+  tick_s_ = lanes_[0].engine->config_.tick_s;
+  for (const Lane& lane : lanes_) {
+    if (lane.engine->config_.tick_s != tick_s_) {
+      throw ConfigError("LockstepRunner: lanes disagree on tick size");
+    }
+  }
+  num_nodes_ = lanes_[0].engine->network_.num_nodes();
+
+  errors_.assign(lanes_.size(), nullptr);
+  ctx_.resize(lanes_.size());
+  ticks_left_.assign(lanes_.size(), 0);
+  seconds_scratch_.assign(lanes_.size(), 0.0);
+
+  fused_ = decide_fused();
+  if (fused_) {
+    temp_block_ = linalg::Matrix(num_nodes_, lanes_.size());
+    power_block_ = linalg::Matrix(num_nodes_, lanes_.size());
+    scatter_.assign(num_nodes_, 0.0);
+  }
+}
+
+// The lanes fuse when they share the exact-stepper affine map bit for bit:
+// same node count, kExact method, and identical Phi / Psi / ambient
+// injection at this tick size. Anything else falls back to per-lane
+// scalar ticks (correct, just not fused).
+bool LockstepRunner::decide_fused() {
+  using thermal::StepMethod;
+  for (const Lane& lane : lanes_) {
+    thermal::ThermalNetwork& net = lane.engine->network_;
+    if (net.method() != StepMethod::kExact ||
+        net.num_nodes() != num_nodes_) {
+      return false;
+    }
+    net.ensure_exact_prepared(util::seconds(tick_s_));
+  }
+  const thermal::ThermalNetwork& ref = lanes_[0].engine->network_;
+  for (std::size_t k = 1; k < lanes_.size(); ++k) {
+    const thermal::ThermalNetwork& net = lanes_[k].engine->network_;
+    // approx_equal with tol 0 is an exact (bitwise, modulo -0.0 == 0.0)
+    // comparison — fusing on anything looser would break bit-identity.
+    if (!net.exact_phi().approx_equal(ref.exact_phi(), 0.0) ||
+        !net.exact_psi().approx_equal(ref.exact_psi(), 0.0) ||
+        net.ambient_injection() != ref.ambient_injection()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void LockstepRunner::run(double seconds) {
+  // Same-size assign: no allocation once warm.
+  seconds_scratch_.assign(lanes_.size(), seconds);
+  run(seconds_scratch_);
+}
+
+void LockstepRunner::run(const std::vector<double>& seconds_per_lane) {
+  if (seconds_per_lane.size() != lanes_.size()) {
+    throw ConfigError("LockstepRunner: per-lane durations size mismatch");
+  }
+  for (std::size_t k = 0; k < lanes_.size(); ++k) {
+    ticks_left_[k] =
+        (errors_[k] != nullptr || seconds_per_lane[k] <= 0.0)
+            ? 0
+            : lanes_[k].engine->claim_ticks(seconds_per_lane[k]);
+  }
+  for (;;) {
+    // Per-lane cooperative cancellation, mirroring Engine::run: one relaxed
+    // load per lane per tick; a tripped token abandons that lane's
+    // remaining ticks but leaves its state valid and resumable.
+    bool any = false;
+    for (std::size_t k = 0; k < lanes_.size(); ++k) {
+      if (ticks_left_[k] <= 0) {
+        continue;
+      }
+      const std::atomic<bool>* stop = lanes_[k].stop;
+      if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+        ticks_left_[k] = 0;
+        continue;
+      }
+      any = true;
+    }
+    if (!any) {
+      return;
+    }
+    if (fused_) {
+      tick_fused(tick_s_);
+    } else {
+      tick_scalar();
+    }
+  }
+}
+
+void LockstepRunner::retire_lane(std::size_t k) {
+  errors_[k] = std::current_exception();
+  ticks_left_[k] = 0;
+}
+
+// One fused tick across all live lanes: per-lane pre-physics stages, one
+// block thermal step over the lane block, per-lane post-physics stages.
+// Retired lanes' columns stay in the block untouched (columns are
+// independent in every block kernel), so a retirement mid-batch cannot
+// perturb a single bit of any sibling.
+// MOBILINT: hot-path
+void LockstepRunner::tick_fused(double dt) {
+  for (std::size_t k = 0; k < lanes_.size(); ++k) {
+    if (ticks_left_[k] <= 0) {
+      continue;
+    }
+    Engine& eng = *lanes_[k].engine;
+    try {
+      eng.tick_begin(ctx_[k]);
+    } catch (...) {
+      retire_lane(k);
+      continue;
+    }
+    // Gather this lane's state into column k of the lane block.
+    const linalg::Vector& temps = eng.network_.temperatures();
+    for (std::size_t i = 0; i < num_nodes_; ++i) {
+      temp_block_(i, k) = temps[i];
+      power_block_(i, k) = eng.node_power_[i];
+    }
+  }
+
+  // All networks share the cached propagator bitwise (decide_fused), so
+  // lane 0's network steps the whole block.
+  lanes_[0].engine->network_.step_block(power_block_, temp_block_,
+                                        util::seconds(dt));
+
+  for (std::size_t k = 0; k < lanes_.size(); ++k) {
+    if (ticks_left_[k] <= 0) {
+      continue;
+    }
+    Engine& eng = *lanes_[k].engine;
+    // Scatter column k back; same-size vector assign, no allocation.
+    for (std::size_t i = 0; i < num_nodes_; ++i) {
+      scatter_[i] = temp_block_(i, k);
+    }
+    eng.network_.set_temperatures(scatter_);
+    try {
+      eng.tick_thermal_post(ctx_[k]);
+      eng.tick_finish(ctx_[k]);
+      --ticks_left_[k];
+    } catch (...) {
+      retire_lane(k);
+    }
+  }
+}
+
+// Fallback path: full scalar ticks per lane, still with per-lane
+// retirement. Used when the propagators do not match bitwise.
+void LockstepRunner::tick_scalar() {
+  for (std::size_t k = 0; k < lanes_.size(); ++k) {
+    if (ticks_left_[k] <= 0) {
+      continue;
+    }
+    try {
+      lanes_[k].engine->tick();
+      --ticks_left_[k];
+    } catch (...) {
+      retire_lane(k);
+    }
+  }
+}
+
+bool LockstepRunner::lane_failed(std::size_t k) const {
+  if (k >= lanes_.size()) {
+    throw ConfigError("LockstepRunner: lane index out of range");
+  }
+  return errors_[k] != nullptr;
+}
+
+std::exception_ptr LockstepRunner::lane_error(std::size_t k) const {
+  if (k >= lanes_.size()) {
+    throw ConfigError("LockstepRunner: lane index out of range");
+  }
+  return errors_[k];
+}
+
+void LockstepRunner::rethrow_lane_error(std::size_t k) const {
+  if (lane_error(k) != nullptr) {
+    std::rethrow_exception(errors_[k]);
+  }
+}
+
+const LockstepRunner::Lane& LockstepRunner::lane(std::size_t k) const {
+  if (k >= lanes_.size()) {
+    throw ConfigError("LockstepRunner: lane index out of range");
+  }
+  return lanes_[k];
+}
+
+}  // namespace mobitherm::sim

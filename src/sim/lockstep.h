@@ -1,0 +1,106 @@
+// Lockstep multi-lane execution of independent simulations.
+//
+// A LockstepRunner holds K fully independent Engines ("lanes") and steps
+// them through the tick pipeline together. Everything except the physics
+// stays per-lane — each lane keeps its own governors, workloads, sensors,
+// RNG streams and observers — but when every lane shares the same thermal
+// propagator (same tick, same network, exact stepper), the K thermal-network
+// steps are fused into one structure-of-arrays block step
+// (ThermalNetwork::step_block) over an n_nodes x K lane block.
+//
+// Bit-identity contract: a fused lane's trajectory is bit-identical to the
+// same engine run scalar. The runner reuses the engine's own tick pieces
+// (tick_begin / tick_thermal_post / tick_finish) and the block kernels
+// guarantee per-column operation order identical to the scalar kernels, so
+// identity is structural, not a tolerance. Lanes whose propagators differ
+// are still accepted — the runner falls back to per-lane scalar ticks
+// (fused() reports which path is live).
+//
+// Lane lifecycle: a lane retires when its engine throws (the exception is
+// captured per lane and exposed via lane_error()) or its stop token trips.
+// Retirement never perturbs survivors — a retired lane's column goes stale
+// in the block and is simply never scattered back (columns are independent
+// in every block kernel, so stale data cannot leak across lanes).
+//
+// Hot-path allocation policy: all lane-block scratch is owned by the runner
+// and sized at construction, so warm ticks never touch the heap.
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace mobitherm::sim {
+
+class LockstepRunner {
+ public:
+  /// One lane: a borrowed engine plus an optional cooperative stop token
+  /// (checked once per tick, like Engine::run). Engines must be distinct
+  /// and outlive the runner.
+  struct Lane {
+    Engine* engine = nullptr;
+    const std::atomic<bool>* stop = nullptr;
+  };
+
+  /// Probes the lanes' thermal propagators to pick the fused or fallback
+  /// path. Throws ConfigError on an empty lane set, a null or duplicate
+  /// engine, or mismatched tick sizes (lanes must agree on dt to be
+  /// steppable in lockstep at all).
+  explicit LockstepRunner(std::vector<Lane> lanes);
+
+  std::size_t width() const { return lanes_.size(); }
+
+  /// True when the thermal steps are fused into one block step; false when
+  /// the runner fell back to per-lane scalar ticks (e.g. mixed platforms
+  /// or an RK4 network). Results are bit-identical either way.
+  bool fused() const { return fused_; }
+
+  /// Advance every live lane by `seconds` (same fractional-tick carry as
+  /// Engine::run, per lane). Lanes that throw are retired with the
+  /// exception captured; survivors keep running.
+  void run(double seconds);
+
+  /// Per-lane durations: lane k advances by seconds_per_lane[k] (0 = keep
+  /// the lane's state untouched this call). Size must equal width().
+  void run(const std::vector<double>& seconds_per_lane);
+
+  /// True once lane k has retired with a captured exception.
+  bool lane_failed(std::size_t k) const;
+
+  /// The exception that retired lane k (null while the lane is healthy).
+  std::exception_ptr lane_error(std::size_t k) const;
+
+  /// Rethrow lane k's captured exception (no-op if the lane is healthy).
+  void rethrow_lane_error(std::size_t k) const;
+
+  const Lane& lane(std::size_t k) const;
+
+ private:
+  bool decide_fused();
+  void retire_lane(std::size_t k);
+  void tick_fused(double dt);
+  void tick_scalar();
+
+  std::vector<Lane> lanes_;
+  bool fused_ = false;
+  double tick_s_ = 0.0;
+  std::size_t num_nodes_ = 0;
+
+  std::vector<std::exception_ptr> errors_;
+
+  // Lane-block scratch, sized once at construction (n_nodes x K). Retired
+  // lanes keep their (stale) columns — the block always runs full width so
+  // survivors' columns stay bit-identical regardless of retirements.
+  linalg::Matrix temp_block_;
+  linalg::Matrix power_block_;
+  linalg::Vector scatter_;
+
+  // Per-call scratch.
+  std::vector<Engine::TickContext> ctx_;
+  std::vector<long long> ticks_left_;
+  std::vector<double> seconds_scratch_;
+};
+
+}  // namespace mobitherm::sim

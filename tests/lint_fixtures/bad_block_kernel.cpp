@@ -1,0 +1,24 @@
+// Fixture: a lockstep-style block kernel that allocates its lane block per
+// call instead of writing into caller-owned scratch. mobilint must flag the
+// local container and the per-call growth — the lockstep physics path runs
+// one block step per tick, so a fresh Matrix here is a per-tick allocation.
+// LINT-EXPECT: hot-path-alloc
+#include <cstddef>
+#include <vector>
+
+// MOBILINT: hot-path
+std::vector<double> gemm_block_bad(const std::vector<double>& a,
+                                   const std::vector<double>& x,
+                                   std::size_t n, std::size_t lanes) {
+  std::vector<double> y;  // fresh lane block: allocation in a hot path
+  y.resize(n * lanes);    // per-call sizing: allocation in a hot path
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double aij = a[i * n + j];
+      for (std::size_t k = 0; k < lanes; ++k) {
+        y[i * lanes + k] += aij * x[j * lanes + k];
+      }
+    }
+  }
+  return y;
+}

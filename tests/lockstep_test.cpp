@@ -1,0 +1,726 @@
+// Lockstep multi-lane execution (sim/lockstep.h) and the layers under and
+// above it: the linalg block kernels, ThermalNetwork::step_block, the
+// BatchRunner lockstep grouping, and the service-layer wide-job path.
+//
+// The load-bearing property everywhere is *bit-identity*: a lane run in
+// lockstep must produce byte-for-byte the same trajectory, metrics and
+// serialized payload as the same engine run scalar. Every comparison here
+// is EXPECT_EQ on doubles / strings — no tolerances.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/cholesky.h"
+#include "linalg/matrix.h"
+#include "platform/presets.h"
+#include "service/result_cache.h"
+#include "service/scenario_registry.h"
+#include "service/service.h"
+#include "sim/batch.h"
+#include "sim/engine.h"
+#include "sim/experiment.h"
+#include "sim/lockstep.h"
+#include "sim/metrics.h"
+#include "sim/montecarlo.h"
+#include "sim/report.h"
+#include "sim/sim_error.h"
+#include "stability/presets.h"
+#include "thermal/network.h"
+#include "thermal/presets.h"
+#include "util/error.h"
+#include "util/units.h"
+#include "workload/presets.h"
+
+namespace {
+
+using namespace mobitherm;
+using sim::BatchOptions;
+using sim::BatchRecord;
+using sim::BatchRunner;
+using sim::Engine;
+using sim::LockstepRunner;
+using sim::NexusRun;
+using sim::OdroidRun;
+using util::ConfigError;
+
+// --- linalg block kernels -------------------------------------------------
+
+linalg::Matrix test_matrix(std::size_t n) {
+  linalg::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = 1.0 / static_cast<double>(i + 2 * j + 1) -
+                (i == j ? 0.0 : 0.01 * static_cast<double>(j));
+    }
+  }
+  return a;
+}
+
+linalg::Matrix test_block(std::size_t n, std::size_t k) {
+  linalg::Matrix x(n, k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < k; ++c) {
+      x(i, c) = 0.3 + 1.7 * static_cast<double>(i) -
+                0.911 * static_cast<double>(c * c);
+    }
+  }
+  return x;
+}
+
+linalg::Vector column_of(const linalg::Matrix& m, std::size_t c) {
+  linalg::Vector v(m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    v[i] = m(i, c);
+  }
+  return v;
+}
+
+TEST(BlockKernels, GemmColumnsBitwiseMatchGemv) {
+  const std::size_t n = 7;
+  const std::size_t k = 5;
+  const linalg::Matrix a = test_matrix(n);
+  const linalg::Matrix x = test_block(n, k);
+  linalg::Matrix y;
+  linalg::gemm_into(a, x, y);
+  ASSERT_EQ(y.rows(), n);
+  ASSERT_EQ(y.cols(), k);
+  for (std::size_t c = 0; c < k; ++c) {
+    const linalg::Vector xc = column_of(x, c);
+    linalg::Vector yc;
+    linalg::gemv(a, xc, yc);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(y(i, c), yc[i]) << "row " << i << " col " << c;
+    }
+  }
+}
+
+TEST(BlockKernels, AxpyAndScalColumnsBitwiseMatchVectorKernels) {
+  const std::size_t n = 6;
+  const std::size_t k = 4;
+  const double alpha = -1.375;
+  const linalg::Matrix x = test_block(n, k);
+  linalg::Matrix y = test_block(n, k);
+  linalg::scal_block(0.5, y);  // decorrelate y from x
+  linalg::Matrix y_block = y;
+  linalg::axpy_block(alpha, x, y_block);
+  linalg::Matrix y_scal = y_block;
+  linalg::scal_block(alpha, y_scal);
+  for (std::size_t c = 0; c < k; ++c) {
+    const linalg::Vector xc = column_of(x, c);
+    linalg::Vector yc = column_of(y, c);
+    linalg::axpy(alpha, xc, yc);
+    linalg::Vector sc = yc;
+    linalg::scal(alpha, sc);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(y_block(i, c), yc[i]);
+      EXPECT_EQ(y_scal(i, c), sc[i]);
+    }
+  }
+}
+
+TEST(BlockKernels, AxpyBroadcastMatchesPerColumnAxpy) {
+  const std::size_t n = 5;
+  const std::size_t k = 3;
+  const double alpha = 2.625;
+  linalg::Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = 0.1 * static_cast<double>(i) - 0.77;
+  }
+  linalg::Matrix y = test_block(n, k);
+  const linalg::Matrix before = y;
+  linalg::axpy_broadcast(alpha, v, y);
+  for (std::size_t c = 0; c < k; ++c) {
+    linalg::Vector yc = column_of(before, c);
+    linalg::axpy(alpha, v, yc);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(y(i, c), yc[i]);
+    }
+  }
+}
+
+TEST(BlockKernels, AxpyBroadcastIntoMatchesCopyThenAxpyBroadcast) {
+  const double alpha = -0.8125;
+  // Cover a specialized width (4) and the runtime fallback (3).
+  for (const std::size_t k : {4u, 3u}) {
+    const std::size_t n = 5;
+    linalg::Vector v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = 0.3 * static_cast<double>(i) - 0.17;
+    }
+    const linalg::Matrix b = test_block(n, k);
+    linalg::Matrix fused(n, k);
+    linalg::axpy_broadcast_into(alpha, v, b, fused);
+    linalg::Matrix two_step = b;
+    linalg::axpy_broadcast(alpha, v, two_step);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t c = 0; c < k; ++c) {
+        EXPECT_EQ(fused(i, c), two_step(i, c)) << "row " << i << " col " << c;
+      }
+    }
+  }
+}
+
+TEST(BlockKernels, AddBlockIntoMatchesElementwiseSum) {
+  const std::size_t n = 6;
+  const std::size_t k = 5;
+  const linalg::Matrix a = test_block(n, k);
+  linalg::Matrix b = test_block(n, k);
+  linalg::scal_block(-1.3, b);
+  linalg::Matrix out(n, k);
+  linalg::add_block_into(a, b, out);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < k; ++c) {
+      EXPECT_EQ(out(i, c), a(i, c) + b(i, c));
+    }
+  }
+}
+
+TEST(BlockKernels, CholeskyMultiRhsSolveBitwiseMatchesVectorSolve) {
+  // SPD conductance-style matrix (diagonally dominant Laplacian + ground).
+  const std::size_t n = 6;
+  linalg::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = 2.5 + 0.1 * static_cast<double>(i);
+    if (i + 1 < n) {
+      a(i, i + 1) = -1.0;
+      a(i + 1, i) = -1.0;
+    }
+  }
+  const linalg::Cholesky chol(a);
+  const linalg::Matrix b = test_block(n, 4);
+  linalg::Matrix x;
+  chol.solve_into(b, x);
+  ASSERT_EQ(x.rows(), n);
+  ASSERT_EQ(x.cols(), 4u);
+  for (std::size_t c = 0; c < 4; ++c) {
+    const linalg::Vector bc = column_of(b, c);
+    linalg::Vector xc;
+    chol.solve_into(bc, xc);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(x(i, c), xc[i]) << "row " << i << " col " << c;
+    }
+  }
+}
+
+// --- thermal step_block ---------------------------------------------------
+
+TEST(StepBlock, ColumnsBitIdenticalToScalarStepOverManyTicks) {
+  const std::size_t k = 4;
+  thermal::ThermalNetwork block_net(thermal::odroidxu3_network(),
+                                    thermal::StepMethod::kExact);
+  const std::size_t n = block_net.num_nodes();
+
+  // K scalar reference networks, each with its own distinct state.
+  std::vector<std::unique_ptr<thermal::ThermalNetwork>> refs;
+  linalg::Matrix temps(n, k);
+  linalg::Matrix power(n, k);
+  for (std::size_t c = 0; c < k; ++c) {
+    refs.push_back(std::make_unique<thermal::ThermalNetwork>(
+        thermal::odroidxu3_network(), thermal::StepMethod::kExact));
+    linalg::Vector t0(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      t0[i] = 300.0 + 2.0 * static_cast<double>(c) +
+              0.5 * static_cast<double>(i);
+      temps(i, c) = t0[i];
+      power(i, c) = 0.1 + 0.4 * static_cast<double>(c) +
+                    0.05 * static_cast<double>(i);
+    }
+    refs[c]->set_temperatures(t0);
+  }
+
+  const util::Seconds dt = util::seconds(0.001);
+  for (int step = 0; step < 200; ++step) {
+    block_net.step_block(power, temps, dt);
+    for (std::size_t c = 0; c < k; ++c) {
+      refs[c]->step(column_of(power, c), dt);
+      const linalg::Vector& want = refs[c]->temperatures();
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(temps(i, c), want[i])
+            << "step " << step << " node " << i << " lane " << c;
+      }
+    }
+  }
+  // The block step never touches the host network's own state.
+  EXPECT_EQ(block_net.temperatures(),
+            thermal::ThermalNetwork(thermal::odroidxu3_network())
+                .temperatures());
+}
+
+TEST(StepBlock, ValidatesMethodAndShapes) {
+  thermal::ThermalNetwork rk4(thermal::odroidxu3_network(),
+                              thermal::StepMethod::kRk4);
+  const std::size_t n = rk4.num_nodes();
+  linalg::Matrix temps(n, 2);
+  linalg::Matrix power(n, 2);
+  EXPECT_THROW(rk4.step_block(power, temps, util::seconds(0.001)),
+               ConfigError);
+  EXPECT_THROW(rk4.ensure_exact_prepared(util::seconds(0.001)), ConfigError);
+
+  thermal::ThermalNetwork net(thermal::odroidxu3_network(),
+                              thermal::StepMethod::kExact);
+  linalg::Matrix bad_rows(n + 1, 2);
+  linalg::Matrix bad_cols(n, 3);
+  EXPECT_THROW(net.step_block(bad_rows, temps, util::seconds(0.001)),
+               ConfigError);
+  EXPECT_THROW(net.step_block(bad_cols, temps, util::seconds(0.001)),
+               ConfigError);
+  EXPECT_THROW(net.step_block(power, bad_rows, util::seconds(0.001)),
+               ConfigError);
+  // A non-positive step is a no-op, matching step().
+  const linalg::Matrix before = temps;
+  net.step_block(power, temps, util::seconds(0.0));
+  EXPECT_TRUE(temps.approx_equal(before, 0.0));
+}
+
+// --- lockstep runner ------------------------------------------------------
+
+std::unique_ptr<Engine> nexus_engine(std::uint64_t seed) {
+  NexusRun run;
+  run.app = workload::paperio();
+  run.seed = seed;
+  return sim::make_nexus_engine(run);
+}
+
+void expect_engines_bit_identical(Engine& a, Engine& b) {
+  EXPECT_EQ(a.now_s(), b.now_s());
+  EXPECT_EQ(a.network().temperatures(), b.network().temperatures());
+  EXPECT_EQ(a.control_temp_k(), b.control_temp_k());
+  EXPECT_EQ(a.total_power_w(), b.total_power_w());
+  const std::string pa = service::serialize_result(
+      sim::summarize_run(a), sim::make_report(a));
+  const std::string pb = service::serialize_result(
+      sim::summarize_run(b), sim::make_report(b));
+  EXPECT_EQ(pa, pb);
+}
+
+TEST(LockstepRunner, FusedNexusLanesBitIdenticalToScalar) {
+  const std::size_t k = 4;
+  std::vector<std::unique_ptr<Engine>> lockstep;
+  std::vector<std::unique_ptr<Engine>> scalar;
+  std::vector<LockstepRunner::Lane> lanes;
+  for (std::size_t c = 0; c < k; ++c) {
+    lockstep.push_back(nexus_engine(11 + c));
+    scalar.push_back(nexus_engine(11 + c));
+    lanes.push_back({lockstep[c].get(), nullptr});
+  }
+  LockstepRunner runner(std::move(lanes));
+  EXPECT_EQ(runner.width(), k);
+  EXPECT_TRUE(runner.fused());
+
+  // Split the run across two calls to exercise the fractional-tick carry.
+  runner.run(1.25);
+  runner.run(0.75);
+  for (std::size_t c = 0; c < k; ++c) {
+    scalar[c]->run(1.25);
+    scalar[c]->run(0.75);
+    EXPECT_FALSE(runner.lane_failed(c));
+    expect_engines_bit_identical(*lockstep[c], *scalar[c]);
+  }
+}
+
+TEST(LockstepRunner, EveryRegistryCellIsBitIdenticalPerLane) {
+  // The full (platform x app x policy) grid of the standard registry:
+  // every cell, run 3 lanes in lockstep vs 3 scalar runs, comparing the
+  // canonical serialized payloads byte-for-byte.
+  const service::ScenarioRegistry registry =
+      service::ScenarioRegistry::standard();
+  std::vector<service::SimRequest> cells;
+  for (const char* policy : {"throttled", "unthrottled"}) {
+    for (const std::string& app : service::nexus_app_names()) {
+      service::SimRequest r;
+      r.scenario = "nexus";
+      r.app = app;
+      r.policy = policy;
+      cells.push_back(r);
+    }
+  }
+  for (const char* policy : {"none", "default", "proposed"}) {
+    service::SimRequest r;
+    r.scenario = "odroid";
+    r.app = "threedmark";
+    r.policy = policy;
+    r.with_bml = (std::string(policy) == "proposed");
+    cells.push_back(r);
+  }
+
+  const std::size_t k = 3;
+  const double duration_s = 2.0;
+  for (service::SimRequest cell : cells) {
+    cell.duration_s = duration_s;
+    std::vector<std::unique_ptr<Engine>> lockstep;
+    std::vector<std::unique_ptr<Engine>> scalar;
+    std::vector<LockstepRunner::Lane> lanes;
+    for (std::size_t c = 0; c < k; ++c) {
+      service::SimRequest lane = cell;
+      lane.seed = 101 + c;
+      lockstep.push_back(registry.make_engine(lane));
+      scalar.push_back(registry.make_engine(lane));
+      lanes.push_back({lockstep[c].get(), nullptr});
+    }
+    LockstepRunner runner(std::move(lanes));
+    EXPECT_TRUE(runner.fused())
+        << cell.scenario << "/" << cell.app << "/" << cell.policy;
+    runner.run(duration_s);
+    for (std::size_t c = 0; c < k; ++c) {
+      scalar[c]->run(duration_s);
+      ASSERT_FALSE(runner.lane_failed(c));
+      const std::string got = service::serialize_result(
+          sim::summarize_run(*lockstep[c]), sim::make_report(*lockstep[c]));
+      const std::string want = service::serialize_result(
+          sim::summarize_run(*scalar[c]), sim::make_report(*scalar[c]));
+      EXPECT_EQ(got, want) << cell.scenario << "/" << cell.app << "/"
+                           << cell.policy << " seed " << (101 + c);
+    }
+  }
+}
+
+TEST(LockstepRunner, PerLaneDurationsRetireAndResumeIndependently) {
+  std::vector<std::unique_ptr<Engine>> lockstep;
+  std::vector<std::unique_ptr<Engine>> scalar;
+  std::vector<LockstepRunner::Lane> lanes;
+  for (std::size_t c = 0; c < 3; ++c) {
+    lockstep.push_back(nexus_engine(21 + c));
+    scalar.push_back(nexus_engine(21 + c));
+    lanes.push_back({lockstep[c].get(), nullptr});
+  }
+  LockstepRunner runner(std::move(lanes));
+
+  // FPS summaries need >= 1 s of samples, so every nonzero leg is > 1 s.
+  runner.run({1.5, 1.1, 0.0});
+  scalar[0]->run(1.5);
+  scalar[1]->run(1.1);
+  EXPECT_EQ(lockstep[2]->now_s(), 0.0);  // lane 2 untouched
+  expect_engines_bit_identical(*lockstep[0], *scalar[0]);
+  expect_engines_bit_identical(*lockstep[1], *scalar[1]);
+
+  // Lanes resume from wherever they stopped; everyone reaches t = 2 s.
+  runner.run({0.5, 0.9, 2.0});
+  scalar[0]->run(0.5);
+  scalar[1]->run(0.9);
+  scalar[2]->run(2.0);
+  for (std::size_t c = 0; c < 3; ++c) {
+    expect_engines_bit_identical(*lockstep[c], *scalar[c]);
+  }
+
+  EXPECT_THROW(runner.run({1.0, 1.0}), ConfigError);  // wrong width
+}
+
+TEST(LockstepRunner, GuardTripRetiresLaneWithoutPerturbingSiblings) {
+  std::vector<std::unique_ptr<Engine>> lockstep;
+  std::vector<std::unique_ptr<Engine>> scalar;
+  std::vector<LockstepRunner::Lane> lanes;
+  for (std::size_t c = 0; c < 3; ++c) {
+    lockstep.push_back(nexus_engine(31 + c));
+    scalar.push_back(nexus_engine(31 + c));
+    lanes.push_back({lockstep[c].get(), nullptr});
+  }
+  // Lane 1 starts at ~309 K, so a 300 K guard trips on its first tick.
+  lockstep[1]->set_runaway_guard(300.0);
+  LockstepRunner runner(std::move(lanes));
+  runner.run(1.0);
+
+  EXPECT_FALSE(runner.lane_failed(0));
+  ASSERT_TRUE(runner.lane_failed(1));
+  EXPECT_FALSE(runner.lane_failed(2));
+  EXPECT_NE(runner.lane_error(1), nullptr);
+  try {
+    runner.rethrow_lane_error(1);
+    FAIL() << "expected SimError";
+  } catch (const sim::SimError& e) {
+    EXPECT_EQ(e.code(), sim::SimErrorCode::kThermalRunaway);
+  }
+  // rethrow on a healthy lane is a no-op.
+  runner.rethrow_lane_error(0);
+
+  // Survivors keep their exact scalar trajectories, through the retirement
+  // tick and a follow-up call.
+  runner.run(0.5);
+  scalar[0]->run(1.0);
+  scalar[0]->run(0.5);
+  scalar[2]->run(1.0);
+  scalar[2]->run(0.5);
+  expect_engines_bit_identical(*lockstep[0], *scalar[0]);
+  expect_engines_bit_identical(*lockstep[2], *scalar[2]);
+  // The failed lane stays retired: its clock no longer advances.
+  const double failed_now = lockstep[1]->now_s();
+  runner.run(0.5);
+  EXPECT_EQ(lockstep[1]->now_s(), failed_now);
+}
+
+TEST(LockstepRunner, PerLaneStopTokenAbandonsOnlyThatLane) {
+  std::atomic<bool> stop0{true};
+  std::vector<std::unique_ptr<Engine>> lockstep;
+  std::vector<std::unique_ptr<Engine>> scalar;
+  for (std::size_t c = 0; c < 2; ++c) {
+    lockstep.push_back(nexus_engine(41 + c));
+    scalar.push_back(nexus_engine(41 + c));
+  }
+  std::vector<LockstepRunner::Lane> lanes;
+  lanes.push_back({lockstep[0].get(), &stop0});
+  lanes.push_back({lockstep[1].get(), nullptr});
+  LockstepRunner runner(std::move(lanes));
+
+  runner.run(1.0);
+  EXPECT_EQ(lockstep[0]->now_s(), 0.0);  // abandoned before its first tick
+  EXPECT_FALSE(runner.lane_failed(0));   // a stop is not a failure
+  scalar[1]->run(1.0);
+  expect_engines_bit_identical(*lockstep[1], *scalar[1]);
+
+  // Clearing the token resumes the lane; it stays bit-identical.
+  stop0 = false;
+  runner.run(1.0);
+  scalar[0]->run(1.0);
+  scalar[1]->run(1.0);
+  expect_engines_bit_identical(*lockstep[0], *scalar[0]);
+  expect_engines_bit_identical(*lockstep[1], *scalar[1]);
+}
+
+TEST(LockstepRunner, MixedPlatformLanesFallBackUnfusedButBitIdentical) {
+  NexusRun nrun;
+  nrun.app = workload::paperio();
+  nrun.seed = 51;
+  OdroidRun orun;
+  orun.foreground = workload::threedmark();
+  orun.seed = 52;
+
+  auto nexus_lockstep = sim::make_nexus_engine(nrun);
+  auto nexus_scalar = sim::make_nexus_engine(nrun);
+  auto odroid_lockstep = sim::make_odroid_engine(orun);
+  auto odroid_scalar = sim::make_odroid_engine(orun);
+
+  std::vector<LockstepRunner::Lane> lanes;
+  lanes.push_back({nexus_lockstep.get(), nullptr});
+  lanes.push_back({odroid_lockstep.get(), nullptr});
+  LockstepRunner runner(std::move(lanes));
+  EXPECT_FALSE(runner.fused());  // different thermal networks
+  runner.run(1.5);
+  nexus_scalar->run(1.5);
+  odroid_scalar->run(1.5);
+  expect_engines_bit_identical(*nexus_lockstep, *nexus_scalar);
+  expect_engines_bit_identical(*odroid_lockstep, *odroid_scalar);
+}
+
+TEST(LockstepRunner, RejectsInvalidLaneSets) {
+  EXPECT_THROW(LockstepRunner({}), ConfigError);  // empty
+
+  auto a = nexus_engine(61);
+  EXPECT_THROW(LockstepRunner({{a.get(), nullptr}, {nullptr, nullptr}}),
+               ConfigError);  // null engine
+  EXPECT_THROW(LockstepRunner({{a.get(), nullptr}, {a.get(), nullptr}}),
+               ConfigError);  // duplicate engine
+
+  // Mismatched tick sizes cannot be stepped in lockstep at all.
+  const stability::Params p = stability::odroid_xu3_params();
+  sim::EngineConfig coarse;
+  coarse.tick_s = 0.002;
+  Engine b(platform::exynos5422(), thermal::odroidxu3_network(),
+           power::LeakageParams{p.leak_theta_k, p.leak_a_w_per_k2}, 0.25,
+           coarse);
+  EXPECT_THROW(LockstepRunner({{a.get(), nullptr}, {&b, nullptr}}),
+               ConfigError);
+}
+
+// --- batch runner routing -------------------------------------------------
+
+TEST(BatchLockstep, RecordsBitIdenticalAcrossLockstepWidths) {
+  const auto factory = [](std::size_t, std::uint64_t seed) {
+    NexusRun run;
+    run.app = workload::paperio();
+    run.seed = seed;
+    return sim::make_nexus_engine(run);
+  };
+  BatchOptions scalar_opts;
+  scalar_opts.threads = 2;
+  scalar_opts.lockstep_width = 1;
+  BatchOptions wide_opts;
+  wide_opts.threads = 2;
+  wide_opts.lockstep_width = 4;
+  // 5 runs at width 4 = one full group + one remainder group.
+  const std::vector<BatchRecord> scalar =
+      BatchRunner(scalar_opts).run(5, 71, 2.0, factory);
+  const std::vector<BatchRecord> wide =
+      BatchRunner(wide_opts).run(5, 71, 2.0, factory);
+  ASSERT_EQ(scalar.size(), wide.size());
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    EXPECT_EQ(wide[i].index, i);
+    EXPECT_EQ(wide[i].seed, scalar[i].seed);
+    EXPECT_TRUE(wide[i].completed);
+    EXPECT_EQ(wide[i].metrics.median_fps[0], scalar[i].metrics.median_fps[0]);
+    EXPECT_EQ(wide[i].metrics.peak_temp_c, scalar[i].metrics.peak_temp_c);
+    EXPECT_EQ(wide[i].metrics.final_temp_c, scalar[i].metrics.final_temp_c);
+    EXPECT_EQ(service::serialize_result(wide[i].metrics, wide[i].report),
+              service::serialize_result(scalar[i].metrics,
+                                        scalar[i].report));
+  }
+  EXPECT_EQ(BatchRunner(wide_opts).resolved_lockstep_width(), 4u);
+  EXPECT_EQ(BatchRunner(BatchOptions{}).resolved_lockstep_width(),
+            sim::kDefaultLockstepWidth);
+}
+
+TEST(BatchLockstep, AcrossSeedsFactoryOverloadMatchesScalarStats) {
+  const auto factory = [](std::size_t, std::uint64_t seed) {
+    NexusRun run;
+    run.app = workload::paperio();
+    run.seed = seed;
+    return sim::make_nexus_engine(run);
+  };
+  const auto metric = [](const BatchRecord& record) {
+    return record.metrics.median_fps[0];
+  };
+  BatchOptions scalar_opts;
+  scalar_opts.lockstep_width = 1;
+  BatchOptions wide_opts;
+  wide_opts.lockstep_width = 4;
+  const sim::SeedStats a =
+      sim::across_seeds(factory, 2.0, metric, 4, 81, scalar_opts);
+  const sim::SeedStats b =
+      sim::across_seeds(factory, 2.0, metric, 4, 81, wide_opts);
+  EXPECT_EQ(a.n, 4);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.stddev, b.stddev);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+}
+
+// --- service wide jobs ----------------------------------------------------
+
+service::SimRequest wide_request() {
+  service::SimRequest request;
+  request.scenario = "nexus";
+  request.app = "paperio";
+  request.duration_s = 2.5;  // three execution slices per lane
+  request.seed = 301;
+  return request;
+}
+
+TEST(ServiceWide, SubmitManyPayloadsByteIdenticalToScalarSubmits) {
+  // Scalar reference service: every seed its own plain submit.
+  service::ServiceConfig scalar_config;
+  scalar_config.workers = 2;
+  scalar_config.batch_width = 1;
+  service::SimService scalar_service(
+      service::ScenarioRegistry::standard(), scalar_config);
+
+  service::ServiceConfig wide_config;
+  wide_config.workers = 2;
+  wide_config.batch_width = 3;
+  service::SimService wide_service(
+      service::ScenarioRegistry::standard(), wide_config);
+
+  const service::SimRequest request = wide_request();
+  const std::size_t seeds = 3;
+
+  std::vector<std::uint64_t> scalar_ids;
+  for (std::size_t k = 0; k < seeds; ++k) {
+    service::SimRequest lane = request;
+    lane.seed = request.seed + k;
+    const service::SubmitOutcome out = scalar_service.submit(lane);
+    ASSERT_TRUE(out.accepted);
+    scalar_ids.push_back(out.id);
+  }
+
+  const std::vector<service::SubmitOutcome> outcomes =
+      wide_service.submit_many(request, seeds);
+  ASSERT_EQ(outcomes.size(), seeds);
+  for (const auto& out : outcomes) {
+    ASSERT_TRUE(out.accepted) << out.reject_reason;
+    EXPECT_FALSE(out.cached);
+  }
+
+  for (std::size_t k = 0; k < seeds; ++k) {
+    ASSERT_TRUE(scalar_service.wait(scalar_ids[k], 60.0));
+    ASSERT_TRUE(wide_service.wait(outcomes[k].id, 60.0));
+    const auto scalar_result = scalar_service.result(scalar_ids[k]);
+    const auto wide_result = wide_service.result(outcomes[k].id);
+    ASSERT_NE(scalar_result, nullptr);
+    ASSERT_NE(wide_result, nullptr);
+    EXPECT_EQ(wide_result->payload, scalar_result->payload) << "lane " << k;
+    const auto status = wide_service.status(outcomes[k].id);
+    ASSERT_TRUE(status.has_value());
+    EXPECT_EQ(status->state, service::JobState::kDone);
+    // Same canonical key as the scalar submit of the same seed.
+    const auto scalar_status = scalar_service.status(scalar_ids[k]);
+    ASSERT_TRUE(scalar_status.has_value());
+    EXPECT_EQ(status->canonical, scalar_status->canonical);
+  }
+
+  const service::ServiceStats stats = wide_service.stats();
+  EXPECT_EQ(stats.wide_jobs, 1u);
+  EXPECT_EQ(stats.lockstep_lanes, 3u);
+  EXPECT_EQ(stats.batch_width, 3u);
+  EXPECT_EQ(stats.completed, seeds);
+
+  // A second wide submit of the same fan is served entirely from cache.
+  const std::vector<service::SubmitOutcome> again =
+      wide_service.submit_many(request, seeds);
+  ASSERT_EQ(again.size(), seeds);
+  for (std::size_t k = 0; k < seeds; ++k) {
+    ASSERT_TRUE(again[k].accepted);
+    EXPECT_TRUE(again[k].cached);
+    const auto cached = wide_service.result(again[k].id);
+    ASSERT_NE(cached, nullptr);
+    const auto first = wide_service.result(outcomes[k].id);
+    EXPECT_EQ(cached->payload, first->payload);
+  }
+  EXPECT_EQ(wide_service.stats().wide_jobs, 1u);  // no new group
+}
+
+TEST(ServiceWide, PartialCacheHitPacksOnlyMissingLanes) {
+  service::ServiceConfig config;
+  config.workers = 1;
+  config.batch_width = 8;  // wider than the fan: one group
+  service::SimService svc(service::ScenarioRegistry::standard(), config);
+
+  service::SimRequest request = wide_request();
+  request.seed = 401;
+  // Pre-warm the cache with the middle seed via a scalar submit.
+  service::SimRequest mid = request;
+  mid.seed = 402;
+  const service::SubmitOutcome pre = svc.submit(mid);
+  ASSERT_TRUE(pre.accepted);
+  ASSERT_TRUE(svc.wait(pre.id, 60.0));
+
+  const std::vector<service::SubmitOutcome> outcomes =
+      svc.submit_many(request, 3);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_FALSE(outcomes[0].cached);
+  EXPECT_TRUE(outcomes[1].cached);  // the pre-warmed seed
+  EXPECT_FALSE(outcomes[2].cached);
+  for (const auto& out : outcomes) {
+    ASSERT_TRUE(out.accepted);
+    ASSERT_TRUE(svc.wait(out.id, 60.0));
+    EXPECT_NE(svc.result(out.id), nullptr);
+  }
+  // The cached lane never reached the lockstep group.
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.wide_jobs, 1u);
+  EXPECT_EQ(stats.lockstep_lanes, 2u);
+  // The cache-hit lane's payload equals the scalar run it was served from.
+  EXPECT_EQ(svc.result(outcomes[1].id)->payload, svc.result(pre.id)->payload);
+}
+
+TEST(ServiceWide, SingleSeedSubmitManyBehavesLikeSubmit) {
+  service::ServiceConfig config;
+  config.workers = 1;
+  service::SimService svc(service::ScenarioRegistry::standard(), config);
+  service::SimRequest request = wide_request();
+  request.seed = 501;
+  request.duration_s = 1.0;
+  const std::vector<service::SubmitOutcome> outcomes =
+      svc.submit_many(request, 1);
+  ASSERT_EQ(outcomes.size(), 1u);
+  ASSERT_TRUE(outcomes[0].accepted);
+  ASSERT_TRUE(svc.wait(outcomes[0].id, 60.0));
+  EXPECT_NE(svc.result(outcomes[0].id), nullptr);
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.wide_jobs, 0u);  // one lane = the plain scalar path
+  EXPECT_EQ(stats.lockstep_lanes, 0u);
+
+  EXPECT_THROW(svc.submit_many(request, 0), ConfigError);
+}
+
+}  // namespace
