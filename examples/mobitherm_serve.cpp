@@ -1,4 +1,5 @@
-// mobitherm_serve: the NDJSON simulation service on stdin/stdout.
+// mobitherm_serve: the NDJSON simulation service, on stdin/stdout or a
+// TCP socket.
 //
 // One JSON request per line, one JSON response per line:
 //
@@ -7,10 +8,19 @@
 //       '{"op":"wait","job":1}' '{"op":"result","job":1}' '{"op":"stats"}' \
 //       | ./mobitherm_serve
 //
+// With --listen the same protocol is served to many concurrent loopback
+// clients through the epoll front end (service/net_server.h); the bound
+// port is announced as a JSON line on stdout so callers can pass
+// --listen 0 for an ephemeral port:
+//
+//   $ ./mobitherm_serve --listen 0 --shards 4
+//   {"event":"listening","host":"127.0.0.1","port":37201,"shards":4}
+//
 // Flags:
-//   --workers N          worker threads (default 1)
-//   --queue N            queue capacity (default 16)
-//   --cache N            result-cache entries (default 64; 0 disables)
+//   --workers N          worker threads per shard (default 1)
+//   --queue N            queue capacity per shard (default 16)
+//   --cache N            result-cache entries per shard (default 64;
+//                        0 disables)
 //   --deadline SECONDS   default per-job wall-clock deadline (0 = none)
 //   --retries N          execution attempts per job (default 3)
 //   --batch-width N      lockstep lanes per wide (multi-seed) job
@@ -19,19 +29,26 @@
 //                        "seed=7,crash_before=0.2,corrupt=0.5,latency_s=0.01"
 //                        (sites: admission, crash_before, crash_after,
 //                        corrupt, latency, malformed; see util/fault.h)
+//   --listen PORT        serve a TCP socket on 127.0.0.1:PORT instead of
+//                        stdin/stdout (0 = pick an ephemeral port)
+//   --shards N           share-nothing service shards partitioned by
+//                        canonical key (default 1; requests route as
+//                        fnv1a64(canonical) % N)
 //
 // scripts/serve_client.py wraps this binary for interactive use, the CI
 // cache smoke test (--smoke) and the fault-injection smoke test
-// (--fault-smoke).
+// (--fault-smoke) — over either transport.
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <iostream>
 #include <string>
 
+#include "service/net_server.h"
 #include "service/scenario_registry.h"
 #include "service/server.h"
 #include "service/service.h"
+#include "service/shard.h"
 #include "util/fault.h"
 
 namespace {
@@ -82,21 +99,33 @@ int main(int argc, char** argv) {
   double deadline = 0;
   double retries = 3;
   double batch_width = 0;
+  double shards = 1;
+  double listen_port = -1;
+  bool listen = false;
   std::string fault_spec;
   for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--listen") {
+      listen = true;
+      if (!parse_flag(argc, argv, &i, "--listen", &listen_port)) {
+        return 2;  // unreachable: parse_flag exits on a bad value
+      }
+      continue;
+    }
     if (parse_flag(argc, argv, &i, "--workers", &workers) ||
         parse_flag(argc, argv, &i, "--queue", &queue) ||
         parse_flag(argc, argv, &i, "--cache", &cache) ||
         parse_flag(argc, argv, &i, "--deadline", &deadline) ||
         parse_flag(argc, argv, &i, "--retries", &retries) ||
         parse_flag(argc, argv, &i, "--batch-width", &batch_width) ||
+        parse_flag(argc, argv, &i, "--shards", &shards) ||
         parse_string_flag(argc, argv, &i, "--fault", &fault_spec)) {
       continue;
     }
     std::fprintf(stderr,
                  "usage: mobitherm_serve [--workers N] [--queue N] "
                  "[--cache N] [--deadline SECONDS] [--retries N] "
-                 "[--batch-width N] [--fault SPEC]\n");
+                 "[--batch-width N] [--fault SPEC] [--listen PORT] "
+                 "[--shards N]\n");
     return 2;
   }
   config.workers = workers < 1 ? 1 : static_cast<unsigned>(workers);
@@ -121,8 +150,30 @@ int main(int argc, char** argv) {
     config.faults = &faults;
   }
 
-  SimService service(ScenarioRegistry::standard(), config);
+  const unsigned shard_count = shards < 1 ? 1 : static_cast<unsigned>(shards);
+  ShardedService service(ScenarioRegistry::standard(), config, shard_count);
   SimServer server(service, config.faults);
-  server.serve(std::cin, std::cout);
+
+  if (!listen) {
+    server.serve(std::cin, std::cout);
+    return 0;
+  }
+
+  try {
+    NetServerConfig net_config;
+    net_config.port = static_cast<int>(listen_port);
+    NetServer net(server, net_config);
+    // Announce the bound port (ephemeral when --listen 0) before serving
+    // so a parent process can parse it and connect.
+    std::printf(
+        "{\"event\":\"listening\",\"host\":\"%s\",\"port\":%d,"
+        "\"shards\":%u}\n",
+        net_config.host.c_str(), net.port(), shard_count);
+    std::fflush(stdout);
+    net.run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mobitherm_serve: %s\n", e.what());
+    return 1;
+  }
   return 0;
 }

@@ -1,8 +1,14 @@
 #!/usr/bin/env python3
 """Thin client for the mobitherm_serve NDJSON service.
 
-Spawns the server binary and speaks the line protocol over its
-stdin/stdout. Three modes:
+Two transports for the same line protocol:
+
+  * pipe (default): spawn the server binary and talk over stdin/stdout
+  * socket: `--connect HOST:PORT` talks to an already-running
+    `mobitherm_serve --listen PORT` (with bounded reconnect on a reset
+    connection — every op the client issues is safe to re-send)
+
+Modes, each available over either transport:
 
   # one-shot: submit a request, wait, print the result JSON
   python3 scripts/serve_client.py --binary build/examples/mobitherm_serve \
@@ -10,15 +16,23 @@ stdin/stdout. Three modes:
 
   # CI smoke: submit the same request twice and assert the second is a
   # cache hit whose result payload is byte-identical to the first
-  python3 scripts/serve_client.py --binary build/examples/mobitherm_serve \
-      --smoke
+  # (needs a fresh server: it asserts absolute stats counters)
+  python3 scripts/serve_client.py --connect 127.0.0.1:4100 --smoke
 
-  # CI fault smoke: restart the server with deterministic fault injection
-  # armed (--fault), hammer it with submits (including duplicates), and
-  # assert every job reaches a terminal state with a structured error,
-  # while the server keeps serving
+  # CI fault smoke: drive a fault-armed server (spawned with --fault in
+  # pipe mode; pre-armed by the operator in socket mode), and assert
+  # every job reaches a terminal state with a structured error, while
+  # the server keeps serving
   python3 scripts/serve_client.py --binary build/examples/mobitherm_serve \
       --fault-smoke
+
+  # CI socket phase: N concurrent connections submitting a shared request
+  # mix; every result payload must be byte-identical to a fresh
+  # single-connection reference pass
+  python3 scripts/serve_client.py --connect 127.0.0.1:4100 --concurrent 8
+
+  # ask a listening server to exit
+  python3 scripts/serve_client.py --connect 127.0.0.1:4100 --shutdown
 
 Responses may carry a structured error object ({"code": ..., "message":
 ...}); the client renders both that and the legacy string form. When the
@@ -32,8 +46,10 @@ Only the python3 standard library is used.
 
 import argparse
 import json
+import socket
 import subprocess
 import sys
+import threading
 
 RESULT_MARKER = '"result":'
 
@@ -63,29 +79,15 @@ def structured_error(response):
     return None
 
 
-class ServeClient:
-    """One server process, line-oriented request/response."""
+class BaseClient:
+    """Line-oriented request/response over some transport."""
 
-    def __init__(self, binary, extra_args=None, max_retries=4):
-        cmd = [binary] + (extra_args or [])
-        self.proc = subprocess.Popen(
-            cmd,
-            stdin=subprocess.PIPE,
-            stdout=subprocess.PIPE,
-            text=True,
-            bufsize=1,
-        )
+    def __init__(self, max_retries=4):
         self.max_retries = max_retries
         self.resends = 0  # responses that had to be re-requested
 
     def request_raw(self, line):
-        """Send one request line, return the raw response line."""
-        self.proc.stdin.write(line + "\n")
-        self.proc.stdin.flush()
-        response = self.proc.stdout.readline()
-        if not response:
-            raise RuntimeError("server closed its stdout")
-        return response.rstrip("\n")
+        raise NotImplementedError
 
     def request(self, obj):
         """Send a request; re-send (bounded) when the response line does
@@ -104,7 +106,32 @@ class ServeClient:
             % (self.max_retries + 1, last_raw[:120])
         )
 
+
+class ServeClient(BaseClient):
+    """Pipe transport: one spawned server process on stdin/stdout."""
+
+    def __init__(self, binary, extra_args=None, max_retries=4):
+        super().__init__(max_retries)
+        cmd = [binary] + (extra_args or [])
+        self.proc = subprocess.Popen(
+            cmd,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+            bufsize=1,
+        )
+
+    def request_raw(self, line):
+        """Send one request line, return the raw response line."""
+        self.proc.stdin.write(line + "\n")
+        self.proc.stdin.flush()
+        response = self.proc.stdout.readline()
+        if not response:
+            raise RuntimeError("server closed its stdout")
+        return response.rstrip("\n")
+
     def close(self):
+        # The spawned server is ours alone: shut it down with the pipe.
         try:
             self.proc.stdin.write('{"op":"shutdown"}\n')
             self.proc.stdin.flush()
@@ -112,6 +139,68 @@ class ServeClient:
         except (BrokenPipeError, ValueError):
             pass
         self.proc.wait(timeout=30)
+
+
+class SocketClient(BaseClient):
+    """Socket transport to a running `mobitherm_serve --listen` server.
+
+    A reset or closed connection is retried with a bounded number of
+    reconnects, re-sending the in-flight request — safe because every op
+    this client issues is idempotent (submits dedup through the result
+    cache; the rest are reads). close() only closes this connection; the
+    server keeps running unless --shutdown asked for it explicitly.
+    """
+
+    def __init__(self, host, port, max_retries=4, max_reconnects=3):
+        super().__init__(max_retries)
+        self.host = host
+        self.port = port
+        self.max_reconnects = max_reconnects
+        self.reconnects = 0
+        self.sock = None
+        self.buf = b""
+        self._connect()
+
+    def _connect(self):
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+        self.buf = b""
+        self.sock = socket.create_connection(
+            (self.host, self.port), timeout=600.0
+        )
+
+    def _readline(self):
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionResetError("server closed the connection")
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return line.decode("utf-8", errors="replace")
+
+    def request_raw(self, line):
+        """Send one request line, return the raw response line;
+        reconnect (bounded) when the connection drops mid-exchange."""
+        payload = (line + "\n").encode()
+        for attempt in range(self.max_reconnects + 1):
+            try:
+                self.sock.sendall(payload)
+                return self._readline()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                if attempt == self.max_reconnects:
+                    raise
+                self.reconnects += 1
+                self._connect()
+        raise RuntimeError("unreachable")
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
 
 
 def extract_payload(raw_result_line):
@@ -161,17 +250,22 @@ def run_smoke(client, timeout_s):
             "smoke: expected 2 completed jobs, got %s" % stats["completed"]
         )
 
-    # Wide submit: 3 seeds fan out in one admission and run on the
-    # lockstep path (lanes packed into shared queue slots).
+    # Wide submit: seeds fan out in one admission and run on the lockstep
+    # path (lanes packed into shared queue slots). On a sharded server the
+    # lanes scatter by canonical key, so submit more lanes than shards —
+    # pigeonhole guarantees at least one shard packs a lockstep group.
+    shards = len(stats.get("shards", [])) or 1
+    lane_count = max(3, shards + 1)
     wide = dict(request)
-    wide.update({"op": "submit", "seed": 7, "seeds": 3})
+    wide.update({"op": "submit", "seed": 7, "seeds": lane_count})
     response = client.request(wide)
     if not response.get("ok"):
         raise SystemExit("smoke: wide submit rejected: %s"
                          % error_text(response))
     lanes = response["jobs"]
-    if len(lanes) != 3 or any(lane.get("cached") for lane in lanes):
-        raise SystemExit("smoke: wide submit should run 3 uncached lanes")
+    if len(lanes) != lane_count or any(l.get("cached") for l in lanes):
+        raise SystemExit("smoke: wide submit should run %d uncached lanes"
+                         % lane_count)
     for lane in lanes:
         wait = client.request(
             {"op": "wait", "job": lane["job"], "timeout_s": timeout_s})
@@ -186,8 +280,8 @@ def run_smoke(client, timeout_s):
     stats = client.request({"op": "stats"})
     if stats["wide_jobs"] < 1:
         raise SystemExit("smoke: stats reports no wide job")
-    if stats["lockstep_lanes"] < 3:
-        raise SystemExit("smoke: expected >= 3 lockstep lanes, got %s"
+    if stats["lockstep_lanes"] < 2:
+        raise SystemExit("smoke: expected >= 2 lockstep lanes, got %s"
                          % stats["lockstep_lanes"])
     if stats["batch_width"] < 1:
         raise SystemExit("smoke: stats is missing the lockstep batch width")
@@ -211,15 +305,23 @@ def run_smoke(client, timeout_s):
     )
 
 
-def run_fault_smoke(binary, timeout_s):
+def run_fault_smoke(binary, timeout_s, connect=None):
     """Drive a fault-armed server and assert it degrades, never breaks:
     every accepted job terminates, every rejection and failure carries a
     structured error, no job slot leaks, and the server answers to the
-    end."""
-    client = ServeClient(
-        binary,
-        extra_args=["--retries", "4", "--fault", FAULT_SMOKE_SPEC],
-    )
+    end.
+
+    In pipe mode the server is spawned here with the canonical fault
+    spec; with `connect` the server must already be listening with
+    `--fault` armed (use FAULT_SMOKE_SPEC for the canonical schedule).
+    """
+    if connect is not None:
+        client = SocketClient(*connect)
+    else:
+        client = ServeClient(
+            binary,
+            extra_args=["--retries", "4", "--fault", FAULT_SMOKE_SPEC],
+        )
     try:
         jobs = []
         rejected = 0
@@ -307,12 +409,81 @@ def run_fault_smoke(binary, timeout_s):
         client.close()
 
 
+def run_concurrent(connect, clients, timeout_s):
+    """Socket-phase CI check: `clients` concurrent connections submit a
+    shared request mix in staggered order, and every result payload must
+    be byte-identical to a single-connection reference pass."""
+    seeds = list(range(6))
+
+    def seed_request(seed):
+        return {"scenario": "nexus", "duration_s": 2, "seed": seed}
+
+    reference = {}
+    ref = SocketClient(*connect)
+    try:
+        for seed in seeds:
+            _, raw = submit_and_fetch(ref, seed_request(seed), timeout_s)
+            reference[seed] = extract_payload(raw)
+    finally:
+        ref.close()
+
+    errors = []
+
+    def worker(idx):
+        client = SocketClient(*connect)
+        try:
+            for k in range(len(seeds)):
+                seed = seeds[(k + idx) % len(seeds)]
+                _, raw = submit_and_fetch(client, seed_request(seed),
+                                          timeout_s)
+                if extract_payload(raw) != reference[seed]:
+                    errors.append(
+                        "client %d seed %d: payload differs from the "
+                        "single-connection reference" % (idx, seed)
+                    )
+        except Exception as e:  # noqa: BLE001 - collected and reported
+            errors.append("client %d: %s" % (idx, e))
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise SystemExit("concurrent: " + "; ".join(errors[:5]))
+    print(
+        "concurrent OK: %d clients x %d requests, every payload "
+        "byte-identical to the single-connection reference"
+        % (clients, len(seeds))
+    )
+
+
+def parse_connect(value):
+    host, sep, port = value.rpartition(":")
+    if not sep or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            "--connect expects HOST:PORT, got %r" % value
+        )
+    return host or "127.0.0.1", int(port)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--binary",
         default="build/examples/mobitherm_serve",
-        help="path to the mobitherm_serve binary",
+        help="path to the mobitherm_serve binary (pipe transport)",
+    )
+    parser.add_argument(
+        "--connect",
+        type=parse_connect,
+        metavar="HOST:PORT",
+        help="talk to a running `mobitherm_serve --listen` server instead "
+        "of spawning one",
     )
     parser.add_argument(
         "--submit",
@@ -327,21 +498,57 @@ def main():
     parser.add_argument(
         "--fault-smoke",
         action="store_true",
-        help="run the fault-injection smoke test (used by CI)",
+        help="run the fault-injection smoke test (used by CI); in socket "
+        "mode the server must already be armed with --fault",
+    )
+    parser.add_argument(
+        "--concurrent",
+        type=int,
+        metavar="N",
+        help="run N concurrent socket clients and assert byte-identity "
+        "(requires --connect)",
+    )
+    parser.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="send a shutdown op to a listening server (requires --connect)",
     )
     parser.add_argument(
         "--timeout", type=float, default=600.0, help="per-job wait seconds"
     )
     args = parser.parse_args()
 
-    if not args.smoke and not args.fault_smoke and not args.submit:
-        parser.error("one of --smoke, --fault-smoke or --submit is required")
+    modes = [args.smoke, args.fault_smoke, bool(args.submit),
+             args.concurrent is not None, args.shutdown]
+    if sum(modes) != 1:
+        parser.error(
+            "exactly one of --smoke, --fault-smoke, --submit, --concurrent "
+            "or --shutdown is required"
+        )
+    if (args.concurrent is not None or args.shutdown) and args.connect is None:
+        parser.error("--concurrent and --shutdown require --connect")
 
-    if args.fault_smoke:
-        run_fault_smoke(args.binary, args.timeout)
+    if args.shutdown:
+        client = SocketClient(*args.connect, max_reconnects=0)
+        response = client.request({"op": "shutdown"})
+        client.close()
+        if not response.get("ok"):
+            raise SystemExit("shutdown refused: %s" % error_text(response))
+        print("shutdown acknowledged")
         return 0
 
-    client = ServeClient(args.binary)
+    if args.concurrent is not None:
+        run_concurrent(args.connect, args.concurrent, args.timeout)
+        return 0
+
+    if args.fault_smoke:
+        run_fault_smoke(args.binary, args.timeout, connect=args.connect)
+        return 0
+
+    if args.connect is not None:
+        client = SocketClient(*args.connect)
+    else:
+        client = ServeClient(args.binary)
     try:
         if args.smoke:
             run_smoke(client, args.timeout)

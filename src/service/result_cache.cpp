@@ -4,6 +4,7 @@
 
 #include "service/json.h"
 #include "service/scenario_registry.h"
+#include "util/hash.h"
 
 namespace mobitherm::service {
 
@@ -125,7 +126,7 @@ std::shared_ptr<const JobResult> ResultCache::lookup(
   // plan could have damaged the stored copy; without one, entries are
   // immutable after insert and the hit path stays O(1).
   if (faults_ != nullptr &&
-      fnv1a64(it->second->result->payload) != it->second->checksum) {
+      util::fnv1a64(it->second->result->payload) != it->second->checksum) {
     // Storage corruption: drop the entry so it is recomputed, never
     // served. The stale store keeps only checksum-clean entries.
     lru_.erase(it->second);
@@ -147,7 +148,7 @@ std::shared_ptr<const JobResult> ResultCache::lookup_stale(
     return nullptr;
   }
   if (faults_ != nullptr &&
-      fnv1a64(it->second->result->payload) != it->second->checksum) {
+      util::fnv1a64(it->second->result->payload) != it->second->checksum) {
     stale_.erase(it->second);
     stale_index_.erase(it);
     ++counters_.corruptions;
@@ -166,7 +167,7 @@ void ResultCache::insert(std::uint64_t key, const std::string& canonical,
   // The checksum is computed over the payload as handed in; the
   // kCacheCorruption site then damages the *stored copy*, modeling rot
   // that happened after the write — exactly what lookup must catch.
-  const std::uint64_t checksum = fnv1a64(result->payload);
+  const std::uint64_t checksum = util::fnv1a64(result->payload);
   if (faults_ != nullptr &&
       faults_->fires(util::FaultSite::kCacheCorruption, key)) {
     auto damaged = std::make_shared<JobResult>(*result);

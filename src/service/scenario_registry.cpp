@@ -11,15 +11,6 @@ namespace mobitherm::service {
 
 using util::ConfigError;
 
-std::uint64_t fnv1a64(const std::string& text) {
-  std::uint64_t hash = 1469598103934665603ULL;
-  for (const char c : text) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 1099511628211ULL;
-  }
-  return hash;
-}
-
 workload::AppSpec workload_by_name(const std::string& name, int levels,
                                    double phase_s) {
   if (name == "paperio") {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sim/engine.h"
+#include "util/hash.h"
 #include "workload/app.h"
 
 namespace mobitherm::service {
@@ -51,8 +52,12 @@ struct SimRequest {
   static constexpr double kUnsetTemp = -1.0e9;
 };
 
-/// FNV-1a 64-bit hash of a canonical request string.
-std::uint64_t fnv1a64(const std::string& text);
+/// FNV-1a 64-bit hash of a canonical request string (the result-cache key
+/// and the shard router's partition input). Forwards to the one audited
+/// implementation in util/hash.h.
+inline std::uint64_t fnv1a64(const std::string& text) {
+  return util::fnv1a64(text);
+}
 
 /// Look up a workload preset by registry name ("paperio", "threedmark",
 /// ...). `levels`/`phase_s` parameterize the apps that accept them and are

@@ -366,6 +366,8 @@ std::string SimServer::handle_stats() {
   out.set("faults_injected",
           json::Value::number(static_cast<double>(s.faults_injected)));
   out.set("queued", json::Value::number(static_cast<double>(s.queued)));
+  out.set("retry_backlog",
+          json::Value::number(static_cast<double>(s.retry_backlog)));
   out.set("running", json::Value::number(static_cast<double>(s.running)));
   out.set("wide_jobs",
           json::Value::number(static_cast<double>(s.wide_jobs)));
@@ -394,6 +396,40 @@ std::string SimServer::handle_stats() {
   cache.set("capacity",
             json::Value::number(static_cast<double>(s.cache.capacity)));
   out.set("cache", cache);
+  // Per-shard breakdown (a single pool reports itself as shard 0), so a
+  // saturated shard is diagnosable even when the fleet rollup looks
+  // healthy: queue depth, retry backlog and wide-job lane counts are the
+  // per-shard saturation signals, cache hits/misses the per-shard load.
+  json::Value shards = json::Value::array();
+  const std::vector<ServiceStats> per_shard = service_.shard_stats();
+  for (std::size_t i = 0; i < per_shard.size(); ++i) {
+    const ServiceStats& sh = per_shard[i];
+    json::Value entry = json::Value::object();
+    entry.set("shard", json::Value::number(static_cast<double>(i)));
+    entry.set("queued", json::Value::number(static_cast<double>(sh.queued)));
+    entry.set("retry_backlog",
+              json::Value::number(static_cast<double>(sh.retry_backlog)));
+    entry.set("running",
+              json::Value::number(static_cast<double>(sh.running)));
+    entry.set("wide_jobs",
+              json::Value::number(static_cast<double>(sh.wide_jobs)));
+    entry.set("lockstep_lanes",
+              json::Value::number(static_cast<double>(sh.lockstep_lanes)));
+    entry.set("submitted",
+              json::Value::number(static_cast<double>(sh.submitted)));
+    entry.set("completed",
+              json::Value::number(static_cast<double>(sh.completed)));
+    json::Value shard_cache = json::Value::object();
+    shard_cache.set("hits",
+                    json::Value::number(static_cast<double>(sh.cache.hits)));
+    shard_cache.set("misses",
+                    json::Value::number(static_cast<double>(sh.cache.misses)));
+    shard_cache.set("size",
+                    json::Value::number(static_cast<double>(sh.cache.size)));
+    entry.set("cache", shard_cache);
+    shards.push(entry);
+  }
+  out.set("shards", shards);
   return out.dump();
 }
 

@@ -19,7 +19,10 @@
 //   result    (job)                    -> {ok, job, state, result:{...}}
 //   cancel    (job)                    -> {ok, job, cancelled}
 //   wait      (job, timeout_s?)        -> {ok, job, done, state}
-//   stats     ()                       -> {ok, service + cache counters}
+//   stats     ()                       -> {ok, fleet rollup + cache
+//              counters, shards:[{shard, queued, retry_backlog, running,
+//              wide_jobs, lockstep_lanes, ...}]} — per-shard queue depth
+//              and lane counts make saturation diagnosable per shard
 //   scenarios ()                       -> {ok, scenarios:[...]}
 //   shutdown  ()                       -> {ok} and the serve loop exits
 //
@@ -48,10 +51,12 @@ inline constexpr std::size_t kMaxLineBytes = 64 * 1024;
 
 class SimServer {
  public:
-  /// `faults` optionally arms the kMalformedResponse injection site, which
-  /// truncates responses mid-line to exercise client-side recovery;
-  /// non-owning, nullptr = never injected.
-  explicit SimServer(SimService& service, util::FaultPlan* faults = nullptr)
+  /// `service` is any ServiceApi backend — a single SimService pool or a
+  /// ShardedService fleet; `faults` optionally arms the
+  /// kMalformedResponse injection site, which truncates responses
+  /// mid-line to exercise client-side recovery; non-owning, nullptr =
+  /// never injected.
+  explicit SimServer(ServiceApi& service, util::FaultPlan* faults = nullptr)
       : service_(service), faults_(faults) {}
 
   /// Handle one request line, returning the response line (no trailing
@@ -82,7 +87,7 @@ class SimServer {
   /// JSON), modeling a connection dropped mid-write.
   std::string finish_response(std::string response);
 
-  SimService& service_;
+  ServiceApi& service_;
   util::FaultPlan* faults_;
   bool shutdown_requested_ = false;
 };

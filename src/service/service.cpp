@@ -103,22 +103,37 @@ SimService::~SimService() {
   }
 }
 
+PreparedRequest SimService::prepare(const SimRequest& request) const {
+  PreparedRequest prepared;
+  try {
+    prepared.resolved = registry_.resolve(request);
+    prepared.canonical = registry_.canonical_key(prepared.resolved);
+    prepared.key = fnv1a64(prepared.canonical);
+    prepared.valid = true;
+  } catch (const std::exception& e) {
+    prepared.error = e.what();
+  }
+  return prepared;
+}
+
 SubmitOutcome SimService::submit(const SimRequest& request,
                                  double deadline_s) {
-  SimRequest resolved;
-  std::string canonical;
-  try {
-    resolved = registry_.resolve(request);
-    canonical = registry_.canonical_key(resolved);
-  } catch (const std::exception& e) {
+  return submit_prepared(prepare(request), deadline_s);
+}
+
+SubmitOutcome SimService::submit_prepared(PreparedRequest prepared,
+                                          double deadline_s) {
+  if (!prepared.valid) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++rejected_;
     SubmitOutcome out;
-    out.reject_reason = e.what();
+    out.reject_reason = prepared.error;
     out.reject_code = errc::kInvalidRequest;
     return out;
   }
-  const std::uint64_t key = fnv1a64(canonical);
+  const SimRequest& resolved = prepared.resolved;
+  const std::string& canonical = prepared.canonical;
+  const std::uint64_t key = prepared.key;
   std::shared_ptr<const JobResult> cached = cache_.lookup(key, canonical);
 
   std::lock_guard<std::mutex> lock(mutex_);
@@ -206,32 +221,31 @@ std::vector<SubmitOutcome> SimService::submit_many(const SimRequest& request,
   if (seeds == 0) {
     throw util::ConfigError("SimService: submit_many needs >= 1 seed");
   }
-  std::vector<SubmitOutcome> outcomes(seeds);
-
-  // Per-lane resolution and cache probing, outside the service mutex like
-  // submit(). Lane k is the request at seed request.seed + k.
-  struct LaneAdmission {
-    SimRequest resolved;
-    std::string canonical;
-    std::uint64_t key = 0;
-    std::shared_ptr<const JobResult> cached;
-    bool valid = false;
-  };
-  std::vector<LaneAdmission> lanes(seeds);
+  // Lane k is the request at seed request.seed + k.
+  std::vector<PreparedRequest> lanes;
+  lanes.reserve(seeds);
   for (std::size_t k = 0; k < seeds; ++k) {
     SimRequest lane_request = request;
     lane_request.seed = request.seed + static_cast<std::uint64_t>(k);
-    try {
-      lanes[k].resolved = registry_.resolve(lane_request);
-      lanes[k].canonical = registry_.canonical_key(lanes[k].resolved);
-      lanes[k].valid = true;
-    } catch (const std::exception& e) {
-      outcomes[k].reject_reason = e.what();
+    lanes.push_back(prepare(lane_request));
+  }
+  return submit_prepared_lanes(std::move(lanes), deadline_s);
+}
+
+std::vector<SubmitOutcome> SimService::submit_prepared_lanes(
+    std::vector<PreparedRequest> lanes, double deadline_s) {
+  const std::size_t seeds = lanes.size();
+  std::vector<SubmitOutcome> outcomes(seeds);
+
+  // Per-lane cache probing, outside the service mutex like submit().
+  std::vector<std::shared_ptr<const JobResult>> cached(seeds);
+  for (std::size_t k = 0; k < seeds; ++k) {
+    if (!lanes[k].valid) {
+      outcomes[k].reject_reason = lanes[k].error;
       outcomes[k].reject_code = errc::kInvalidRequest;
       continue;
     }
-    lanes[k].key = fnv1a64(lanes[k].canonical);
-    lanes[k].cached = cache_.lookup(lanes[k].key, lanes[k].canonical);
+    cached[k] = cache_.lookup(lanes[k].key, lanes[k].canonical);
   }
 
   const std::size_t width = resolved_batch_width();
@@ -259,7 +273,7 @@ std::vector<SubmitOutcome> SimService::submit_many(const SimRequest& request,
       continue;
     }
     std::shared_ptr<const JobResult> stale;
-    if (!lanes[k].cached && queue_.size() >= config_.queue_capacity) {
+    if (!cached[k] && queue_.size() >= config_.queue_capacity) {
       // Saturated pool: same per-lane degradation as submit(). A lockstep
       // group occupies one slot, so admission is checked per group start.
       if (config_.serve_stale) {
@@ -278,17 +292,17 @@ std::vector<SubmitOutcome> SimService::submit_many(const SimRequest& request,
 
     auto job = std::make_shared<Job>();
     job->id = next_id_++;
-    job->resolved = lanes[k].resolved;
+    job->resolved = std::move(lanes[k].resolved);
     job->key = lanes[k].key;
-    job->canonical = lanes[k].canonical;
+    job->canonical = std::move(lanes[k].canonical);
     jobs_[job->id] = job;
     ++submitted_;
     outcomes[k].accepted = true;
     outcomes[k].id = job->id;
 
-    if (lanes[k].cached) {
+    if (cached[k]) {
       job->from_cache = true;
-      job->result = std::move(lanes[k].cached);
+      job->result = std::move(cached[k]);
       finish_locked(job, JobState::kDone, "");
       outcomes[k].cached = true;
       continue;
@@ -413,6 +427,7 @@ ServiceStats SimService::stats() const {
     s.retries = retry_count_;
     s.stale_served = stale_served_;
     s.queued = queue_.size() + retries_.size();
+    s.retry_backlog = retries_.size();
     s.running = running_;
     s.wide_jobs = wide_jobs_;
     s.lockstep_lanes = lockstep_lanes_;

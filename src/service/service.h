@@ -172,6 +172,9 @@ struct ServiceStats {
   std::size_t retries = 0;       // re-queued attempts after failures
   std::size_t stale_served = 0;  // degraded completions from stale entries
   std::size_t queued = 0;      // current depth (incl. backoff waiters)
+  /// Of `queued`, the jobs waiting out a retry backoff rather than in the
+  /// admission queue proper — split out so saturation is diagnosable.
+  std::size_t retry_backlog = 0;
   std::size_t running = 0;     // currently simulating
   /// Wide (multi-lane) groups dispatched to the lockstep path, and the
   /// total lanes they carried.
@@ -186,7 +189,44 @@ struct ServiceStats {
   CacheStats cache;
 };
 
-class SimService {
+/// A request admitted past resolution: the canonical form, its key string
+/// and the FNV-1a hash that both the result cache and the shard router
+/// (service/shard.h) are keyed by. `valid` is false when resolution
+/// failed; `error` then carries the reason.
+struct PreparedRequest {
+  SimRequest resolved;
+  std::string canonical;
+  std::uint64_t key = 0;
+  bool valid = false;
+  std::string error;
+};
+
+/// The service surface the NDJSON front end (server.h, net_server.h)
+/// programs against. Implemented by SimService (one pool, one cache) and
+/// ShardedService (shard.h: N share-nothing SimService shards behind one
+/// id space). Virtual dispatch costs nothing next to parsing a request
+/// line, and it lets every protocol test run unchanged against either.
+class ServiceApi {
+ public:
+  virtual ~ServiceApi() = default;
+  virtual SubmitOutcome submit(const SimRequest& request,
+                               double deadline_s) = 0;
+  virtual std::vector<SubmitOutcome> submit_many(const SimRequest& request,
+                                                 std::size_t seeds,
+                                                 double deadline_s) = 0;
+  virtual std::optional<JobStatus> status(std::uint64_t id) = 0;
+  virtual std::shared_ptr<const JobResult> result(std::uint64_t id) const = 0;
+  virtual bool cancel(std::uint64_t id) = 0;
+  virtual bool wait(std::uint64_t id, double timeout_s) = 0;
+  /// Fleet-wide rollup (for a single pool: its own counters).
+  virtual ServiceStats stats() const = 0;
+  /// Per-shard breakdown, in shard order; a single pool reports itself as
+  /// shard 0. Sums to stats() field by field (capacities/widths repeat).
+  virtual std::vector<ServiceStats> shard_stats() const = 0;
+  virtual const ScenarioRegistry& registry() const = 0;
+};
+
+class SimService : public ServiceApi {
  public:
   explicit SimService(ScenarioRegistry registry, ServiceConfig config = {});
 
@@ -201,7 +241,24 @@ class SimService {
   /// job immediately; a full queue with a stale entry available completes
   /// immediately with `stale` set. `deadline_s` < 0 uses the config
   /// default.
-  SubmitOutcome submit(const SimRequest& request, double deadline_s = -1.0);
+  SubmitOutcome submit(const SimRequest& request,
+                       double deadline_s = -1.0) override;
+
+  /// Resolve + canonicalize + hash a request without admitting it; the
+  /// shard router uses this to pick a shard before calling
+  /// submit_prepared() so resolution happens exactly once per request.
+  PreparedRequest prepare(const SimRequest& request) const;
+
+  /// submit() for an already-prepared request (skips re-resolution). An
+  /// invalid prepared request rejects with kInvalidRequest, like submit().
+  SubmitOutcome submit_prepared(PreparedRequest prepared, double deadline_s);
+
+  /// Admit an explicit list of prepared lanes (the wide path). Valid lanes
+  /// that miss the cache are packed, in order, into lockstep groups of up
+  /// to ServiceConfig::batch_width lanes, each occupying one queue slot;
+  /// invalid lanes reject with kInvalidRequest. Outcomes in lane order.
+  std::vector<SubmitOutcome> submit_prepared_lanes(
+      std::vector<PreparedRequest> lanes, double deadline_s);
 
   /// Wide (multi-seed) admission: lane k is `request` with seed
   /// `request.seed + k`, admitted like submit() (cache hits complete
@@ -213,27 +270,30 @@ class SimService {
   /// Outcomes come back in lane order.
   std::vector<SubmitOutcome> submit_many(const SimRequest& request,
                                          std::size_t seeds,
-                                         double deadline_s = -1.0);
+                                         double deadline_s = -1.0) override;
 
   /// Snapshot of a job's state; nullopt for unknown ids. Lazily expires
   /// queued jobs whose deadline has passed.
-  std::optional<JobStatus> status(std::uint64_t id);
+  std::optional<JobStatus> status(std::uint64_t id) override;
 
   /// The job's result; nullptr unless the job is kDone.
-  std::shared_ptr<const JobResult> result(std::uint64_t id) const;
+  std::shared_ptr<const JobResult> result(std::uint64_t id) const override;
 
   /// Request cancellation. Queued jobs (including backoff waiters) cancel
   /// immediately; running jobs stop at their next tick. Returns false for
   /// unknown or already terminal jobs.
-  bool cancel(std::uint64_t id);
+  bool cancel(std::uint64_t id) override;
 
   /// Block until the job reaches a terminal state or `timeout_s` elapses.
   /// Returns true when terminal.
-  bool wait(std::uint64_t id, double timeout_s);
+  bool wait(std::uint64_t id, double timeout_s) override;
 
-  ServiceStats stats() const;
+  ServiceStats stats() const override;
 
-  const ScenarioRegistry& registry() const { return registry_; }
+  /// A single pool is its own (only) shard.
+  std::vector<ServiceStats> shard_stats() const override { return {stats()}; }
+
+  const ScenarioRegistry& registry() const override { return registry_; }
   const ServiceConfig& config() const { return config_; }
 
  private:

@@ -1,0 +1,154 @@
+#include "service/shard.h"
+
+#include <utility>
+
+#include "util/error.h"
+
+namespace mobitherm::service {
+
+ShardedService::ShardedService(const ScenarioRegistry& registry,
+                               const ServiceConfig& config, unsigned shards) {
+  if (shards == 0) {
+    throw util::ConfigError("ShardedService: shards must be positive");
+  }
+  shards_.reserve(shards);
+  for (unsigned s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<SimService>(registry, config));
+  }
+}
+
+unsigned ShardedService::shard_of(const SimRequest& request) const {
+  PreparedRequest prepared = shards_.front()->prepare(request);
+  if (!prepared.valid) {
+    throw util::ConfigError("ShardedService: cannot route request: " +
+                            prepared.error);
+  }
+  return shard_of_key(prepared.key);
+}
+
+SubmitOutcome ShardedService::submit(const SimRequest& request,
+                                     double deadline_s) {
+  // One resolution, shared by routing and admission. An unresolvable
+  // request cannot be routed by key; it rejects on shard 0 so the
+  // rejection is counted deterministically.
+  PreparedRequest prepared = shards_.front()->prepare(request);
+  const unsigned shard = prepared.valid ? shard_of_key(prepared.key) : 0;
+  SubmitOutcome out =
+      shards_[shard]->submit_prepared(std::move(prepared), deadline_s);
+  if (out.accepted) {
+    out.id = global_id(out.id, shard);
+  }
+  return out;
+}
+
+std::vector<SubmitOutcome> ShardedService::submit_many(
+    const SimRequest& request, std::size_t seeds, double deadline_s) {
+  if (seeds == 0) {
+    throw util::ConfigError("ShardedService: submit_many needs >= 1 seed");
+  }
+  const std::size_t shard_count = shards_.size();
+  // Prepare every lane once, then scatter lanes to their owning shards.
+  // Lockstep packing happens *within* a shard: lanes of one wide submit
+  // that hash to the same shard still fuse, while lanes on other shards
+  // run concurrently in their own pools.
+  std::vector<std::vector<PreparedRequest>> shard_lanes(shard_count);
+  std::vector<std::vector<std::size_t>> shard_lane_index(shard_count);
+  for (std::size_t k = 0; k < seeds; ++k) {
+    SimRequest lane_request = request;
+    lane_request.seed = request.seed + static_cast<std::uint64_t>(k);
+    PreparedRequest prepared = shards_.front()->prepare(lane_request);
+    const unsigned shard = prepared.valid ? shard_of_key(prepared.key) : 0;
+    shard_lanes[shard].push_back(std::move(prepared));
+    shard_lane_index[shard].push_back(k);
+  }
+  std::vector<SubmitOutcome> outcomes(seeds);
+  for (unsigned s = 0; s < shard_count; ++s) {
+    if (shard_lanes[s].empty()) {
+      continue;
+    }
+    std::vector<SubmitOutcome> outs = shards_[s]->submit_prepared_lanes(
+        std::move(shard_lanes[s]), deadline_s);
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      if (outs[i].accepted) {
+        outs[i].id = global_id(outs[i].id, s);
+      }
+      outcomes[shard_lane_index[s][i]] = std::move(outs[i]);
+    }
+  }
+  return outcomes;
+}
+
+std::optional<JobStatus> ShardedService::status(std::uint64_t id) {
+  const unsigned shard = static_cast<unsigned>(id % shards_.size());
+  std::optional<JobStatus> s = shards_[shard]->status(id / shards_.size());
+  if (s) {
+    s->id = id;
+  }
+  return s;
+}
+
+std::shared_ptr<const JobResult> ShardedService::result(
+    std::uint64_t id) const {
+  const unsigned shard = static_cast<unsigned>(id % shards_.size());
+  return shards_[shard]->result(id / shards_.size());
+}
+
+bool ShardedService::cancel(std::uint64_t id) {
+  const unsigned shard = static_cast<unsigned>(id % shards_.size());
+  return shards_[shard]->cancel(id / shards_.size());
+}
+
+bool ShardedService::wait(std::uint64_t id, double timeout_s) {
+  const unsigned shard = static_cast<unsigned>(id % shards_.size());
+  return shards_[shard]->wait(id / shards_.size(), timeout_s);
+}
+
+ServiceStats ShardedService::stats() const {
+  ServiceStats total;
+  bool first = true;
+  for (const auto& shard : shards_) {
+    const ServiceStats s = shard->stats();
+    total.submitted += s.submitted;
+    total.rejected += s.rejected;
+    total.completed += s.completed;
+    total.failed += s.failed;
+    total.cancelled += s.cancelled;
+    total.expired += s.expired;
+    total.retries += s.retries;
+    total.stale_served += s.stale_served;
+    total.queued += s.queued;
+    total.retry_backlog += s.retry_backlog;
+    total.running += s.running;
+    total.wide_jobs += s.wide_jobs;
+    total.lockstep_lanes += s.lockstep_lanes;
+    total.workers += s.workers;
+    total.queue_capacity += s.queue_capacity;
+    total.cache.hits += s.cache.hits;
+    total.cache.misses += s.cache.misses;
+    total.cache.evictions += s.cache.evictions;
+    total.cache.collisions += s.cache.collisions;
+    total.cache.corruptions += s.cache.corruptions;
+    total.cache.stale_hits += s.cache.stale_hits;
+    total.cache.size += s.cache.size;
+    total.cache.stale_size += s.cache.stale_size;
+    total.cache.capacity += s.cache.capacity;
+    if (first) {
+      // Shared across shards: report once, not summed.
+      total.batch_width = s.batch_width;
+      total.faults_injected = s.faults_injected;
+      first = false;
+    }
+  }
+  return total;
+}
+
+std::vector<ServiceStats> ShardedService::shard_stats() const {
+  std::vector<ServiceStats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    out.push_back(shard->stats());
+  }
+  return out;
+}
+
+}  // namespace mobitherm::service

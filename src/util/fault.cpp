@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "util/error.h"
+#include "util/hash.h"
 #include "util/rng.h"
 
 namespace mobitherm::util {
@@ -19,8 +20,7 @@ double decision_uniform(std::uint64_t seed, FaultSite site,
                         std::uint64_t key) {
   const std::uint64_t stream =
       derive_seed(seed, static_cast<std::uint64_t>(index_of(site)) + 1);
-  const std::uint64_t h = derive_seed(stream, key);
-  return static_cast<double>(h >> 11) * 0x1.0p-53;
+  return hash_to_unit(derive_seed(stream, key));
 }
 
 }  // namespace
@@ -165,9 +165,8 @@ std::uint64_t FaultPlan::next_sequence(FaultSite site) {
 }
 
 double FaultPlan::jitter(std::uint64_t key) const {
-  const std::uint64_t h = derive_seed(config_.seed ^ 0x6a7f1c3b9d2e4550ULL,
-                                      key);
-  return 0.5 + static_cast<double>(h >> 11) * 0x1.0p-53;
+  return 0.5 + hash_to_unit(derive_seed(config_.seed ^ 0x6a7f1c3b9d2e4550ULL,
+                                        key));
 }
 
 std::uint64_t FaultPlan::injected(FaultSite site) const {

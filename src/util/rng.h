@@ -10,6 +10,8 @@
 #include <cmath>
 #include <cstdint>
 
+#include "util/hash.h"
+
 namespace mobitherm::util {
 
 /// xorshift64* generator (Vigna, 2016). Passes BigCrush for our purposes
@@ -60,11 +62,9 @@ class Xorshift64Star {
 /// component (per-app jitter, per-sensor noise) an independent stream from
 /// one top-level seed.
 constexpr std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream) {
-  // SplitMix64 finalizer over (seed, stream).
-  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+  // SplitMix64 finalizer (util/hash.h) over (seed, stream); the golden-
+  // ratio stride keeps adjacent streams decorrelated.
+  return splitmix64(seed + 0x9e3779b97f4a7c15ULL * (stream + 1));
 }
 
 }  // namespace mobitherm::util
