@@ -61,12 +61,30 @@ NetServer::NetServer(SimServer& server, NetServerConfig config)
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.fd = listen_fd_;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(epoll_fd_);
+    ::close(wake_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+    throw util::ConfigError("epoll_ctl(listen): " + why);
+  }
   ev.data.fd = wake_fd_;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(epoll_fd_);
+    ::close(wake_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+    throw util::ConfigError("epoll_ctl(wake): " + why);
+  }
 }
 
 NetServer::~NetServer() {
+  // Safe to claim the loop role here: run() has returned (the contract is
+  // that the loop thread is joined before destruction), so this thread is
+  // the only one that can touch connection state.
+  util::RoleGuard guard(loop_role_);
   close_all();
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
@@ -94,7 +112,9 @@ void NetServer::stop() {
   [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
 }
 
+// LOCKCHECK: event-loop
 void NetServer::run() {
+  util::RoleGuard guard(loop_role_);
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
   while (!stop_requested_.load(std::memory_order_acquire) &&
@@ -109,6 +129,7 @@ void NetServer::run() {
       const std::uint32_t mask = events[i].events;
       if (fd == wake_fd_) {
         std::uint64_t token = 0;
+        // LOCKCHECK: ok(wake_fd_ is a nonblocking eventfd; read never stalls)
         [[maybe_unused]] const ssize_t r =
             ::read(wake_fd_, &token, sizeof(token));
         continue;
@@ -168,7 +189,13 @@ void NetServer::accept_ready() {
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      // An unregistered connection would never see another event: it
+      // cannot be served or closed later, so the fd must be released now.
+      refused_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
     connections_.emplace(fd, std::move(conn));
     accepted_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -177,6 +204,7 @@ void NetServer::accept_ready() {
 bool NetServer::read_ready(Connection& conn) {
   char buf[64 * 1024];
   while (!conn.reading_paused) {
+    // LOCKCHECK: ok(conn.fd is SOCK_NONBLOCK; recv returns EAGAIN, not stalls)
     const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
     if (n > 0) {
       bytes_in_.fetch_add(static_cast<std::uint64_t>(n),
@@ -266,6 +294,7 @@ void NetServer::handle_buffered_lines(Connection& conn) {
 bool NetServer::flush(Connection& conn) {
   std::size_t written = 0;
   while (written < conn.out.size()) {
+    // LOCKCHECK: ok(conn.fd is SOCK_NONBLOCK; send returns EAGAIN, not stalls)
     const ssize_t n = ::send(conn.fd, conn.out.data() + written,
                              conn.out.size() - written, MSG_NOSIGNAL);
     if (n > 0) {

@@ -48,6 +48,7 @@
 #include <string>
 
 #include "service/server.h"
+#include "util/sync.h"
 
 namespace mobitherm::service {
 
@@ -118,23 +119,35 @@ class NetServer {
     bool peer_closed = false;     // EOF seen; close once `out` drains
   };
 
-  void accept_ready();
+  // Connection state is single-threaded by design: only the event-loop
+  // thread (the one inside run()) may touch it. That affinity is a
+  // compiler-checked capability, not a comment — run() claims loop_role_
+  // with a RoleGuard, every helper REQUIRES it, and connections_ is
+  // GUARDED_BY it, so a future "quick fix" that pokes a connection from
+  // stop() or a worker thread fails the clang -Wthread-safety build.
+  void accept_ready() REQUIRES(loop_role_);
   /// Returns false when the connection was closed.
-  bool read_ready(Connection& conn);
-  bool flush(Connection& conn);
-  void handle_buffered_lines(Connection& conn);
-  void update_interest(Connection& conn);
-  void close_connection(int fd);
-  void close_all();
+  bool read_ready(Connection& conn) REQUIRES(loop_role_);
+  bool flush(Connection& conn) REQUIRES(loop_role_);
+  void handle_buffered_lines(Connection& conn) REQUIRES(loop_role_);
+  void update_interest(Connection& conn) REQUIRES(loop_role_);
+  void close_connection(int fd) REQUIRES(loop_role_);
+  void close_all() REQUIRES(loop_role_);
 
   SimServer& server_;
   NetServerConfig config_;
+  // The listen/epoll/wake fds are created in the constructor and closed in
+  // the destructor; between those they are read-only (stop() writes *to*
+  // wake_fd_, which is thread-safe on an eventfd, but never reassigns it).
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
   int wake_fd_ = -1;  // eventfd written by stop()
   int port_ = 0;
   std::atomic<bool> stop_requested_{false};
-  std::map<int, std::unique_ptr<Connection>> connections_;
+  /// The event-loop thread's role; see util::ThreadRole.
+  util::ThreadRole loop_role_;
+  std::map<int, std::unique_ptr<Connection>> connections_
+      GUARDED_BY(loop_role_);
 
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> closed_{0};

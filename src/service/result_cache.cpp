@@ -111,7 +111,7 @@ ResultCache::ResultCache(std::size_t capacity, util::FaultPlan* faults)
 
 std::shared_ptr<const JobResult> ResultCache::lookup(
     std::uint64_t key, const std::string& canonical) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++counters_.misses;
@@ -142,7 +142,7 @@ std::shared_ptr<const JobResult> ResultCache::lookup(
 
 std::shared_ptr<const JobResult> ResultCache::lookup_stale(
     std::uint64_t key, const std::string& canonical) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = stale_index_.find(key);
   if (it == stale_index_.end() || it->second->canonical != canonical) {
     return nullptr;
@@ -163,7 +163,7 @@ void ResultCache::insert(std::uint64_t key, const std::string& canonical,
   if (capacity_ == 0 || !result) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   // The checksum is computed over the payload as handed in; the
   // kCacheCorruption site then damages the *stored copy*, modeling rot
   // that happened after the write — exactly what lookup must catch.
@@ -210,7 +210,7 @@ void ResultCache::evict_to_stale_locked() {
 }
 
 CacheStats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   CacheStats out = counters_;
   out.size = lru_.size();
   out.stale_size = stale_.size();

@@ -28,12 +28,12 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "sim/metrics.h"
 #include "sim/report.h"
 #include "util/fault.h"
+#include "util/sync.h"
 
 namespace mobitherm::service {
 
@@ -102,19 +102,25 @@ class ResultCache {
     std::uint64_t checksum;
   };
 
-  /// Must hold mutex_. Moves the primary LRU tail into the stale store.
-  void evict_to_stale_locked();
+  /// Moves the primary LRU tail into the stale store.
+  void evict_to_stale_locked() REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::size_t capacity_;
-  util::FaultPlan* faults_;
+  /// Lock order: callers holding SimService::mutex_ may acquire this
+  /// mutex (settle_locked -> lookup_stale / insert); nothing acquired
+  /// under this mutex ever takes a lock, so the order is acyclic. See
+  /// DESIGN.md section 15 and tools/lockcheck.
+  mutable util::Mutex mutex_;
+  std::size_t capacity_;       // immutable after construction
+  util::FaultPlan* faults_;    // immutable after construction
   /// MRU at the front, LRU at the back.
-  std::list<Node> lru_;
-  std::map<std::uint64_t, std::list<Node>::iterator> index_;
+  std::list<Node> lru_ GUARDED_BY(mutex_);
+  std::map<std::uint64_t, std::list<Node>::iterator> index_
+      GUARDED_BY(mutex_);
   /// Evicted entries, newest eviction first; bounded by capacity_.
-  std::list<Node> stale_;
-  std::map<std::uint64_t, std::list<Node>::iterator> stale_index_;
-  CacheStats counters_;
+  std::list<Node> stale_ GUARDED_BY(mutex_);
+  std::map<std::uint64_t, std::list<Node>::iterator> stale_index_
+      GUARDED_BY(mutex_);
+  CacheStats counters_ GUARDED_BY(mutex_);
 };
 
 }  // namespace mobitherm::service

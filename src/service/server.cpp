@@ -334,6 +334,9 @@ std::string SimServer::handle_wait(const json::Value& request) {
   const std::uint64_t id = job_id(request);
   double timeout_s = 60.0;
   read_number(request, "timeout_s", &timeout_s);
+  // The wait op blocks the serving thread by contract; net_server.h
+  // documents the caveat and tells clients to keep timeouts short.
+  // LOCKCHECK: ok(wait op blocks by contract, documented in net_server.h)
   const bool done = service_.wait(id, timeout_s);
   const auto status = service_.status(id);
   if (!status) {

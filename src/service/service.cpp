@@ -82,7 +82,7 @@ SimService::SimService(ScenarioRegistry registry, ServiceConfig config)
 
 SimService::~SimService() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     shutting_down_ = true;
     for (auto& [id, job] : jobs_) {
       (void)id;
@@ -124,7 +124,7 @@ SubmitOutcome SimService::submit(const SimRequest& request,
 SubmitOutcome SimService::submit_prepared(PreparedRequest prepared,
                                           double deadline_s) {
   if (!prepared.valid) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++rejected_;
     SubmitOutcome out;
     out.reject_reason = prepared.error;
@@ -136,7 +136,7 @@ SubmitOutcome SimService::submit_prepared(PreparedRequest prepared,
   const std::uint64_t key = prepared.key;
   std::shared_ptr<const JobResult> cached = cache_.lookup(key, canonical);
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (shutting_down_) {
     ++rejected_;
     SubmitOutcome out;
@@ -249,7 +249,7 @@ std::vector<SubmitOutcome> SimService::submit_prepared_lanes(
   }
 
   const std::size_t width = resolved_batch_width();
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<std::shared_ptr<Job>> group;
   const auto flush_group = [&] {
     if (group.empty()) {
@@ -332,7 +332,7 @@ std::vector<SubmitOutcome> SimService::submit_prepared_lanes(
 }
 
 std::optional<JobStatus> SimService::status(std::uint64_t id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = jobs_.find(id);
   if (it == jobs_.end()) {
     return std::nullopt;
@@ -353,7 +353,7 @@ std::optional<JobStatus> SimService::status(std::uint64_t id) {
 }
 
 std::shared_ptr<const JobResult> SimService::result(std::uint64_t id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = jobs_.find(id);
   if (it == jobs_.end() || it->second->state != JobState::kDone) {
     return nullptr;
@@ -362,7 +362,7 @@ std::shared_ptr<const JobResult> SimService::result(std::uint64_t id) const {
 }
 
 bool SimService::cancel(std::uint64_t id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = jobs_.find(id);
   if (it == jobs_.end()) {
     return false;
@@ -388,7 +388,7 @@ bool SimService::cancel(std::uint64_t id) {
 bool SimService::wait(std::uint64_t id, double timeout_s) {
   const auto wait_deadline =  // MOBILINT: nondet-ok (caller timeout)
       std::chrono::steady_clock::now() + to_duration(std::max(0.0, timeout_s));
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::UniqueLock lock(mutex_);
   for (;;) {
     auto it = jobs_.find(id);
     if (it == jobs_.end()) {
@@ -417,7 +417,7 @@ bool SimService::wait(std::uint64_t id, double timeout_s) {
 ServiceStats SimService::stats() const {
   ServiceStats s;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     s.submitted = submitted_;
     s.rejected = rejected_;
     s.completed = completed_;
@@ -443,7 +443,7 @@ ServiceStats SimService::stats() const {
 }
 
 void SimService::worker_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::UniqueLock lock(mutex_);
   for (;;) {
     // Wake for shutdown, queued work, or the earliest due retry.
     for (;;) {
@@ -577,7 +577,7 @@ void SimService::execute(const std::shared_ptr<Job>& job, int attempt) {
     classify_current_exception(out);
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   settle_locked(job, attempt, out);
 }
 
@@ -756,7 +756,7 @@ void SimService::execute_wide(const std::vector<std::shared_ptr<Job>>& lanes,
     }
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (std::size_t k = 0; k < n; ++k) {
     settle_locked(lanes[k], attempts[k], outs[k]);
   }

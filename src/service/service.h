@@ -46,12 +46,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -61,6 +59,7 @@
 #include "service/scenario_registry.h"
 #include "sim/metrics.h"
 #include "util/fault.h"
+#include "util/sync.h"
 
 namespace mobitherm::service {
 
@@ -297,6 +296,18 @@ class SimService : public ServiceApi {
   const ServiceConfig& config() const { return config_; }
 
  private:
+  /// Concurrency contract, field by field:
+  ///  * `id`, `resolved`, `key`, `canonical`, `deadline` are written once
+  ///    during admission (under mutex_) and immutable afterwards — the
+  ///    executing worker reads them without the lock;
+  ///  * `stop` is the lock-free cancellation token (atomic);
+  ///  * everything else (state, error*, result, attempts, from_cache,
+  ///    stale) is mutated only under SimService::mutex_. Clang's analysis
+  ///    cannot express "guarded by the owning service's mutex" without a
+  ///    back pointer, so this half of the contract stays prose — but every
+  ///    mutation site lives in a REQUIRES(mutex_) helper or under a
+  ///    MutexLock, and tools/lockcheck checks the lock discipline of those
+  ///    helpers.
   struct Job {
     std::uint64_t id = 0;
     SimRequest resolved;
@@ -346,11 +357,11 @@ class SimService : public ServiceApi {
   /// Map the in-flight exception to an ExecOutcome (call inside catch).
   static void classify_current_exception(ExecOutcome& out);
 
-  /// Must hold mutex_. Apply one attempt's outcome to the job: success /
-  /// cancel / expiry finish it; a retryable failure re-queues it (as a
-  /// scalar retry) with backoff; otherwise stale-fallback or kFailed.
+  /// Apply one attempt's outcome to the job: success / cancel / expiry
+  /// finish it; a retryable failure re-queues it (as a scalar retry) with
+  /// backoff; otherwise stale-fallback or kFailed.
   void settle_locked(const std::shared_ptr<Job>& job, int attempt,
-                     ExecOutcome& out);
+                     ExecOutcome& out) REQUIRES(mutex_);
 
   unsigned resolved_batch_width() const;
 
@@ -358,44 +369,50 @@ class SimService : public ServiceApi {
   /// the attempt number, deterministically jittered per job).
   double retry_backoff_s(int attempt, std::uint64_t key) const;
 
-  /// Must hold mutex_. Moves a queued job past its deadline to kExpired
-  /// (the worker skips non-queued jobs on pop); returns true if it
-  /// expired.
-  bool expire_if_overdue_locked(const std::shared_ptr<Job>& job);
+  /// Moves a queued job past its deadline to kExpired (the worker skips
+  /// non-queued jobs on pop); returns true if it expired.
+  bool expire_if_overdue_locked(const std::shared_ptr<Job>& job)
+      REQUIRES(mutex_);
 
-  /// Must hold mutex_. Terminal-state bookkeeping + waiter wakeup.
+  /// Terminal-state bookkeeping + waiter wakeup.
   void finish_locked(const std::shared_ptr<Job>& job, JobState state,
-                     const std::string& error);
+                     const std::string& error) REQUIRES(mutex_);
 
   ScenarioRegistry registry_;
   ServiceConfig config_;
   ResultCache cache_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;  // workers: queue / retries / shutdown
-  std::condition_variable done_cv_;  // waiters: job completion
-  std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;
-  std::deque<Work> queue_;
+  /// Lock order: mutex_ may be held while acquiring ResultCache::mutex_
+  /// (settle_locked's stale lookup), never the reverse — the cache takes
+  /// no locks of its own while called. Checked by tools/lockcheck;
+  /// documented in DESIGN.md section 15.
+  mutable util::Mutex mutex_;
+  util::CondVar work_cv_;  // workers: queue / retries / shutdown
+  util::CondVar done_cv_;  // waiters: job completion
+  std::map<std::uint64_t, std::shared_ptr<Job>> jobs_ GUARDED_BY(mutex_);
+  std::deque<Work> queue_ GUARDED_BY(mutex_);
   /// Jobs waiting out a retry backoff, keyed by their due time.
   std::multimap<std::chrono::steady_clock::time_point,
                 std::shared_ptr<Job>>
-      retries_;
-  std::uint64_t next_id_ = 1;
-  bool shutting_down_ = false;
+      retries_ GUARDED_BY(mutex_);
+  std::uint64_t next_id_ GUARDED_BY(mutex_) = 1;
+  bool shutting_down_ GUARDED_BY(mutex_) = false;
 
   // Counters guarded by mutex_.
-  std::size_t submitted_ = 0;
-  std::size_t rejected_ = 0;
-  std::size_t completed_ = 0;
-  std::size_t failed_ = 0;
-  std::size_t cancelled_ = 0;
-  std::size_t expired_ = 0;
-  std::size_t retry_count_ = 0;
-  std::size_t stale_served_ = 0;
-  std::size_t running_ = 0;
-  std::size_t wide_jobs_ = 0;
-  std::size_t lockstep_lanes_ = 0;
+  std::size_t submitted_ GUARDED_BY(mutex_) = 0;
+  std::size_t rejected_ GUARDED_BY(mutex_) = 0;
+  std::size_t completed_ GUARDED_BY(mutex_) = 0;
+  std::size_t failed_ GUARDED_BY(mutex_) = 0;
+  std::size_t cancelled_ GUARDED_BY(mutex_) = 0;
+  std::size_t expired_ GUARDED_BY(mutex_) = 0;
+  std::size_t retry_count_ GUARDED_BY(mutex_) = 0;
+  std::size_t stale_served_ GUARDED_BY(mutex_) = 0;
+  std::size_t running_ GUARDED_BY(mutex_) = 0;
+  std::size_t wide_jobs_ GUARDED_BY(mutex_) = 0;
+  std::size_t lockstep_lanes_ GUARDED_BY(mutex_) = 0;
 
+  /// Started in the constructor, joined in the destructor; the vector
+  /// itself is touched by no other thread.
   std::vector<std::thread> workers_;
 };
 

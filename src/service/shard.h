@@ -27,6 +27,13 @@
 // total threads). A shared FaultPlan pointer is passed through to every
 // shard; its decisions stay pure in (seed, site, key), so the injected
 // schedule for a given request stream does not depend on the shard count.
+//
+// Locking: ShardedService itself holds no mutex — `shards_` is immutable
+// after construction and every method is a pure route-then-delegate, so
+// thread-safety annotations live entirely inside SimService/ResultCache.
+// The lock hierarchy (DESIGN.md section 15) is therefore per shard:
+// shard k's SimService::mutex_ before shard k's ResultCache::mutex_, and
+// never any lock from another shard.
 #pragma once
 
 #include <cstdint>

@@ -4,11 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
-#include <mutex>
 #include <thread>
 
 #include "sim/lockstep.h"
 #include "util/error.h"
+#include "util/sync.h"
 
 namespace mobitherm::sim {
 
@@ -33,8 +33,12 @@ void parallel_for_index(std::size_t n, unsigned threads,
   }
 
   std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
+  // First-error-wins slot shared by the pool; the annotation keeps every
+  // access under the mutex even though the slot is function-local.
+  struct ErrorSlot {
+    util::Mutex mutex;
+    std::exception_ptr first GUARDED_BY(mutex);
+  } error;
   auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -42,17 +46,17 @@ void parallel_for_index(std::size_t n, unsigned threads,
         return;
       }
       {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (first_error) {
+        util::MutexLock lock(error.mutex);
+        if (error.first) {
           return;  // a sibling already failed; stop claiming work
         }
       }
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) {
-          first_error = std::current_exception();
+        util::MutexLock lock(error.mutex);
+        if (!error.first) {
+          error.first = std::current_exception();
         }
         return;
       }
@@ -67,8 +71,15 @@ void parallel_for_index(std::size_t n, unsigned threads,
   for (std::thread& t : pool) {
     t.join();
   }
-  if (first_error) {
-    std::rethrow_exception(first_error);
+  // The pool is joined, but taking the (uncontended) lock keeps the
+  // guarded access pattern uniform for the analysis.
+  std::exception_ptr failure;
+  {
+    util::MutexLock lock(error.mutex);
+    failure = error.first;
+  }
+  if (failure) {
+    std::rethrow_exception(failure);
   }
 }
 

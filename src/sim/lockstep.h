@@ -24,6 +24,12 @@
 //
 // Hot-path allocation policy: all lane-block scratch is owned by the runner
 // and sized at construction, so warm ticks never touch the heap.
+//
+// Concurrency: a LockstepRunner is single-threaded — one caller thread
+// steps all lanes; the only cross-thread inputs are the lanes' atomic stop
+// tokens. It therefore holds no mutex and carries no thread-safety
+// annotations (see DESIGN.md section 15): parallelism across jobs lives in
+// the service worker pool, never inside a runner.
 #pragma once
 
 #include <atomic>

@@ -3,11 +3,18 @@
 #include <atomic>
 #include <cstdio>
 
+#include "util/sync.h"
+
 namespace mobitherm::util {
 
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Serializes sink swaps and emits: one log_message call = one whole line
+// on the sink, even with many worker threads logging at once.
+Mutex g_sink_mutex;
+std::FILE* g_sink GUARDED_BY(g_sink_mutex) = nullptr;  // nullptr = stderr
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -31,8 +38,15 @@ void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_sink(std::FILE* sink) {
+  MutexLock lock(g_sink_mutex);
+  g_sink = sink;
+}
+
 void log_message(LogLevel level, const std::string& message) {
-  std::fprintf(stderr, "[mobitherm %-5s] %s\n", level_name(level),
+  MutexLock lock(g_sink_mutex);
+  std::FILE* out = g_sink != nullptr ? g_sink : stderr;
+  std::fprintf(out, "[mobitherm %-5s] %s\n", level_name(level),
                message.c_str());
 }
 

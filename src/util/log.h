@@ -1,7 +1,14 @@
 // Leveled logging to stderr. The simulator and governors log at Debug/Info;
 // tests and benches raise the threshold to keep output clean.
+//
+// Concurrency: the level is an atomic (read on every gated macro, no lock);
+// the sink pointer and the emit itself are serialized under an internal
+// util::Mutex so concurrent workers never interleave partial lines and a
+// sink swap never races an in-flight write. The lock is only ever taken
+// for messages that pass the level gate.
 #pragma once
 
+#include <cstdio>
 #include <sstream>
 #include <string>
 
@@ -12,6 +19,11 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Global log threshold; messages below it are discarded.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Redirect log output (default stderr; nullptr resets to stderr). The
+/// stream must stay valid until the next set_log_sink. Thread-safe:
+/// in-flight log_message calls finish against the old sink first.
+void set_log_sink(std::FILE* sink);
 
 /// Emit one log line (used by the MOBITHERM_LOG macro).
 void log_message(LogLevel level, const std::string& message);

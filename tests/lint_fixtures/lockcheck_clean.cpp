@@ -1,0 +1,46 @@
+// lockcheck fixture: the patterns the analyzer should accept — consistent
+// lock order, CLOEXEC on the descriptor, a close on every live path, and
+// a justified exemption on a nonblocking read inside the event loop.
+// Expects no findings (no LOCKCHECK-EXPECT lines).
+#include <mutex>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+class Reactor {
+ public:
+  void run();
+  void snapshot();
+
+ private:
+  void step();
+  std::mutex order_a_;
+  std::mutex order_b_;
+  int ticks_ = 0;
+};
+
+// LOCKCHECK: event-loop
+void Reactor::run() {
+  int fd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (fd < 0) {
+    return;
+  }
+  for (int i = 0; i < 3; ++i) {
+    unsigned long long token = 0;
+    // LOCKCHECK: ok(nonblocking eventfd; read never stalls)
+    (void)!::read(fd, &token, sizeof(token));
+    step();
+  }
+  close(fd);
+}
+
+void Reactor::step() {
+  std::lock_guard<std::mutex> a(order_a_);
+  std::lock_guard<std::mutex> b(order_b_);
+  ++ticks_;
+}
+
+void Reactor::snapshot() {
+  std::lock_guard<std::mutex> a(order_a_);
+  std::lock_guard<std::mutex> b(order_b_);
+  ++ticks_;
+}

@@ -1,0 +1,19 @@
+// lockcheck fixture: descriptor hygiene. The socket is created without
+// SOCK_CLOEXEC (leaks into child processes) and the connect-failure path
+// returns without closing it (leaks the descriptor itself).
+// LOCKCHECK-EXPECT: fd-cloexec
+// LOCKCHECK-EXPECT: fd-leak
+#include <sys/socket.h>
+#include <unistd.h>
+
+bool probe(const sockaddr* addr, unsigned int len) {
+  int fd = socket(2, 1, 0);
+  if (fd < 0) {
+    return false;
+  }
+  if (connect(fd, addr, len) != 0) {
+    return false;  // descriptor still open on this path
+  }
+  close(fd);
+  return true;
+}

@@ -1,0 +1,50 @@
+// Token-level C++ lexer for the lockcheck static analyzer.
+//
+// lockcheck deliberately does NOT parse C++ — it lexes it. A real frontend
+// (libclang) would be more precise but is a heavyweight dependency this
+// container does not carry; the concurrency idioms this repo allows are
+// narrow enough (named lock-guard declarations, `Class::method` definitions,
+// `*_locked()` helpers with REQUIRES annotations) that a token stream plus
+// a few heuristics recovers everything the checks need. The lexer keeps
+// comments in a side table so `// LOCKCHECK:` directives can be matched to
+// the source lines they annotate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lockcheck {
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literals (incl. suffixes)
+  kString,  // "..." and raw strings
+  kChar,    // '...'
+  kPunct,   // every operator / punctuator, one lexeme per token
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;  // 1-based
+};
+
+/// A comment with its location; `text` excludes the // or /* */ markers.
+struct Comment {
+  std::string text;
+  int line;       // line the comment starts on
+  bool trailing;  // true when code precedes it on the same line
+};
+
+struct TokenStream {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Lex `source`. Never fails: unrecognized bytes become single-char punct
+/// tokens, an unterminated literal runs to end of line. Preprocessor
+/// directives are dropped (lockcheck analyzes one configuration, the one
+/// in the tree).
+TokenStream lex(const std::string& source);
+
+}  // namespace lockcheck
