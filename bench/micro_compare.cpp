@@ -1,0 +1,237 @@
+// Microbenchmarks for the best-arm comparison subsystem, plus the two
+// invariants this PR pins, asserted in main() before the benchmarks run so
+// a regression fails the bench-smoke job loudly instead of just shifting
+// numbers:
+//
+//   1. Early stopping earns its keep: on a clearly separated pair the
+//      comparison must consume <= half the per-arm seed budget that a
+//      fixed-budget sweep would burn (>= 2x seed savings).
+//   2. A repeated comparison is served from the verdict cache at least
+//      10x faster than the cold run, byte-identically.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/scenario_registry.h"
+#include "service/service.h"
+#include "sim/compare.h"
+#include "sim/montecarlo.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mobitherm;
+
+service::ServiceConfig quick_config() {
+  service::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 64;
+  cfg.cache_capacity = 128;
+  return cfg;
+}
+
+// Odroid IPA vs. app-aware governor with BML: a ~15 degC peak-temperature
+// gap against ~0.01 degC of seed noise — separated at the minimum sample
+// count, so early stopping has the most budget to save.
+service::CompareRequest odroid_compare(int max_seeds, int min_seeds) {
+  service::CompareRequest request;
+  service::CompareArmRequest ipa;
+  ipa.request.scenario = "odroid";
+  ipa.request.policy = "default";
+  ipa.request.with_bml = true;
+  ipa.request.duration_s = 60.0;
+  service::CompareArmRequest appaware = ipa;
+  appaware.request.policy = "proposed";
+  request.arms = {ipa, appaware};
+  request.metric = "peak_temp_c";
+  request.max_seeds = max_seeds;
+  request.round_seeds = 2;
+  request.min_seeds = min_seeds;
+  return request;
+}
+
+/// Submit + wait; aborts on rejection so a misconfigured bench cannot
+/// silently measure nothing. Returns the verdict payload.
+std::string compare_and_wait(service::SimService& service,
+                             const service::CompareRequest& request,
+                             bool* cached = nullptr) {
+  const service::SubmitOutcome out = service.submit_compare(request);
+  if (!out.accepted || !service.wait(out.id, 600.0)) {
+    std::fprintf(stderr, "micro_compare: submit_compare failed: %s\n",
+                 out.reject_reason.c_str());
+    std::abort();
+  }
+  if (cached != nullptr) {
+    *cached = out.cached;
+  }
+  const auto result = service.result(out.id);
+  if (!result) {
+    std::fprintf(stderr, "micro_compare: compare job produced no result\n");
+    std::abort();
+  }
+  return result->payload;
+}
+
+void BM_WelfordAccumulate(benchmark::State& state) {
+  // One seed's worth of accumulator traffic: stream 1024 metric-like
+  // values through mean/M2/min/max.
+  std::vector<double> xs(1024);
+  std::uint64_t seed = 9;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    seed = util::derive_seed(seed, i);
+    xs[i] = 50.0 + static_cast<double>(seed % 1000) * 0.01;
+  }
+  for (auto _ : state) {
+    sim::WelfordAccumulator acc;
+    for (double x : xs) {
+      acc.add(x);
+    }
+    benchmark::DoNotOptimize(acc.mean());
+    benchmark::DoNotOptimize(acc.variance());
+  }
+}
+BENCHMARK(BM_WelfordAccumulate);
+
+void BM_NormalQuantile(benchmark::State& state) {
+  double p = 0.5000001;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::normal_quantile(p));
+    p += 1e-7;
+    if (p >= 0.9999) {
+      p = 0.5000001;
+    }
+  }
+}
+BENCHMARK(BM_NormalQuantile);
+
+void BM_DecideBestArm(benchmark::State& state) {
+  // Eight arms, 32 samples each: the per-round decision at full budget.
+  std::vector<sim::WelfordAccumulator> arms(8);
+  for (std::size_t a = 0; a < arms.size(); ++a) {
+    for (int i = 0; i < 32; ++i) {
+      arms[a].add(60.0 + static_cast<double>(a) * 0.5 +
+                  0.01 * static_cast<double>(i % 7));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::decide_best_arm(arms, 0.95, true));
+  }
+}
+BENCHMARK(BM_DecideBestArm);
+
+void BM_CompareCacheHit(benchmark::State& state) {
+  service::SimService service(service::ScenarioRegistry::standard(),
+                              quick_config());
+  const service::CompareRequest request = odroid_compare(8, 2);
+  compare_and_wait(service, request);  // warm the verdict cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compare_and_wait(service, request));
+  }
+}
+BENCHMARK(BM_CompareCacheHit)->Unit(benchmark::kMicrosecond);
+
+/// Invariant 1: on the separated Odroid pair, the adaptive comparison
+/// stops at min_seeds while the fixed-budget run burns max_seeds — a
+/// >= 2x per-arm seed saving (and the two verdicts agree on the winner).
+bool check_early_stop_savings() {
+  service::SimService service(service::ScenarioRegistry::standard(),
+                              quick_config());
+  const int budget = 8;
+  const std::string adaptive =
+      compare_and_wait(service, odroid_compare(budget, 2));
+  // Fixed budget modeled as min_seeds == max_seeds: no early decision.
+  const std::string fixed =
+      compare_and_wait(service, odroid_compare(budget, budget));
+
+  const auto seeds_of = [](const std::string& payload) {
+    const std::string key = "\"seeds_per_arm\":";
+    const std::size_t at = payload.find(key);
+    return at == std::string::npos
+               ? -1
+               : std::atoi(payload.c_str() + at + key.size());
+  };
+  const int adaptive_seeds = seeds_of(adaptive);
+  const int fixed_seeds = seeds_of(fixed);
+  std::printf("early stop: %d seeds/arm adaptive vs %d fixed (%.1fx saved)\n",
+              adaptive_seeds, fixed_seeds,
+              adaptive_seeds > 0
+                  ? static_cast<double>(fixed_seeds) / adaptive_seeds
+                  : 0.0);
+  if (adaptive_seeds <= 0 || fixed_seeds != budget ||
+      fixed_seeds < 2 * adaptive_seeds) {
+    std::fprintf(stderr,
+                 "micro_compare: early stopping saved < 2x seeds "
+                 "(%d adaptive vs %d fixed)\n",
+                 adaptive_seeds, fixed_seeds);
+    return false;
+  }
+  const std::string winner = "\"winner\":\"proposed+bml\"";
+  if (adaptive.find(winner) == std::string::npos ||
+      fixed.find(winner) == std::string::npos ||
+      adaptive.find("\"separated\":true") == std::string::npos) {
+    std::fprintf(stderr,
+                 "micro_compare: adaptive and fixed verdicts disagree\n");
+    return false;
+  }
+  return true;
+}
+
+/// Invariant 2: a repeated comparison is a verdict-cache hit — byte
+/// identical and >= 10x faster than the cold run.
+bool check_recompare_speedup() {
+  using clock = std::chrono::steady_clock;
+  service::SimService service(service::ScenarioRegistry::standard(),
+                              quick_config());
+  const service::CompareRequest request = odroid_compare(8, 2);
+
+  const auto t0 = clock::now();
+  const std::string cold = compare_and_wait(service, request);
+  const auto t1 = clock::now();
+  bool cached = false;
+  const std::string warm = compare_and_wait(service, request, &cached);
+  const auto t2 = clock::now();
+
+  if (!cached) {
+    std::fprintf(stderr,
+                 "micro_compare: repeated comparison was not served from "
+                 "the verdict cache\n");
+    return false;
+  }
+  if (warm != cold) {
+    std::fprintf(stderr,
+                 "micro_compare: cached verdict is not byte-identical\n");
+    return false;
+  }
+  const double cold_s = std::chrono::duration<double>(t1 - t0).count();
+  const double hit_s = std::chrono::duration<double>(t2 - t1).count();
+  const double speedup = hit_s > 0.0 ? cold_s / hit_s : 1e9;
+  std::printf("re-compare speedup: %.0fx (cold %.3f s, hit %.6f s)\n",
+              speedup, cold_s, hit_s);
+  if (speedup < 10.0) {
+    std::fprintf(stderr,
+                 "micro_compare: re-compare speedup %.1fx < required 10x\n",
+                 speedup);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!check_early_stop_savings() || !check_recompare_speedup()) {
+    return 1;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,7 +1,8 @@
 // Table I with confidence intervals: the paper reports single hardware
 // runs; the simulator can replay each app across seeds (different workload
-// jitter and sensor noise) and attach a sample standard deviation to every
-// cell. A shape claim that survives the seed spread is a robust one.
+// jitter and sensor noise) and attach a sample standard deviation and a
+// 95% confidence half-width to every cell. A shape claim whose intervals
+// do not overlap across the seed spread is a robust one.
 #include <cstdio>
 
 #include "bench_util.h"
@@ -12,13 +13,14 @@
 int main() {
   using namespace mobitherm;
   bench::header("Table I (confidence)",
-                "median fps across 5 seeds, mean +- stddev");
+                "median fps across 5 seeds, mean +- stddev [ci95]");
 
   constexpr int kSeeds = 5;
+  constexpr double kConfidence = 0.95;
   // 0 = one worker per hardware thread; each seed is an isolated engine,
   // and the statistics are bit-identical to the serial evaluation.
   constexpr unsigned kThreads = 0;
-  std::printf("\n%-15s | %-21s | %-21s | %s\n", "App",
+  std::printf("\n%-15s | %-28s | %-28s | %s\n", "App",
               "fps w/o throttling", "fps w/ throttling", "drop (mean)");
   for (const workload::AppSpec& app : workload::nexus_apps()) {
     auto metric = [&](bool throttling) {
@@ -34,9 +36,12 @@ int main() {
     };
     const sim::SeedStats off = metric(false);
     const sim::SeedStats on = metric(true);
-    std::printf("%-15s | %8.1f +- %-8.2f | %8.1f +- %-8.2f | %5.1f%%\n",
-                app.name.c_str(), off.mean, off.stddev, on.mean, on.stddev,
-                100.0 * (1.0 - on.mean / off.mean));
+    const double off_ci = sim::ci_half_width(off.stddev, kSeeds, kConfidence);
+    const double on_ci = sim::ci_half_width(on.stddev, kSeeds, kConfidence);
+    std::printf(
+        "%-15s | %8.1f +- %-5.2f [%5.2f] | %8.1f +- %-5.2f [%5.2f] | %5.1f%%\n",
+        app.name.c_str(), off.mean, off.stddev, off_ci, on.mean, on.stddev,
+        on_ci, 100.0 * (1.0 - on.mean / off.mean));
   }
   return 0;
 }

@@ -40,6 +40,7 @@ DEFAULT_BINARIES = [
     "micro_service",
     "micro_fault",
     "micro_lockstep",
+    "micro_compare",
     "load_serve",
 ]
 

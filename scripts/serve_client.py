@@ -19,6 +19,11 @@ Modes, each available over either transport:
   # (needs a fresh server: it asserts absolute stats counters)
   python3 scripts/serve_client.py --connect 127.0.0.1:4100 --smoke
 
+  # CI compare phase: submit a best-arm policy comparison, assert the
+  # verdict separates with an early stop, repeat it and assert the rerun
+  # is a byte-identical verdict-cache hit
+  python3 scripts/serve_client.py --connect 127.0.0.1:4100 --compare
+
   # CI fault smoke: drive a fault-armed server (spawned with --fault in
   # pipe mode; pre-armed by the operator in socket mode), and assert
   # every job reaches a terminal state with a structured error, while
@@ -305,6 +310,93 @@ def run_smoke(client, timeout_s):
     )
 
 
+def run_compare(client, timeout_s):
+    """CI compare phase: submit the paper's Sec. IV-C policy comparison
+    (IPA vs. the app-aware governor, both with BML) as one `compare` job,
+    assert the verdict separates with per-arm statistics and stopped
+    before the seed budget, then repeat it and assert the rerun is a
+    verdict-cache hit with byte-identical bytes and no new rounds."""
+    request = {
+        "op": "compare",
+        "arms": [
+            {"scenario": "odroid", "policy": "default", "with_bml": True,
+             "duration_s": 120},
+            {"scenario": "odroid", "policy": "proposed", "with_bml": True,
+             "duration_s": 120},
+        ],
+        "metric": "peak_temp_c",
+        "max_seeds": 8,
+        "round_seeds": 2,
+        "min_seeds": 2,
+    }
+
+    def fetch_verdict(job):
+        wait = client.request(
+            {"op": "wait", "job": job, "timeout_s": timeout_s})
+        if not wait.get("done") or wait.get("state") != "done":
+            raise SystemExit(
+                "compare: job %s finished as %s" % (job, wait.get("state")))
+        raw = client.request_raw(json.dumps({"op": "result", "job": job}))
+        verdict = json.loads(raw)["result"]["compare"]
+        return raw, verdict
+
+    first = client.request(request)
+    if not first.get("ok"):
+        raise SystemExit("compare: rejected: %s" % error_text(first))
+    if first.get("cached"):
+        raise SystemExit("compare: first comparison unexpectedly cached")
+    first_raw, verdict = fetch_verdict(first["job"])
+
+    if not verdict.get("separated"):
+        raise SystemExit("compare: arms did not statistically separate")
+    if verdict.get("winner") != "proposed+bml":
+        raise SystemExit(
+            "compare: expected the app-aware governor to win on peak "
+            "temperature, got %r" % verdict.get("winner"))
+    if not verdict.get("early_stop") or \
+            verdict["seeds_per_arm"] >= request["max_seeds"]:
+        raise SystemExit(
+            "compare: separated pair should stop before the %d-seed "
+            "budget, used %s" % (request["max_seeds"],
+                                 verdict.get("seeds_per_arm")))
+    for arm in verdict["arms"]:
+        if not all(k in arm for k in ("name", "mean", "ci95", "n")):
+            raise SystemExit("compare: arm stats incomplete: %r" % arm)
+        if arm["n"] < 2:
+            raise SystemExit("compare: verdict from < 2 samples: %r" % arm)
+
+    rounds_before = client.request({"op": "stats"})["compare_rounds"]
+
+    repeat = client.request(request)
+    if not repeat.get("ok") or not repeat.get("cached"):
+        raise SystemExit(
+            "compare: repeated comparison was not served from the verdict "
+            "cache")
+    repeat_raw, _ = fetch_verdict(repeat["job"])
+    if extract_payload(first_raw) != extract_payload(repeat_raw):
+        raise SystemExit("compare: cached verdict is not byte-identical")
+
+    stats = client.request({"op": "stats"})
+    if stats["compare_rounds"] != rounds_before:
+        raise SystemExit("compare: cached repeat re-ran rounds")
+    if stats["compare_early_stops"] < 1 or stats["compare_lane_runs"] < 4:
+        raise SystemExit(
+            "compare: stats counters missing the comparison "
+            "(early_stops=%s lane_runs=%s)"
+            % (stats["compare_early_stops"], stats["compare_lane_runs"]))
+    print(
+        "compare OK: winner=%s separated at %d seeds/arm (budget %d), "
+        "repeat cache-hit byte-identical"
+        % (verdict["winner"], verdict["seeds_per_arm"],
+           request["max_seeds"]))
+    print(
+        "  arms: %s"
+        % "; ".join(
+            "%s mean=%.3f ci95=%.4f n=%d"
+            % (a["name"], a["mean"], a["ci95"], a["n"])
+            for a in verdict["arms"]))
+
+
 def run_fault_smoke(binary, timeout_s, connect=None):
     """Drive a fault-armed server and assert it degrades, never breaks:
     every accepted job terminates, every rejection and failure carries a
@@ -496,6 +588,12 @@ def main():
         help="run the cache-identity smoke test (used by CI)",
     )
     parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="run the best-arm comparison smoke test: separated verdict, "
+        "early stop, byte-identical cached repeat (used by CI)",
+    )
+    parser.add_argument(
         "--fault-smoke",
         action="store_true",
         help="run the fault-injection smoke test (used by CI); in socket "
@@ -518,12 +616,12 @@ def main():
     )
     args = parser.parse_args()
 
-    modes = [args.smoke, args.fault_smoke, bool(args.submit),
+    modes = [args.smoke, args.compare, args.fault_smoke, bool(args.submit),
              args.concurrent is not None, args.shutdown]
     if sum(modes) != 1:
         parser.error(
-            "exactly one of --smoke, --fault-smoke, --submit, --concurrent "
-            "or --shutdown is required"
+            "exactly one of --smoke, --compare, --fault-smoke, --submit, "
+            "--concurrent or --shutdown is required"
         )
     if (args.concurrent is not None or args.shutdown) and args.connect is None:
         parser.error("--concurrent and --shutdown require --connect")
@@ -552,6 +650,8 @@ def main():
     try:
         if args.smoke:
             run_smoke(client, args.timeout)
+        elif args.compare:
+            run_compare(client, args.timeout)
         else:
             _, raw = submit_and_fetch(
                 client, json.loads(args.submit), args.timeout

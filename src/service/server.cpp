@@ -8,6 +8,8 @@
 #include <string>
 #include <utility>
 
+#include "sim/compare.h"
+
 namespace mobitherm::service {
 
 namespace {
@@ -61,6 +63,48 @@ bool read_string(const json::Value& request, const std::string& key,
   }
   *value = v->as_string();
   return true;
+}
+
+/// Reads the shared SimRequest members from a JSON object (a submit
+/// request or one compare arm). Returns an error message, "" on success;
+/// throws json::ParseError on type mismatches like the read_* helpers.
+std::string read_request_fields(const json::Value& v, SimRequest* req) {
+  if (!read_string(v, "scenario", &req->scenario)) {
+    return "missing required field: scenario";
+  }
+  read_string(v, "app", &req->app);
+  read_string(v, "policy", &req->policy);
+  read_bool(v, "with_bml", &req->with_bml);
+  read_number(v, "duration_s", &req->duration_s);
+  read_number(v, "initial_temp_c", &req->initial_temp_c);
+  double seed = 0.0;
+  if (read_number(v, "seed", &seed)) {
+    if (seed < 0 || seed != std::floor(seed)) {
+      return "seed must be a nonnegative integer";
+    }
+    req->seed = static_cast<std::uint64_t>(seed);
+  }
+  double levels = 0.0;
+  if (read_number(v, "app_levels", &levels)) {
+    req->app_levels = static_cast<int>(levels);
+  }
+  read_number(v, "app_phase_s", &req->app_phase_s);
+  return "";
+}
+
+/// Reads an optional positive-integer member into `*value`. Returns an
+/// error message, "" when absent or valid.
+std::string read_positive_int(const json::Value& request,
+                              const std::string& key, int* value) {
+  double n = 0.0;
+  if (!read_number(request, key, &n)) {
+    return "";
+  }
+  if (n < 1 || n != std::floor(n)) {
+    return key + " must be a positive integer";
+  }
+  *value = static_cast<int>(n);
+  return "";
 }
 
 /// The "job" member, validated as a nonnegative integer id.
@@ -133,6 +177,9 @@ std::string SimServer::handle_line(const std::string& line) {
     if (op == "submit") {
       return finish_response(handle_submit(request));
     }
+    if (op == "compare") {
+      return finish_response(handle_compare(request));
+    }
     if (op == "status") {
       return finish_response(handle_status(request));
     }
@@ -169,28 +216,10 @@ std::string SimServer::handle_line(const std::string& line) {
 
 std::string SimServer::handle_submit(const json::Value& request) {
   SimRequest req;
-  if (!read_string(request, "scenario", &req.scenario)) {
-    return error_response("submit", errc::kBadRequest,
-                          "missing required field: scenario");
+  const std::string field_error = read_request_fields(request, &req);
+  if (!field_error.empty()) {
+    return error_response("submit", errc::kBadRequest, field_error);
   }
-  read_string(request, "app", &req.app);
-  read_string(request, "policy", &req.policy);
-  read_bool(request, "with_bml", &req.with_bml);
-  read_number(request, "duration_s", &req.duration_s);
-  read_number(request, "initial_temp_c", &req.initial_temp_c);
-  double seed = 0.0;
-  if (read_number(request, "seed", &seed)) {
-    if (seed < 0 || seed != std::floor(seed)) {
-      return error_response("submit", errc::kBadRequest,
-                            "seed must be a nonnegative integer");
-    }
-    req.seed = static_cast<std::uint64_t>(seed);
-  }
-  double levels = 0.0;
-  if (read_number(request, "app_levels", &levels)) {
-    req.app_levels = static_cast<int>(levels);
-  }
-  read_number(request, "app_phase_s", &req.app_phase_s);
   double deadline_s = -1.0;
   read_number(request, "deadline_s", &deadline_s);
 
@@ -255,6 +284,68 @@ std::string SimServer::handle_submit_many(const SimRequest& request,
   out.set("op", json::Value::string("submit"));
   out.set("seeds", json::Value::number(static_cast<double>(seeds)));
   out.set("jobs", jobs);
+  return out.dump();
+}
+
+std::string SimServer::handle_compare(const json::Value& request) {
+  const json::Value* arms = request.find("arms");
+  if (arms == nullptr || !arms->is_array()) {
+    return error_response("compare", errc::kBadRequest,
+                          "compare requires an \"arms\" array");
+  }
+  CompareRequest cmp;
+  cmp.arms.reserve(arms->items().size());
+  for (const json::Value& item : arms->items()) {
+    if (!item.is_object()) {
+      return error_response("compare", errc::kBadRequest,
+                            "every compare arm must be an object");
+    }
+    CompareArmRequest arm;
+    const std::string field_error = read_request_fields(item, &arm.request);
+    if (!field_error.empty()) {
+      return error_response("compare", errc::kBadRequest,
+                            "arm " + std::to_string(cmp.arms.size()) + ": " +
+                                field_error);
+    }
+    read_string(item, "name", &arm.name);
+    cmp.arms.push_back(std::move(arm));
+  }
+  read_string(request, "metric", &cmp.metric);
+  read_number(request, "confidence", &cmp.confidence);
+  for (const auto& [key, value] :
+       {std::pair<const char*, int*>{"max_seeds", &cmp.max_seeds},
+        std::pair<const char*, int*>{"round_seeds", &cmp.round_seeds},
+        std::pair<const char*, int*>{"min_seeds", &cmp.min_seeds}}) {
+    const std::string int_error = read_positive_int(request, key, value);
+    if (!int_error.empty()) {
+      return error_response("compare", errc::kBadRequest, int_error);
+    }
+  }
+  double base_seed = 0.0;
+  if (read_number(request, "base_seed", &base_seed)) {
+    if (base_seed < 0 || base_seed != std::floor(base_seed)) {
+      return error_response("compare", errc::kBadRequest,
+                            "base_seed must be a nonnegative integer");
+    }
+    cmp.base_seed = static_cast<std::uint64_t>(base_seed);
+  }
+  double deadline_s = -1.0;
+  read_number(request, "deadline_s", &deadline_s);
+
+  const SubmitOutcome outcome = service_.submit_compare(cmp, deadline_s);
+  json::Value out = json::Value::object();
+  out.set("ok", json::Value::boolean(outcome.accepted));
+  out.set("op", json::Value::string("compare"));
+  if (outcome.accepted) {
+    out.set("job", json::Value::number(static_cast<double>(outcome.id)));
+    out.set("cached", json::Value::boolean(outcome.cached));
+    out.set("stale", json::Value::boolean(outcome.stale));
+  } else {
+    out.set("error", error_object(outcome.reject_code.empty()
+                                      ? errc::kInternal
+                                      : outcome.reject_code,
+                                  outcome.reject_reason));
+  }
   return out.dump();
 }
 
@@ -376,6 +467,15 @@ std::string SimServer::handle_stats() {
           json::Value::number(static_cast<double>(s.wide_jobs)));
   out.set("lockstep_lanes",
           json::Value::number(static_cast<double>(s.lockstep_lanes)));
+  out.set("compares", json::Value::number(static_cast<double>(s.compares)));
+  out.set("compare_rounds",
+          json::Value::number(static_cast<double>(s.compare_rounds)));
+  out.set("compare_lane_runs",
+          json::Value::number(static_cast<double>(s.compare_lane_runs)));
+  out.set("compare_lane_hits",
+          json::Value::number(static_cast<double>(s.compare_lane_hits)));
+  out.set("compare_early_stops",
+          json::Value::number(static_cast<double>(s.compare_early_stops)));
   out.set("batch_width",
           json::Value::number(static_cast<double>(s.batch_width)));
   out.set("workers", json::Value::number(static_cast<double>(s.workers)));
@@ -418,6 +518,17 @@ std::string SimServer::handle_stats() {
               json::Value::number(static_cast<double>(sh.wide_jobs)));
     entry.set("lockstep_lanes",
               json::Value::number(static_cast<double>(sh.lockstep_lanes)));
+    entry.set("compares",
+              json::Value::number(static_cast<double>(sh.compares)));
+    entry.set("compare_rounds",
+              json::Value::number(static_cast<double>(sh.compare_rounds)));
+    entry.set("compare_lane_runs",
+              json::Value::number(static_cast<double>(sh.compare_lane_runs)));
+    entry.set("compare_lane_hits",
+              json::Value::number(static_cast<double>(sh.compare_lane_hits)));
+    entry.set("compare_early_stops",
+              json::Value::number(
+                  static_cast<double>(sh.compare_early_stops)));
     entry.set("submitted",
               json::Value::number(static_cast<double>(sh.submitted)));
     entry.set("completed",
@@ -462,6 +573,12 @@ std::string SimServer::handle_scenarios() {
     list.push(e);
   }
   out.set("scenarios", list);
+  // The verdict metrics the compare op accepts, stable order.
+  json::Value metrics = json::Value::array();
+  for (const std::string& name : sim::compare_metric_names()) {
+    metrics.push(json::Value::string(name));
+  }
+  out.set("compare_metrics", metrics);
   return out.dump();
 }
 

@@ -15,6 +15,24 @@
 //             for cache misses) and the response is
 //             {ok, seeds, jobs:[{accepted, job|error, cached, stale}...]}
 //             in lane order; "ok" is true iff every lane was accepted.
+//   compare   (arms:[{scenario, app?, policy?, with_bml?, duration_s?,
+//              initial_temp_c?, app_levels?, app_phase_s?, name?}, ...],
+//              metric?, confidence?, max_seeds?, round_seeds?,
+//              min_seeds?, base_seed?, deadline_s?)
+//                                      -> {ok, job, cached, stale}
+//             Admits a best-arm policy comparison as ONE job: >= 2 arms
+//             run round-by-round over a shared seed schedule derived
+//             from base_seed (common random numbers — the arms' own
+//             "seed" fields are ignored) and stop early once the best
+//             arm's confidence interval separates from every rival's.
+//             The job's `result` payload is the verdict
+//             {compare:{metric, winner, separated, early_stop, rounds,
+//             seeds_per_arm, arms:[{name, mean, ci95, stddev, n}...]}}.
+//             Per-(arm, seed) runs share the result cache with plain
+//             submits, so overlapping or repeated comparisons are nearly
+//             free; the verdict itself is cached and byte-identical on a
+//             repeat. metric is one of "median_fps" (higher wins),
+//             "peak_temp_c" / "mean_power_w" (lower wins).
 //   status    (job)                    -> {ok, job, state, from_cache, ...}
 //   result    (job)                    -> {ok, job, state, result:{...}}
 //   cancel    (job)                    -> {ok, job, cancelled}
@@ -22,8 +40,12 @@
 //   stats     ()                       -> {ok, fleet rollup + cache
 //              counters, shards:[{shard, queued, retry_backlog, running,
 //              wide_jobs, lockstep_lanes, ...}]} — per-shard queue depth
-//              and lane counts make saturation diagnosable per shard
-//   scenarios ()                       -> {ok, scenarios:[...]}
+//              and lane counts make saturation diagnosable per shard;
+//              compare counters (compares, compare_rounds,
+//              compare_lane_runs/hits, compare_early_stops) ride along in
+//              both the rollup and the per-shard entries
+//   scenarios ()                       -> {ok, scenarios:[...],
+//              compare_metrics:[...]}
 //   shutdown  ()                       -> {ok} and the serve loop exits
 //
 // Every response carries "ok" and echoes "op". Failures are structured:
@@ -75,6 +97,7 @@ class SimServer {
   std::string handle_submit(const json::Value& request);
   std::string handle_submit_many(const SimRequest& request,
                                  std::size_t seeds, double deadline_s);
+  std::string handle_compare(const json::Value& request);
   std::string handle_status(const json::Value& request);
   std::string handle_result(const json::Value& request);
   std::string handle_cancel(const json::Value& request);

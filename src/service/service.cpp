@@ -5,12 +5,16 @@
 #include <exception>
 #include <utility>
 
+#include "service/json.h"
 #include "sim/batch.h"
+#include "sim/compare.h"
 #include "sim/lockstep.h"
+#include "sim/montecarlo.h"
 #include "sim/report.h"
 #include "sim/sim_error.h"
 #include "util/error.h"
 #include "util/rng.h"
+#include "util/seed_schedule.h"
 #include "util/units.h"
 
 namespace mobitherm::service {
@@ -131,9 +135,13 @@ SubmitOutcome SimService::submit_prepared(PreparedRequest prepared,
     out.reject_code = errc::kInvalidRequest;
     return out;
   }
-  const SimRequest& resolved = prepared.resolved;
-  const std::string& canonical = prepared.canonical;
-  const std::uint64_t key = prepared.key;
+  return admit_unit(prepared.key, std::move(prepared.canonical),
+                    std::move(prepared.resolved), nullptr, deadline_s);
+}
+
+SubmitOutcome SimService::admit_unit(
+    std::uint64_t key, std::string canonical, SimRequest resolved,
+    std::shared_ptr<const CompareRequest> compare, double deadline_s) {
   std::shared_ptr<const JobResult> cached = cache_.lookup(key, canonical);
 
   util::MutexLock lock(mutex_);
@@ -174,11 +182,15 @@ SubmitOutcome SimService::submit_prepared(PreparedRequest prepared,
 
   auto job = std::make_shared<Job>();
   job->id = next_id_++;
-  job->resolved = resolved;
+  job->resolved = std::move(resolved);
+  job->compare = std::move(compare);
   job->key = key;
-  job->canonical = canonical;
+  job->canonical = std::move(canonical);
   jobs_[job->id] = job;
   ++submitted_;
+  if (job->compare) {
+    ++compares_;
+  }
 
   SubmitOutcome out;
   out.accepted = true;
@@ -213,6 +225,101 @@ SubmitOutcome SimService::submit_prepared(PreparedRequest prepared,
   queue_.push_back(Work{{job}});
   work_cv_.notify_one();
   return out;
+}
+
+PreparedCompare SimService::prepare_compare(
+    const CompareRequest& request) const {
+  PreparedCompare prepared;
+  try {
+    if (request.arms.size() < 2) {
+      throw util::ConfigError("compare: need at least two arms");
+    }
+    if (!(request.confidence > 0.0) || !(request.confidence < 1.0)) {
+      throw util::ConfigError("compare: confidence must be in (0, 1)");
+    }
+    if (request.min_seeds < 2) {
+      throw util::ConfigError("compare: min_seeds must be >= 2");
+    }
+    if (request.max_seeds < request.min_seeds) {
+      throw util::ConfigError("compare: max_seeds must be >= min_seeds");
+    }
+    if (request.round_seeds < 1) {
+      throw util::ConfigError("compare: round_seeds must be >= 1");
+    }
+    // Validates the metric name (and fixes the direction later).
+    (void)sim::compare_metric_higher_is_better(request.metric);
+
+    CompareRequest spec = request;
+    // The compare canonical key embeds every option plus each arm's own
+    // canonical form at seed 0 — the schedule supplies real seeds, so the
+    // arms' seed fields must not distinguish otherwise equal comparisons.
+    std::string canonical;
+    canonical.reserve(256);
+    canonical += "cmp=";
+    canonical += kSimCodeVersion;
+    canonical += ";metric=";
+    canonical += spec.metric;
+    canonical += ";confidence=";
+    canonical += json::format_number(spec.confidence);
+    canonical += ";max_seeds=";
+    canonical += std::to_string(spec.max_seeds);
+    canonical += ";round_seeds=";
+    canonical += std::to_string(spec.round_seeds);
+    canonical += ";min_seeds=";
+    canonical += std::to_string(spec.min_seeds);
+    canonical += ";base_seed=";
+    canonical += std::to_string(spec.base_seed);
+    canonical += ";arms=";
+    canonical += std::to_string(spec.arms.size());
+    for (std::size_t a = 0; a < spec.arms.size(); ++a) {
+      CompareArmRequest& arm = spec.arms[a];
+      arm.request = registry_.resolve(arm.request);
+      if (arm.name.empty()) {
+        arm.name = arm.request.policy;
+        if (arm.request.with_bml) {
+          arm.name += "+bml";
+        }
+      }
+      SimRequest keyed = arm.request;
+      keyed.seed = 0;
+      canonical += ";arm";
+      canonical += std::to_string(a);
+      canonical += "=";
+      // Names appear in the verdict payload, so they are part of the
+      // identity; quoting keeps arbitrary labels from forging delimiters.
+      canonical += json::quote(arm.name);
+      canonical += "@";
+      canonical += registry_.canonical_key(keyed);
+    }
+    prepared.spec = std::move(spec);
+    prepared.canonical = std::move(canonical);
+    prepared.key = fnv1a64(prepared.canonical);
+    prepared.valid = true;
+  } catch (const std::exception& e) {
+    prepared.error = e.what();
+  }
+  return prepared;
+}
+
+SubmitOutcome SimService::submit_compare(const CompareRequest& request,
+                                         double deadline_s) {
+  return submit_compare_prepared(prepare_compare(request), deadline_s);
+}
+
+SubmitOutcome SimService::submit_compare_prepared(PreparedCompare prepared,
+                                                  double deadline_s) {
+  if (!prepared.valid) {
+    util::MutexLock lock(mutex_);
+    ++rejected_;
+    SubmitOutcome out;
+    out.reject_reason = prepared.error;
+    out.reject_code = errc::kInvalidRequest;
+    return out;
+  }
+  return admit_unit(
+      prepared.key, std::move(prepared.canonical), SimRequest{},
+      std::make_shared<const CompareRequest>(std::move(prepared.spec)),
+      deadline_s);
 }
 
 std::vector<SubmitOutcome> SimService::submit_many(const SimRequest& request,
@@ -431,6 +538,11 @@ ServiceStats SimService::stats() const {
     s.running = running_;
     s.wide_jobs = wide_jobs_;
     s.lockstep_lanes = lockstep_lanes_;
+    s.compares = compares_;
+    s.compare_rounds = compare_rounds_;
+    s.compare_lane_runs = compare_lane_runs_;
+    s.compare_lane_hits = compare_lane_hits_;
+    s.compare_early_stops = compare_early_stops_;
   }
   s.workers = config_.workers;
   s.queue_capacity = config_.queue_capacity;
@@ -497,7 +609,12 @@ void SimService::worker_loop() {
     }
     lock.unlock();
     if (lanes.size() == 1) {
-      execute(lanes[0], attempts[0]);
+      // Compare jobs are always admitted alone in their Work slot.
+      if (lanes[0]->compare) {
+        execute_compare(lanes[0], attempts[0]);
+      } else {
+        execute(lanes[0], attempts[0]);
+      }
     } else {
       execute_wide(lanes, attempts);
     }
@@ -505,71 +622,82 @@ void SimService::worker_loop() {
   }
 }
 
+std::shared_ptr<JobResult> SimService::run_resolved_sliced(
+    const SimRequest& resolved, std::uint64_t fault_key, int attempt,
+    const Job& job, ExecOutcome& out) {
+  util::FaultPlan* plan = config_.faults;
+  std::unique_ptr<sim::Engine> engine = registry_.make_engine(resolved);
+  if (config_.guard_max_temp_c > 0.0) {
+    engine->set_runaway_guard(
+        util::celsius_to_kelvin(config_.guard_max_temp_c));
+  }
+  sim::MetricsObserver tap(config_.metrics);
+  engine->add_observer(&tap);
+  double remaining = resolved.duration_s;
+  std::uint64_t slice_index = 0;
+  while (remaining > 0.0) {
+    if (job.stop.load(std::memory_order_relaxed)) {
+      out.cancelled = true;
+      break;
+    }
+    if (job.deadline &&
+        std::chrono::steady_clock::now() >=  // MOBILINT: nondet-ok
+            *job.deadline) {
+      out.expired = true;
+      break;
+    }
+    const std::uint64_t fkey = slice_fault_key(fault_key, attempt,
+                                               slice_index);
+    if (plan != nullptr &&
+        plan->fires(util::FaultSite::kWorkerCrashBeforeSlice, fkey)) {
+      throw util::FaultInjected(util::FaultSite::kWorkerCrashBeforeSlice,
+                                fkey);
+    }
+    if (plan != nullptr &&
+        plan->fires(util::FaultSite::kSliceLatency, fkey)) {
+      // Injected wall-clock stall (deadline fuel for the tests); the
+      // simulated state is untouched.
+      std::this_thread::sleep_for(to_duration(plan->latency_s()));
+    }
+    const double slice = std::min(kSliceSimSeconds, remaining);
+    engine->run(slice, &job.stop);
+    remaining -= slice;
+    if (plan != nullptr &&
+        plan->fires(util::FaultSite::kWorkerCrashAfterSlice, fkey)) {
+      throw util::FaultInjected(util::FaultSite::kWorkerCrashAfterSlice,
+                                fkey);
+    }
+    ++slice_index;
+  }
+  // The stop token and the deadline must also be honored when they fire
+  // during the final (possibly partial) slice — checking only at the
+  // top of the loop would let a job whose last slice overshot its
+  // deadline complete as if nothing happened.
+  if (!out.cancelled && !out.expired) {
+    if (job.stop.load(std::memory_order_relaxed)) {
+      out.cancelled = true;
+    } else if (job.deadline &&
+               std::chrono::steady_clock::now() >=  // MOBILINT: nondet-ok
+                   *job.deadline) {
+      out.expired = true;
+    }
+  }
+  if (out.cancelled || out.expired) {
+    return nullptr;
+  }
+  auto result = std::make_shared<JobResult>();
+  result->metrics = tap.metrics(*engine);
+  result->report = sim::make_report(*engine, config_.metrics.temp_limit_c);
+  result->payload = serialize_result(result->metrics, result->report);
+  return result;
+}
+
 void SimService::execute(const std::shared_ptr<Job>& job, int attempt) {
   ExecOutcome out;
-  util::FaultPlan* plan = config_.faults;
   try {
-    std::unique_ptr<sim::Engine> engine = registry_.make_engine(job->resolved);
-    if (config_.guard_max_temp_c > 0.0) {
-      engine->set_runaway_guard(
-          util::celsius_to_kelvin(config_.guard_max_temp_c));
-    }
-    sim::MetricsObserver tap(config_.metrics);
-    engine->add_observer(&tap);
-    double remaining = job->resolved.duration_s;
-    std::uint64_t slice_index = 0;
-    while (remaining > 0.0) {
-      if (job->stop.load(std::memory_order_relaxed)) {
-        out.cancelled = true;
-        break;
-      }
-      if (job->deadline &&
-          std::chrono::steady_clock::now() >=  // MOBILINT: nondet-ok
-              *job->deadline) {
-        out.expired = true;
-        break;
-      }
-      const std::uint64_t fkey = slice_fault_key(job->key, attempt,
-                                                 slice_index);
-      if (plan != nullptr &&
-          plan->fires(util::FaultSite::kWorkerCrashBeforeSlice, fkey)) {
-        throw util::FaultInjected(util::FaultSite::kWorkerCrashBeforeSlice,
-                                  fkey);
-      }
-      if (plan != nullptr &&
-          plan->fires(util::FaultSite::kSliceLatency, fkey)) {
-        // Injected wall-clock stall (deadline fuel for the tests); the
-        // simulated state is untouched.
-        std::this_thread::sleep_for(to_duration(plan->latency_s()));
-      }
-      const double slice = std::min(kSliceSimSeconds, remaining);
-      engine->run(slice, &job->stop);
-      remaining -= slice;
-      if (plan != nullptr &&
-          plan->fires(util::FaultSite::kWorkerCrashAfterSlice, fkey)) {
-        throw util::FaultInjected(util::FaultSite::kWorkerCrashAfterSlice,
-                                  fkey);
-      }
-      ++slice_index;
-    }
-    // The stop token and the deadline must also be honored when they fire
-    // during the final (possibly partial) slice — checking only at the
-    // top of the loop would let a job whose last slice overshot its
-    // deadline complete as if nothing happened.
-    if (!out.cancelled && !out.expired) {
-      if (job->stop.load(std::memory_order_relaxed)) {
-        out.cancelled = true;
-      } else if (job->deadline &&
-                 std::chrono::steady_clock::now() >=  // MOBILINT: nondet-ok
-                     *job->deadline) {
-        out.expired = true;
-      }
-    }
-    if (!out.cancelled && !out.expired) {
-      auto result = std::make_shared<JobResult>();
-      result->metrics = tap.metrics(*engine);
-      result->report = sim::make_report(*engine, config_.metrics.temp_limit_c);
-      result->payload = serialize_result(result->metrics, result->report);
+    std::shared_ptr<JobResult> result =
+        run_resolved_sliced(job->resolved, job->key, attempt, *job, out);
+    if (result) {
       cache_.insert(job->key, job->canonical, result);
       out.result = std::move(result);
     }
@@ -578,6 +706,131 @@ void SimService::execute(const std::shared_ptr<Job>& job, int attempt) {
   }
 
   util::MutexLock lock(mutex_);
+  settle_locked(job, attempt, out);
+}
+
+// One compare job: rounds of per-(arm, seed) lanes over the shared seed
+// schedule. Every lane is either served from the result cache (under the
+// same canonical key a direct submit of that request would use) or run as
+// deadline/stop-cooperative slices; metric values feed per-arm Welford
+// accumulators in (arm, slot) order and the pure decide_best_arm()
+// decision runs after every round. A faulted lane aborts the attempt and
+// re-queues the whole job through the usual retry machinery — completed
+// lanes are cache hits on the retry, and the schedule, being a pure
+// function of the base seed, is never perturbed.
+void SimService::execute_compare(const std::shared_ptr<Job>& job,
+                                 int attempt) {
+  ExecOutcome out;
+  std::size_t rounds = 0;
+  std::size_t lane_runs = 0;
+  std::size_t lane_hits = 0;
+  bool early_stop = false;
+  try {
+    const CompareRequest& spec = *job->compare;
+    const bool higher = sim::compare_metric_higher_is_better(spec.metric);
+    const std::size_t arm_count = spec.arms.size();
+    const util::SeedSchedule schedule(spec.base_seed);
+    std::vector<sim::WelfordAccumulator> accs(arm_count);
+    int seeds_done = 0;
+    bool separated = false;
+    std::size_t best = 0;
+    bool aborted = false;
+    while (seeds_done < spec.max_seeds && !aborted) {
+      const int round =
+          std::min(spec.round_seeds, spec.max_seeds - seeds_done);
+      ++rounds;
+      for (std::size_t a = 0; a < arm_count && !aborted; ++a) {
+        for (int s = 0; s < round && !aborted; ++s) {
+          SimRequest lane = spec.arms[a].request;
+          lane.seed =
+              schedule.at(static_cast<std::uint64_t>(seeds_done + s));
+          const std::string canonical = registry_.canonical_key(lane);
+          const std::uint64_t key = fnv1a64(canonical);
+          std::shared_ptr<const JobResult> result =
+              cache_.lookup(key, canonical);
+          if (result) {
+            ++lane_hits;
+          } else {
+            ++lane_runs;
+            std::shared_ptr<JobResult> fresh =
+                run_resolved_sliced(lane, key, attempt, *job, out);
+            if (!fresh) {
+              aborted = true;  // cancelled or expired mid-lane
+              break;
+            }
+            cache_.insert(key, canonical, fresh);
+            result = std::move(fresh);
+          }
+          accs[a].add(
+              sim::compare_metric_value(result->metrics, spec.metric));
+        }
+      }
+      if (aborted) {
+        break;
+      }
+      seeds_done += round;
+      const sim::CompareDecision decision =
+          sim::decide_best_arm(accs, spec.confidence, higher);
+      best = decision.best;
+      if (seeds_done >= spec.min_seeds && decision.separated) {
+        separated = true;
+        early_stop = seeds_done < spec.max_seeds;
+        break;
+      }
+    }
+    if (!out.cancelled && !out.expired) {
+      // Verdict payload: a pure function of the ordered per-seed results
+      // (json formatting is canonical), so replays are byte-identical at
+      // any worker or shard count.
+      json::Value verdict = json::Value::object();
+      json::Value body = json::Value::object();
+      body.set("metric", json::Value::string(spec.metric));
+      body.set("higher_is_better", json::Value::boolean(higher));
+      body.set("confidence", json::Value::number(spec.confidence));
+      body.set("winner", json::Value::string(spec.arms[best].name));
+      body.set("winner_index",
+               json::Value::number(static_cast<double>(best)));
+      body.set("separated", json::Value::boolean(separated));
+      body.set("early_stop", json::Value::boolean(early_stop));
+      body.set("rounds", json::Value::number(static_cast<double>(rounds)));
+      body.set("seeds_per_arm",
+               json::Value::number(static_cast<double>(seeds_done)));
+      body.set("max_seeds",
+               json::Value::number(static_cast<double>(spec.max_seeds)));
+      body.set("base_seed",
+               json::Value::number(static_cast<double>(spec.base_seed)));
+      json::Value arms = json::Value::array();
+      for (std::size_t a = 0; a < arm_count; ++a) {
+        const sim::ArmStats stats =
+            sim::arm_stats(accs[a], spec.confidence);
+        json::Value arm = json::Value::object();
+        arm.set("name", json::Value::string(spec.arms[a].name));
+        arm.set("mean", json::Value::number(stats.mean));
+        // Half-width of the two-sided interval at `confidence`; the field
+        // name pins the default level, as the issue's verdict shape does.
+        arm.set("ci95", json::Value::number(stats.half_width));
+        arm.set("stddev", json::Value::number(stats.stddev));
+        arm.set("n", json::Value::number(static_cast<double>(stats.n)));
+        arms.push(arm);
+      }
+      body.set("arms", arms);
+      verdict.set("compare", body);
+      auto result = std::make_shared<JobResult>();
+      result->payload = verdict.dump();
+      cache_.insert(job->key, job->canonical, result);
+      out.result = std::move(result);
+    }
+  } catch (...) {
+    classify_current_exception(out);
+  }
+
+  util::MutexLock lock(mutex_);
+  compare_rounds_ += rounds;
+  compare_lane_runs_ += lane_runs;
+  compare_lane_hits_ += lane_hits;
+  if (out.result != nullptr && early_stop) {
+    ++compare_early_stops_;
+  }
   settle_locked(job, attempt, out);
 }
 

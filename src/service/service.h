@@ -28,6 +28,19 @@
 // again. Every failure carries a machine-readable code, the fault site and
 // the attempt count.
 //
+// Compare jobs (PR 9): submit_compare() admits a best-arm policy
+// comparison (sim/compare.h) as one job. A worker runs it round by round
+// over a shared deterministic seed schedule, each per-(arm, seed) lane
+// executing as sliced work — cooperative with the job's deadline and
+// cancellation token exactly like submit — and consulting the pure
+// decide_best_arm() decision after every round. Lanes are cached under
+// the same canonical keys a direct submit of that (arm, seed) request
+// would use, so refinement re-runs and overlapping comparisons are nearly
+// free, and the verdict payload itself is cached under the compare
+// canonical key. The verdict is a pure function of the ordered per-seed
+// results: replays are byte-identical at any worker count, shard count or
+// injected-fault schedule.
+//
 // Wide jobs (this PR): submit_many() admits a fan of seeds in one call.
 // Cache-missing lanes are packed into lockstep groups that a single worker
 // executes through sim::LockstepRunner — K engines stepped together with
@@ -179,6 +192,14 @@ struct ServiceStats {
   /// total lanes they carried.
   std::size_t wide_jobs = 0;
   std::size_t lockstep_lanes = 0;
+  /// Compare jobs admitted (incl. cache-served verdicts), decision rounds
+  /// executed, per-(arm, seed) lane executions vs. cache-served lanes, and
+  /// compares that stopped on CI separation before the seed budget.
+  std::size_t compares = 0;
+  std::size_t compare_rounds = 0;
+  std::size_t compare_lane_runs = 0;
+  std::size_t compare_lane_hits = 0;
+  std::size_t compare_early_stops = 0;
   unsigned workers = 0;
   std::size_t queue_capacity = 0;
   /// Resolved lockstep lane width for wide jobs (1 = scalar path).
@@ -200,6 +221,44 @@ struct PreparedRequest {
   std::string error;
 };
 
+/// One arm of a policy comparison: a request variant plus its verdict
+/// label. `request.seed` is ignored — the compare job's seed schedule
+/// supplies every per-sample seed (common random numbers across arms).
+struct CompareArmRequest {
+  SimRequest request;
+  /// Verdict label; empty derives "<policy>" (+"+bml") from resolution.
+  std::string name;
+};
+
+/// A best-arm comparison (the service face of sim/compare.h): K arms
+/// evaluated round by round on a shared seed schedule until the best
+/// arm's confidence interval separates from every rival's or the per-arm
+/// seed budget is exhausted.
+struct CompareRequest {
+  std::vector<CompareArmRequest> arms;  // >= 2
+  /// Verdict metric: one of sim::compare_metric_names() ("median_fps",
+  /// "peak_temp_c", "mean_power_w"); the metric fixes the direction.
+  std::string metric = "median_fps";
+  double confidence = 0.95;
+  int max_seeds = 32;
+  int round_seeds = 4;
+  int min_seeds = 4;  // >= 2; no separation verdict before this
+  std::uint64_t base_seed = 1;
+};
+
+/// A compare request admitted past resolution (compare analog of
+/// PreparedRequest): arms resolved, names filled, and the compare
+/// canonical key — which embeds every option and each arm's canonical
+/// form — plus its FNV-1a hash (the verdict cache key and the shard
+/// router's partition input).
+struct PreparedCompare {
+  CompareRequest spec;
+  std::string canonical;
+  std::uint64_t key = 0;
+  bool valid = false;
+  std::string error;
+};
+
 /// The service surface the NDJSON front end (server.h, net_server.h)
 /// programs against. Implemented by SimService (one pool, one cache) and
 /// ShardedService (shard.h: N share-nothing SimService shards behind one
@@ -213,6 +272,10 @@ class ServiceApi {
   virtual std::vector<SubmitOutcome> submit_many(const SimRequest& request,
                                                  std::size_t seeds,
                                                  double deadline_s) = 0;
+  /// Admit a best-arm comparison as one job; the verdict is fetched with
+  /// result() once the job is done (cached verdicts complete immediately).
+  virtual SubmitOutcome submit_compare(const CompareRequest& request,
+                                       double deadline_s = -1.0) = 0;
   virtual std::optional<JobStatus> status(std::uint64_t id) = 0;
   virtual std::shared_ptr<const JobResult> result(std::uint64_t id) const = 0;
   virtual bool cancel(std::uint64_t id) = 0;
@@ -271,6 +334,22 @@ class SimService : public ServiceApi {
                                          std::size_t seeds,
                                          double deadline_s = -1.0) override;
 
+  /// Admit a best-arm comparison. Admission mirrors submit(): a cached
+  /// verdict completes the job immediately and byte-identically, a full
+  /// queue degrades to a stale verdict or rejects, and the job then runs
+  /// rounds of per-(arm, seed) lanes as sliced work under the usual
+  /// deadline/cancellation/retry machinery.
+  SubmitOutcome submit_compare(const CompareRequest& request,
+                               double deadline_s = -1.0) override;
+
+  /// Resolve + canonicalize + hash a comparison without admitting it (the
+  /// shard router resolves once, then routes by the compare key).
+  PreparedCompare prepare_compare(const CompareRequest& request) const;
+
+  /// submit_compare() for an already-prepared comparison.
+  SubmitOutcome submit_compare_prepared(PreparedCompare prepared,
+                                        double deadline_s);
+
   /// Snapshot of a job's state; nullopt for unknown ids. Lazily expires
   /// queued jobs whose deadline has passed.
   std::optional<JobStatus> status(std::uint64_t id) override;
@@ -311,6 +390,10 @@ class SimService : public ServiceApi {
   struct Job {
     std::uint64_t id = 0;
     SimRequest resolved;
+    /// Set for compare jobs (resolved spec; `resolved` is then unused).
+    /// Written once during admission, immutable afterwards, like the
+    /// fields below.
+    std::shared_ptr<const CompareRequest> compare;
     std::uint64_t key = 0;
     std::string canonical;
     JobState state = JobState::kQueued;
@@ -348,6 +431,24 @@ class SimService : public ServiceApi {
   void worker_loop();
   void execute(const std::shared_ptr<Job>& job, int attempt);
 
+  /// Run one resolved request as deadline/stop-cooperative slices on the
+  /// calling worker (the shared core of execute() and compare lanes).
+  /// Returns the finished result (not yet cached), or nullptr with
+  /// out.cancelled/out.expired set; throws on faults and engine errors.
+  /// `fault_key` seeds the per-slice fault sites — the job's canonical
+  /// hash for scalar jobs, the lane's own canonical hash for compare
+  /// lanes, so injected schedules stay pure in (request, attempt, slice).
+  std::shared_ptr<JobResult> run_resolved_sliced(const SimRequest& resolved,
+                                                 std::uint64_t fault_key,
+                                                 int attempt, const Job& job,
+                                                 ExecOutcome& out);
+
+  /// Run a compare job: rounds of per-(arm, seed) lanes — cache-served or
+  /// freshly sliced — feeding per-arm Welford accumulators, with the pure
+  /// best-arm decision after every round. The verdict payload is cached
+  /// under the job's compare key.
+  void execute_compare(const std::shared_ptr<Job>& job, int attempt);
+
   /// Run a lockstep group (>= 2 lanes, engines per lane, fused physics).
   /// A lane that faults, trips a guard, cancels or expires retires alone;
   /// survivors keep stepping. `attempts[k]` is lane k's attempt number.
@@ -356,6 +457,15 @@ class SimService : public ServiceApi {
 
   /// Map the in-flight exception to an ExecOutcome (call inside catch).
   static void classify_current_exception(ExecOutcome& out);
+
+  /// Shared admission core of submit_prepared() and
+  /// submit_compare_prepared(): cache lookup, shutdown/backpressure
+  /// handling, job creation and queueing for one (key, canonical) unit of
+  /// work. `compare` non-null admits a compare job (`resolved` unused).
+  SubmitOutcome admit_unit(std::uint64_t key, std::string canonical,
+                           SimRequest resolved,
+                           std::shared_ptr<const CompareRequest> compare,
+                           double deadline_s);
 
   /// Apply one attempt's outcome to the job: success / cancel / expiry
   /// finish it; a retryable failure re-queues it (as a scalar retry) with
@@ -410,6 +520,11 @@ class SimService : public ServiceApi {
   std::size_t running_ GUARDED_BY(mutex_) = 0;
   std::size_t wide_jobs_ GUARDED_BY(mutex_) = 0;
   std::size_t lockstep_lanes_ GUARDED_BY(mutex_) = 0;
+  std::size_t compares_ GUARDED_BY(mutex_) = 0;
+  std::size_t compare_rounds_ GUARDED_BY(mutex_) = 0;
+  std::size_t compare_lane_runs_ GUARDED_BY(mutex_) = 0;
+  std::size_t compare_lane_hits_ GUARDED_BY(mutex_) = 0;
+  std::size_t compare_early_stops_ GUARDED_BY(mutex_) = 0;
 
   /// Started in the constructor, joined in the destructor; the vector
   /// itself is touched by no other thread.

@@ -78,6 +78,20 @@ std::vector<SubmitOutcome> ShardedService::submit_many(
   return outcomes;
 }
 
+SubmitOutcome ShardedService::submit_compare(const CompareRequest& request,
+                                             double deadline_s) {
+  // One resolution, shared by routing and admission, like submit(); an
+  // unresolvable comparison rejects on shard 0.
+  PreparedCompare prepared = shards_.front()->prepare_compare(request);
+  const unsigned shard = prepared.valid ? shard_of_key(prepared.key) : 0;
+  SubmitOutcome out = shards_[shard]->submit_compare_prepared(
+      std::move(prepared), deadline_s);
+  if (out.accepted) {
+    out.id = global_id(out.id, shard);
+  }
+  return out;
+}
+
 std::optional<JobStatus> ShardedService::status(std::uint64_t id) {
   const unsigned shard = static_cast<unsigned>(id % shards_.size());
   std::optional<JobStatus> s = shards_[shard]->status(id / shards_.size());
@@ -121,6 +135,11 @@ ServiceStats ShardedService::stats() const {
     total.running += s.running;
     total.wide_jobs += s.wide_jobs;
     total.lockstep_lanes += s.lockstep_lanes;
+    total.compares += s.compares;
+    total.compare_rounds += s.compare_rounds;
+    total.compare_lane_runs += s.compare_lane_runs;
+    total.compare_lane_hits += s.compare_lane_hits;
+    total.compare_early_stops += s.compare_early_stops;
     total.workers += s.workers;
     total.queue_capacity += s.queue_capacity;
     total.cache.hits += s.cache.hits;

@@ -77,6 +77,16 @@ class ShardedService : public ServiceApi {
   std::vector<SubmitOutcome> submit_many(const SimRequest& request,
                                          std::size_t seeds,
                                          double deadline_s = -1.0) override;
+
+  /// Compare jobs route by the *compare* canonical key — one resolution
+  /// on shard 0, then fnv1a64(compare canonical) % shards — so a repeated
+  /// comparison lands on the shard that holds its cached verdict. The
+  /// verdict is a pure function of the ordered per-seed results, so it is
+  /// byte-identical at any shard count; only which shard's cache warms up
+  /// differs (per-(arm, seed) lanes cache on the compare job's shard).
+  SubmitOutcome submit_compare(const CompareRequest& request,
+                               double deadline_s = -1.0) override;
+
   std::optional<JobStatus> status(std::uint64_t id) override;
   std::shared_ptr<const JobResult> result(std::uint64_t id) const override;
   bool cancel(std::uint64_t id) override;
