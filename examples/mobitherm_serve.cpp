@@ -34,6 +34,11 @@
 //   --shards N           share-nothing service shards partitioned by
 //                        canonical key (default 1; requests route as
 //                        fnv1a64(canonical) % N)
+//   --packs DIR          load every workload pack (*.json) in DIR on top
+//                        of the built-in "synthetic" stressor pack; pack
+//                        apps are requested as "app":"<pack>/<app>". A
+//                        malformed pack aborts startup (exit 2) — nothing
+//                        registers partially.
 //
 // scripts/serve_client.py wraps this binary for interactive use, the CI
 // cache smoke test (--smoke) and the fault-injection smoke test
@@ -42,6 +47,7 @@
 #include <cstdlib>
 #include <exception>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "service/net_server.h"
@@ -50,6 +56,8 @@
 #include "service/service.h"
 #include "service/shard.h"
 #include "util/fault.h"
+#include "workload/pack.h"
+#include "workload/synthetic.h"
 
 namespace {
 
@@ -103,6 +111,7 @@ int main(int argc, char** argv) {
   double listen_port = -1;
   bool listen = false;
   std::string fault_spec;
+  std::string packs_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--listen") {
       listen = true;
@@ -118,14 +127,15 @@ int main(int argc, char** argv) {
         parse_flag(argc, argv, &i, "--retries", &retries) ||
         parse_flag(argc, argv, &i, "--batch-width", &batch_width) ||
         parse_flag(argc, argv, &i, "--shards", &shards) ||
-        parse_string_flag(argc, argv, &i, "--fault", &fault_spec)) {
+        parse_string_flag(argc, argv, &i, "--fault", &fault_spec) ||
+        parse_string_flag(argc, argv, &i, "--packs", &packs_dir)) {
       continue;
     }
     std::fprintf(stderr,
                  "usage: mobitherm_serve [--workers N] [--queue N] "
                  "[--cache N] [--deadline SECONDS] [--retries N] "
                  "[--batch-width N] [--fault SPEC] [--listen PORT] "
-                 "[--shards N]\n");
+                 "[--shards N] [--packs DIR]\n");
     return 2;
   }
   config.workers = workers < 1 ? 1 : static_cast<unsigned>(workers);
@@ -150,8 +160,30 @@ int main(int argc, char** argv) {
     config.faults = &faults;
   }
 
+  ScenarioRegistry registry = ScenarioRegistry::standard();
+  {
+    // The built-in synthetic stressor pack is always available; --packs
+    // layers JSON packs from disk on top. Every shard's registry copy
+    // shares the one immutable pack set.
+    auto packs = std::make_shared<mobitherm::workload::PackSet>();
+    packs->add(mobitherm::workload::synthetic_stressor_pack());
+    if (!packs_dir.empty()) {
+      try {
+        mobitherm::workload::PackSet loaded =
+            mobitherm::workload::load_pack_dir(packs_dir);
+        for (const std::string& name : loaded.pack_names()) {
+          packs->add(*loaded.find(name));
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "mobitherm_serve: %s\n", e.what());
+        return 2;
+      }
+    }
+    registry.attach_packs(std::move(packs));
+  }
+
   const unsigned shard_count = shards < 1 ? 1 : static_cast<unsigned>(shards);
-  ShardedService service(ScenarioRegistry::standard(), config, shard_count);
+  ShardedService service(registry, config, shard_count);
   SimServer server(service, config.faults);
 
   if (!listen) {

@@ -41,6 +41,7 @@ DEFAULT_BINARIES = [
     "micro_fault",
     "micro_lockstep",
     "micro_compare",
+    "micro_pack",
     "load_serve",
 ]
 

@@ -296,7 +296,10 @@ def rules_for(path, root):
     rules = []
     if rel.startswith("src/"):
         rules.append("hot-path-alloc")
-    if rel.startswith(("src/sim/", "src/thermal/", "src/service/")):
+    if rel.startswith(
+        ("src/sim/", "src/thermal/", "src/service/", "src/workload/",
+         "src/util/json")
+    ):
         rules.append("nondeterminism")
     if path.suffix == ".h" and rel.startswith(
         ("src/thermal/", "src/power/", "src/governors/", "src/platform/",

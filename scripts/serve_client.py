@@ -255,6 +255,45 @@ def run_smoke(client, timeout_s):
             "smoke: expected 2 completed jobs, got %s" % stats["completed"]
         )
 
+    # Pack phase: when the server advertises workload packs, drive one
+    # pack app through the same cache-identity check, plus an alternate
+    # power model (distinct canonical key, so never a cache hit of the
+    # baseline run). Servers without packs skip this phase, keeping the
+    # smoke usable against any configuration.
+    catalog = client.request({"op": "scenarios"})
+    packs = catalog.get("packs") or []
+    pack_runs = 0
+    if packs:
+        qualified = packs[0]["apps"][0]
+        pack_request = {
+            "scenario": "nexus", "app": qualified, "duration_s": 2}
+        first, first_raw = submit_and_fetch(client, pack_request, timeout_s)
+        if first.get("cached"):
+            raise SystemExit("smoke: first pack submit hit the cache")
+        second, second_raw = submit_and_fetch(client, pack_request,
+                                              timeout_s)
+        if not second.get("cached"):
+            raise SystemExit("smoke: pack submit repeat was not cached")
+        if extract_payload(first_raw) != extract_payload(second_raw):
+            raise SystemExit("smoke: cached pack payload differs")
+        status = client.request({"op": "status", "job": second["job"]})
+        canonical = status.get("canonical", "")
+        if ";pack=" + packs[0]["content_hash"] not in canonical:
+            raise SystemExit(
+                "smoke: pack canonical key does not pin the content hash: "
+                "%r" % canonical)
+        pack_runs += 2
+        models = [m["name"] for m in catalog.get("models", [])]
+        alt = [m for m in models if m != "baseline"]
+        if alt:
+            modeled = dict(pack_request)
+            modeled["power_model"] = alt[0]
+            third, _ = submit_and_fetch(client, modeled, timeout_s)
+            if third.get("cached"):
+                raise SystemExit(
+                    "smoke: %s-model run hit the baseline cache" % alt[0])
+            pack_runs += 1
+
     # Wide submit: seeds fan out in one admission and run on the lockstep
     # path (lanes packed into shared queue slots). On a sharded server the
     # lanes scatter by canonical key, so submit more lanes than shards —
@@ -298,6 +337,9 @@ def run_smoke(client, timeout_s):
         raise SystemExit("smoke: repeated wide submit was not fully cached")
 
     print("smoke OK: second submit cache-hit, payload byte-identical,")
+    if pack_runs:
+        print("  pack phase: %d runs against %d advertised pack(s), "
+              "content-hash-pinned keys" % (pack_runs, len(packs)))
     print("  wide submit ran %d lockstep lanes (batch width %d), repeat cached"
           % (stats["lockstep_lanes"], stats["batch_width"]))
     print(

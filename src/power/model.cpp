@@ -8,12 +8,29 @@ namespace mobitherm::power {
 
 using util::ConfigError;
 
+const char* to_string(LeakageForm form) {
+  switch (form) {
+    case LeakageForm::kBsim:
+      return "bsim";
+    case LeakageForm::kExpTempBias:
+      return "exp_temp_bias";
+  }
+  return "?";
+}
+
 PowerModel::PowerModel(const platform::SocSpec& spec, LeakageParams leakage,
                        util::Watt board_base_w)
     : spec_(spec), leakage_(leakage), board_base_w_(board_base_w) {
-  if (leakage_.theta_k <= util::kelvin(0.0) ||
-      leakage_.a_w_per_k2 < util::watts_per_kelvin2(0.0)) {
-    throw ConfigError("PowerModel: invalid leakage parameters");
+  if (leakage_.form == LeakageForm::kBsim) {
+    if (leakage_.theta_k <= util::kelvin(0.0) ||
+        leakage_.a_w_per_k2 < util::watts_per_kelvin2(0.0)) {
+      throw ConfigError("PowerModel: invalid leakage parameters");
+    }
+  } else {
+    if (leakage_.exp_a_w <= util::watts(0.0) || leakage_.exp_b_per_k <= 0.0) {
+      throw ConfigError(
+          "PowerModel: exponential leakage requires positive A_e and B");
+    }
   }
   if (board_base_w_ < util::watts(0.0)) {
     throw ConfigError("PowerModel: negative board base power");
@@ -43,9 +60,17 @@ ClusterPower PowerModel::cluster_power(const platform::Soc& soc,
                  ? cs.idle_power_w * activity.idle_power_scale
                  : util::watts(0.0);
   const util::Kelvin t = activity.temp_k;
-  p.leakage_w = cs.leakage_share * leakage_.a_w_per_k2 * t * t *
-                std::exp(-leakage_.theta_k / t) *
-                (v / cs.nominal_voltage_v);
+  // The baseline branch keeps the original expression (and evaluation
+  // order) exactly: regression traces pin the baseline model bitwise.
+  if (leakage_.form == LeakageForm::kBsim) {
+    p.leakage_w = cs.leakage_share * leakage_.a_w_per_k2 * t * t *
+                  std::exp(-leakage_.theta_k / t) *
+                  (v / cs.nominal_voltage_v);
+  } else {
+    p.leakage_w = cs.leakage_share * leakage_.exp_a_w *
+                  std::exp(leakage_.exp_b_per_k * t.value()) *
+                  (v / cs.nominal_voltage_v);
+  }
   return p;
 }
 
@@ -66,14 +91,22 @@ util::Watt PowerModel::leakage_at(std::size_t c, std::size_t opp,
   }
   const platform::ClusterSpec& cs = spec_.clusters[c];
   const platform::OperatingPoint& pt = cs.opps.at(opp);
-  return cs.leakage_share * leakage_.a_w_per_k2 * temp * temp *
-         std::exp(-leakage_.theta_k / temp) *
+  if (leakage_.form == LeakageForm::kBsim) {
+    return cs.leakage_share * leakage_.a_w_per_k2 * temp * temp *
+           std::exp(-leakage_.theta_k / temp) *
+           (pt.voltage_v / cs.nominal_voltage_v);
+  }
+  return cs.leakage_share * leakage_.exp_a_w *
+         std::exp(leakage_.exp_b_per_k * temp.value()) *
          (pt.voltage_v / cs.nominal_voltage_v);
 }
 
 util::Watt PowerModel::soc_leakage_nominal(util::Kelvin temp) const {
-  return leakage_.a_w_per_k2 * temp * temp *
-         std::exp(-leakage_.theta_k / temp);
+  if (leakage_.form == LeakageForm::kBsim) {
+    return leakage_.a_w_per_k2 * temp * temp *
+           std::exp(-leakage_.theta_k / temp);
+  }
+  return leakage_.exp_a_w * std::exp(leakage_.exp_b_per_k * temp.value());
 }
 
 }  // namespace mobitherm::power

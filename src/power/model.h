@@ -20,13 +20,32 @@
 
 namespace mobitherm::power {
 
+/// Leakage model strategy. The paper's analysis uses the BSIM quadratic
+/// form; De Vogeleer et al. model leakage as a pure exponential in
+/// temperature. power::ModelRegistry names the strategies and derives the
+/// alternate parameterizations from a platform's baseline calibration.
+enum class LeakageForm {
+  /// P_leak = share * A * T^2 * exp(-theta/T) * (V/V_nom)  (paper baseline)
+  kBsim,
+  /// P_leak = share * A_e * exp(B * T) * (V/V_nom)  (De Vogeleer bias)
+  kExpTempBias,
+};
+
+const char* to_string(LeakageForm form);
+
 /// SoC-level leakage parameters (see file comment).
 struct LeakageParams {
-  /// Leakage temperature constant theta = q*Vth/(eta*k).
+  /// Leakage temperature constant theta = q*Vth/(eta*k). (kBsim)
   util::Kelvin theta_k{1857.8};
   /// SoC leakage coefficient A at nominal voltage; distributed over
-  /// clusters by ClusterSpec::leakage_share.
+  /// clusters by ClusterSpec::leakage_share. (kBsim)
   util::WattPerKelvin2 a_w_per_k2{1.5736e-3};
+  /// Which of the two functional forms above evaluates the leakage.
+  LeakageForm form = LeakageForm::kBsim;
+  /// Exponential prefactor A_e at nominal voltage. (kExpTempBias)
+  util::Watt exp_a_w{0.0};
+  /// Exponential temperature slope B in 1/K. (kExpTempBias)
+  double exp_b_per_k = 0.0;
 };
 
 /// Per-cluster inputs for one power evaluation.
@@ -78,8 +97,9 @@ class PowerModel {
                         util::Kelvin temp) const;
 
   /// SoC leakage at temperature `temp` with every cluster at nominal
-  /// voltage: A * T^2 * exp(-theta/T). This is the lumped form the
-  /// stability analyzer uses.
+  /// voltage (A * T^2 * exp(-theta/T) for the baseline form, A_e * exp(B*T)
+  /// for the exponential form). This is the lumped form the stability
+  /// analyzer uses.
   util::Watt soc_leakage_nominal(util::Kelvin temp) const;
 
   std::size_t num_clusters() const { return spec_.clusters.size(); }

@@ -1,0 +1,101 @@
+#include "power/model_registry.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace mobitherm::power {
+
+using util::ConfigError;
+
+LeakageParams devogeleer_from_baseline(const LeakageParams& baseline,
+                                       util::Kelvin t_ref) {
+  const double t_ref_k = t_ref.value();
+  if (t_ref_k <= 0.0) {
+    throw ConfigError("devogeleer_from_baseline: t_ref must be positive");
+  }
+  if (baseline.form != LeakageForm::kBsim) {
+    throw ConfigError(
+        "devogeleer_from_baseline: baseline must use the BSIM form");
+  }
+  const double theta = baseline.theta_k.value();
+  const double a = baseline.a_w_per_k2.value();
+  // Baseline leakage and log-slope at the reference temperature:
+  //   L(T)      = A T^2 e^{-theta/T}
+  //   dlnL/dT   = 2/T + theta/T^2
+  const double l_ref = a * t_ref_k * t_ref_k * std::exp(-theta / t_ref_k);
+  const double b = 2.0 / t_ref_k + theta / (t_ref_k * t_ref_k);
+  LeakageParams out = baseline;
+  out.form = LeakageForm::kExpTempBias;
+  out.exp_b_per_k = b;
+  out.exp_a_w = util::watts(l_ref * std::exp(-b * t_ref_k));
+  return out;
+}
+
+void ModelRegistry::add(Entry entry) {
+  if (entry.name.empty()) {
+    throw ConfigError("ModelRegistry: entry name must be non-empty");
+  }
+  if (!entry.derive) {
+    throw ConfigError("ModelRegistry: entry '" + entry.name +
+                      "' has no derivation");
+  }
+  entries_[entry.name] = std::move(entry);
+}
+
+bool ModelRegistry::has(const std::string& name) const {
+  return entries_.count(name) != 0;
+}
+
+const ModelRegistry::Entry& ModelRegistry::at(const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw ConfigError("ModelRegistry: unknown power model '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    out.push_back(name);
+  }
+  return out;  // std::map iterates sorted
+}
+
+LeakageParams ModelRegistry::leakage_for(const std::string& name,
+                                         const LeakageParams& baseline) const {
+  return at(name).derive(baseline);
+}
+
+ModelRegistry ModelRegistry::standard() {
+  ModelRegistry registry;
+
+  Entry baseline;
+  baseline.name = kBaselineModelName;
+  baseline.description =
+      "BSIM quadratic leakage A T^2 e^{-theta/T} (paper Sec. IV-A, ref. "
+      "[2])";
+  baseline.derive = [](const LeakageParams& b) { return b; };
+  registry.add(std::move(baseline));
+
+  Entry devogeleer;
+  devogeleer.name = "devogeleer";
+  devogeleer.description =
+      "De Vogeleer exponential temperature-bias leakage A_e e^{B T}, "
+      "matched to the baseline calibration at 60 degC";
+  devogeleer.derive = [](const LeakageParams& b) {
+    return devogeleer_from_baseline(b);
+  };
+  registry.add(std::move(devogeleer));
+
+  return registry;
+}
+
+const ModelRegistry& standard_model_registry() {
+  static const ModelRegistry registry = ModelRegistry::standard();
+  return registry;
+}
+
+}  // namespace mobitherm::power

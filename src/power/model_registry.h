@@ -1,0 +1,80 @@
+// Named leakage/power model strategies.
+//
+// The simulator's physics is parameterized by power::LeakageParams; the
+// registry names the admissible parameterizations so a service request can
+// select one by string ("baseline", "devogeleer") the same way it selects a
+// scenario or policy. A model is expressed as a *transformation* of the
+// platform's baseline (BSIM) calibration rather than a table of per-board
+// constants: the scenario factory hands the board's calibrated baseline in,
+// and the entry derives its own parameters from it. That keeps each board
+// calibrated exactly once (stability/presets.cpp) no matter how many model
+// strategies exist.
+//
+// The De Vogeleer temperature-bias model replaces the BSIM quadratic
+// A T^2 e^{-theta/T} with a pure exponential A_e e^{B T} (De Vogeleer et
+// al., "Modeling the temperature bias of power consumption for nanometer-
+// scale CPUs"). The derivation matches the baseline's leakage *value and
+// log-slope* at a reference temperature, so near typical operating
+// temperatures the two models agree and they diverge exactly where the
+// functional forms do — at the hot end that decides stability.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "power/model.h"
+
+namespace mobitherm::power {
+
+/// Canonical name of the paper-baseline model; requests that do not name a
+/// model resolve to it.
+inline constexpr const char* kBaselineModelName = "baseline";
+
+/// Reference temperature (60 degC) where alternate models are matched to
+/// the baseline calibration.
+inline constexpr util::Kelvin kModelMatchTemp = util::kelvin(333.15);
+
+/// Derive the De Vogeleer exponential parameterization from a baseline
+/// BSIM calibration: value and d(ln P)/dT agree at `t_ref`.
+LeakageParams devogeleer_from_baseline(
+    const LeakageParams& baseline, util::Kelvin t_ref = kModelMatchTemp);
+
+class ModelRegistry {
+ public:
+  struct Entry {
+    std::string name;
+    std::string description;
+    /// Derive this model's LeakageParams from the platform's baseline
+    /// calibration. Must be pure: the scenario canonical key only embeds
+    /// the model *name*, so the derivation may not depend on anything but
+    /// its argument.
+    std::function<LeakageParams(const LeakageParams& baseline)> derive;
+  };
+
+  /// Register (or replace) a model. Throws on empty name or missing
+  /// derivation.
+  void add(Entry entry);
+
+  bool has(const std::string& name) const;
+  const Entry& at(const std::string& name) const;  // throws on unknown
+  std::vector<std::string> names() const;          // sorted
+  std::size_t size() const { return entries_.size(); }
+
+  /// LeakageParams for model `name` on a platform whose baseline
+  /// calibration is `baseline`. Throws util::ConfigError on unknown names.
+  LeakageParams leakage_for(const std::string& name,
+                            const LeakageParams& baseline) const;
+
+  /// "baseline" (identity) and "devogeleer" (exponential temperature-bias).
+  static ModelRegistry standard();
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+/// Shared immutable standard model registry (constructed on first use).
+const ModelRegistry& standard_model_registry();
+
+}  // namespace mobitherm::power

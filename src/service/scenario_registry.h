@@ -3,13 +3,22 @@
 //
 // Every consumer used to hand-wire an Engine per run (benches, examples,
 // tests). The registry names each scenario family once: a request is a
-// small value object {scenario, app, policy, overrides, duration, seed},
-// the registry resolves it against the scenario's defaults into a
+// small value object {scenario, app, policy, model, overrides, duration,
+// seed}, the registry resolves it against the scenario's defaults into a
 // *canonical* request, and the canonical request deterministically maps to
 // a fully wired Engine. Because every run is bit-deterministic (PR 1-3),
 // the canonical request string is also the service layer's cache key:
 // identical canonical requests produce byte-identical results, so they can
 // be memoized (service/result_cache.h).
+//
+// Apps come from two catalogs: the built-in presets (workload/presets.h,
+// addressed by bare name) and attached workload packs (workload/pack.h,
+// addressed as "<pack>/<app>"). Pack-backed requests embed the pack's
+// content hash in the canonical key, so editing a pack invalidates every
+// cached result computed from it. The power/leakage physics is selected by
+// SimRequest::power_model against power::ModelRegistry, and the
+// thermal-runaway guard threshold is re-derived per model
+// (runaway_guard_temp_k).
 #pragma once
 
 #include <cstdint>
@@ -22,13 +31,14 @@
 #include "sim/engine.h"
 #include "util/hash.h"
 #include "workload/app.h"
+#include "workload/pack.h"
 
 namespace mobitherm::service {
 
 /// Tag mixed into every canonical request key. Bump whenever a change
 /// alters simulation semantics (traces/metrics for a fixed request), so a
 /// stale cache can never serve results computed by different code.
-inline constexpr const char* kSimCodeVersion = "mobitherm-sim-v4";
+inline constexpr const char* kSimCodeVersion = "mobitherm-sim-v5";
 
 /// A parameterized simulation request. Field semantics are interpreted by
 /// the scenario named in `scenario`; sentinel values (empty strings,
@@ -36,8 +46,11 @@ inline constexpr const char* kSimCodeVersion = "mobitherm-sim-v4";
 /// ScenarioRegistry::resolve().
 struct SimRequest {
   std::string scenario;        // registry key: "nexus" | "odroid" | custom
-  std::string app;             // workload preset name ("paperio", ...)
+  std::string app;             // preset name ("paperio") or "<pack>/<app>"
   std::string policy;          // scenario policy ("throttled", "default"...)
+  /// Power/leakage model strategy (power::ModelRegistry name); empty =
+  /// "baseline", the paper's BSIM calibration.
+  std::string power_model;
   bool with_bml = false;       // odroid: add the BML background task
   double duration_s = -1.0;    // simulated seconds; <0 = scenario default
   double initial_temp_c = kUnsetTemp;  // device temperature at t=0
@@ -59,10 +72,11 @@ inline std::uint64_t fnv1a64(const std::string& text) {
   return util::fnv1a64(text);
 }
 
-/// Look up a workload preset by registry name ("paperio", "threedmark",
-/// ...). `levels`/`phase_s` parameterize the apps that accept them and are
-/// ignored (when negative) otherwise. Throws util::ConfigError on unknown
-/// names.
+/// Look up a built-in workload preset by registry name ("paperio",
+/// "threedmark", ...). `levels`/`phase_s` parameterize the apps that accept
+/// them and are ignored (when negative) otherwise. Throws util::ConfigError
+/// on unknown names. Pack-qualified names are resolved by the registry
+/// (ScenarioRegistry::app_spec), not here.
 workload::AppSpec workload_by_name(const std::string& name, int levels = -1,
                                    double phase_s = -1.0);
 
@@ -86,10 +100,17 @@ class ScenarioRegistry {
     std::string default_policy;
     /// Allowed policy strings, for validation and the `scenarios` op.
     std::vector<std::string> policies;
-    /// Build a fully wired engine from a *resolved* request. Must be
-    /// pure: identical requests yield engines that produce bit-identical
-    /// runs. Called concurrently by the service worker pool.
-    std::function<std::unique_ptr<sim::Engine>(const SimRequest&)> factory;
+    /// Built-in apps this scenario advertises (scenario-matrix harness,
+    /// `scenarios` op). Any valid workload name is *accepted*; this list
+    /// is what gets enumerated.
+    std::vector<std::string> apps;
+    /// Build a fully wired engine from a *resolved* request and its
+    /// resolved app spec (built-in preset or pack app). Must be pure:
+    /// identical requests yield engines that produce bit-identical runs.
+    /// Called concurrently by the service worker pool.
+    std::function<std::unique_ptr<sim::Engine>(
+        const SimRequest&, const workload::AppSpec&)>
+        factory;
   };
 
   /// Register (or replace) a scenario entry. Throws on empty name or
@@ -101,16 +122,33 @@ class ScenarioRegistry {
   std::vector<std::string> names() const;          // sorted
   std::size_t size() const { return entries_.size(); }
 
-  /// Fill scenario defaults into every sentinel field, validate the app
-  /// and policy names, and normalize inapplicable overrides. The result
-  /// is the canonical request: resolve(resolve(r)) == resolve(r). Throws
-  /// util::ConfigError on unknown scenario/app/policy.
+  /// Attach a pack set; "<pack>/<app>" request apps resolve against it.
+  /// Copies of the registry made afterwards share the same (immutable)
+  /// packs.
+  void attach_packs(std::shared_ptr<const workload::PackSet> packs);
+  const workload::PackSet* packs() const { return packs_.get(); }
+
+  /// Fill scenario defaults into every sentinel field, validate the app,
+  /// policy and power-model names, and normalize inapplicable overrides.
+  /// The result is the canonical request: resolve(resolve(r)) ==
+  /// resolve(r). Throws util::ConfigError on unknown
+  /// scenario/app/policy/model.
   SimRequest resolve(const SimRequest& request) const;
+
+  /// The app spec a *resolved* request simulates: a built-in preset or an
+  /// attached pack app. Throws util::ConfigError on unknown names.
+  workload::AppSpec app_spec(const SimRequest& resolved) const;
+
+  /// Every app name the scenario-matrix harness should enumerate for
+  /// `scenario`: the entry's built-in list plus every attached pack app
+  /// (qualified), in listing order.
+  std::vector<std::string> apps_for(const std::string& scenario) const;
 
   /// Canonical key string of a request (resolves first). Two requests
   /// have equal keys iff the registry treats them identically; the key
-  /// embeds kSimCodeVersion so cached results never outlive the code
-  /// that computed them.
+  /// embeds kSimCodeVersion — and, for pack apps, the pack content hash —
+  /// so cached results never outlive the code (or pack) that computed
+  /// them.
   std::string canonical_key(const SimRequest& request) const;
 
   /// FNV-1a hash of canonical_key(); the result-cache key.
@@ -119,12 +157,22 @@ class ScenarioRegistry {
   /// Resolve and build the engine for `request`.
   std::unique_ptr<sim::Engine> make_engine(const SimRequest& request) const;
 
+  /// Thermal-runaway guard threshold (K) for `request`, wired to the
+  /// active power model: the baseline model keeps the service-configured
+  /// `config_guard_c` (Sec. IV-A calibration), alternate models clamp it
+  /// to their own re-derived point of no return
+  /// (stability::model_no_return_temp_k at zero dynamic power). Callers
+  /// treat config_guard_c <= 0 as "guard disabled" before asking.
+  double runaway_guard_temp_k(const SimRequest& request,
+                              double config_guard_c) const;
+
   /// The paper's scenario families: "nexus" (Sec. III, Snapdragon 810)
   /// and "odroid" (Sec. IV-C, Exynos 5422).
   static ScenarioRegistry standard();
 
  private:
   std::map<std::string, Entry> entries_;
+  std::shared_ptr<const workload::PackSet> packs_;
 };
 
 /// Shared immutable standard registry (constructed on first use).

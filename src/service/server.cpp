@@ -8,7 +8,9 @@
 #include <string>
 #include <utility>
 
+#include "power/model_registry.h"
 #include "sim/compare.h"
+#include "workload/pack.h"
 
 namespace mobitherm::service {
 
@@ -74,6 +76,7 @@ std::string read_request_fields(const json::Value& v, SimRequest* req) {
   }
   read_string(v, "app", &req->app);
   read_string(v, "policy", &req->policy);
+  read_string(v, "power_model", &req->power_model);
   read_bool(v, "with_bml", &req->with_bml);
   read_number(v, "duration_s", &req->duration_s);
   read_number(v, "initial_temp_c", &req->initial_temp_c);
@@ -359,7 +362,10 @@ std::string SimServer::handle_status(const json::Value& request) {
   json::Value out = json::Value::object();
   out.set("ok", json::Value::boolean(true));
   out.set("op", json::Value::string("status"));
-  for (const auto& [key, value] : status_value(*status).members()) {
+  // Bound to a local: members() returns a reference into the value, and a
+  // temporary would be destroyed before the loop body runs (UB pre-C++23).
+  const json::Value fields = status_value(*status);
+  for (const auto& [key, value] : fields.members()) {
     out.set(key, value);
   }
   return out.dump();
@@ -570,9 +576,44 @@ std::string SimServer::handle_scenarios() {
       policies.push(json::Value::string(p));
     }
     e.set("policies", policies);
+    json::Value apps = json::Value::array();
+    for (const std::string& a : entry.apps) {
+      apps.push(json::Value::string(a));
+    }
+    e.set("apps", apps);
     list.push(e);
   }
   out.set("scenarios", list);
+  // Attached workload packs (name, content hash, qualified app names).
+  json::Value packs = json::Value::array();
+  if (const workload::PackSet* set = registry.packs()) {
+    for (const std::string& pack_name : set->pack_names()) {
+      const workload::WorkloadPack* pack = set->find(pack_name);
+      json::Value p = json::Value::object();
+      p.set("name", json::Value::string(pack->name));
+      p.set("description", json::Value::string(pack->description));
+      p.set("content_hash", json::Value::string(pack->content_hash_hex()));
+      json::Value apps = json::Value::array();
+      for (const workload::AppSpec& spec : pack->apps) {
+        apps.push(json::Value::string(pack->name + "/" + spec.name));
+      }
+      p.set("apps", apps);
+      packs.push(p);
+    }
+  }
+  out.set("packs", packs);
+  // Registered power/leakage model strategies.
+  json::Value models = json::Value::array();
+  const power::ModelRegistry& model_registry =
+      power::standard_model_registry();
+  for (const std::string& model_name : model_registry.names()) {
+    json::Value m = json::Value::object();
+    m.set("name", json::Value::string(model_name));
+    m.set("description",
+          json::Value::string(model_registry.at(model_name).description));
+    models.push(m);
+  }
+  out.set("models", models);
   // The verdict metrics the compare op accepts, stable order.
   json::Value metrics = json::Value::array();
   for (const std::string& name : sim::compare_metric_names()) {

@@ -628,8 +628,10 @@ std::shared_ptr<JobResult> SimService::run_resolved_sliced(
   util::FaultPlan* plan = config_.faults;
   std::unique_ptr<sim::Engine> engine = registry_.make_engine(resolved);
   if (config_.guard_max_temp_c > 0.0) {
-    engine->set_runaway_guard(
-        util::celsius_to_kelvin(config_.guard_max_temp_c));
+    // Per-model threshold: baseline keeps the configured guard exactly,
+    // alternate models clamp to their re-derived point of no return.
+    engine->set_runaway_guard(registry_.runaway_guard_temp_k(
+        resolved, config_.guard_max_temp_c));
   }
   sim::MetricsObserver tap(config_.metrics);
   engine->add_observer(&tap);
@@ -856,8 +858,8 @@ void SimService::execute_wide(const std::vector<std::shared_ptr<Job>>& lanes,
     try {
       engines[k] = registry_.make_engine(lanes[k]->resolved);
       if (config_.guard_max_temp_c > 0.0) {
-        engines[k]->set_runaway_guard(
-            util::celsius_to_kelvin(config_.guard_max_temp_c));
+        engines[k]->set_runaway_guard(registry_.runaway_guard_temp_k(
+            lanes[k]->resolved, config_.guard_max_temp_c));
       }
       engines[k]->add_observer(&taps[k]);
     } catch (...) {

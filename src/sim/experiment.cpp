@@ -25,6 +25,16 @@ const char* to_string(ThermalPolicy policy) {
   return "?";
 }
 
+power::LeakageParams nexus_baseline_leakage() {
+  return power::LeakageParams{stability::nexus6p_params().leak_theta_k,
+                              stability::nexus6p_params().leak_a_w_per_k2};
+}
+
+power::LeakageParams odroid_baseline_leakage() {
+  return power::LeakageParams{stability::odroid_xu3_params().leak_theta_k,
+                              stability::odroid_xu3_params().leak_a_w_per_k2};
+}
+
 governors::StepWiseGovernor::Config nexus_stepwise_config() {
   // Per-sensor zones as on the Snapdragon: the CPU zones trip lower than
   // the GPU zone (tuned so Amazon-class CPU apps throttle near 39-40 degC
@@ -59,8 +69,7 @@ std::unique_ptr<Engine> make_nexus_engine(const NexusRun& run) {
   cfg.enable_daq = true;
   auto engine = std::make_unique<Engine>(
       spec, thermal::nexus6p_network(),
-      power::LeakageParams{stability::nexus6p_params().leak_theta_k,
-                           stability::nexus6p_params().leak_a_w_per_k2},
+      run.leakage.value_or(nexus_baseline_leakage()),
       /*board_base_w=*/0.3, cfg);
 
   engine->set_initial_temperature(
@@ -127,8 +136,7 @@ std::unique_ptr<Engine> make_odroid_engine(const OdroidRun& run) {
   cfg.seed = run.seed;
   auto engine = std::make_unique<Engine>(
       spec, thermal::odroidxu3_network(),
-      power::LeakageParams{stability::odroid_xu3_params().leak_theta_k,
-                           stability::odroid_xu3_params().leak_a_w_per_k2},
+      run.leakage.value_or(odroid_baseline_leakage()),
       /*board_base_w=*/0.25, cfg);
 
   engine->set_initial_temperature(

@@ -12,9 +12,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/appaware.h"
+#include "power/model.h"
 #include "sim/engine.h"
 #include "workload/app.h"
 
@@ -23,6 +25,12 @@ namespace mobitherm::sim {
 enum class ThermalPolicy { kNone, kDefault, kProposed };
 
 const char* to_string(ThermalPolicy policy);
+
+/// The boards' baseline (BSIM) leakage calibrations, as used by the paper
+/// reproduction. power::ModelRegistry derives alternate model
+/// parameterizations from these.
+power::LeakageParams nexus_baseline_leakage();
+power::LeakageParams odroid_baseline_leakage();
 
 // --- Nexus 6P (Sec. III) --------------------------------------------------
 
@@ -34,6 +42,9 @@ struct NexusRun {
   /// around 36 degC — the phone is already warm from handling).
   double initial_temp_c = 36.0;
   std::uint64_t seed = 42;
+  /// Leakage model parameterization; nullopt = the board's baseline
+  /// calibration (nexus_baseline_leakage()).
+  std::optional<power::LeakageParams> leakage;
 };
 
 struct NexusResult {
@@ -74,6 +85,9 @@ struct OdroidRun {
   /// Board temperature at experiment start (Fig. 8 curves start ~50 degC).
   double initial_temp_c = 50.0;
   std::uint64_t seed = 42;
+  /// Leakage model parameterization; nullopt = the board's baseline
+  /// calibration (odroid_baseline_leakage()).
+  std::optional<power::LeakageParams> leakage;
 };
 
 struct OdroidResult {

@@ -1,11 +1,11 @@
-#include "service/json.h"
+#include "util/json.h"
 
 #include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
-namespace mobitherm::service::json {
+namespace mobitherm::util::json {
 
 std::string format_number(double value) {
   if (!std::isfinite(value)) {
@@ -525,4 +525,4 @@ Value Value::parse(const std::string& text) {
   return Parser(text).parse_document();
 }
 
-}  // namespace mobitherm::service::json
+}  // namespace mobitherm::util::json

@@ -1,0 +1,94 @@
+// Minimal JSON value shared by the service protocol and workload packs.
+//
+// The NDJSON server (service/server.h), the deterministic result cache and
+// the workload-pack loader (workload/pack.h) need to parse small documents
+// and emit byte-stable output without an external dependency. This is
+// deliberately small: null/bool/number/
+// string/array/object, objects keep insertion order on output, and number
+// formatting is canonical (integers print without a decimal point, other
+// doubles print with the shortest round-trip precision) so a payload
+// serialized twice from the same data is byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mobitherm::util::json {
+
+/// Thrown on malformed JSON input.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Maximum container nesting the parser accepts. The recursive-descent
+/// parser uses one stack frame per level, so hostile deeply-nested input
+/// must be rejected before it can exhaust the stack; 64 levels is far
+/// beyond anything the flat service protocol needs.
+inline constexpr int kMaxParseDepth = 64;
+
+/// Canonical number rendering: integral values in [-2^53, 2^53] print as
+/// integers; everything else uses the shortest precision that round-trips.
+std::string format_number(double value);
+
+/// Escape `text` as a JSON string literal, including the quotes.
+std::string quote(const std::string& text);
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : type_(Type::kNull) {}
+
+  static Value null() { return Value(); }
+  static Value boolean(bool b);
+  static Value number(double v);
+  static Value string(std::string s);
+  static Value array();
+  static Value object();
+
+  /// Parse one JSON document; trailing non-whitespace is an error.
+  static Value parse(const std::string& text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw ParseError on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Value>& items() const;
+  const std::vector<std::pair<std::string, Value>>& members() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const Value* find(const std::string& key) const;
+
+  /// Builders (object/array only; throw otherwise). Return *this.
+  Value& set(const std::string& key, Value v);
+  Value& push(Value v);
+
+  /// Compact serialization (no whitespace, insertion-ordered members).
+  std::string dump() const;
+
+ private:
+  explicit Value(Type type) : type_(type) {}
+  void dump_to(std::string& out) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+}  // namespace mobitherm::util::json

@@ -1,0 +1,108 @@
+// Declarative workload packs: app definitions loaded from JSON.
+//
+// A pack is a named bundle of AppSpecs parsed from a small JSON document,
+// so new workloads need no C++ (stress-ng's "~300 stressors behind one
+// interface" discipline). An app is either scripted phase-by-phase or
+// generated from a parameterized synthetic-stressor template
+// (workload/synthetic.h):
+//
+//   {
+//     "pack": "stress",
+//     "description": "synthetic stressors",
+//     "apps": [
+//       {"name": "spike", "target_fps": 60, "threads": 4,
+//        "phases": [{"duration_s": 5, "cpu_work_per_frame": 4.0e7,
+//                    "gpu_work_per_frame": 1.0e7}]},
+//       {"name": "burn", "template": {"name": "cpu_burn_ramp",
+//        "steps": 8, "step_s": 5, "cpu_from": 1.0e7, "cpu_to": 2.0e8}}
+//     ]
+//   }
+//
+// Packs are addressed as "<pack>/<app>" in SimRequest.app. Every pack
+// carries a content hash over its *canonical semantic form* (templates
+// expanded, fields in fixed order): the scenario canonical key embeds the
+// hash, so editing any field of a pack changes the cache key and stale
+// cached results can never be served — while reformatting the JSON
+// (whitespace, key order) leaves keys untouched.
+//
+// Parsing is strict: unknown fields, bad values, duplicate names and
+// oversized documents are typed util::ConfigError carrying the offending
+// JSON path (e.g. "stress.json: apps[2].phases[0].duration_s: ..."), and a
+// pack that fails to parse registers nothing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "workload/app.h"
+
+namespace mobitherm::workload {
+
+/// Largest pack document the loader accepts, in bytes.
+inline constexpr std::size_t kMaxPackBytes = 1 << 20;
+/// Most apps a single pack may define.
+inline constexpr std::size_t kMaxPackApps = 256;
+/// Most phases a single app may script (after template expansion).
+inline constexpr std::size_t kMaxAppPhases = 4096;
+
+/// A parsed pack: named AppSpecs (insertion order, names unique) plus the
+/// content hash of the canonical form.
+struct WorkloadPack {
+  std::string name;
+  std::string description;
+  std::vector<AppSpec> apps;
+  std::uint64_t content_hash = 0;
+
+  /// 16 lowercase hex digits of content_hash.
+  std::string content_hash_hex() const;
+  /// nullptr when the pack has no app of that (unqualified) name.
+  const AppSpec* find_app(const std::string& app) const;
+};
+
+/// Canonical semantic serialization of a pack: templates expanded to
+/// phases, members in fixed order, json.h's canonical number formatting.
+/// Two packs serialize identically iff the simulator cannot tell them
+/// apart.
+std::string canonical_pack_json(const WorkloadPack& pack);
+
+/// Parse a pack from a JSON document. `origin` names the source (file
+/// name) and prefixes every error. Throws util::ConfigError with the
+/// offending path on any schema violation; computes the content hash.
+WorkloadPack parse_pack(const util::json::Value& root,
+                        const std::string& origin);
+
+/// Parse from raw text (size-checked, then json parse + parse_pack).
+WorkloadPack parse_pack_text(const std::string& text,
+                             const std::string& origin);
+
+/// An immutable set of packs, keyed by pack name; the registry attaches
+/// one to resolve "<pack>/<app>" requests.
+class PackSet {
+ public:
+  /// Throws util::ConfigError on duplicate pack names.
+  void add(WorkloadPack pack);
+
+  const WorkloadPack* find(const std::string& pack) const;
+  /// Qualified lookup: "pack/app". nullptr when either part is unknown.
+  const AppSpec* find_app(const std::string& qualified) const;
+  /// The pack owning `qualified`, or nullptr.
+  const WorkloadPack* pack_of(const std::string& qualified) const;
+
+  std::vector<std::string> pack_names() const;          // sorted
+  std::vector<std::string> qualified_app_names() const; // sorted
+  std::size_t size() const { return packs_.size(); }
+  bool empty() const { return packs_.empty(); }
+
+ private:
+  std::map<std::string, WorkloadPack> packs_;
+};
+
+/// Load every "*.json" in `dir` (sorted by file name, so load order — and
+/// anything derived from it — is deterministic). Throws util::ConfigError
+/// on the first malformed pack; nothing is returned partially.
+PackSet load_pack_dir(const std::string& dir);
+
+}  // namespace mobitherm::workload

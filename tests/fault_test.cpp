@@ -451,14 +451,14 @@ std::string run_schedule(std::uint64_t plan_seed) {
 }
 
 TEST(FaultMatrix, InjectedScheduleReplaysByteForByte) {
-  const std::string first = run_schedule(17);
-  const std::string second = run_schedule(17);
+  const std::string first = run_schedule(19);
+  const std::string second = run_schedule(19);
   EXPECT_EQ(first, second);
   // The transcript exercised real failure paths, not a quiet run: at
   // least one injection fired and at least one job needed a retry.
   EXPECT_NE(first.find("|journal="), first.size() - 9) << first;
   EXPECT_NE(first.find(":a2"), std::string::npos) << first;
-  const std::string other = run_schedule(18);
+  const std::string other = run_schedule(21);
   EXPECT_NE(first, other);
 }
 
@@ -825,7 +825,7 @@ TEST(NumericalGuards, ServiceReportsRunawayAsTypedNonRetryableFailure) {
   entry.default_app = "paperio";  // must name a real workload; the
   entry.default_policy = "default";  // factory wires its own app anyway
   entry.policies = {"default"};
-  entry.factory = [](const SimRequest&) {
+  entry.factory = [](const SimRequest&, const workload::AppSpec&) {
     return RunawayPlatform::make_engine();
   };
   registry.add(entry);
